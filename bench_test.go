@@ -1,0 +1,220 @@
+// Benchmarks regenerating every figure of the paper's evaluation plus the
+// timing claim of Section IV-D, with micro-benchmarks and ablations for
+// the core algorithms. Scale factors are kept small so `go test -bench=.`
+// finishes quickly; cmd/paotrexp runs the experiments at paper scale.
+package paotr_test
+
+import (
+	"fmt"
+	"testing"
+
+	"paotr"
+	"paotr/internal/andtree"
+	"paotr/internal/dnf"
+	"paotr/internal/experiments"
+	"paotr/internal/gen"
+	"paotr/internal/sched"
+)
+
+// BenchmarkFig4 regenerates the Figure 4 experiment (shared AND-trees:
+// read-once greedy vs optimal Algorithm 1) at 10 instances per
+// configuration per iteration (1,570 trees).
+func BenchmarkFig4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Fig4(experiments.Fig4Options{
+			InstancesPerConfig: 10,
+			Seed:               uint64(i + 1),
+		})
+		if res.MaxRatio < 1 {
+			b.Fatal("impossible ratio")
+		}
+	}
+}
+
+// BenchmarkFig5 regenerates the Figure 5 experiment (DNF heuristics vs the
+// exhaustive optimum on small instances) at 1 instance per configuration
+// with a bounded search.
+func BenchmarkFig5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Fig5(experiments.DNFOptions{
+			InstancesPerConfig: 1,
+			Seed:               uint64(i + 1),
+			MaxNodes:           100_000,
+		})
+		if res.Instances == 0 {
+			b.Fatal("no instances solved")
+		}
+	}
+}
+
+// BenchmarkFig6 regenerates the Figure 6 experiment (DNF heuristics vs the
+// best heuristic on large instances) at 1 instance per configuration.
+func BenchmarkFig6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Fig6(experiments.DNFOptions{
+			InstancesPerConfig: 1,
+			Seed:               uint64(i + 1),
+		})
+		if res.Instances != 324 {
+			b.Fatal("bad instance count")
+		}
+	}
+}
+
+// BenchmarkAndOrderedDynamicLarge reproduces the timing claim of Section
+// IV-D: the best heuristic processes a tree with 10 AND nodes of 20 leaves
+// each "in less than 5 seconds" on 2013 hardware. One iteration is one
+// full scheduling of such a tree.
+func BenchmarkAndOrderedDynamicLarge(b *testing.B) {
+	tr := gen.DNF(sizes(10, 20), 2, gen.Dist{}, gen.NewRng(42))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := dnf.AndOrderedIncCOverPDynamic(tr, nil)
+		if len(s) != 200 {
+			b.Fatal("bad schedule")
+		}
+	}
+}
+
+func sizes(n, m int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = m
+	}
+	return out
+}
+
+// BenchmarkAlgorithm1 measures the optimal AND-tree greedy across sizes.
+func BenchmarkAlgorithm1(b *testing.B) {
+	for _, m := range []int{10, 50, 200} {
+		b.Run(fmt.Sprintf("m=%d", m), func(b *testing.B) {
+			tr := gen.AndTree(m, 3, gen.Dist{}, gen.NewRng(7))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				andtree.Greedy(tr)
+			}
+		})
+	}
+}
+
+// BenchmarkReadOnceGreedy measures the Smith-rule baseline.
+func BenchmarkReadOnceGreedy(b *testing.B) {
+	tr := gen.AndTree(200, 3, gen.Dist{}, gen.NewRng(7))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		andtree.ReadOnceGreedy(tr)
+	}
+}
+
+// BenchmarkProposition2Cost measures the closed-form schedule evaluation
+// (Section IV-A) on large-instance shapes.
+func BenchmarkProposition2Cost(b *testing.B) {
+	for _, n := range []int{2, 10} {
+		b.Run(fmt.Sprintf("N=%d,m=20", n), func(b *testing.B) {
+			tr := gen.DNF(sizes(n, 20), 2, gen.Dist{}, gen.NewRng(9))
+			s := dnf.LeafOrderedIncC(tr, nil)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sched.Cost(tr, s)
+			}
+		})
+	}
+}
+
+// BenchmarkPrefixAppendPop measures the incremental evaluator that powers
+// branch-and-bound and the dynamic heuristics.
+func BenchmarkPrefixAppendPop(b *testing.B) {
+	tr := gen.DNF(sizes(10, 20), 2, gen.Dist{}, gen.NewRng(11))
+	p := sched.NewPrefix(tr)
+	order := dnf.LeafOrderedIncC(tr, nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, j := range order {
+			p.Append(j)
+		}
+		p.PopN(len(order))
+	}
+}
+
+// BenchmarkHeuristics measures each of the paper's ten heuristics on a
+// large instance (N=10, 20 leaves per AND).
+func BenchmarkHeuristics(b *testing.B) {
+	tr := gen.DNF(sizes(10, 20), 2, gen.Dist{}, gen.NewRng(13))
+	rng := gen.NewRng(14)
+	for _, h := range dnf.Heuristics() {
+		b.Run(h.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				h.Schedule(tr, rng)
+			}
+		})
+	}
+}
+
+// BenchmarkExhaustiveDepthFirst measures the branch-and-bound search on a
+// small instance shape.
+func BenchmarkExhaustiveDepthFirst(b *testing.B) {
+	cfg := gen.DNFConfig{N: 4, Cap: 3, MaxTotal: 12, Rho: 2}
+	tr := cfg.Generate(gen.Dist{}, gen.NewRng(15))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := dnf.OptimalDepthFirst(tr, dnf.SearchOptions{})
+		if !res.Exact {
+			b.Fatal("truncated")
+		}
+	}
+}
+
+// BenchmarkAblationStaticVsDynamic quantifies the cost of the dynamic
+// AND-ordered variant relative to the static one (the design choice the
+// paper's Figure 5/6 legends distinguish).
+func BenchmarkAblationStaticVsDynamic(b *testing.B) {
+	tr := gen.DNF(sizes(10, 20), 2, gen.Dist{}, gen.NewRng(17))
+	b.Run("static", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			dnf.AndOrderedIncCOverPStatic(tr, nil)
+		}
+	})
+	b.Run("dynamic", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			dnf.AndOrderedIncCOverPDynamic(tr, nil)
+		}
+	})
+}
+
+// BenchmarkMonteCarlo measures the simulation-based estimator used for
+// cross-validation.
+func BenchmarkMonteCarlo(b *testing.B) {
+	tr := gen.DNF(sizes(5, 10), 2, gen.Dist{}, gen.NewRng(19))
+	s := dnf.AndOrderedIncCOverPDynamic(tr, nil)
+	rng := gen.NewRng(20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sched.MonteCarloCost(tr, s, 1000, rng)
+	}
+}
+
+// BenchmarkSection2Examples keeps the worked examples fast.
+func BenchmarkSection2Examples(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = experiments.Section2Report()
+	}
+}
+
+// BenchmarkFacadeQuickstart measures the public-API quick-start path.
+func BenchmarkFacadeQuickstart(b *testing.B) {
+	tree := paotr.NewAndTree(
+		[]paotr.Stream{{Name: "A", Cost: 1}, {Name: "B", Cost: 1}},
+		[]paotr.Leaf{
+			{Stream: 0, Items: 1, Prob: 0.75},
+			{Stream: 0, Items: 2, Prob: 0.10},
+			{Stream: 1, Items: 1, Prob: 0.50},
+		},
+	)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := paotr.OptimalAndTree(tree)
+		if paotr.ExpectedCost(tree, s) > 1.9 {
+			b.Fatal("wrong cost")
+		}
+	}
+}

@@ -1,0 +1,160 @@
+// Command paotrexp reproduces the paper's evaluation: Figure 4 (AND-tree
+// algorithms), Figure 5 (DNF heuristics vs the exhaustive optimum),
+// Figure 6 (DNF heuristics vs the best heuristic), the Section II worked
+// examples, the non-linear strategy study (Section V) and the design
+// ablations.
+//
+// Usage:
+//
+//	paotrexp -exp fig4                 # scaled-down run (fast)
+//	paotrexp -exp fig4 -full           # paper scale (157,000 instances)
+//	paotrexp -exp fig5 -csv fig5.csv   # write the plotted series as CSV
+//	paotrexp -exp all                  # everything, scaled down
+//
+// Every run prints measured statistics next to the values quoted in the
+// paper.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"paotr/internal/dnf"
+	"paotr/internal/experiments"
+	"paotr/internal/gen"
+	"paotr/internal/stats"
+	"paotr/internal/strategy"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "all", "experiment: fig4 | fig5 | fig6 | examples | nonlinear | ablation | timing | rho | all")
+		full     = flag.Bool("full", false, "run at paper scale (slow: hours for fig5)")
+		inst     = flag.Int("instances", 0, "override instances per configuration")
+		seed     = flag.Uint64("seed", 1, "experiment master seed")
+		maxNodes = flag.Int64("max-nodes", 1_000_000, "per-instance search node cap for fig5/ablation (0 = unlimited)")
+		csvPath  = flag.String("csv", "", "also write the figure's data series as CSV")
+		points   = flag.Int("points", 100, "points per profile curve in CSV output")
+		plot     = flag.Bool("plot", false, "render figures as ASCII charts")
+	)
+	flag.Parse()
+
+	run := func(name string, f func()) {
+		switch *exp {
+		case name, "all":
+			start := time.Now()
+			f()
+			fmt.Printf("[%s completed in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+		}
+	}
+
+	known := map[string]bool{"fig4": true, "fig5": true, "fig6": true, "examples": true,
+		"nonlinear": true, "ablation": true, "timing": true, "rho": true, "all": true}
+	if !known[*exp] {
+		fmt.Fprintf(os.Stderr, "paotrexp: unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+
+	run("examples", func() { fmt.Println(experiments.Section2Report()) })
+
+	run("fig4", func() {
+		n := scale(*inst, *full, 1000, 50)
+		res := experiments.Fig4(experiments.Fig4Options{
+			InstancesPerConfig: n, Seed: *seed, KeepSeries: *csvPath != "",
+		})
+		fmt.Print(res.Report())
+		writeCSV(*csvPath, res.CSV())
+	})
+
+	run("fig5", func() {
+		n := scale(*inst, *full, 100, 2)
+		cap := *maxNodes
+		if *full {
+			cap = 0
+		}
+		res := experiments.Fig5(experiments.DNFOptions{
+			InstancesPerConfig: n, Seed: *seed, MaxNodes: cap,
+		})
+		fmt.Print(res.Report())
+		if *plot {
+			fmt.Println(stats.AsciiPlot(res.Names, res.Profiles, 72, 16, 10))
+		}
+		writeCSV(*csvPath, res.CSV(*points))
+	})
+
+	run("fig6", func() {
+		n := scale(*inst, *full, 100, 5)
+		res := experiments.Fig6(experiments.DNFOptions{
+			InstancesPerConfig: n, Seed: *seed,
+		})
+		fmt.Print(res.Report())
+		if *plot {
+			fmt.Println(stats.AsciiPlot(res.Names, res.Profiles, 72, 16, 10))
+		}
+		writeCSV(*csvPath, res.CSV(*points))
+	})
+
+	run("ablation", func() {
+		n := scale(*inst, *full, 100, 2)
+		res := experiments.Ablation(experiments.AblationOptions{
+			InstancesPerConfig: n, Seed: *seed, MaxNodes: *maxNodes,
+		})
+		fmt.Print(res.Report())
+	})
+
+	run("rho", func() {
+		n := scale(*inst, *full, 200, 30)
+		res := experiments.RhoSensitivity(experiments.RhoOptions{
+			InstancesPerConfig: n, Seed: *seed,
+		})
+		fmt.Print(res.Report())
+	})
+
+	run("nonlinear", func() {
+		tr := strategy.CounterExample()
+		g := strategy.Analyze(tr)
+		fmt.Println("Section V — non-linear (decision-tree) strategies in the shared model")
+		fmt.Printf("counter-example tree: %v\n", tr)
+		fmt.Printf("optimal schedule (linear) cost:     %.6f\n", g.Linear)
+		fmt.Printf("optimal non-linear strategy cost:   %.6f\n", g.NonLinear)
+		fmt.Printf("gap: %.4f%% — linear strategies are NOT dominant with shared streams\n",
+			100*(g.Ratio()-1))
+	})
+
+	run("timing", func() {
+		sizes := make([]int, 10)
+		for i := range sizes {
+			sizes[i] = 20
+		}
+		tr := gen.DNF(sizes, 2, gen.Dist{}, gen.NewRng(*seed))
+		start := time.Now()
+		s := dnf.AndOrderedIncCOverPDynamic(tr, nil)
+		elapsed := time.Since(start)
+		fmt.Println("Section IV-D timing claim — best heuristic on N=10 ANDs x 20 leaves")
+		fmt.Printf("scheduled %d leaves in %v (paper: < 5 s on a 1.86 GHz core)\n",
+			len(s), elapsed)
+	})
+}
+
+func scale(override int, full bool, paperN, quickN int) int {
+	if override > 0 {
+		return override
+	}
+	if full {
+		return paperN
+	}
+	return quickN
+}
+
+func writeCSV(path, data string) {
+	if path == "" {
+		return
+	}
+	if err := os.WriteFile(path, []byte(data), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "paotrexp: writing %s: %v\n", path, err)
+		os.Exit(1)
+	}
+	fmt.Printf("(series written to %s)\n", path)
+}

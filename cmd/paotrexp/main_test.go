@@ -1,0 +1,41 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestScale(t *testing.T) {
+	cases := []struct {
+		override       int
+		full           bool
+		paperN, quickN int
+		want           int
+	}{
+		{0, false, 1000, 50, 50},
+		{0, true, 1000, 50, 1000},
+		{7, false, 1000, 50, 7},
+		{7, true, 1000, 50, 7},
+	}
+	for _, c := range cases {
+		if got := scale(c.override, c.full, c.paperN, c.quickN); got != c.want {
+			t.Errorf("scale(%d, %v) = %d, want %d", c.override, c.full, got, c.want)
+		}
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.csv")
+	writeCSV(path, "a,b\n1,2\n")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "a,b") {
+		t.Errorf("content %q", data)
+	}
+	// Empty path is a no-op.
+	writeCSV("", "ignored")
+}

@@ -1,0 +1,96 @@
+// Command paotrgen generates random PAOTR problem instances with the
+// paper's distributions and writes them as JSON trees.
+//
+// Usage:
+//
+//	paotrgen -type and -leaves 10 -rho 2 -seed 1 -o tree.json
+//	paotrgen -type dnf -ands 5 -leaves-per-and 10 -rho 3
+//
+// With no -o the tree is written to stdout.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"paotr/internal/corpus"
+	"paotr/internal/gen"
+	"paotr/internal/query"
+)
+
+func main() {
+	var (
+		typ     = flag.String("type", "and", "instance type: and | dnf")
+		leaves  = flag.Int("leaves", 10, "number of leaves (AND-trees)")
+		ands    = flag.Int("ands", 3, "number of AND nodes (DNF trees)")
+		perAnd  = flag.Int("leaves-per-and", 5, "leaves per AND node (DNF trees)")
+		rho     = flag.Float64("rho", 2, "sharing ratio: expected leaves per stream")
+		seed    = flag.Uint64("seed", 1, "random seed")
+		maxD    = flag.Int("max-items", 5, "maximum window size d")
+		minCost = flag.Float64("min-cost", 1, "minimum per-item stream cost")
+		maxCost = flag.Float64("max-cost", 10, "maximum per-item stream cost")
+		out     = flag.String("o", "", "output file (default stdout)")
+		batch   = flag.String("corpus", "", "write a JSONL corpus instead: fig4 | small | large")
+		perCfg  = flag.Int("per-config", 10, "instances per configuration for -corpus")
+	)
+	flag.Parse()
+
+	dist := gen.Dist{MaxItems: *maxD, MinCost: *minCost, MaxCost: *maxCost}
+	if *batch != "" {
+		if *out == "" {
+			fmt.Fprintln(os.Stderr, "paotrgen: -corpus requires -o FILE")
+			os.Exit(2)
+		}
+		var instances []corpus.Instance
+		switch *batch {
+		case "fig4":
+			instances = corpus.GenerateAndTrees(*perCfg, *seed, dist)
+		case "small":
+			instances = corpus.GenerateDNF(gen.SmallDNFConfigs(), *perCfg, *seed, dist)
+		case "large":
+			instances = corpus.GenerateDNF(gen.LargeDNFConfigs(), *perCfg, *seed, dist)
+		default:
+			fmt.Fprintf(os.Stderr, "paotrgen: unknown corpus %q (want fig4|small|large)\n", *batch)
+			os.Exit(2)
+		}
+		if err := corpus.WriteFile(*out, instances); err != nil {
+			fmt.Fprintf(os.Stderr, "paotrgen: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s: %d instances\n", *out, len(instances))
+		return
+	}
+	rng := gen.NewRng(*seed)
+	var tree *query.Tree
+	switch *typ {
+	case "and":
+		tree = gen.AndTree(*leaves, *rho, dist, rng)
+	case "dnf":
+		sizes := make([]int, *ands)
+		for i := range sizes {
+			sizes[i] = *perAnd
+		}
+		tree = gen.DNF(sizes, *rho, dist, rng)
+	default:
+		fmt.Fprintf(os.Stderr, "paotrgen: unknown -type %q (want and|dnf)\n", *typ)
+		os.Exit(2)
+	}
+	if err := tree.Validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "paotrgen: generated invalid tree: %v\n", err)
+		os.Exit(1)
+	}
+	if *out == "" {
+		if err := query.Encode(os.Stdout, tree); err != nil {
+			fmt.Fprintf(os.Stderr, "paotrgen: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := query.SaveFile(*out, tree); err != nil {
+		fmt.Fprintf(os.Stderr, "paotrgen: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s: %d leaves, %d AND nodes, %d streams (rho=%.2f)\n",
+		*out, tree.NumLeaves(), tree.NumAnds(), tree.NumStreams(), tree.SharingRatio())
+}

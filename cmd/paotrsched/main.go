@@ -1,0 +1,109 @@
+// Command paotrsched schedules a PAOTR instance: it reads a JSON query
+// tree (as produced by paotrgen), builds a leaf evaluation order with the
+// requested algorithm, and prints the schedule and its exact expected cost.
+//
+// Usage:
+//
+//	paotrsched -algo auto tree.json
+//	paotrsched -algo optimal -max-nodes 5000000 tree.json
+//	paotrsched -all tree.json        # compare all heuristics
+//
+// Algorithms: auto (Algorithm 1 for AND-trees, best heuristic for DNF),
+// readonce, portfolio, optimal, or any heuristic name fragment such as
+// "inc. C/p, dyn" or "stream".
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"paotr/internal/andtree"
+	"paotr/internal/dnf"
+	"paotr/internal/gen"
+	"paotr/internal/query"
+	"paotr/internal/sched"
+)
+
+func main() {
+	var (
+		algo     = flag.String("algo", "auto", "scheduling algorithm (see doc)")
+		all      = flag.Bool("all", false, "evaluate every heuristic and print a comparison")
+		maxNodes = flag.Int64("max-nodes", 0, "node cap for -algo optimal (0 = unlimited)")
+		workers  = flag.Int("workers", 1, "parallel search workers for -algo optimal")
+		seed     = flag.Uint64("seed", 1, "seed for randomized heuristics")
+		dot      = flag.Bool("dot", false, "print the tree in Graphviz DOT format and exit")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: paotrsched [flags] tree.json")
+		os.Exit(2)
+	}
+	tree, err := query.LoadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "paotrsched: %v\n", err)
+		os.Exit(1)
+	}
+	if *dot {
+		fmt.Print(tree.Dot())
+		return
+	}
+	fmt.Printf("query: %v\n", tree)
+	fmt.Printf("leaves=%d ands=%d streams=%d rho=%.2f read-once=%v\n\n",
+		tree.NumLeaves(), tree.NumAnds(), tree.NumStreams(),
+		tree.SharingRatio(), tree.IsReadOnce())
+
+	if *all {
+		rng := gen.NewRng(*seed)
+		fmt.Printf("%-28s %12s\n", "heuristic", "cost")
+		for _, h := range dnf.Heuristics() {
+			s := h.Schedule(tree, rng)
+			fmt.Printf("%-28s %12.4f\n", h.Name, sched.Cost(tree, s))
+		}
+		if tree.IsAndTree() {
+			fmt.Printf("%-28s %12.4f\n", "Algorithm 1 (optimal)",
+				sched.Cost(tree, andtree.Greedy(tree)))
+		}
+		return
+	}
+
+	s, how := schedule(tree, *algo, *maxNodes, *workers, *seed)
+	fmt.Printf("algorithm: %s\n", how)
+	fmt.Printf("schedule:  %v\n", s.Names(tree))
+	fmt.Printf("expected cost: %.6f\n", sched.Cost(tree, s))
+}
+
+func schedule(tree *query.Tree, algo string, maxNodes int64, workers int, seed uint64) (sched.Schedule, string) {
+	switch algo {
+	case "auto":
+		if tree.IsAndTree() {
+			return andtree.Greedy(tree), "Algorithm 1 (optimal for AND-trees)"
+		}
+		s, _ := dnf.BestHeuristicSchedule(tree)
+		return s, "best heuristic (portfolio)"
+	case "readonce":
+		if !tree.IsAndTree() {
+			fmt.Fprintln(os.Stderr, "paotrsched: readonce requires an AND-tree")
+			os.Exit(1)
+		}
+		return andtree.ReadOnceGreedy(tree), "read-once greedy (d*c/q)"
+	case "portfolio":
+		s, _ := dnf.BestHeuristicSchedule(tree)
+		return s, "best heuristic (portfolio)"
+	case "optimal":
+		res := dnf.OptimalDepthFirstParallel(tree, dnf.SearchOptions{MaxNodes: maxNodes}, workers)
+		how := fmt.Sprintf("exhaustive depth-first B&B (exact=%v, nodes=%d, workers=%d)",
+			res.Exact, res.Nodes, workers)
+		return res.Schedule, how
+	}
+	needle := strings.ToLower(algo)
+	for _, h := range dnf.Heuristics() {
+		if strings.Contains(strings.ToLower(h.Name), needle) {
+			return h.Schedule(tree, gen.NewRng(seed)), h.Name
+		}
+	}
+	fmt.Fprintf(os.Stderr, "paotrsched: unknown algorithm %q\n", algo)
+	os.Exit(2)
+	return nil, ""
+}

@@ -1,0 +1,72 @@
+package main
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"paotr/internal/dnf"
+	"paotr/internal/gen"
+	"paotr/internal/sched"
+)
+
+func TestScheduleAlgorithms(t *testing.T) {
+	tr := gen.DNF([]int{3, 3}, 2, gen.Dist{}, gen.NewRng(5))
+	opt := dnf.OptimalDepthFirst(tr, dnf.SearchOptions{})
+
+	cases := []struct {
+		algo    string
+		optimal bool
+	}{
+		{"auto", false},
+		{"portfolio", false},
+		{"optimal", true},
+		{"inc. C/p, dyn", false},
+		{"stream", false},
+	}
+	for _, c := range cases {
+		s, how := schedule(tr, c.algo, 0, 2, 1)
+		if err := s.Validate(tr); err != nil {
+			t.Fatalf("%s: %v", c.algo, err)
+		}
+		if how == "" {
+			t.Errorf("%s: empty description", c.algo)
+		}
+		cost := sched.Cost(tr, s)
+		if cost < opt.Cost-1e-9 {
+			t.Errorf("%s: cost %v below optimum %v", c.algo, cost, opt.Cost)
+		}
+		if c.optimal && math.Abs(cost-opt.Cost) > 1e-9*(1+opt.Cost) {
+			t.Errorf("%s: cost %v, want optimum %v", c.algo, cost, opt.Cost)
+		}
+	}
+}
+
+func TestScheduleAutoOnAndTree(t *testing.T) {
+	tr := gen.AndTree(6, 2, gen.Dist{}, gen.NewRng(7))
+	s, how := schedule(tr, "auto", 0, 1, 1)
+	if !strings.Contains(how, "Algorithm 1") {
+		t.Errorf("auto on AND-tree should use Algorithm 1, got %q", how)
+	}
+	if err := s.Validate(tr); err != nil {
+		t.Fatal(err)
+	}
+	// Algorithm 1 is optimal: cross-check with readonce >= it.
+	ro, _ := schedule(tr, "readonce", 0, 1, 1)
+	if sched.Cost(tr, s) > sched.Cost(tr, ro)+1e-9 {
+		t.Error("Algorithm 1 worse than read-once greedy")
+	}
+}
+
+func TestScheduleHeuristicNameMatching(t *testing.T) {
+	tr := gen.DNF([]int{2, 2}, 2, gen.Dist{}, gen.NewRng(9))
+	for _, frag := range []string{"random", "dec. q", "inc. C, stat", "dec. p"} {
+		s, how := schedule(tr, frag, 0, 1, 1)
+		if err := s.Validate(tr); err != nil {
+			t.Fatalf("%q: %v", frag, err)
+		}
+		if !strings.Contains(strings.ToLower(how), strings.ToLower(frag)) {
+			t.Errorf("%q matched %q", frag, how)
+		}
+	}
+}

@@ -1,0 +1,69 @@
+package paotr_test
+
+import (
+	"fmt"
+
+	"paotr"
+)
+
+// The worked example of the paper's Section II-A: Algorithm 1 finds the
+// optimal order l1, l2, l3 with expected cost 1.825, while the classical
+// read-once greedy starts with l3 and pays at least 1.875.
+func ExampleOptimalAndTree() {
+	tree := paotr.NewAndTree(
+		[]paotr.Stream{{Name: "A", Cost: 1}, {Name: "B", Cost: 1}},
+		[]paotr.Leaf{
+			{Stream: 0, Items: 1, Prob: 0.75},
+			{Stream: 0, Items: 2, Prob: 0.10},
+			{Stream: 1, Items: 1, Prob: 0.50},
+		},
+	)
+	s := paotr.OptimalAndTree(tree)
+	fmt.Printf("optimal:   %.4f\n", paotr.ExpectedCost(tree, s))
+	fmt.Printf("read-once: %.4f\n", paotr.ExpectedCost(tree, paotr.ReadOnceAndTree(tree)))
+	// Output:
+	// optimal:   1.8250
+	// read-once: 2.0000
+}
+
+// Scheduling a DNF tree (an OR of ANDs) with the paper's best heuristic
+// and verifying it against the exhaustive optimum.
+func ExampleOptimalDNF() {
+	tree := &paotr.Tree{
+		Streams: []paotr.Stream{{Name: "A", Cost: 1}, {Name: "B", Cost: 2}},
+		Leaves: []paotr.Leaf{
+			{And: 0, Stream: 0, Items: 1, Prob: 0.7},
+			{And: 0, Stream: 1, Items: 1, Prob: 0.4},
+			{And: 1, Stream: 0, Items: 2, Prob: 0.5},
+			{And: 1, Stream: 1, Items: 1, Prob: 0.9},
+		},
+	}
+	h := paotr.ScheduleDNF(tree)
+	res := paotr.OptimalDNF(tree, paotr.SearchOptions{})
+	fmt.Printf("heuristic: %.2f\n", paotr.ExpectedCost(tree, h))
+	fmt.Printf("optimal:   %.2f (exact=%v)\n", res.Cost, res.Exact)
+	// Output:
+	// heuristic: 3.70
+	// optimal:   3.42 (exact=true)
+}
+
+// Warm-start planning: items already in the device cache are free, so the
+// same query plans (and costs) differently mid-stream.
+func ExampleExpectedCostWarm() {
+	tree := paotr.NewAndTree(
+		[]paotr.Stream{{Name: "A", Cost: 1}, {Name: "B", Cost: 1}},
+		[]paotr.Leaf{
+			{Stream: 0, Items: 2, Prob: 0.5},
+			{Stream: 1, Items: 1, Prob: 0.5},
+		},
+	)
+	cold := paotr.OptimalAndTree(tree)
+	fmt.Printf("cold: %.2f\n", paotr.ExpectedCost(tree, cold))
+
+	w := paotr.WarmFromCounts([]int{2, 0}) // both A items already cached
+	warm := paotr.OptimalAndTreeWarm(tree, w)
+	fmt.Printf("warm: %.2f\n", paotr.ExpectedCostWarm(tree, warm, w))
+	// Output:
+	// cold: 2.00
+	// warm: 0.50
+}

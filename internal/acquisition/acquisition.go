@@ -1,0 +1,175 @@
+// Package acquisition implements the device-side data item cache of the
+// paper's pull model (Section I): acquired items are held in memory until
+// they are no longer relevant — i.e. older than the maximum time window
+// used for their stream in the query — and every leaf evaluation pays only
+// for the items not already cached.
+package acquisition
+
+import (
+	"fmt"
+	"sort"
+
+	"paotr/internal/stream"
+)
+
+// Cache holds the most recent items pulled from each stream of a registry
+// and accounts for acquisition costs. Items are identified by production
+// step: at time now, the "t-th item" of the paper (t >= 1) is the one
+// produced at step now-t.
+type Cache struct {
+	reg *stream.Registry
+	// items[k] = cached items of stream k, sorted by decreasing Seq
+	// (most recent first). Not necessarily contiguous after Advance.
+	items [][]stream.Item
+	// maxWindow[k] = retention horizon: items older than this relative
+	// age are dropped (the paper's "no longer relevant" rule).
+	maxWindow []int
+	now       int64
+	spent     float64
+	pulls     []int
+}
+
+// NewCache creates a cache over the registry; maxWindow[k] is the
+// retention horizon of stream k (the maximum window any query leaf uses on
+// that stream).
+func NewCache(reg *stream.Registry, maxWindow []int) (*Cache, error) {
+	if len(maxWindow) != reg.Len() {
+		return nil, fmt.Errorf("acquisition: %d horizons for %d streams", len(maxWindow), reg.Len())
+	}
+	return &Cache{
+		reg:       reg,
+		items:     make([][]stream.Item, reg.Len()),
+		maxWindow: append([]int(nil), maxWindow...),
+		pulls:     make([]int, reg.Len()),
+	}, nil
+}
+
+// Now returns the current time step.
+func (c *Cache) Now() int64 { return c.now }
+
+// Spent returns the total acquisition cost paid so far.
+func (c *Cache) Spent() float64 { return c.spent }
+
+// Pulls returns the number of items transferred from stream k.
+func (c *Cache) Pulls(k int) int { return c.pulls[k] }
+
+// Advance moves time forward by steps. Cached items age accordingly, and
+// items older than the retention horizon are evicted.
+func (c *Cache) Advance(steps int64) {
+	if steps <= 0 {
+		return
+	}
+	c.now += steps
+	for k := range c.items {
+		kept := c.items[k][:0]
+		for _, it := range c.items[k] {
+			if age := c.now - it.Seq; age <= int64(c.maxWindow[k]) {
+				kept = append(kept, it)
+			}
+		}
+		c.items[k] = kept
+	}
+}
+
+// cached returns the cached item of stream k produced at step seq.
+func (c *Cache) cached(k int, seq int64) (stream.Item, bool) {
+	for _, it := range c.items[k] {
+		if it.Seq == seq {
+			return it, true
+		}
+		if it.Seq < seq {
+			break // sorted descending
+		}
+	}
+	return stream.Item{}, false
+}
+
+// Have returns how many consecutive most-recent items of stream k are
+// cached: the largest t such that items 1..t are all in memory.
+func (c *Cache) Have(k int) int {
+	n := 0
+	for {
+		if _, ok := c.cached(k, c.now-int64(n+1)); !ok {
+			return n
+		}
+		n++
+	}
+}
+
+// Missing returns how many of the d most recent items of stream k are not
+// cached — the incremental item count a Pull(k, d) would transfer.
+func (c *Cache) Missing(k, d int) int {
+	miss := 0
+	for t := 1; t <= d; t++ {
+		if _, ok := c.cached(k, c.now-int64(t)); !ok {
+			miss++
+		}
+	}
+	return miss
+}
+
+// Pull ensures the d most recent items of stream k are cached, transfers
+// the missing ones, charges their cost, and returns the incremental cost
+// paid.
+func (c *Cache) Pull(k, d int) float64 {
+	st := c.reg.At(k)
+	per := st.Cost.PerItem()
+	cost := 0.0
+	for t := 1; t <= d; t++ {
+		seq := c.now - int64(t)
+		if _, ok := c.cached(k, seq); ok {
+			continue
+		}
+		c.items[k] = append(c.items[k], st.Source.At(seq))
+		cost += per
+		c.pulls[k]++
+	}
+	sort.Slice(c.items[k], func(a, b int) bool { return c.items[k][a].Seq > c.items[k][b].Seq })
+	c.spent += cost
+	return cost
+}
+
+// Values returns the values of the d most recent items of stream k, most
+// recent first, for predicate evaluation. It does not pull; call Pull
+// first.
+func (c *Cache) Values(k, d int) ([]float64, error) {
+	out := make([]float64, d)
+	for t := 1; t <= d; t++ {
+		it, ok := c.cached(k, c.now-int64(t))
+		if !ok {
+			return nil, fmt.Errorf("acquisition: stream %d missing item %d of %d", k, t, d)
+		}
+		out[t-1] = it.Value
+	}
+	return out, nil
+}
+
+// Snapshot reports which of the most recent items are currently cached:
+// the result has one row per stream with windows[k] entries, where entry
+// t-1 is true when the t-th most recent item of stream k is in memory.
+// The row layout matches sched.Warm, so planners can price cached items
+// as free.
+func (c *Cache) Snapshot(windows []int) [][]bool {
+	out := make([][]bool, len(c.items))
+	for k := range out {
+		d := 0
+		if k < len(windows) {
+			d = windows[k]
+		}
+		row := make([]bool, d)
+		for t := 1; t <= d; t++ {
+			_, row[t-1] = c.cached(k, c.now-int64(t))
+		}
+		out[k] = row
+	}
+	return out
+}
+
+// ResetAccounting zeroes the spent counter and pull counts (the cache
+// contents are preserved).
+func (c *Cache) ResetAccounting() {
+	c.spent = 0
+	for k := range c.pulls {
+		c.pulls[k] = 0
+	}
+}

@@ -1,0 +1,162 @@
+package acquisition
+
+import (
+	"math"
+	"testing"
+
+	"paotr/internal/stream"
+)
+
+func testRegistry(t *testing.T) *stream.Registry {
+	t.Helper()
+	reg := stream.NewRegistry()
+	if err := reg.Add(stream.Constant("a", 1), stream.CostModel{BytesPerItem: 1, JoulesPerByte: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Add(stream.Constant("b", 2), stream.CostModel{BytesPerItem: 2, JoulesPerByte: 1}); err != nil {
+		t.Fatal(err)
+	}
+	return reg
+}
+
+func TestNewCacheValidation(t *testing.T) {
+	reg := testRegistry(t)
+	if _, err := NewCache(reg, []int{1}); err == nil {
+		t.Error("horizon length mismatch accepted")
+	}
+	if _, err := NewCache(reg, []int{3, 2}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPullChargesOnlyMissing(t *testing.T) {
+	reg := testRegistry(t)
+	c, _ := NewCache(reg, []int{5, 5})
+	c.Advance(10)
+	// First pull of 3 items costs 3 * 1.
+	if got := c.Pull(0, 3); got != 3 {
+		t.Errorf("first pull = %v, want 3", got)
+	}
+	// Re-pulling the same window is free.
+	if got := c.Pull(0, 3); got != 0 {
+		t.Errorf("re-pull = %v, want 0", got)
+	}
+	// Extending the window pays only the extra items.
+	if got := c.Pull(0, 5); got != 2 {
+		t.Errorf("extension = %v, want 2", got)
+	}
+	if c.Spent() != 5 {
+		t.Errorf("Spent = %v, want 5", c.Spent())
+	}
+	if c.Pulls(0) != 5 || c.Pulls(1) != 0 {
+		t.Errorf("Pulls = %d/%d", c.Pulls(0), c.Pulls(1))
+	}
+}
+
+func TestAgingReusesOverlap(t *testing.T) {
+	reg := testRegistry(t)
+	c, _ := NewCache(reg, []int{5, 5})
+	c.Advance(10)
+	c.Pull(0, 4) // items at steps 6..9
+	c.Advance(1) // now 11; cached items are now the 2nd..5th most recent
+	if got := c.Have(0); got != 0 {
+		t.Errorf("Have = %d, want 0 (most recent item missing)", got)
+	}
+	if got := c.Missing(0, 5); got != 1 {
+		t.Errorf("Missing(5) = %d, want 1 (only the newest item)", got)
+	}
+	// Pulling 5 items must fetch only the new one.
+	if got := c.Pull(0, 5); got != 1 {
+		t.Errorf("pull after advance = %v, want 1", got)
+	}
+	if got := c.Have(0); got != 5 {
+		t.Errorf("Have = %d, want 5", got)
+	}
+}
+
+func TestEviction(t *testing.T) {
+	reg := testRegistry(t)
+	c, _ := NewCache(reg, []int{2, 5})
+	c.Advance(10)
+	c.Pull(0, 2)
+	c.Advance(5) // both items now older than horizon 2
+	if got := c.Missing(0, 2); got != 2 {
+		t.Errorf("Missing = %d, want 2 after eviction", got)
+	}
+}
+
+func TestValues(t *testing.T) {
+	reg := testRegistry(t)
+	c, _ := NewCache(reg, []int{3, 3})
+	c.Advance(5)
+	c.Pull(1, 2)
+	vals, err := c.Values(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vals) != 2 || vals[0] != 2 || vals[1] != 2 {
+		t.Errorf("Values = %v", vals)
+	}
+	if _, err := c.Values(1, 3); err == nil {
+		t.Error("Values beyond cached window should error")
+	}
+	if _, err := c.Values(0, 1); err == nil {
+		t.Error("Values on unpulled stream should error")
+	}
+}
+
+func TestPerStreamCosts(t *testing.T) {
+	reg := testRegistry(t)
+	c, _ := NewCache(reg, []int{3, 3})
+	c.Advance(4)
+	if got := c.Pull(1, 2); math.Abs(got-4) > 1e-12 { // 2 items * cost 2
+		t.Errorf("stream b pull = %v, want 4", got)
+	}
+}
+
+func TestResetAccounting(t *testing.T) {
+	reg := testRegistry(t)
+	c, _ := NewCache(reg, []int{3, 3})
+	c.Advance(4)
+	c.Pull(0, 2)
+	c.ResetAccounting()
+	if c.Spent() != 0 || c.Pulls(0) != 0 {
+		t.Error("accounting not reset")
+	}
+	// Cache contents survive the reset.
+	if got := c.Pull(0, 2); got != 0 {
+		t.Errorf("re-pull after reset = %v, want 0", got)
+	}
+}
+
+func TestAdvanceNonPositive(t *testing.T) {
+	reg := testRegistry(t)
+	c, _ := NewCache(reg, []int{3, 3})
+	c.Advance(0)
+	c.Advance(-5)
+	if c.Now() != 0 {
+		t.Errorf("Now = %d", c.Now())
+	}
+}
+
+// TestMatchesAnalyticalModel: pulling windows d1 then d2 >= d1 must cost
+// d1*c + (d2-d1)*c, the incremental-cost model of the scheduling theory.
+func TestMatchesAnalyticalModel(t *testing.T) {
+	reg := testRegistry(t)
+	c, _ := NewCache(reg, []int{10, 10})
+	c.Advance(20)
+	per := reg.At(0).Cost.PerItem()
+	for d1 := 1; d1 <= 5; d1++ {
+		for d2 := d1; d2 <= 10; d2++ {
+			c2, _ := NewCache(reg, []int{10, 10})
+			c2.Advance(20)
+			first := c2.Pull(0, d1)
+			second := c2.Pull(0, d2)
+			if math.Abs(first-float64(d1)*per) > 1e-12 ||
+				math.Abs(second-float64(d2-d1)*per) > 1e-12 {
+				t.Fatalf("d1=%d d2=%d: paid %v then %v", d1, d2, first, second)
+			}
+		}
+	}
+	_ = c
+}

@@ -1,0 +1,265 @@
+package andtree
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"paotr/internal/query"
+	"paotr/internal/sched"
+)
+
+// section2ATree is the AND-tree of Figure 2: l1 = A[1]/0.75, l2 = A[2]/0.1,
+// l3 = B[1]/0.5, unit costs.
+func section2ATree() *query.Tree {
+	return &query.Tree{
+		Streams: []query.Stream{{Name: "A", Cost: 1}, {Name: "B", Cost: 1}},
+		Leaves: []query.Leaf{
+			{And: 0, Stream: 0, Items: 1, Prob: 0.75},
+			{And: 0, Stream: 0, Items: 2, Prob: 0.1},
+			{And: 0, Stream: 1, Items: 1, Prob: 0.5},
+		},
+	}
+}
+
+// TestSection2ACosts checks the three schedule costs computed in Section
+// II-A: (l3,l1,l2) = 1.875, (l3,l2,l1) = 2, (l1,l2,l3) = 1.825.
+func TestSection2ACosts(t *testing.T) {
+	tr := section2ATree()
+	cases := []struct {
+		s    sched.Schedule
+		want float64
+	}{
+		{sched.Schedule{2, 0, 1}, 1.875},
+		{sched.Schedule{2, 1, 0}, 2},
+		{sched.Schedule{0, 1, 2}, 1.825},
+	}
+	for _, c := range cases {
+		if got := sched.AndTreeCost(tr, c.s); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("cost(%v) = %v, want %v", c.s, got, c.want)
+		}
+		if got := sched.Cost(tr, c.s); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("general cost(%v) = %v, want %v", c.s, got, c.want)
+		}
+	}
+}
+
+// TestSection2AGreedyOptimal: on the Section II-A instance the read-once
+// algorithm picks l3 first (cost >= 1.875) while the optimal schedule is
+// (l1,l2,l3) at 1.825; Algorithm 1 must find it.
+func TestSection2AGreedyOptimal(t *testing.T) {
+	tr := section2ATree()
+	g := Greedy(tr)
+	if got := sched.AndTreeCost(tr, g); math.Abs(got-1.825) > 1e-12 {
+		t.Errorf("Greedy cost = %v (schedule %v), want 1.825", got, g)
+	}
+	ro := ReadOnceGreedy(tr)
+	if got := sched.AndTreeCost(tr, ro); got < 1.875-1e-12 {
+		t.Errorf("ReadOnceGreedy cost = %v, expected >= 1.875 (it schedules l3 first)", got)
+	}
+	if ro[0] != 2 {
+		t.Errorf("ReadOnceGreedy should schedule l3 (min d*c/q) first, got %v", ro)
+	}
+}
+
+func randomAndTree(rng *rand.Rand, maxLeaves, maxStreams, maxD int) *query.Tree {
+	m := 1 + rng.IntN(maxLeaves)
+	s := 1 + rng.IntN(maxStreams)
+	tr := &query.Tree{}
+	for k := 0; k < s; k++ {
+		tr.Streams = append(tr.Streams, query.Stream{Cost: 1 + 9*rng.Float64()})
+	}
+	for j := 0; j < m; j++ {
+		tr.Leaves = append(tr.Leaves, query.Leaf{
+			Stream: query.StreamID(rng.IntN(s)),
+			Items:  1 + rng.IntN(maxD),
+			Prob:   rng.Float64(),
+		})
+	}
+	return tr
+}
+
+// TestGreedyOptimal is the empirical Theorem 1 check: on random small
+// shared AND-trees, Algorithm 1 must match the exhaustive optimum.
+func TestGreedyOptimal(t *testing.T) {
+	rng := rand.New(rand.NewPCG(100, 101))
+	for trial := 0; trial < 400; trial++ {
+		tr := randomAndTree(rng, 8, 3, 4)
+		g := Greedy(tr)
+		if err := g.Validate(tr); err != nil {
+			t.Fatalf("trial %d: invalid greedy schedule: %v", trial, err)
+		}
+		gc := sched.AndTreeCost(tr, g)
+		_, oc := Exhaustive(tr)
+		if gc > oc+1e-9*(1+oc) {
+			t.Fatalf("trial %d: Greedy cost %v > optimal %v\ntree: %v\nschedule: %v",
+				trial, gc, oc, tr, g)
+		}
+	}
+}
+
+// TestGreedyOptimalQuick drives the optimality check through testing/quick.
+func TestGreedyOptimalQuick(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, seed*2+1))
+		tr := randomAndTree(rng, 7, 3, 3)
+		g := Greedy(tr)
+		_, oc := Exhaustive(tr)
+		return sched.AndTreeCost(tr, g) <= oc+1e-9*(1+oc)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestGreedyNoWorseThanReadOnce: Algorithm 1 must never lose to the
+// read-once baseline (it is optimal).
+func TestGreedyNoWorseThanReadOnce(t *testing.T) {
+	rng := rand.New(rand.NewPCG(200, 201))
+	for trial := 0; trial < 500; trial++ {
+		tr := randomAndTree(rng, 15, 5, 5)
+		gc := sched.AndTreeCost(tr, Greedy(tr))
+		rc := sched.AndTreeCost(tr, ReadOnceGreedy(tr))
+		if gc > rc+1e-9*(1+rc) {
+			t.Fatalf("trial %d: Greedy %v worse than read-once %v on %v", trial, gc, rc, tr)
+		}
+	}
+}
+
+// TestReadOnceEquivalence: on read-once instances (one leaf per stream)
+// both algorithms are optimal, so their costs must agree.
+func TestReadOnceEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewPCG(300, 301))
+	for trial := 0; trial < 300; trial++ {
+		m := 1 + rng.IntN(10)
+		tr := &query.Tree{}
+		for j := 0; j < m; j++ {
+			tr.Streams = append(tr.Streams, query.Stream{Cost: 1 + 9*rng.Float64()})
+			tr.Leaves = append(tr.Leaves, query.Leaf{
+				Stream: query.StreamID(j),
+				Items:  1 + rng.IntN(5),
+				Prob:   rng.Float64(),
+			})
+		}
+		if !tr.IsReadOnce() {
+			t.Fatal("constructed tree should be read-once")
+		}
+		gc := sched.AndTreeCost(tr, Greedy(tr))
+		rc := sched.AndTreeCost(tr, ReadOnceGreedy(tr))
+		if math.Abs(gc-rc) > 1e-9*(1+rc) {
+			t.Fatalf("trial %d: read-once disagreement greedy=%v smith=%v", trial, gc, rc)
+		}
+	}
+}
+
+// TestProposition1: there is an optimal schedule in which same-stream
+// leaves appear in non-decreasing d order. We verify that the exhaustive
+// optimum over sorted-order schedules (which Greedy and Exhaustive both
+// emit thanks to candidate ordering) equals the unrestricted optimum found
+// by checking Greedy's schedule respects the property.
+func TestProposition1(t *testing.T) {
+	rng := rand.New(rand.NewPCG(400, 401))
+	for trial := 0; trial < 200; trial++ {
+		tr := randomAndTree(rng, 8, 2, 5)
+		g := Greedy(tr)
+		// The greedy schedule must itself respect Proposition 1.
+		lastD := make(map[query.StreamID]int)
+		for _, j := range g {
+			l := tr.Leaves[j]
+			if l.Items < lastD[l.Stream] {
+				t.Fatalf("trial %d: greedy schedule violates Proposition 1: %v on %v",
+					trial, g, tr)
+			}
+			lastD[l.Stream] = l.Items
+		}
+	}
+}
+
+func TestGreedySingleLeaf(t *testing.T) {
+	tr := &query.Tree{
+		Streams: []query.Stream{{Cost: 3}},
+		Leaves:  []query.Leaf{{Stream: 0, Items: 2, Prob: 0.4}},
+	}
+	g := Greedy(tr)
+	if len(g) != 1 || g[0] != 0 {
+		t.Fatalf("bad schedule %v", g)
+	}
+	if c := sched.AndTreeCost(tr, g); c != 6 {
+		t.Errorf("cost = %v, want 6", c)
+	}
+}
+
+// TestGreedyAllCertain: leaves with p=1 can never short-circuit; the greedy
+// must still terminate and produce a valid schedule whose cost equals the
+// total acquisition cost.
+func TestGreedyAllCertain(t *testing.T) {
+	tr := &query.Tree{
+		Streams: []query.Stream{{Cost: 2}, {Cost: 5}},
+		Leaves: []query.Leaf{
+			{Stream: 0, Items: 2, Prob: 1},
+			{Stream: 0, Items: 3, Prob: 1},
+			{Stream: 1, Items: 1, Prob: 1},
+		},
+	}
+	g := Greedy(tr)
+	if err := g.Validate(tr); err != nil {
+		t.Fatal(err)
+	}
+	want := 3.0*2 + 1*5 // all items acquired exactly once
+	if c := sched.AndTreeCost(tr, g); math.Abs(c-want) > 1e-12 {
+		t.Errorf("cost = %v, want %v", c, want)
+	}
+}
+
+// TestGreedyZeroProb: a leaf with p=0 always fails; the optimal schedule
+// evaluates the cheapest certain-failure prefix first.
+func TestGreedyZeroProb(t *testing.T) {
+	tr := &query.Tree{
+		Streams: []query.Stream{{Cost: 1}, {Cost: 100}},
+		Leaves: []query.Leaf{
+			{Stream: 1, Items: 1, Prob: 0.99},
+			{Stream: 0, Items: 1, Prob: 0},
+		},
+	}
+	g := Greedy(tr)
+	if g[0] != 1 {
+		t.Fatalf("greedy should evaluate the free failing leaf first, got %v", g)
+	}
+	if c := sched.AndTreeCost(tr, g); math.Abs(c-1) > 1e-12 {
+		t.Errorf("cost = %v, want 1", c)
+	}
+}
+
+func TestExhaustiveMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewPCG(500, 501))
+	for trial := 0; trial < 100; trial++ {
+		tr := randomAndTree(rng, 6, 3, 3)
+		_, bb := Exhaustive(tr)
+		// Plain enumeration of all permutations, no pruning.
+		m := tr.NumLeaves()
+		perm := make(sched.Schedule, m)
+		for i := range perm {
+			perm[i] = i
+		}
+		best := math.Inf(1)
+		var walk func(k int)
+		walk = func(k int) {
+			if k == m {
+				if c := sched.AndTreeCost(tr, perm); c < best {
+					best = c
+				}
+				return
+			}
+			for i := k; i < m; i++ {
+				perm[k], perm[i] = perm[i], perm[k]
+				walk(k + 1)
+				perm[k], perm[i] = perm[i], perm[k]
+			}
+		}
+		walk(0)
+		if math.Abs(bb-best) > 1e-9*(1+best) {
+			t.Fatalf("trial %d: B&B %v vs brute force %v", trial, bb, best)
+		}
+	}
+}

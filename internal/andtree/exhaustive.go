@@ -1,0 +1,70 @@
+package andtree
+
+import (
+	"math"
+
+	"paotr/internal/query"
+	"paotr/internal/sched"
+)
+
+// Exhaustive finds a minimum-cost schedule for an AND-tree by
+// branch-and-bound over all m! leaf permutations. The expected cost of a
+// prefix never decreases as leaves are appended, so branches whose prefix
+// cost reaches the incumbent are pruned; the incumbent is seeded with the
+// Greedy schedule. Intended for small m (say m <= 12) in tests and
+// validation harnesses.
+func Exhaustive(t *query.Tree) (sched.Schedule, float64) {
+	if !t.IsAndTree() {
+		panic("andtree: Exhaustive requires a single-AND tree")
+	}
+	m := t.NumLeaves()
+	best := Greedy(t)
+	bestCost := sched.AndTreeCost(t, best)
+	if m == 0 {
+		return best, bestCost
+	}
+
+	used := make([]bool, m)
+	cur := make(sched.Schedule, 0, m)
+	acquired := make([]int, t.NumStreams())
+
+	var rec func(reach, cost float64)
+	rec = func(reach, cost float64) {
+		if len(cur) == m {
+			if cost < bestCost {
+				bestCost = cost
+				best = cur.Clone()
+			}
+			return
+		}
+		for j := 0; j < m; j++ {
+			if used[j] {
+				continue
+			}
+			l := t.Leaves[j]
+			extra := l.Items - acquired[l.Stream]
+			add := 0.0
+			if extra > 0 {
+				add = reach * float64(extra) * t.Streams[l.Stream].Cost
+			}
+			if cost+add >= bestCost-1e-15 {
+				continue
+			}
+			old := acquired[l.Stream]
+			if extra > 0 {
+				acquired[l.Stream] = l.Items
+			}
+			used[j] = true
+			cur = append(cur, j)
+			rec(reach*l.Prob, cost+add)
+			cur = cur[:len(cur)-1]
+			used[j] = false
+			acquired[l.Stream] = old
+		}
+	}
+	rec(1, 0)
+	if math.IsInf(bestCost, 1) {
+		panic("andtree: exhaustive search found no schedule")
+	}
+	return best, bestCost
+}

@@ -1,0 +1,114 @@
+// Package andtree implements leaf-scheduling algorithms for AND-trees
+// (single-level conjunctive queries) in the shared-stream model:
+//
+//   - Greedy: Algorithm 1 of Casanova et al. (IPDPS 2014), which is optimal
+//     for shared AND-trees (Theorem 1);
+//   - ReadOnceGreedy: the classical Smith-rule ordering by d*c/q, optimal in
+//     the read-once model only (used as the Figure 4 baseline);
+//   - Exhaustive: branch-and-bound search over all leaf permutations, used
+//     to validate optimality on small instances.
+package andtree
+
+import (
+	"math"
+	"sort"
+
+	"paotr/internal/query"
+	"paotr/internal/sched"
+)
+
+// Greedy computes an optimal schedule for a shared AND-tree using
+// Algorithm 1 of the paper. At each step it considers, for every stream,
+// the prefixes of that stream's unscheduled leaves taken in increasing
+// order of window size d, and computes the ratio of the prefix's expected
+// incremental cost to its failure probability
+//
+//	Ratio = Cost / (1 - prod p)
+//
+// where Cost accounts for the items of the stream already acquired by the
+// schedule so far. The prefix with the minimum ratio is appended to the
+// schedule, and the process repeats. Complexity O(m^2).
+//
+// Greedy panics if t is not an AND-tree; it returns a schedule covering
+// all leaves.
+func Greedy(t *query.Tree) sched.Schedule {
+	if !t.IsAndTree() {
+		panic("andtree: Greedy requires a single-AND tree")
+	}
+	// Group leaves by stream, sorted by increasing d (Proposition 1).
+	// Ties are broken by increasing probability: among leaves with the
+	// same window the incremental cost is identical, so putting the most
+	// likely-to-fail leaf first weakly lowers every prefix ratio.
+	byStream := make([][]int, t.NumStreams())
+	for j := range t.Leaves {
+		k := t.Leaves[j].Stream
+		byStream[k] = append(byStream[k], j)
+	}
+	for k := range byStream {
+		ls := byStream[k]
+		sort.SliceStable(ls, func(a, b int) bool {
+			la, lb := t.Leaves[ls[a]], t.Leaves[ls[b]]
+			if la.Items != lb.Items {
+				return la.Items < lb.Items
+			}
+			return la.Prob < lb.Prob
+		})
+	}
+
+	nItems := make([]int, t.NumStreams())
+	schedule := make(sched.Schedule, 0, t.NumLeaves())
+	remaining := t.NumLeaves()
+
+	for remaining > 0 {
+		minRatio := math.Inf(1)
+		bestStream := -1
+		bestPrefix := 0 // number of leaves of the chosen stream to append
+		for k := range byStream {
+			if len(byStream[k]) == 0 {
+				continue
+			}
+			cost := 0.0
+			proba := 1.0
+			num := nItems[k]
+			for n, j := range byStream[k] {
+				l := t.Leaves[j]
+				if l.Items > num {
+					cost += proba * float64(l.Items-num) * t.Streams[k].Cost
+					num = l.Items
+				}
+				proba *= l.Prob
+				ratio := math.Inf(1)
+				if proba < 1 {
+					ratio = cost / (1 - proba)
+				}
+				if ratio < minRatio {
+					minRatio = ratio
+					bestStream = k
+					bestPrefix = n + 1
+				}
+			}
+		}
+		if bestStream == -1 {
+			// All remaining prefixes have probability 1 of success (no
+			// shortcutting possible): order is immaterial; flush all
+			// remaining leaves stream by stream in increasing d.
+			for k := range byStream {
+				schedule = append(schedule, byStream[k]...)
+				remaining -= len(byStream[k])
+				byStream[k] = nil
+			}
+			break
+		}
+		schedule = append(schedule, byStream[bestStream][:bestPrefix]...)
+		last := byStream[bestStream][bestPrefix-1]
+		if d := t.Leaves[last].Items; d > nItems[bestStream] {
+			nItems[bestStream] = d
+		}
+		byStream[bestStream] = byStream[bestStream][bestPrefix:]
+		remaining -= bestPrefix
+	}
+	return schedule
+}
+
+// Cost is a convenience wrapper around sched.AndTreeCost.
+func Cost(t *query.Tree, s sched.Schedule) float64 { return sched.AndTreeCost(t, s) }

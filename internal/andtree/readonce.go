@@ -1,0 +1,42 @@
+package andtree
+
+import (
+	"math"
+	"sort"
+
+	"paotr/internal/query"
+	"paotr/internal/sched"
+)
+
+// ReadOnceGreedy orders the leaves of an AND-tree by non-decreasing
+// d_j * c(S(j)) / q_j (Smith's rule, [Smith 1989]). This is optimal in the
+// read-once model but, as Section II-A of the paper shows, not in the
+// shared model; it is the baseline of Figure 4.
+//
+// Ties are broken by increasing window size d, which can only help in the
+// shared model (Proposition 1) and keeps the order deterministic.
+func ReadOnceGreedy(t *query.Tree) sched.Schedule {
+	if !t.IsAndTree() {
+		panic("andtree: ReadOnceGreedy requires a single-AND tree")
+	}
+	s := make(sched.Schedule, t.NumLeaves())
+	for j := range s {
+		s[j] = j
+	}
+	key := func(j int) float64 {
+		l := t.Leaves[j]
+		q := 1 - l.Prob
+		if q <= 0 {
+			return math.Inf(1)
+		}
+		return float64(l.Items) * t.Streams[l.Stream].Cost / q
+	}
+	sort.SliceStable(s, func(a, b int) bool {
+		ka, kb := key(s[a]), key(s[b])
+		if ka != kb {
+			return ka < kb
+		}
+		return t.Leaves[s[a]].Items < t.Leaves[s[b]].Items
+	})
+	return s
+}

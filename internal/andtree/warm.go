@@ -1,0 +1,108 @@
+package andtree
+
+import (
+	"math"
+	"sort"
+
+	"paotr/internal/query"
+	"paotr/internal/sched"
+)
+
+// GreedyWarm is Algorithm 1 generalized to start from a warm cache: items
+// already held by the device (sched.Warm) are free for every leaf. With a
+// prefix-form warm state this is exactly the NItems mechanism of the
+// paper's pseudocode (the recursive calls of Algorithm 1 already run with
+// non-zero NItems); arbitrary cached subsets — as arise in continuous
+// query processing when the newest item is missing but older ones are
+// held — are handled by counting only uncached items in each prefix cost.
+//
+// GreedyWarm(t, nil) produces a schedule with the same cost as Greedy(t).
+func GreedyWarm(t *query.Tree, w sched.Warm) sched.Schedule {
+	if !t.IsAndTree() {
+		panic("andtree: GreedyWarm requires a single-AND tree")
+	}
+	byStream := make([][]int, t.NumStreams())
+	for j := range t.Leaves {
+		k := t.Leaves[j].Stream
+		byStream[k] = append(byStream[k], j)
+	}
+	for k := range byStream {
+		ls := byStream[k]
+		sort.SliceStable(ls, func(a, b int) bool {
+			la, lb := t.Leaves[ls[a]], t.Leaves[ls[b]]
+			if la.Items != lb.Items {
+				return la.Items < lb.Items
+			}
+			return la.Prob < lb.Prob
+		})
+	}
+
+	// acquired[k][d] tracks items held (warm or pulled by the schedule).
+	maxD := t.StreamMaxItems()
+	acquired := make([][]bool, t.NumStreams())
+	for k := range acquired {
+		acquired[k] = make([]bool, maxD[k])
+		for d := range acquired[k] {
+			acquired[k][d] = w.Has(query.StreamID(k), d+1)
+		}
+	}
+	missingUpTo := func(k, d int) int {
+		n := 0
+		for i := 0; i < d; i++ {
+			if !acquired[k][i] {
+				n++
+			}
+		}
+		return n
+	}
+
+	schedule := make(sched.Schedule, 0, t.NumLeaves())
+	remaining := t.NumLeaves()
+	for remaining > 0 {
+		minRatio := math.Inf(1)
+		bestStream := -1
+		bestPrefix := 0
+		for k := range byStream {
+			if len(byStream[k]) == 0 {
+				continue
+			}
+			cost := 0.0
+			proba := 1.0
+			covered := 0 // window depth already counted in this prefix
+			for n, j := range byStream[k] {
+				l := t.Leaves[j]
+				if l.Items > covered {
+					extra := missingUpTo(k, l.Items) - missingUpTo(k, covered)
+					cost += proba * float64(extra) * t.Streams[k].Cost
+					covered = l.Items
+				}
+				proba *= l.Prob
+				ratio := math.Inf(1)
+				if proba < 1 {
+					ratio = cost / (1 - proba)
+				}
+				if ratio < minRatio {
+					minRatio = ratio
+					bestStream = k
+					bestPrefix = n + 1
+				}
+			}
+		}
+		if bestStream == -1 {
+			for k := range byStream {
+				schedule = append(schedule, byStream[k]...)
+				remaining -= len(byStream[k])
+				byStream[k] = nil
+			}
+			break
+		}
+		last := byStream[bestStream][bestPrefix-1]
+		schedule = append(schedule, byStream[bestStream][:bestPrefix]...)
+		for d := 0; d < t.Leaves[last].Items; d++ {
+			acquired[bestStream][d] = true
+		}
+		byStream[bestStream] = byStream[bestStream][bestPrefix:]
+		remaining -= bestPrefix
+	}
+	return schedule
+}

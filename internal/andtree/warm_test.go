@@ -1,0 +1,121 @@
+package andtree
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"paotr/internal/query"
+	"paotr/internal/sched"
+)
+
+func randomWarmFor(rng *rand.Rand, t *query.Tree) sched.Warm {
+	maxD := t.StreamMaxItems()
+	w := make(sched.Warm, t.NumStreams())
+	for k := range w {
+		w[k] = make([]bool, maxD[k])
+		for d := range w[k] {
+			w[k][d] = rng.Float64() < 0.4
+		}
+	}
+	return w
+}
+
+// warmExhaustive brute-forces the optimal warm-start schedule cost.
+func warmExhaustive(t *query.Tree, w sched.Warm) float64 {
+	m := t.NumLeaves()
+	perm := make(sched.Schedule, m)
+	for i := range perm {
+		perm[i] = i
+	}
+	best := math.Inf(1)
+	var walk func(k int)
+	walk = func(k int) {
+		if k == m {
+			if c := sched.AndTreeCostWarm(t, perm, w); c < best {
+				best = c
+			}
+			return
+		}
+		for i := k; i < m; i++ {
+			perm[k], perm[i] = perm[i], perm[k]
+			walk(k + 1)
+			perm[k], perm[i] = perm[i], perm[k]
+		}
+	}
+	walk(0)
+	return best
+}
+
+// TestGreedyWarmOptimal: the warm-start Algorithm 1 must match the
+// exhaustive warm optimum on random small instances — the empirical
+// extension of Theorem 1 to arbitrary cache states.
+func TestGreedyWarmOptimal(t *testing.T) {
+	rng := rand.New(rand.NewPCG(600, 601))
+	for trial := 0; trial < 300; trial++ {
+		tr := randomAndTree(rng, 6, 3, 4)
+		w := randomWarmFor(rng, tr)
+		g := GreedyWarm(tr, w)
+		if err := g.Validate(tr); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		gc := sched.AndTreeCostWarm(tr, g, w)
+		oc := warmExhaustive(tr, w)
+		if gc > oc+1e-9*(1+oc) {
+			t.Fatalf("trial %d: GreedyWarm %v > optimal %v\ntree %v warm %v",
+				trial, gc, oc, tr, w)
+		}
+	}
+}
+
+// TestGreedyWarmColdEqualsGreedy: with no cached items the warm algorithm
+// must match the paper's Algorithm 1 cost exactly.
+func TestGreedyWarmColdEqualsGreedy(t *testing.T) {
+	rng := rand.New(rand.NewPCG(602, 603))
+	for trial := 0; trial < 200; trial++ {
+		tr := randomAndTree(rng, 10, 4, 5)
+		a := sched.AndTreeCost(tr, Greedy(tr))
+		b := sched.AndTreeCostWarm(tr, GreedyWarm(tr, nil), nil)
+		if math.Abs(a-b) > 1e-9*(1+a) {
+			t.Fatalf("trial %d: cold warm-greedy %v != greedy %v", trial, b, a)
+		}
+	}
+}
+
+// TestGreedyWarmFreeLeavesFirst: fully cached leaves cost nothing and
+// should be scheduled before any paying prefix (their ratio is 0 when they
+// can fail).
+func TestGreedyWarmFreeLeavesFirst(t *testing.T) {
+	tr := &query.Tree{
+		Streams: []query.Stream{{Cost: 5}, {Cost: 5}},
+		Leaves: []query.Leaf{
+			{Stream: 0, Items: 2, Prob: 0.9}, // must be paid
+			{Stream: 1, Items: 1, Prob: 0.6}, // cached: free
+		},
+	}
+	w := sched.WarmFromCounts([]int{0, 1})
+	g := GreedyWarm(tr, w)
+	if g[0] != 1 {
+		t.Errorf("free fallible leaf should be first, got %v", g)
+	}
+	want := 0.6 * 2 * 5 // pay for leaf 0 only if the free leaf succeeds
+	if got := sched.AndTreeCostWarm(tr, g, w); math.Abs(got-want) > 1e-12 {
+		t.Errorf("cost = %v, want %v", got, want)
+	}
+}
+
+// TestGreedyWarmHole: a warm state with a hole (newest item missing,
+// older ones cached) prices a window by its missing items only.
+func TestGreedyWarmHole(t *testing.T) {
+	tr := &query.Tree{
+		Streams: []query.Stream{{Cost: 1}},
+		Leaves: []query.Leaf{
+			{Stream: 0, Items: 3, Prob: 0.5},
+		},
+	}
+	w := sched.Warm{{false, true, true}} // items 2,3 cached, item 1 missing
+	g := GreedyWarm(tr, w)
+	if got := sched.AndTreeCostWarm(tr, g, w); math.Abs(got-1) > 1e-12 {
+		t.Errorf("cost = %v, want 1 (only the newest item)", got)
+	}
+}

@@ -1,0 +1,123 @@
+// Package corpus reads and writes instance corpora: JSON-lines files of
+// query trees with metadata, mirroring the dataset the authors published
+// alongside the paper (DataForRR-8373.tgz). Corpora make experiments
+// repeatable across implementations: generate once, evaluate many times.
+package corpus
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"paotr/internal/gen"
+	"paotr/internal/query"
+)
+
+// Instance is one corpus entry: a tree plus its generation parameters.
+type Instance struct {
+	// ID is a unique instance identifier within the corpus.
+	ID int `json:"id"`
+	// Kind is "and" or "dnf".
+	Kind string `json:"kind"`
+	// Rho is the sharing ratio the instance was generated with.
+	Rho float64 `json:"rho"`
+	// Seed is the generator seed.
+	Seed uint64 `json:"seed"`
+	// Tree is the instance itself.
+	Tree *query.Tree `json:"tree"`
+}
+
+// Write streams instances as JSON lines.
+func Write(w io.Writer, instances []Instance) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, in := range instances {
+		if err := enc.Encode(in); err != nil {
+			return fmt.Errorf("corpus: encoding instance %d: %w", in.ID, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// Read parses and validates a JSON-lines corpus.
+func Read(r io.Reader) ([]Instance, error) {
+	var out []Instance
+	dec := json.NewDecoder(bufio.NewReader(r))
+	for {
+		var in Instance
+		if err := dec.Decode(&in); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("corpus: line %d: %w", len(out)+1, err)
+		}
+		if in.Tree == nil {
+			return nil, fmt.Errorf("corpus: instance %d has no tree", in.ID)
+		}
+		if err := in.Tree.Validate(); err != nil {
+			return nil, fmt.Errorf("corpus: instance %d: %w", in.ID, err)
+		}
+		out = append(out, in)
+	}
+	return out, nil
+}
+
+// WriteFile writes a corpus file.
+func WriteFile(path string, instances []Instance) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := Write(f, instances); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// ReadFile reads a corpus file.
+func ReadFile(path string) ([]Instance, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}
+
+// GenerateAndTrees builds a corpus of AND-trees across the Figure 4
+// configuration grid, n instances per configuration.
+func GenerateAndTrees(n int, seed uint64, dist gen.Dist) []Instance {
+	var out []Instance
+	id := 0
+	for ci, cfg := range gen.Fig4Configs() {
+		for i := 0; i < n; i++ {
+			s := seed + uint64(ci)*1_000_003 + uint64(i)*7
+			out = append(out, Instance{
+				ID: id, Kind: "and", Rho: cfg.Rho, Seed: s,
+				Tree: gen.AndTree(cfg.M, cfg.Rho, dist, gen.NewRng(s)),
+			})
+			id++
+		}
+	}
+	return out
+}
+
+// GenerateDNF builds a corpus of DNF trees across the given configuration
+// grid (gen.SmallDNFConfigs or gen.LargeDNFConfigs), n per configuration.
+func GenerateDNF(cfgs []gen.DNFConfig, n int, seed uint64, dist gen.Dist) []Instance {
+	var out []Instance
+	id := 0
+	for ci, cfg := range cfgs {
+		for i := 0; i < n; i++ {
+			s := seed + uint64(ci)*1_000_003 + uint64(i)*13
+			out = append(out, Instance{
+				ID: id, Kind: "dnf", Rho: cfg.Rho, Seed: s,
+				Tree: cfg.Generate(dist, gen.NewRng(s)),
+			})
+			id++
+		}
+	}
+	return out
+}

@@ -1,0 +1,92 @@
+package corpus
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"paotr/internal/gen"
+)
+
+func TestRoundTrip(t *testing.T) {
+	instances := GenerateDNF(gen.SmallDNFConfigs()[:5], 2, 7, gen.Dist{})
+	if len(instances) != 10 {
+		t.Fatalf("%d instances", len(instances))
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, instances); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(instances) {
+		t.Fatalf("round trip lost instances: %d vs %d", len(got), len(instances))
+	}
+	for i := range got {
+		if got[i].ID != instances[i].ID || got[i].Rho != instances[i].Rho ||
+			got[i].Kind != "dnf" || got[i].Seed != instances[i].Seed {
+			t.Errorf("instance %d metadata mismatch: %+v", i, got[i])
+		}
+		if got[i].Tree.String() != instances[i].Tree.String() {
+			t.Errorf("instance %d tree mismatch", i)
+		}
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	instances := GenerateAndTrees(1, 3, gen.Dist{})
+	if len(instances) != 157 {
+		t.Fatalf("%d instances, want 157 (one per Figure 4 config)", len(instances))
+	}
+	path := filepath.Join(t.TempDir(), "corpus.jsonl")
+	if err := WriteFile(path, instances); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 157 {
+		t.Fatalf("read %d", len(got))
+	}
+	for _, in := range got {
+		if in.Kind != "and" || !in.Tree.IsAndTree() {
+			t.Fatalf("bad instance %+v", in)
+		}
+	}
+	if _, err := ReadFile(filepath.Join(t.TempDir(), "missing.jsonl")); err == nil {
+		t.Error("missing file should error")
+	}
+}
+
+func TestReadRejectsInvalid(t *testing.T) {
+	cases := []string{
+		`{"id":0,"kind":"and","tree":null}`,
+		`{"id":0,"kind":"and","tree":{"streams":[],"leaves":[]}}`,
+		`{"id":0,"kind":"and","tree":{"streams":[{"name":"A","cost":1}],"leaves":[{"and":0,"stream":0,"items":0,"prob":0.5}]}}`,
+		`not json at all`,
+	}
+	for i, c := range cases {
+		if _, err := Read(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+	// Empty corpus is fine.
+	got, err := Read(strings.NewReader(""))
+	if err != nil || len(got) != 0 {
+		t.Errorf("empty corpus: %v, %d", err, len(got))
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := GenerateDNF(gen.LargeDNFConfigs()[:3], 2, 11, gen.Dist{})
+	b := GenerateDNF(gen.LargeDNFConfigs()[:3], 2, 11, gen.Dist{})
+	for i := range a {
+		if a[i].Tree.String() != b[i].Tree.String() {
+			t.Fatalf("instance %d differs between identical calls", i)
+		}
+	}
+}

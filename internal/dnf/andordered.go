@@ -1,0 +1,148 @@
+package dnf
+
+import (
+	"math"
+	"math/rand/v2"
+	"sort"
+
+	"paotr/internal/andtree"
+	"paotr/internal/query"
+	"paotr/internal/sched"
+)
+
+// AndPlan holds the per-AND-node quantities used by the AND-ordered
+// heuristics: the Algorithm-1 leaf order of the AND node considered in
+// isolation, its expected evaluation cost in isolation, and its success
+// probability.
+type AndPlan struct {
+	// Leaves is the AND node's leaf indices (into the full tree) in the
+	// order produced by the optimal AND-tree algorithm.
+	Leaves []int
+	// Cost is the expected cost of evaluating the AND node alone.
+	Cost float64
+	// Prob is the probability that the AND node evaluates to TRUE.
+	Prob float64
+}
+
+// PlanAnds runs Algorithm 1 on each AND node of t in isolation and returns
+// one AndPlan per AND node.
+func PlanAnds(t *query.Tree) []AndPlan {
+	plans := make([]AndPlan, t.NumAnds())
+	for i, and := range t.AndLeaves() {
+		sub := &query.Tree{Streams: t.Streams, Leaves: make([]query.Leaf, len(and))}
+		for r, j := range and {
+			sub.Leaves[r] = t.Leaves[j]
+			sub.Leaves[r].And = 0
+		}
+		order := andtree.Greedy(sub)
+		plan := AndPlan{
+			Leaves: make([]int, len(and)),
+			Cost:   sched.AndTreeCost(sub, order),
+			Prob:   t.AndProb(i),
+		}
+		for r, local := range order {
+			plan.Leaves[r] = and[local]
+		}
+		plans[i] = plan
+	}
+	return plans
+}
+
+// concatPlans flattens the plans of the AND nodes, taken in the given
+// order, into a depth-first schedule.
+func concatPlans(plans []AndPlan, order []int) sched.Schedule {
+	var s sched.Schedule
+	for _, i := range order {
+		s = append(s, plans[i].Leaves...)
+	}
+	return s
+}
+
+// andOrderedStatic sorts AND nodes by the key computed on their isolated
+// plans and concatenates the Algorithm-1 leaf orders.
+func andOrderedStatic(t *query.Tree, key func(AndPlan) float64) sched.Schedule {
+	plans := PlanAnds(t)
+	order := make([]int, len(plans))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return key(plans[order[a]]) < key(plans[order[b]])
+	})
+	return concatPlans(plans, order)
+}
+
+// AndOrderedDecPStatic orders AND nodes by decreasing success probability:
+// the AND most likely to resolve the OR root to TRUE goes first.
+func AndOrderedDecPStatic(t *query.Tree, _ *rand.Rand) sched.Schedule {
+	return andOrderedStatic(t, func(p AndPlan) float64 { return -p.Prob })
+}
+
+// AndOrderedIncCStatic orders AND nodes by increasing isolated expected
+// cost.
+func AndOrderedIncCStatic(t *query.Tree, _ *rand.Rand) sched.Schedule {
+	return andOrderedStatic(t, func(p AndPlan) float64 { return p.Cost })
+}
+
+// AndOrderedIncCOverPStatic orders AND nodes by increasing cost-to-success
+// ratio C/p. In the read-once model this is exactly the optimal DNF
+// algorithm of Greiner et al.
+func AndOrderedIncCOverPStatic(t *query.Tree, _ *rand.Rand) sched.Schedule {
+	return andOrderedStatic(t, func(p AndPlan) float64 {
+		if p.Prob <= 0 {
+			return math.Inf(1)
+		}
+		return p.Cost / p.Prob
+	})
+}
+
+// andOrderedDynamic greedily picks the next AND node by the key applied to
+// the *incremental* expected cost of appending the AND node's leaves to the
+// schedule built so far. The incremental cost, computed exactly with the
+// Proposition 2 prefix evaluator, accounts for data items probabilistically
+// acquired by previously scheduled AND nodes — the paper's "dynamic"
+// variant.
+func andOrderedDynamic(t *query.Tree, key func(cost, prob float64) float64) sched.Schedule {
+	plans := PlanAnds(t)
+	prefix := sched.NewPrefix(t)
+	remaining := make([]int, len(plans))
+	for i := range remaining {
+		remaining[i] = i
+	}
+	for len(remaining) > 0 {
+		bestIdx := -1
+		bestKey := math.Inf(1)
+		for idx, i := range remaining {
+			delta := prefix.AppendAll(plans[i].Leaves)
+			prefix.PopN(len(plans[i].Leaves))
+			if k := key(delta, plans[i].Prob); k < bestKey {
+				bestKey = k
+				bestIdx = idx
+			}
+		}
+		if bestIdx == -1 {
+			bestIdx = 0 // all keys are +Inf: any order is as good
+		}
+		i := remaining[bestIdx]
+		prefix.AppendAll(plans[i].Leaves)
+		remaining = append(remaining[:bestIdx], remaining[bestIdx+1:]...)
+	}
+	return append(sched.Schedule(nil), prefix.Order()...)
+}
+
+// AndOrderedIncCDynamic orders AND nodes by increasing incremental expected
+// cost, recomputed after each placement.
+func AndOrderedIncCDynamic(t *query.Tree, _ *rand.Rand) sched.Schedule {
+	return andOrderedDynamic(t, func(cost, _ float64) float64 { return cost })
+}
+
+// AndOrderedIncCOverPDynamic orders AND nodes by increasing incremental
+// C/p. This is the heuristic the paper found best overall.
+func AndOrderedIncCOverPDynamic(t *query.Tree, _ *rand.Rand) sched.Schedule {
+	return andOrderedDynamic(t, func(cost, prob float64) float64 {
+		if prob <= 0 {
+			return math.Inf(1)
+		}
+		return cost / prob
+	})
+}

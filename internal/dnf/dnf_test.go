@@ -1,0 +1,302 @@
+package dnf
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"paotr/internal/query"
+	"paotr/internal/sched"
+)
+
+func randomDNF(rng *rand.Rand, maxAnds, maxLeavesPerAnd, maxStreams, maxD int) *query.Tree {
+	nAnds := 1 + rng.IntN(maxAnds)
+	nStreams := 1 + rng.IntN(maxStreams)
+	tr := &query.Tree{}
+	for k := 0; k < nStreams; k++ {
+		tr.Streams = append(tr.Streams, query.Stream{Cost: 1 + 9*rng.Float64()})
+	}
+	for i := 0; i < nAnds; i++ {
+		n := 1 + rng.IntN(maxLeavesPerAnd)
+		for r := 0; r < n; r++ {
+			tr.Leaves = append(tr.Leaves, query.Leaf{
+				And:    i,
+				Stream: query.StreamID(rng.IntN(nStreams)),
+				Items:  1 + rng.IntN(maxD),
+				Prob:   rng.Float64(),
+			})
+		}
+	}
+	return tr
+}
+
+// TestHeuristicsProduceValidSchedules: every heuristic must emit a
+// permutation of the leaves on arbitrary trees.
+func TestHeuristicsProduceValidSchedules(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	for trial := 0; trial < 100; trial++ {
+		tr := randomDNF(rng, 5, 6, 4, 4)
+		for _, h := range Heuristics() {
+			s := h.Schedule(tr, rng)
+			if err := s.Validate(tr); err != nil {
+				t.Fatalf("trial %d: heuristic %q: %v", trial, h.Name, err)
+			}
+		}
+	}
+}
+
+// TestAndOrderedSchedulesAreDepthFirst: AND-ordered and stream... only
+// AND-ordered heuristics are depth-first by construction.
+func TestAndOrderedSchedulesAreDepthFirst(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 4))
+	andOrdered := []Heuristic{
+		{"dec p stat", AndOrderedDecPStatic},
+		{"inc C stat", AndOrderedIncCStatic},
+		{"inc C/p stat", AndOrderedIncCOverPStatic},
+		{"inc C dyn", AndOrderedIncCDynamic},
+		{"inc C/p dyn", AndOrderedIncCOverPDynamic},
+	}
+	for trial := 0; trial < 100; trial++ {
+		tr := randomDNF(rng, 5, 5, 4, 3)
+		for _, h := range andOrdered {
+			s := h.Schedule(tr, nil)
+			if !s.IsDepthFirst(tr) {
+				t.Fatalf("trial %d: %s schedule not depth-first: %v", trial, h.Name, s)
+			}
+		}
+	}
+}
+
+// TestOptimalDepthFirstUpperBounds: the exhaustive depth-first optimum must
+// be no worse than every heuristic.
+func TestOptimalDepthFirstUpperBounds(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 6))
+	for trial := 0; trial < 60; trial++ {
+		tr := randomDNF(rng, 3, 3, 3, 3)
+		res := OptimalDepthFirst(tr, SearchOptions{})
+		if !res.Exact {
+			t.Fatalf("trial %d: search truncated without a cap", trial)
+		}
+		if err := res.Schedule.Validate(tr); err != nil {
+			t.Fatal(err)
+		}
+		if got := sched.Cost(tr, res.Schedule); math.Abs(got-res.Cost) > 1e-9*(1+res.Cost) {
+			t.Fatalf("trial %d: reported cost %v but schedule costs %v", trial, res.Cost, got)
+		}
+		for _, h := range Heuristics() {
+			c := sched.Cost(tr, h.Schedule(tr, rng))
+			if res.Cost > c+1e-9*(1+c) {
+				t.Fatalf("trial %d: optimum %v worse than %s at %v", trial, res.Cost, h.Name, c)
+			}
+		}
+	}
+}
+
+// TestDepthFirstDominance is the empirical Theorem 2 check: on tiny trees
+// the best depth-first schedule must match the best schedule overall.
+func TestDepthFirstDominance(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 8))
+	for trial := 0; trial < 150; trial++ {
+		tr := randomDNF(rng, 3, 3, 3, 3)
+		if tr.NumLeaves() > 7 {
+			continue
+		}
+		df := OptimalDepthFirst(tr, SearchOptions{})
+		any := OptimalAnyOrder(tr, SearchOptions{})
+		if !df.Exact || !any.Exact {
+			t.Fatalf("trial %d: truncated search", trial)
+		}
+		if df.Cost > any.Cost+1e-9*(1+any.Cost) {
+			t.Fatalf("trial %d: depth-first optimum %v > global optimum %v\ntree %v",
+				trial, df.Cost, any.Cost, tr)
+		}
+	}
+}
+
+// TestDepthFirstDominanceQuick: same property via testing/quick.
+func TestDepthFirstDominanceQuick(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, seed^0xabcdef))
+		tr := randomDNF(rng, 3, 2, 3, 2)
+		df := OptimalDepthFirst(tr, SearchOptions{})
+		any := OptimalAnyOrder(tr, SearchOptions{})
+		return df.Cost <= any.Cost+1e-9*(1+any.Cost)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestReadOnceStaticIsOptimal: in the read-once case, AND-ordered by
+// increasing C/p with Algorithm-1 leaf orders is the known optimal DNF
+// algorithm (Greiner et al.), so it must match the exhaustive optimum.
+func TestReadOnceStaticIsOptimal(t *testing.T) {
+	rng := rand.New(rand.NewPCG(9, 10))
+	for trial := 0; trial < 80; trial++ {
+		nAnds := 1 + rng.IntN(3)
+		tr := &query.Tree{}
+		for i := 0; i < nAnds; i++ {
+			n := 1 + rng.IntN(3)
+			for r := 0; r < n; r++ {
+				k := len(tr.Streams)
+				tr.Streams = append(tr.Streams, query.Stream{Cost: 1 + 9*rng.Float64()})
+				tr.Leaves = append(tr.Leaves, query.Leaf{
+					And: i, Stream: query.StreamID(k),
+					Items: 1 + rng.IntN(3), Prob: rng.Float64(),
+				})
+			}
+		}
+		if tr.NumLeaves() > 9 {
+			continue
+		}
+		h := AndOrderedIncCOverPStatic(tr, nil)
+		hc := sched.Cost(tr, h)
+		opt := OptimalDepthFirst(tr, SearchOptions{})
+		if hc > opt.Cost+1e-9*(1+opt.Cost) {
+			t.Fatalf("trial %d: read-once static C/p %v > optimum %v on %v",
+				trial, hc, opt.Cost, tr)
+		}
+	}
+}
+
+// TestDynamicAccountsForSharing constructs an instance where static C/p
+// ordering interleaves an unrelated AND between two stream-sharing ANDs,
+// while the dynamic variant sees that the second sharing AND is free once
+// the first has run and schedules it immediately — at strictly lower cost.
+//
+// AND0 = X[1]/0.5 (C/p = 2), AND1 = X[1]/0.4 (C/p = 2.5),
+// AND2 = Y[1]/0.5 with c(Y)=1.2 (C/p = 2.4). Static: AND0, AND2, AND1
+// costs 1 + 0.5*1.2 = 1.6. Dynamic: AND0, AND1 (free), AND2 costs
+// 1 + 0.5*0.6*1.2 = 1.36, which is optimal.
+func TestDynamicAccountsForSharing(t *testing.T) {
+	tr := &query.Tree{
+		Streams: []query.Stream{{Name: "X", Cost: 1}, {Name: "Y", Cost: 1.2}},
+		Leaves: []query.Leaf{
+			{And: 0, Stream: 0, Items: 1, Prob: 0.5},
+			{And: 1, Stream: 0, Items: 1, Prob: 0.4}, // shares X: free after AND0
+			{And: 2, Stream: 1, Items: 1, Prob: 0.5},
+		},
+	}
+	static := sched.Cost(tr, AndOrderedIncCOverPStatic(tr, nil))
+	if math.Abs(static-1.6) > 1e-12 {
+		t.Errorf("static C/p cost = %v, want 1.6", static)
+	}
+	dyn := sched.Cost(tr, AndOrderedIncCOverPDynamic(tr, nil))
+	if math.Abs(dyn-1.36) > 1e-12 {
+		t.Errorf("dynamic C/p cost = %v, want 1.36", dyn)
+	}
+	opt := OptimalDepthFirst(tr, SearchOptions{})
+	if math.Abs(dyn-opt.Cost) > 1e-12 {
+		t.Errorf("dynamic %v should be optimal here (optimum %v)", dyn, opt.Cost)
+	}
+}
+
+// TestStreamOrderedGroupsStreams: all leaves of one stream must be
+// contiguous in a stream-ordered schedule.
+func TestStreamOrderedGroupsStreams(t *testing.T) {
+	rng := rand.New(rand.NewPCG(11, 12))
+	for trial := 0; trial < 100; trial++ {
+		tr := randomDNF(rng, 4, 5, 4, 4)
+		s := StreamOrdered(tr, nil)
+		if err := s.Validate(tr); err != nil {
+			t.Fatal(err)
+		}
+		seen := map[query.StreamID]bool{}
+		var last query.StreamID = -1
+		for _, j := range s {
+			k := tr.Leaves[j].Stream
+			if k != last {
+				if seen[k] {
+					t.Fatalf("trial %d: stream %d appears twice in %v", trial, k, s)
+				}
+				seen[k] = true
+				last = k
+			}
+		}
+	}
+}
+
+// TestStreamOrderedImprovedBeatsOriginal: the increasing-d variant must be
+// at least as good as the decreasing-d original in the vast majority of
+// cases (the paper reports "all remaining cases being ties"; we allow a
+// tiny fraction of regressions since the R metric ordering interacts with
+// the leaf order).
+func TestStreamOrderedImprovedVsOriginal(t *testing.T) {
+	rng := rand.New(rand.NewPCG(13, 14))
+	worse := 0
+	const trials = 300
+	for trial := 0; trial < trials; trial++ {
+		tr := randomDNF(rng, 4, 5, 3, 5)
+		imp := sched.Cost(tr, StreamOrdered(tr, nil))
+		orig := sched.Cost(tr, StreamOrderedOriginal(tr, nil))
+		if imp > orig+1e-9*(1+orig) {
+			worse++
+		}
+	}
+	if worse > 0 {
+		t.Errorf("improved stream-ordered worse than original on %d/%d instances", worse, trials)
+	}
+}
+
+// TestBestHeuristicSchedule returns the min-cost deterministic heuristic.
+func TestBestHeuristicSchedule(t *testing.T) {
+	rng := rand.New(rand.NewPCG(15, 16))
+	for trial := 0; trial < 50; trial++ {
+		tr := randomDNF(rng, 4, 4, 3, 3)
+		s, c := BestHeuristicSchedule(tr)
+		if err := s.Validate(tr); err != nil {
+			t.Fatal(err)
+		}
+		for _, h := range Heuristics() {
+			if h.Name == "Leaf-ord., random" {
+				continue
+			}
+			hc := sched.Cost(tr, h.Schedule(tr, nil))
+			if c > hc+1e-9*(1+hc) {
+				t.Fatalf("trial %d: best %v worse than %s at %v", trial, c, h.Name, hc)
+			}
+		}
+	}
+}
+
+// TestSearchNodeCap: a tiny node cap must yield a truncated result whose
+// schedule is still valid and no worse than the heuristic incumbent.
+func TestSearchNodeCap(t *testing.T) {
+	rng := rand.New(rand.NewPCG(17, 18))
+	tr := randomDNF(rng, 5, 6, 4, 4)
+	res := OptimalDepthFirst(tr, SearchOptions{MaxNodes: 10})
+	if res.Exact && tr.NumLeaves() > 4 {
+		t.Error("expected truncated search with MaxNodes=10")
+	}
+	if err := res.Schedule.Validate(tr); err != nil {
+		t.Fatal(err)
+	}
+	_, hc := BestHeuristicSchedule(tr)
+	if res.Cost > hc+1e-9 {
+		t.Errorf("truncated result %v worse than incumbent %v", res.Cost, hc)
+	}
+}
+
+// TestPlanAnds sanity: plan cost equals Algorithm-1 cost on each isolated
+// AND; probabilities multiply.
+func TestPlanAnds(t *testing.T) {
+	rng := rand.New(rand.NewPCG(19, 20))
+	tr := randomDNF(rng, 4, 4, 3, 3)
+	plans := PlanAnds(tr)
+	if len(plans) != tr.NumAnds() {
+		t.Fatalf("got %d plans for %d ANDs", len(plans), tr.NumAnds())
+	}
+	for i, pl := range plans {
+		want := tr.AndProb(i)
+		if math.Abs(pl.Prob-want) > 1e-12 {
+			t.Errorf("AND %d prob %v, want %v", i, pl.Prob, want)
+		}
+		if len(pl.Leaves) != len(tr.AndLeaves()[i]) {
+			t.Errorf("AND %d plan has %d leaves, want %d", i, len(pl.Leaves), len(tr.AndLeaves()[i]))
+		}
+		if pl.Cost < 0 {
+			t.Errorf("AND %d negative cost %v", i, pl.Cost)
+		}
+	}
+}

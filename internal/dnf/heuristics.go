@@ -1,0 +1,103 @@
+// Package dnf implements schedule-construction heuristics and exhaustive
+// searches for DNF trees (an OR of AND nodes) in the shared-stream model of
+// Casanova et al. (IPDPS 2014), Section IV.
+//
+// Three heuristic families are provided, as in the paper:
+//
+//   - leaf-ordered: sort all leaves globally by a per-leaf key;
+//   - AND-ordered: build a depth-first schedule (Theorem 2 says one is
+//     optimal), ordering leaves within each AND node with the optimal
+//     AND-tree algorithm and ordering AND nodes by cost, success
+//     probability, or their ratio, either statically or dynamically;
+//   - stream-ordered: the prior-art heuristic of Lim, Misra and Mo [4],
+//     which acquires streams one at a time.
+package dnf
+
+import (
+	"math"
+	"math/rand/v2"
+	"sort"
+
+	"paotr/internal/query"
+	"paotr/internal/sched"
+)
+
+// Heuristic is a named schedule-construction strategy. Schedule must
+// return a valid schedule for any valid DNF tree. The rng is used only by
+// randomized heuristics and may be nil for deterministic ones.
+type Heuristic struct {
+	// Name identifies the heuristic; it matches the legend of Figures 5
+	// and 6 in the paper.
+	Name string
+	// Schedule builds an evaluation order for t.
+	Schedule func(t *query.Tree, rng *rand.Rand) sched.Schedule
+}
+
+// Heuristics returns the ten heuristics evaluated in the paper, in the
+// order of the figure legends: the stream-ordered heuristic of [4], four
+// leaf-ordered heuristics, three static AND-ordered heuristics and two
+// dynamic AND-ordered heuristics.
+func Heuristics() []Heuristic {
+	return []Heuristic{
+		{"Stream-ord.", StreamOrdered},
+		{"Leaf-ord., random", LeafOrderedRandom},
+		{"Leaf-ord., dec. q", LeafOrderedDecQ},
+		{"Leaf-ord., inc. C", LeafOrderedIncC},
+		{"Leaf-ord., inc. C/q", LeafOrderedIncCOverQ},
+		{"AND-ord., dec. p, stat", AndOrderedDecPStatic},
+		{"AND-ord., inc. C, stat", AndOrderedIncCStatic},
+		{"AND-ord., inc. C/p, stat", AndOrderedIncCOverPStatic},
+		{"AND-ord., inc. C, dyn", AndOrderedIncCDynamic},
+		{"AND-ord., inc. C/p, dyn", AndOrderedIncCOverPDynamic},
+	}
+}
+
+// Best is the heuristic the paper recommends: AND-ordered by increasing
+// C/p with dynamic cost computation. It wins on 94.5% of the large
+// instances and 83.8% of the small ones in the paper's evaluation.
+var Best = Heuristic{"AND-ord., inc. C/p, dyn", AndOrderedIncCOverPDynamic}
+
+// sortLeavesBy returns the identity schedule sorted stably by the key.
+func sortLeavesBy(t *query.Tree, key func(j int) float64) sched.Schedule {
+	s := make(sched.Schedule, t.NumLeaves())
+	for j := range s {
+		s[j] = j
+	}
+	sort.SliceStable(s, func(a, b int) bool { return key(s[a]) < key(s[b]) })
+	return s
+}
+
+// LeafOrderedRandom is the baseline heuristic: a uniformly random leaf
+// permutation.
+func LeafOrderedRandom(t *query.Tree, rng *rand.Rand) sched.Schedule {
+	s := make(sched.Schedule, t.NumLeaves())
+	for j := range s {
+		s[j] = j
+	}
+	rng.Shuffle(len(s), func(a, b int) { s[a], s[b] = s[b], s[a] })
+	return s
+}
+
+// LeafOrderedDecQ sorts leaves by decreasing failure probability q,
+// prioritizing leaves with high chances of short-circuiting their AND node.
+func LeafOrderedDecQ(t *query.Tree, _ *rand.Rand) sched.Schedule {
+	return sortLeavesBy(t, func(j int) float64 { return -t.Leaves[j].Q() })
+}
+
+// LeafOrderedIncC sorts leaves by increasing isolated acquisition cost
+// C_j = d_j * c(S(j)).
+func LeafOrderedIncC(t *query.Tree, _ *rand.Rand) sched.Schedule {
+	return sortLeavesBy(t, t.LeafAcquireCost)
+}
+
+// LeafOrderedIncCOverQ sorts leaves by increasing C_j / q_j, combining low
+// cost with high short-circuiting power.
+func LeafOrderedIncCOverQ(t *query.Tree, _ *rand.Rand) sched.Schedule {
+	return sortLeavesBy(t, func(j int) float64 {
+		q := t.Leaves[j].Q()
+		if q <= 0 {
+			return math.Inf(1)
+		}
+		return t.LeafAcquireCost(j) / q
+	})
+}

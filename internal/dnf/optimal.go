@@ -1,0 +1,270 @@
+package dnf
+
+import (
+	"math/rand/v2"
+	"sort"
+
+	"paotr/internal/query"
+	"paotr/internal/sched"
+)
+
+// SearchResult reports the outcome of an exhaustive schedule search.
+type SearchResult struct {
+	// Schedule is the best schedule found.
+	Schedule sched.Schedule
+	// Cost is its expected cost.
+	Cost float64
+	// Exact is true when the search space was fully explored (possibly
+	// with sound pruning), so Cost is the true optimum.
+	Exact bool
+	// Nodes is the number of search-tree nodes visited.
+	Nodes int64
+}
+
+// SearchOptions bounds exhaustive searches.
+type SearchOptions struct {
+	// MaxNodes caps the number of visited search nodes; 0 means no cap.
+	// When the cap is hit the search returns the incumbent with
+	// Exact=false.
+	MaxNodes int64
+	// DepthFirst restricts the search to depth-first schedules. By
+	// Theorem 2 this restriction preserves optimality for DNF trees and
+	// shrinks the search space dramatically.
+	DepthFirst bool
+}
+
+// OptimalDepthFirst finds a minimum-cost schedule among depth-first
+// schedules by branch-and-bound. By Theorem 2 of the paper the result is a
+// globally optimal schedule. The search is exponential; it is intended for
+// the paper's "small" instances (up to ~20 leaves). A node cap can be set
+// through opts.
+func OptimalDepthFirst(t *query.Tree, opts SearchOptions) SearchResult {
+	opts.DepthFirst = true
+	return branchAndBound(t, opts)
+}
+
+// OptimalAnyOrder searches over all leaf permutations, not only depth-first
+// ones. It is used to verify Theorem 2 empirically on tiny trees.
+func OptimalAnyOrder(t *query.Tree, opts SearchOptions) SearchResult {
+	opts.DepthFirst = false
+	return branchAndBound(t, opts)
+}
+
+// BestHeuristicSchedule runs every deterministic heuristic and returns the
+// schedule with the lowest expected cost. It seeds the branch-and-bound
+// incumbent and is also a reasonable "portfolio" scheduler in its own
+// right.
+func BestHeuristicSchedule(t *query.Tree) (sched.Schedule, float64) {
+	var best sched.Schedule
+	bestCost := 0.0
+	for _, h := range Heuristics() {
+		if h.Schedule == nil {
+			continue
+		}
+		var s sched.Schedule
+		if h.Name == "Leaf-ord., random" {
+			continue // randomized: skip for determinism
+		}
+		s = h.Schedule(t, nil)
+		c := sched.Cost(t, s)
+		if best == nil || c < bestCost {
+			best, bestCost = s, c
+		}
+	}
+	if best == nil {
+		best = LeafOrderedIncC(t, nil)
+		bestCost = sched.Cost(t, best)
+	}
+	return best, bestCost
+}
+
+// branchAndBound explores leaf orderings with the incremental Proposition 2
+// evaluator. Prefix costs are monotone non-decreasing, so any prefix whose
+// cost reaches the incumbent is pruned. Candidate branches are tried in
+// increasing order of immediate cost contribution, which tends to reach
+// good incumbents early and sharpen pruning.
+//
+// In depth-first mode the search additionally applies the Proposition 1
+// dominance rule, which the paper states for DNF trees as well: within an
+// AND node, a leaf is never scheduled before an unscheduled same-stream
+// leaf with a smaller window. Branching within an AND node is therefore
+// limited to, per stream, the unscheduled leaves of minimal window size
+// (deduplicated when both window and probability coincide). The any-order
+// search does not use the reduction, so comparing the two cross-validates
+// it together with Theorem 2.
+func branchAndBound(t *query.Tree, opts SearchOptions) SearchResult {
+	m := t.NumLeaves()
+	incumbent, incumbentCost := BestHeuristicSchedule(t)
+	res := SearchResult{Schedule: incumbent.Clone(), Cost: incumbentCost, Exact: true}
+	if m == 0 {
+		return res
+	}
+
+	prefix := sched.NewPrefix(t)
+	used := make([]bool, m)
+	leafAnd := make([]int, m)
+	for j, l := range t.Leaves {
+		leafAnd[j] = l.And
+	}
+	andLeft := make([]int, t.NumAnds())
+	for i, and := range t.AndLeaves() {
+		andLeft[i] = len(and)
+	}
+	// groups[a] = leaves of AND a grouped by stream, each group sorted by
+	// (d, p, index); used by the Proposition 1 branching reduction.
+	groups := make([][][]int, t.NumAnds())
+	if opts.DepthFirst {
+		for a, and := range t.AndLeaves() {
+			byStream := map[query.StreamID][]int{}
+			for _, j := range and {
+				byStream[t.Leaves[j].Stream] = append(byStream[t.Leaves[j].Stream], j)
+			}
+			for _, g := range byStream {
+				sort.Slice(g, func(x, y int) bool {
+					lx, ly := t.Leaves[g[x]], t.Leaves[g[y]]
+					if lx.Items != ly.Items {
+						return lx.Items < ly.Items
+					}
+					if lx.Prob != ly.Prob {
+						return lx.Prob < ly.Prob
+					}
+					return g[x] < g[y]
+				})
+				groups[a] = append(groups[a], g)
+			}
+			sort.Slice(groups[a], func(x, y int) bool { return groups[a][x][0] < groups[a][y][0] })
+		}
+	}
+	currentAnd := -1 // AND in progress for depth-first search
+	truncated := false
+
+	type cand struct {
+		leaf  int
+		delta float64
+	}
+	// One scratch candidate buffer per depth to avoid allocation.
+	bufs := make([][]cand, m+1)
+	for d := range bufs {
+		bufs[d] = make([]cand, 0, m)
+	}
+	scratch := make([]int, 0, m)
+
+	const eps = 1e-12
+
+	// andCandidates appends, per stream group of AND a, the admissible
+	// next leaves under Proposition 1: the unused leaves whose window is
+	// the minimal unused window of the group, deduplicated on (d, p).
+	andCandidates := func(a int, out []int) []int {
+		for _, g := range groups[a] {
+			minD := -1
+			lastD, lastP := -1, -1.0
+			for _, j := range g {
+				if used[j] {
+					continue
+				}
+				l := t.Leaves[j]
+				if minD == -1 {
+					minD = l.Items
+				}
+				if l.Items != minD {
+					break // larger windows are dominated (Proposition 1)
+				}
+				if l.Items == lastD && l.Prob == lastP {
+					continue // identical leaf: symmetric, skip
+				}
+				lastD, lastP = l.Items, l.Prob
+				out = append(out, j)
+			}
+		}
+		return out
+	}
+
+	var rec func(depth int)
+	rec = func(depth int) {
+		if truncated {
+			return
+		}
+		res.Nodes++
+		if opts.MaxNodes > 0 && res.Nodes > opts.MaxNodes {
+			truncated = true
+			return
+		}
+		if depth == m {
+			if c := prefix.Cost(); c < res.Cost-eps {
+				res.Cost = c
+				res.Schedule = append(res.Schedule[:0], prefix.Order()...)
+			}
+			return
+		}
+		var leaves []int
+		if opts.DepthFirst {
+			scratch = scratch[:0]
+			if currentAnd != -1 {
+				scratch = andCandidates(currentAnd, scratch)
+			} else {
+				for a := range groups {
+					if andLeft[a] == len(t.AndLeaves()[a]) { // unstarted
+						scratch = andCandidates(a, scratch)
+					}
+				}
+			}
+			leaves = scratch
+		}
+		cands := bufs[depth][:0]
+		if opts.DepthFirst {
+			for _, j := range leaves {
+				delta := prefix.Append(j)
+				prefix.Pop()
+				if prefix.Cost()+delta < res.Cost-eps {
+					cands = append(cands, cand{j, delta})
+				}
+			}
+		} else {
+			for j := 0; j < m; j++ {
+				if used[j] {
+					continue
+				}
+				delta := prefix.Append(j)
+				prefix.Pop()
+				if prefix.Cost()+delta < res.Cost-eps {
+					cands = append(cands, cand{j, delta})
+				}
+			}
+		}
+		bufs[depth] = cands
+		sort.Slice(cands, func(a, b int) bool { return cands[a].delta < cands[b].delta })
+		for _, c := range cands {
+			if truncated {
+				return
+			}
+			if prefix.Cost()+c.delta >= res.Cost-eps {
+				continue // incumbent improved since candidate generation
+			}
+			j := c.leaf
+			a := leafAnd[j]
+			prevAnd := currentAnd
+			used[j] = true
+			prefix.Append(j)
+			andLeft[a]--
+			if andLeft[a] == 0 {
+				currentAnd = -1
+			} else {
+				currentAnd = a
+			}
+			rec(depth + 1)
+			currentAnd = prevAnd
+			andLeft[a]++
+			prefix.Pop()
+			used[j] = false
+		}
+	}
+	rec(0)
+	res.Exact = !truncated
+	return res
+}
+
+// RandomSchedule returns a uniformly random leaf permutation; exported for
+// harnesses that need an unbiased baseline distinct from the heuristics.
+func RandomSchedule(t *query.Tree, rng *rand.Rand) sched.Schedule {
+	return LeafOrderedRandom(t, rng)
+}

@@ -1,0 +1,296 @@
+package dnf
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"paotr/internal/query"
+	"paotr/internal/sched"
+)
+
+// sharedBest is an incumbent shared between parallel search workers:
+// lock-free reads on the hot pruning path, mutex-serialized updates.
+type sharedBest struct {
+	bits  atomic.Uint64 // math.Float64bits of the best cost
+	mu    sync.Mutex
+	sched sched.Schedule
+}
+
+func newSharedBest(s sched.Schedule, cost float64) *sharedBest {
+	b := &sharedBest{sched: s.Clone()}
+	b.bits.Store(math.Float64bits(cost))
+	return b
+}
+
+func (b *sharedBest) Cost() float64 { return math.Float64frombits(b.bits.Load()) }
+
+// Update installs a better schedule; returns false if cost is not an
+// improvement (another worker got there first).
+func (b *sharedBest) Update(s []int, cost float64) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if cost >= b.Cost() {
+		return false
+	}
+	b.bits.Store(math.Float64bits(cost))
+	b.sched = append(b.sched[:0], s...)
+	return true
+}
+
+func (b *sharedBest) Snapshot() (sched.Schedule, float64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.sched.Clone(), b.Cost()
+}
+
+// OptimalDepthFirstParallel is OptimalDepthFirst with the first branching
+// level fanned out over worker goroutines that share the incumbent. The
+// result is identical to the sequential search (both are exact); only
+// wall-clock time and the node count differ (sharper incumbents prune
+// more, so the parallel search often visits fewer nodes in total).
+//
+// workers <= 1 falls back to the sequential search. opts.MaxNodes bounds
+// the total nodes across all workers.
+func OptimalDepthFirstParallel(t *query.Tree, opts SearchOptions, workers int) SearchResult {
+	if workers <= 1 {
+		return OptimalDepthFirst(t, opts)
+	}
+	opts.DepthFirst = true
+	m := t.NumLeaves()
+	incumbent, incumbentCost := BestHeuristicSchedule(t)
+	if m == 0 {
+		return SearchResult{Schedule: incumbent, Cost: incumbentCost, Exact: true}
+	}
+	best := newSharedBest(incumbent, incumbentCost)
+
+	// First-level branches: every admissible (AND, first leaf) pair under
+	// the Proposition 1 reduction.
+	var firsts []int
+	type sig struct {
+		and  int
+		k    query.StreamID
+		d    int
+		prob float64
+	}
+	seenSig := map[sig]bool{}
+	for a, and := range t.AndLeaves() {
+		// Per (AND, stream): minimal-d leaves only (Proposition 1).
+		minD := map[query.StreamID]int{}
+		for _, j := range and {
+			l := t.Leaves[j]
+			if d, ok := minD[l.Stream]; !ok || l.Items < d {
+				minD[l.Stream] = l.Items
+			}
+		}
+		for _, j := range and {
+			l := t.Leaves[j]
+			if l.Items != minD[l.Stream] {
+				continue
+			}
+			sg := sig{a, l.Stream, l.Items, l.Prob}
+			if seenSig[sg] {
+				continue // identical first moves are symmetric
+			}
+			seenSig[sg] = true
+			firsts = append(firsts, j)
+		}
+	}
+	var totalNodes atomic.Int64
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	truncated := atomic.Bool{}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for first := range jobs {
+				res := searchFrom(t, opts, first, best, &totalNodes)
+				if !res {
+					truncated.Store(true)
+				}
+			}
+		}()
+	}
+	for _, f := range firsts {
+		jobs <- f
+	}
+	close(jobs)
+	wg.Wait()
+
+	s, c := best.Snapshot()
+	return SearchResult{Schedule: s, Cost: c, Exact: !truncated.Load(), Nodes: totalNodes.Load()}
+}
+
+// searchFrom runs the sequential depth-first branch-and-bound with a
+// forced first leaf, pruning against (and updating) the shared incumbent.
+// It reports whether the subtree was fully explored.
+func searchFrom(t *query.Tree, opts SearchOptions, first int, best *sharedBest, totalNodes *atomic.Int64) bool {
+	// Reuse the sequential machinery by running branchAndBound on a
+	// constrained searcher: we inline a small variant here to keep the
+	// shared-incumbent reads on the hot path.
+	m := t.NumLeaves()
+	prefix := sched.NewPrefix(t)
+	used := make([]bool, m)
+	andLeft := make([]int, t.NumAnds())
+	andSize := make([]int, t.NumAnds())
+	for i, and := range t.AndLeaves() {
+		andLeft[i] = len(and)
+		andSize[i] = len(and)
+	}
+	groups := buildGroups(t)
+	const eps = 1e-12
+	complete := true
+
+	bufs := make([][]bbCand, m+1)
+	for d := range bufs {
+		bufs[d] = make([]bbCand, 0, m)
+	}
+	currentAnd := -1
+
+	var rec func(depth int)
+	rec = func(depth int) {
+		if !complete {
+			return
+		}
+		n := totalNodes.Add(1)
+		if opts.MaxNodes > 0 && n > opts.MaxNodes {
+			complete = false
+			return
+		}
+		if depth == m {
+			if c := prefix.Cost(); c < best.Cost()-eps {
+				best.Update(prefix.Order(), c)
+			}
+			return
+		}
+		cands := bufs[depth][:0]
+		collect := func(a int) {
+			for _, g := range groups[a] {
+				minD := -1
+				lastD, lastP := -1, -1.0
+				for _, j := range g {
+					if used[j] {
+						continue
+					}
+					l := t.Leaves[j]
+					if minD == -1 {
+						minD = l.Items
+					}
+					if l.Items != minD {
+						break
+					}
+					if l.Items == lastD && l.Prob == lastP {
+						continue
+					}
+					lastD, lastP = l.Items, l.Prob
+					delta := prefix.Append(j)
+					prefix.Pop()
+					if prefix.Cost()+delta < best.Cost()-eps {
+						cands = append(cands, bbCand{j, delta})
+					}
+				}
+			}
+		}
+		if currentAnd != -1 {
+			collect(currentAnd)
+		} else {
+			for a := range groups {
+				if andLeft[a] == andSize[a] {
+					collect(a)
+				}
+			}
+		}
+		bufs[depth] = cands
+		sortCands(cands)
+		for _, c := range cands {
+			if !complete {
+				return
+			}
+			if prefix.Cost()+c.delta >= best.Cost()-eps {
+				continue
+			}
+			j := c.leaf
+			a := t.Leaves[j].And
+			prev := currentAnd
+			used[j] = true
+			prefix.Append(j)
+			andLeft[a]--
+			if andLeft[a] == 0 {
+				currentAnd = -1
+			} else {
+				currentAnd = a
+			}
+			rec(depth + 1)
+			currentAnd = prev
+			andLeft[a]++
+			prefix.Pop()
+			used[j] = false
+		}
+	}
+
+	// Force the first leaf.
+	a := t.Leaves[first].And
+	used[first] = true
+	prefix.Append(first)
+	andLeft[a]--
+	if andLeft[a] > 0 {
+		currentAnd = a
+	}
+	rec(1)
+	return complete
+}
+
+// bbCand is one branch candidate of the parallel search.
+type bbCand struct {
+	leaf  int
+	delta float64
+}
+
+// sortCands orders candidates by increasing immediate contribution
+// (insertion sort: candidate lists are short and mostly sorted).
+func sortCands(cands []bbCand) {
+	for i := 1; i < len(cands); i++ {
+		for j := i; j > 0 && cands[j].delta < cands[j-1].delta; j-- {
+			cands[j], cands[j-1] = cands[j-1], cands[j]
+		}
+	}
+}
+
+// buildGroups exposes the per-AND stream groups used by the Proposition 1
+// branching reduction (shared with the sequential search).
+func buildGroups(t *query.Tree) [][][]int {
+	groups := make([][][]int, t.NumAnds())
+	for a, and := range t.AndLeaves() {
+		byStream := map[query.StreamID][]int{}
+		for _, j := range and {
+			byStream[t.Leaves[j].Stream] = append(byStream[t.Leaves[j].Stream], j)
+		}
+		for _, g := range byStream {
+			sortLeavesGroup(t, g)
+			groups[a] = append(groups[a], g)
+		}
+		// Deterministic group order.
+		for i := 1; i < len(groups[a]); i++ {
+			for j := i; j > 0 && groups[a][j][0] < groups[a][j-1][0]; j-- {
+				groups[a][j], groups[a][j-1] = groups[a][j-1], groups[a][j]
+			}
+		}
+	}
+	return groups
+}
+
+func sortLeavesGroup(t *query.Tree, g []int) {
+	for i := 1; i < len(g); i++ {
+		for j := i; j > 0; j-- {
+			lx, ly := t.Leaves[g[j]], t.Leaves[g[j-1]]
+			if lx.Items < ly.Items ||
+				(lx.Items == ly.Items && lx.Prob < ly.Prob) ||
+				(lx.Items == ly.Items && lx.Prob == ly.Prob && g[j] < g[j-1]) {
+				g[j], g[j-1] = g[j-1], g[j]
+			} else {
+				break
+			}
+		}
+	}
+}

@@ -1,0 +1,80 @@
+package dnf
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"paotr/internal/gen"
+	"paotr/internal/sched"
+)
+
+// TestParallelMatchesSequential: the parallel search must find exactly the
+// sequential optimum on random instances.
+func TestParallelMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewPCG(800, 801))
+	for trial := 0; trial < 60; trial++ {
+		tr := randomDNF(rng, 4, 3, 3, 3)
+		seq := OptimalDepthFirst(tr, SearchOptions{})
+		par := OptimalDepthFirstParallel(tr, SearchOptions{}, 4)
+		if !seq.Exact || !par.Exact {
+			t.Fatalf("trial %d: truncated", trial)
+		}
+		if math.Abs(seq.Cost-par.Cost) > 1e-9*(1+seq.Cost) {
+			t.Fatalf("trial %d: sequential %v vs parallel %v\ntree %v",
+				trial, seq.Cost, par.Cost, tr)
+		}
+		if err := par.Schedule.Validate(tr); err != nil {
+			t.Fatal(err)
+		}
+		if got := sched.Cost(tr, par.Schedule); math.Abs(got-par.Cost) > 1e-9*(1+par.Cost) {
+			t.Fatalf("trial %d: parallel schedule costs %v, reported %v", trial, got, par.Cost)
+		}
+	}
+}
+
+// TestParallelSingleWorkerFallsBack: workers <= 1 must use the sequential
+// path.
+func TestParallelSingleWorkerFallsBack(t *testing.T) {
+	rng := rand.New(rand.NewPCG(802, 803))
+	tr := randomDNF(rng, 3, 3, 3, 3)
+	a := OptimalDepthFirst(tr, SearchOptions{})
+	b := OptimalDepthFirstParallel(tr, SearchOptions{}, 1)
+	if a.Cost != b.Cost {
+		t.Errorf("fallback mismatch: %v vs %v", a.Cost, b.Cost)
+	}
+}
+
+// TestParallelNodeCap: the node cap bounds total work across workers and
+// marks the result inexact when hit.
+func TestParallelNodeCap(t *testing.T) {
+	cfg := gen.DNFConfig{N: 8, Cap: 8, MaxTotal: 20, Rho: 2}
+	tr := cfg.Generate(gen.Dist{}, gen.NewRng(99))
+	res := OptimalDepthFirstParallel(tr, SearchOptions{MaxNodes: 100}, 4)
+	if err := res.Schedule.Validate(tr); err != nil {
+		t.Fatal(err)
+	}
+	if res.Exact {
+		t.Error("100-node cap should truncate this instance")
+	}
+	// The incumbent is still at least as good as the best heuristic.
+	_, hc := BestHeuristicSchedule(tr)
+	if res.Cost > hc+1e-9 {
+		t.Errorf("truncated parallel result %v worse than incumbent %v", res.Cost, hc)
+	}
+}
+
+// TestParallelOnHardInstance: a previously hard small-instance shape must
+// be solved exactly and match the sequential answer.
+func TestParallelOnHardInstance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	cfg := gen.DNFConfig{N: 6, Cap: 4, MaxTotal: 16, Rho: 3}
+	tr := cfg.Generate(gen.Dist{}, gen.NewRng(123))
+	seq := OptimalDepthFirst(tr, SearchOptions{MaxNodes: 20_000_000})
+	par := OptimalDepthFirstParallel(tr, SearchOptions{MaxNodes: 20_000_000}, 8)
+	if seq.Exact && par.Exact && math.Abs(seq.Cost-par.Cost) > 1e-9*(1+seq.Cost) {
+		t.Fatalf("hard instance: sequential %v vs parallel %v", seq.Cost, par.Cost)
+	}
+}

@@ -1,0 +1,72 @@
+package dnf
+
+import (
+	"math"
+
+	"paotr/internal/andtree"
+	"paotr/internal/query"
+	"paotr/internal/sched"
+)
+
+// PlanAndsWarm runs the warm-start Algorithm 1 on each AND node in
+// isolation, with the device cache state w: the per-AND costs reflect only
+// the items that would actually have to be pulled.
+func PlanAndsWarm(t *query.Tree, w sched.Warm) []AndPlan {
+	plans := make([]AndPlan, t.NumAnds())
+	for i, and := range t.AndLeaves() {
+		sub := &query.Tree{Streams: t.Streams, Leaves: make([]query.Leaf, len(and))}
+		for r, j := range and {
+			sub.Leaves[r] = t.Leaves[j]
+			sub.Leaves[r].And = 0
+		}
+		order := andtree.GreedyWarm(sub, w)
+		plan := AndPlan{
+			Leaves: make([]int, len(and)),
+			Cost:   sched.AndTreeCostWarm(sub, order, w),
+			Prob:   t.AndProb(i),
+		}
+		for r, local := range order {
+			plan.Leaves[r] = and[local]
+		}
+		plans[i] = plan
+	}
+	return plans
+}
+
+// AndOrderedIncCOverPDynamicWarm is the paper's best heuristic (AND nodes
+// by increasing incremental C/p, dynamic) computed against a warm device
+// cache: items already in memory are free. This is the planner the
+// continuous-query engine uses — after the first execution most windows
+// are mostly cached, and cold-cache planning would systematically
+// over-estimate leaf costs.
+func AndOrderedIncCOverPDynamicWarm(t *query.Tree, w sched.Warm) sched.Schedule {
+	plans := PlanAndsWarm(t, w)
+	prefix := sched.NewPrefixWarm(t, w)
+	remaining := make([]int, len(plans))
+	for i := range remaining {
+		remaining[i] = i
+	}
+	for len(remaining) > 0 {
+		bestIdx := -1
+		bestKey := math.Inf(1)
+		for idx, i := range remaining {
+			delta := prefix.AppendAll(plans[i].Leaves)
+			prefix.PopN(len(plans[i].Leaves))
+			key := math.Inf(1)
+			if plans[i].Prob > 0 {
+				key = delta / plans[i].Prob
+			}
+			if key < bestKey {
+				bestKey = key
+				bestIdx = idx
+			}
+		}
+		if bestIdx == -1 {
+			bestIdx = 0
+		}
+		i := remaining[bestIdx]
+		prefix.AppendAll(plans[i].Leaves)
+		remaining = append(remaining[:bestIdx], remaining[bestIdx+1:]...)
+	}
+	return append(sched.Schedule(nil), prefix.Order()...)
+}

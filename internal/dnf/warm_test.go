@@ -1,0 +1,122 @@
+package dnf
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"paotr/internal/query"
+	"paotr/internal/sched"
+)
+
+func randomWarmFor(rng *rand.Rand, t *query.Tree) sched.Warm {
+	maxD := t.StreamMaxItems()
+	w := make(sched.Warm, t.NumStreams())
+	for k := range w {
+		w[k] = make([]bool, maxD[k])
+		for d := range w[k] {
+			w[k][d] = rng.Float64() < 0.4
+		}
+	}
+	return w
+}
+
+func TestWarmDynamicValidSchedules(t *testing.T) {
+	rng := rand.New(rand.NewPCG(700, 701))
+	for trial := 0; trial < 150; trial++ {
+		tr := randomDNF(rng, 5, 5, 4, 4)
+		w := randomWarmFor(rng, tr)
+		s := AndOrderedIncCOverPDynamicWarm(tr, w)
+		if err := s.Validate(tr); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !s.IsDepthFirst(tr) {
+			t.Fatalf("trial %d: warm dynamic schedule not depth-first", trial)
+		}
+	}
+}
+
+// TestWarmDynamicColdMatchesDynamic: with a nil warm state the warm
+// heuristic must produce a schedule of the same cost as the cold one.
+func TestWarmDynamicColdMatchesDynamic(t *testing.T) {
+	rng := rand.New(rand.NewPCG(702, 703))
+	for trial := 0; trial < 100; trial++ {
+		tr := randomDNF(rng, 4, 4, 3, 3)
+		a := sched.Cost(tr, AndOrderedIncCOverPDynamic(tr, nil))
+		b := sched.Cost(tr, AndOrderedIncCOverPDynamicWarm(tr, nil))
+		if math.Abs(a-b) > 1e-9*(1+a) {
+			t.Fatalf("trial %d: cold %v vs warm-nil %v", trial, a, b)
+		}
+	}
+}
+
+// TestWarmDynamicExploitsCache: the warm heuristic must never be worse
+// than the cold heuristic when both are scored against the true (warm)
+// cost, on average — and must exploit an obviously free AND.
+func TestWarmDynamicExploitsCache(t *testing.T) {
+	// AND0 = Y[1] (expensive, uncached), AND1 = X[1] (cached: free).
+	tr := &query.Tree{
+		Streams: []query.Stream{{Name: "X", Cost: 10}, {Name: "Y", Cost: 1}},
+		Leaves: []query.Leaf{
+			{And: 0, Stream: 1, Items: 1, Prob: 0.5},
+			{And: 1, Stream: 0, Items: 1, Prob: 0.5},
+		},
+	}
+	w := sched.Warm{{true}, {false}} // X item cached
+	s := AndOrderedIncCOverPDynamicWarm(tr, w)
+	// The free AND (leaf 1) must be evaluated first: it can resolve the
+	// OR for nothing.
+	if s[0] != 1 {
+		t.Errorf("warm heuristic should try the free AND first, got %v", s)
+	}
+	got := sched.CostWarm(tr, s, w)
+	want := 0.5 * 1.0 // pay Y only when the free AND fails
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("warm cost = %v, want %v", got, want)
+	}
+	// The cold heuristic, unaware of the cache, starts with the "cheap" Y.
+	cold := AndOrderedIncCOverPDynamic(tr, nil)
+	if coldCost := sched.CostWarm(tr, cold, w); coldCost <= got-1e-12 {
+		t.Errorf("cold plan (%v) should not beat warm plan (%v) here", coldCost, got)
+	}
+}
+
+// TestWarmDynamicAverageImprovement: across random instances and cache
+// states, planning warm must on average reduce the true warm cost
+// relative to planning cold.
+func TestWarmDynamicAverageImprovement(t *testing.T) {
+	rng := rand.New(rand.NewPCG(704, 705))
+	var warmTotal, coldTotal float64
+	const trials = 300
+	for trial := 0; trial < trials; trial++ {
+		tr := randomDNF(rng, 4, 4, 3, 4)
+		w := randomWarmFor(rng, tr)
+		warmTotal += sched.CostWarm(tr, AndOrderedIncCOverPDynamicWarm(tr, w), w)
+		coldTotal += sched.CostWarm(tr, AndOrderedIncCOverPDynamic(tr, nil), w)
+	}
+	if warmTotal > coldTotal*1.001 {
+		t.Errorf("warm planning (%v) worse on aggregate than cold planning (%v)",
+			warmTotal, coldTotal)
+	}
+	t.Logf("aggregate warm-planned cost %.1f vs cold-planned %.1f (%.1f%% saved)",
+		warmTotal, coldTotal, 100*(1-warmTotal/coldTotal))
+}
+
+func TestPlanAndsWarmCosts(t *testing.T) {
+	rng := rand.New(rand.NewPCG(706, 707))
+	tr := randomDNF(rng, 3, 4, 3, 3)
+	w := randomWarmFor(rng, tr)
+	warm := PlanAndsWarm(tr, w)
+	cold := PlanAnds(tr)
+	if len(warm) != len(cold) {
+		t.Fatal("plan count mismatch")
+	}
+	for i := range warm {
+		if warm[i].Cost > cold[i].Cost+1e-9 {
+			t.Errorf("AND %d: warm cost %v exceeds cold cost %v", i, warm[i].Cost, cold[i].Cost)
+		}
+		if math.Abs(warm[i].Prob-cold[i].Prob) > 1e-12 {
+			t.Errorf("AND %d: probability changed", i)
+		}
+	}
+}

@@ -1,0 +1,301 @@
+// Package engine is the end-to-end query processor the paper's motivation
+// describes: it compiles textual queries into shared DNF trees, estimates
+// leaf probabilities from historical traces, plans a cost-minimizing leaf
+// evaluation order with the scheduling algorithms of this library, and
+// executes the plan in the pull model against live (simulated) sensor
+// streams, paying for data acquisition and reusing cached items across
+// leaves.
+//
+// Every execution feeds outcomes back into the trace store and re-plans,
+// which is the adaptive behaviour of Lim, Misra and Mo [4].
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"paotr/internal/acquisition"
+	"paotr/internal/andtree"
+	"paotr/internal/dnf"
+	"paotr/internal/parser"
+	"paotr/internal/query"
+	"paotr/internal/sched"
+	"paotr/internal/stream"
+	"paotr/internal/trace"
+)
+
+// Planner builds a schedule for a DNF tree with a cold cache.
+type Planner func(*query.Tree) sched.Schedule
+
+// WarmPlanner builds a schedule given the device cache state, pricing
+// already-held items as free.
+type WarmPlanner func(*query.Tree, sched.Warm) sched.Schedule
+
+// DefaultPlanner uses the paper's best heuristic (AND-ordered, increasing
+// C/p, dynamic) for DNF trees and the optimal Algorithm 1 for AND-trees.
+func DefaultPlanner(t *query.Tree) sched.Schedule {
+	if t.IsAndTree() {
+		return andtree.Greedy(t)
+	}
+	return dnf.AndOrderedIncCOverPDynamic(t, nil)
+}
+
+// DefaultWarmPlanner is the warm-start counterpart of DefaultPlanner: the
+// warm Algorithm 1 for AND-trees and the warm dynamic C/p heuristic for
+// DNF trees. It is what the engine uses in continuous operation, where
+// most windows are partially cached from the previous step.
+func DefaultWarmPlanner(t *query.Tree, w sched.Warm) sched.Schedule {
+	if t.IsAndTree() {
+		return andtree.GreedyWarm(t, w)
+	}
+	return dnf.AndOrderedIncCOverPDynamicWarm(t, w)
+}
+
+// Engine processes queries over a stream registry.
+type Engine struct {
+	reg      *stream.Registry
+	traces   *trace.Store
+	plan     Planner     // set by WithPlanner; overrides warm planning
+	planWarm WarmPlanner // default planning path
+}
+
+// Option configures an Engine.
+type Option func(*Engine)
+
+// WithPlanner overrides the schedule planner with a cache-oblivious one;
+// the engine then also reports cold-cache expected costs.
+func WithPlanner(p Planner) Option { return func(e *Engine) { e.plan = p } }
+
+// WithWarmPlanner overrides the cache-aware schedule planner.
+func WithWarmPlanner(p WarmPlanner) Option { return func(e *Engine) { e.planWarm = p } }
+
+// WithTraceStore supplies a pre-populated trace store.
+func WithTraceStore(s *trace.Store) Option { return func(e *Engine) { e.traces = s } }
+
+// New creates an engine over the registry.
+func New(reg *stream.Registry, opts ...Option) *Engine {
+	e := &Engine{reg: reg, traces: trace.NewStore(), planWarm: DefaultWarmPlanner}
+	for _, o := range opts {
+		o(e)
+	}
+	return e
+}
+
+// Traces exposes the engine's trace store.
+func (e *Engine) Traces() *trace.Store { return e.traces }
+
+// Query is a compiled query: the parsed predicates bound to registry
+// streams, ready to be planned and executed.
+type Query struct {
+	// Text is the original query string.
+	Text string
+	// Expr is the parsed expression.
+	Expr parser.Expr
+	// Preds holds, per tree leaf, the bound predicate.
+	Preds []parser.Pred
+	// tree is rebuilt before each execution (probabilities may drift);
+	// structure (streams, windows, AND grouping) is fixed at compile time.
+	skeleton *query.Tree
+	engine   *Engine
+}
+
+// ErrUnknownStream is returned when a query references an unregistered
+// stream.
+var ErrUnknownStream = errors.New("engine: unknown stream")
+
+// Compile parses and binds a query.
+func (e *Engine) Compile(text string) (*Query, error) {
+	expr, err := parser.Parse(text)
+	if err != nil {
+		return nil, err
+	}
+	node, err := exprToNode(expr, e.reg)
+	if err != nil {
+		return nil, err
+	}
+	streams := make([]query.Stream, e.reg.Len())
+	for k := 0; k < e.reg.Len(); k++ {
+		st := e.reg.At(k)
+		streams[k] = query.Stream{Name: st.Source.Name(), Cost: st.Cost.PerItem()}
+	}
+	tree, err := node.ToDNF(streams)
+	if err != nil {
+		return nil, err
+	}
+	q := &Query{Text: text, Expr: expr, skeleton: tree, engine: e}
+	// Recover the per-leaf predicates from the labels stamped by
+	// exprToNode (ToDNF may duplicate predicates across AND nodes).
+	preds := map[string]parser.Pred{}
+	for _, p := range parser.Predicates(expr) {
+		preds[p.P.String()] = p
+	}
+	for _, l := range tree.Leaves {
+		p, ok := preds[l.Label]
+		if !ok {
+			return nil, fmt.Errorf("engine: internal: leaf %q lost its predicate", l.Label)
+		}
+		q.Preds = append(q.Preds, p)
+	}
+	return q, nil
+}
+
+// exprToNode converts a parsed expression to a query.Node, resolving
+// stream names against the registry. Probabilities are filled in at plan
+// time, not here.
+func exprToNode(e parser.Expr, reg *stream.Registry) (*query.Node, error) {
+	switch v := e.(type) {
+	case parser.Pred:
+		k, ok := reg.IndexOf(v.P.Stream)
+		if !ok {
+			return nil, fmt.Errorf("%w: %q", ErrUnknownStream, v.P.Stream)
+		}
+		return query.NewLeafNode(query.Leaf{
+			Stream: query.StreamID(k),
+			Items:  v.P.Items(),
+			Prob:   0.5, // placeholder; bound per execution
+			Label:  v.P.String(),
+		}), nil
+	case parser.And:
+		children, err := childNodes(v.Terms, reg)
+		if err != nil {
+			return nil, err
+		}
+		return query.NewAndNode(children...), nil
+	case parser.Or:
+		children, err := childNodes(v.Terms, reg)
+		if err != nil {
+			return nil, err
+		}
+		return query.NewOrNode(children...), nil
+	}
+	return nil, fmt.Errorf("engine: unknown expression %T", e)
+}
+
+func childNodes(terms []parser.Expr, reg *stream.Registry) ([]*query.Node, error) {
+	out := make([]*query.Node, len(terms))
+	for i, t := range terms {
+		n, err := exprToNode(t, reg)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = n
+	}
+	return out, nil
+}
+
+// Tree returns the query's DNF tree with current probability estimates:
+// the annotated probability when the query provided one, otherwise the
+// trace-store estimate.
+func (q *Query) Tree() *query.Tree {
+	t := q.skeleton.Clone()
+	for j := range t.Leaves {
+		p := q.Preds[j]
+		if !math.IsNaN(p.Prob) {
+			t.Leaves[j].Prob = p.Prob
+			continue
+		}
+		est, _ := q.engine.traces.Estimate(p.P.String())
+		t.Leaves[j].Prob = est
+	}
+	return t
+}
+
+// Result reports one query execution.
+type Result struct {
+	// Value is the query's truth value.
+	Value bool
+	// Cost is the acquisition cost actually paid during this execution.
+	Cost float64
+	// ExpectedCost is the planner's expected cost for the schedule under
+	// the probability estimates used, accounting for items already cached
+	// at planning time (unless a cold Planner override is installed).
+	ExpectedCost float64
+	// Evaluated counts predicates actually computed.
+	Evaluated int
+	// Schedule is the leaf order used.
+	Schedule sched.Schedule
+	// Tree is the probability-annotated tree that was planned.
+	Tree *query.Tree
+}
+
+// Execute plans and runs the query once against the cache's current time,
+// recording outcomes in the trace store. The caller advances time on the
+// cache between executions (one execution per arrival of new data, in the
+// continuous-processing model of [4]).
+func (q *Query) Execute(cache *acquisition.Cache) (Result, error) {
+	t := q.Tree()
+	var s sched.Schedule
+	var expected float64
+	if q.engine.plan != nil {
+		s = q.engine.plan(t)
+		expected = sched.Cost(t, s)
+	} else {
+		warm := sched.Warm(cache.Snapshot(t.StreamMaxItems()))
+		s = q.engine.planWarm(t, warm)
+		expected = sched.CostWarm(t, s, warm)
+	}
+	if err := s.Validate(t); err != nil {
+		return Result{}, fmt.Errorf("engine: planner returned invalid schedule: %w", err)
+	}
+	res := Result{Schedule: s, Tree: t, ExpectedCost: expected}
+
+	nAnds := t.NumAnds()
+	andFalse := make([]bool, nAnds)
+	andLeft := make([]int, nAnds)
+	for i, and := range t.AndLeaves() {
+		andLeft[i] = len(and)
+	}
+	falseAnds := 0
+	for _, j := range s {
+		l := t.Leaves[j]
+		if andFalse[l.And] {
+			continue
+		}
+		res.Cost += cache.Pull(int(l.Stream), l.Items)
+		vals, err := cache.Values(int(l.Stream), l.Items)
+		if err != nil {
+			return res, err
+		}
+		truth, err := q.Preds[j].P.Eval(vals)
+		if err != nil {
+			return res, err
+		}
+		q.engine.traces.Record(q.Preds[j].P.String(), truth)
+		res.Evaluated++
+		andLeft[l.And]--
+		if !truth {
+			andFalse[l.And] = true
+			falseAnds++
+			if falseAnds == nAnds {
+				return res, nil // OR resolved FALSE
+			}
+		} else if andLeft[l.And] == 0 {
+			res.Value = true
+			return res, nil // OR resolved TRUE
+		}
+	}
+	return res, nil
+}
+
+// NewCache builds an acquisition cache sized for the query: each stream's
+// retention horizon is the maximum window the query uses on it.
+func (q *Query) NewCache() (*acquisition.Cache, error) {
+	return acquisition.NewCache(q.engine.reg, q.skeleton.StreamMaxItems())
+}
+
+// Run executes the query over a span of time steps: at every step the
+// cache advances one step (one new item per stream) and the query runs
+// once. It returns the per-step results.
+func (q *Query) Run(cache *acquisition.Cache, steps int) ([]Result, error) {
+	out := make([]Result, 0, steps)
+	for i := 0; i < steps; i++ {
+		cache.Advance(1)
+		r, err := q.Execute(cache)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

@@ -1,0 +1,91 @@
+package engine
+
+import (
+	"fmt"
+
+	"paotr/internal/acquisition"
+)
+
+// Workload runs several continuous queries against one shared device
+// cache — the realistic smartphone setting of the paper's introduction,
+// where a social-networking query and a health-monitoring query both read
+// the accelerometer: items pulled for one query are free for the others
+// within the same time step, and across steps while they remain relevant.
+type Workload struct {
+	engine  *Engine
+	queries []*Query
+	cache   *acquisition.Cache
+}
+
+// NewWorkload compiles the query texts against the engine and sizes one
+// shared cache: each stream's retention horizon is the maximum window any
+// query uses on it.
+func NewWorkload(e *Engine, texts ...string) (*Workload, error) {
+	if len(texts) == 0 {
+		return nil, fmt.Errorf("engine: empty workload")
+	}
+	w := &Workload{engine: e}
+	horizons := make([]int, e.reg.Len())
+	for _, text := range texts {
+		q, err := e.Compile(text)
+		if err != nil {
+			return nil, fmt.Errorf("engine: compiling %q: %w", text, err)
+		}
+		w.queries = append(w.queries, q)
+		for k, d := range q.skeleton.StreamMaxItems() {
+			if d > horizons[k] {
+				horizons[k] = d
+			}
+		}
+	}
+	cache, err := acquisition.NewCache(e.reg, horizons)
+	if err != nil {
+		return nil, err
+	}
+	w.cache = cache
+	return w, nil
+}
+
+// Queries returns the compiled queries, in workload order.
+func (w *Workload) Queries() []*Query { return w.queries }
+
+// Cache exposes the shared cache (for accounting).
+func (w *Workload) Cache() *acquisition.Cache { return w.cache }
+
+// StepResult holds the per-query results of one time step.
+type StepResult struct {
+	Step    int64
+	Results []Result
+}
+
+// Step advances time by one item and executes every query once, in order,
+// against the shared cache. Later queries reuse whatever earlier queries
+// pulled this step.
+func (w *Workload) Step() (StepResult, error) {
+	w.cache.Advance(1)
+	out := StepResult{Step: w.cache.Now()}
+	for _, q := range w.queries {
+		r, err := q.Execute(w.cache)
+		if err != nil {
+			return out, fmt.Errorf("engine: query %q: %w", q.Text, err)
+		}
+		out.Results = append(out.Results, r)
+	}
+	return out, nil
+}
+
+// Run executes steps time steps and returns per-step results.
+func (w *Workload) Run(steps int) ([]StepResult, error) {
+	out := make([]StepResult, 0, steps)
+	for i := 0; i < steps; i++ {
+		r, err := w.Step()
+		if err != nil {
+			return out, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// Spent returns the total acquisition cost paid by the whole workload.
+func (w *Workload) Spent() float64 { return w.cache.Spent() }

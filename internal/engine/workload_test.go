@@ -1,0 +1,91 @@
+package engine
+
+import (
+	"math"
+	"testing"
+
+	"paotr/internal/stream"
+)
+
+func TestWorkloadSharesCacheAcrossQueries(t *testing.T) {
+	e := New(testRegistry(t))
+	// Both queries read const-low's single item; only one pull per step.
+	w, err := NewWorkload(e, "const-low < 5", "const-low < 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := w.Run(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 10 || len(res[0].Results) != 2 {
+		t.Fatalf("bad result shape: %d steps, %d queries", len(res), len(res[0].Results))
+	}
+	per := stream.BLE.PerItem()
+	if got, want := w.Spent(), 10*per; math.Abs(got-want) > 1e-9 {
+		t.Errorf("workload spent %v, want %v (one pull per step for both queries)", got, want)
+	}
+	// The second query each step must have paid nothing.
+	for _, sr := range res {
+		if sr.Results[1].Cost != 0 {
+			t.Errorf("step %d: second query paid %v", sr.Step, sr.Results[1].Cost)
+		}
+	}
+}
+
+func TestWorkloadHorizonsAreMaxAcrossQueries(t *testing.T) {
+	e := New(testRegistry(t))
+	// Query 1 needs 2 items of heart-rate, query 2 needs 5: the shared
+	// cache must retain 5 so query 2 only pays one new item per step after
+	// warm-up.
+	w, err := NewWorkload(e, "AVG(heart-rate,2) > 100", "AVG(heart-rate,5) > 100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Run(20); err != nil {
+		t.Fatal(err)
+	}
+	// Warm-up pulls 5, then 19 steps pull exactly 1 new item each.
+	if got := w.Cache().Pulls(0); got != 5+19 {
+		t.Errorf("heart-rate pulls = %d, want 24", got)
+	}
+}
+
+func TestWorkloadErrors(t *testing.T) {
+	e := New(testRegistry(t))
+	if _, err := NewWorkload(e); err == nil {
+		t.Error("empty workload accepted")
+	}
+	if _, err := NewWorkload(e, "bogus <"); err == nil {
+		t.Error("syntax error accepted")
+	}
+	if _, err := NewWorkload(e, "nosuchstream < 1"); err == nil {
+		t.Error("unknown stream accepted")
+	}
+}
+
+func TestWorkloadMixedQueries(t *testing.T) {
+	e := New(testRegistry(t))
+	w, err := NewWorkload(e,
+		"const-low < 5 AND const-high > 50",
+		"spo2 < 92 OR (heart-rate > 120 AND accelerometer < 12)",
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := w.Run(30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sr := range res {
+		if !sr.Results[0].Value {
+			t.Fatalf("step %d: constant query should be TRUE", sr.Step)
+		}
+	}
+	if len(w.Queries()) != 2 {
+		t.Error("Queries() shape")
+	}
+	if w.Spent() <= 0 {
+		t.Error("workload should have paid something")
+	}
+}

@@ -1,0 +1,166 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+
+	"paotr/internal/dnf"
+	"paotr/internal/gen"
+	"paotr/internal/query"
+	"paotr/internal/sched"
+	"paotr/internal/stats"
+)
+
+// AblationOptions parameterizes the design-choice ablation study.
+type AblationOptions struct {
+	// InstancesPerConfig is the number of instances per small-DNF
+	// configuration (default 20).
+	InstancesPerConfig int
+	Seed               uint64
+	Workers            int
+	// MaxNodes caps the per-instance exhaustive search (0 = unlimited).
+	MaxNodes int64
+}
+
+// AblationResult compares design variants against the exhaustive optimum
+// on small DNF instances:
+//
+//   - the two directions of the stream-ordered R metric (the paper's text
+//     and formula disagree; see DESIGN.md);
+//   - the original decreasing-d leaf order of [4] against the
+//     Proposition 1 increasing-d order;
+//   - static vs dynamic AND-ordered cost computation.
+type AblationResult struct {
+	Names     []string
+	Profiles  []*stats.Profile
+	Instances int
+	Skipped   int
+	// ImprovedNeverWorse counts instances where increasing-d stream order
+	// is at most the cost of decreasing-d (the paper reports this holds
+	// always, with ties).
+	ImprovedNeverWorse int
+	Total              int
+}
+
+// Ablation runs the study.
+func Ablation(opt AblationOptions) AblationResult {
+	if opt.InstancesPerConfig == 0 {
+		opt.InstancesPerConfig = 20
+	}
+	if opt.Seed == 0 {
+		opt.Seed = 1
+	}
+	if opt.Workers <= 0 {
+		opt.Workers = runtime.GOMAXPROCS(0)
+	}
+	variants := []struct {
+		name string
+		f    func(t *query.Tree) sched.Schedule
+	}{
+		{"Stream-ord., dec. R, inc. d", func(t *query.Tree) sched.Schedule {
+			return dnf.StreamOrderedWith(t, dnf.StreamOrderedOptions{Direction: dnf.DecreasingR, LeafOrder: dnf.IncreasingD})
+		}},
+		{"Stream-ord., inc. R, inc. d", func(t *query.Tree) sched.Schedule {
+			return dnf.StreamOrderedWith(t, dnf.StreamOrderedOptions{Direction: dnf.IncreasingR, LeafOrder: dnf.IncreasingD})
+		}},
+		{"Stream-ord., dec. R, dec. d", func(t *query.Tree) sched.Schedule {
+			return dnf.StreamOrderedWith(t, dnf.StreamOrderedOptions{Direction: dnf.DecreasingR, LeafOrder: dnf.DecreasingD})
+		}},
+		{"AND-ord., inc. C/p, stat", func(t *query.Tree) sched.Schedule {
+			return dnf.AndOrderedIncCOverPStatic(t, nil)
+		}},
+		{"AND-ord., inc. C/p, dyn", func(t *query.Tree) sched.Schedule {
+			return dnf.AndOrderedIncCOverPDynamic(t, nil)
+		}},
+	}
+
+	cfgs := gen.SmallDNFConfigs()
+	total := len(cfgs) * opt.InstancesPerConfig
+	nv := len(variants)
+	ratios := make([][]float64, nv)
+	for v := range ratios {
+		ratios[v] = make([]float64, total)
+	}
+	skipped := make([]bool, total)
+	impNeverWorse := make([]bool, total)
+
+	type job struct{ cfg, inst int }
+	jobs := make(chan job, 256)
+	var wg sync.WaitGroup
+	for w := 0; w < opt.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				idx := j.cfg*opt.InstancesPerConfig + j.inst
+				rng := gen.NewRng(opt.Seed + 31*uint64(j.cfg)*1_000_003 + uint64(j.inst))
+				tr := cfgs[j.cfg].Generate(gen.Dist{}, rng)
+				res := dnf.OptimalDepthFirst(tr, dnf.SearchOptions{MaxNodes: opt.MaxNodes})
+				if !res.Exact {
+					skipped[idx] = true
+					continue
+				}
+				var costs []float64
+				for v := range variants {
+					c := sched.Cost(tr, variants[v].f(tr))
+					costs = append(costs, c)
+					if res.Cost > 0 {
+						ratios[v][idx] = c / res.Cost
+					} else {
+						ratios[v][idx] = 1
+					}
+				}
+				impNeverWorse[idx] = costs[0] <= costs[2]+1e-9*(1+costs[2])
+			}
+		}()
+	}
+	for c := range cfgs {
+		for i := 0; i < opt.InstancesPerConfig; i++ {
+			jobs <- job{c, i}
+		}
+	}
+	close(jobs)
+	wg.Wait()
+
+	out := AblationResult{Total: total}
+	var keep []int
+	for i := 0; i < total; i++ {
+		if skipped[i] {
+			out.Skipped++
+			continue
+		}
+		keep = append(keep, i)
+		if impNeverWorse[i] {
+			out.ImprovedNeverWorse++
+		}
+	}
+	out.Instances = len(keep)
+	out.Total = out.Instances
+	for v := range variants {
+		rs := make([]float64, len(keep))
+		for n, i := range keep {
+			rs[n] = ratios[v][i]
+		}
+		out.Names = append(out.Names, variants[v].name)
+		out.Profiles = append(out.Profiles, stats.NewProfile(rs))
+	}
+	return out
+}
+
+// Report renders the ablation table.
+func (r AblationResult) Report() string {
+	var b strings.Builder
+	b.WriteString("Ablation — design variants, ratio to exhaustive optimum (small instances)\n")
+	fmt.Fprintf(&b, "instances: %d (skipped: %d)\n", r.Instances, r.Skipped)
+	b.WriteString(stats.Header())
+	b.WriteString("\n")
+	for i, n := range r.Names {
+		b.WriteString(stats.Summarize(n, r.Profiles[i]).Row())
+		b.WriteString("\n")
+	}
+	fmt.Fprintf(&b, "increasing-d stream order no worse than decreasing-d on %d/%d instances\n",
+		r.ImprovedNeverWorse, r.Total)
+	return b.String()
+}

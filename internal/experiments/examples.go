@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"paotr/internal/andtree"
+	"paotr/internal/query"
+	"paotr/internal/sched"
+)
+
+// Section2ATree returns the worked AND-tree example of Figure 2 /
+// Section II-A: leaves A[1]/0.75, A[2]/0.1, B[1]/0.5 with unit item costs.
+func Section2ATree() *query.Tree {
+	return &query.Tree{
+		Streams: []query.Stream{{Name: "A", Cost: 1}, {Name: "B", Cost: 1}},
+		Leaves: []query.Leaf{
+			{And: 0, Stream: 0, Items: 1, Prob: 0.75, Label: "l1"},
+			{And: 0, Stream: 0, Items: 2, Prob: 0.1, Label: "l2"},
+			{And: 0, Stream: 1, Items: 1, Prob: 0.5, Label: "l3"},
+		},
+	}
+}
+
+// Section2BTree returns the worked DNF example of Figure 3 / Section II-B
+// with the given probabilities for leaves l1..l7 and unit costs.
+func Section2BTree(p [7]float64) *query.Tree {
+	return &query.Tree{
+		Streams: []query.Stream{
+			{Name: "A", Cost: 1}, {Name: "B", Cost: 1},
+			{Name: "C", Cost: 1}, {Name: "D", Cost: 1},
+		},
+		Leaves: []query.Leaf{
+			{And: 0, Stream: 0, Items: 1, Prob: p[0], Label: "l1"},
+			{And: 1, Stream: 1, Items: 1, Prob: p[1], Label: "l2"},
+			{And: 0, Stream: 2, Items: 1, Prob: p[2], Label: "l3"},
+			{And: 0, Stream: 3, Items: 1, Prob: p[3], Label: "l4"},
+			{And: 1, Stream: 2, Items: 1, Prob: p[4], Label: "l5"},
+			{And: 2, Stream: 1, Items: 1, Prob: p[5], Label: "l6"},
+			{And: 2, Stream: 3, Items: 1, Prob: p[6], Label: "l7"},
+		},
+	}
+}
+
+// Section2Report reproduces the numbers of the Section II worked examples:
+// the three schedule costs of the AND-tree example (1.875, 2, 1.825), the
+// suboptimality of the read-once greedy, and the closed-form cost of the
+// DNF example schedule.
+func Section2Report() string {
+	var b strings.Builder
+	tr := Section2ATree()
+	b.WriteString("Section II-A — shared AND-tree example (Figure 2)\n")
+	rows := []struct {
+		name string
+		s    sched.Schedule
+		want string
+	}{
+		{"l3, l1, l2", sched.Schedule{2, 0, 1}, "1.875"},
+		{"l3, l2, l1", sched.Schedule{2, 1, 0}, "2"},
+		{"l1, l2, l3", sched.Schedule{0, 1, 2}, "1.825 (optimal)"},
+	}
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  cost(%-12s) = %.4f   paper: %s\n", r.name,
+			sched.AndTreeCost(tr, r.s), r.want)
+	}
+	g := andtree.Greedy(tr)
+	fmt.Fprintf(&b, "  Algorithm 1 schedule: %v  cost %.4f\n", g.Names(tr), sched.AndTreeCost(tr, g))
+	ro := andtree.ReadOnceGreedy(tr)
+	fmt.Fprintf(&b, "  read-once greedy:     %v  cost %.4f (starts with l3 as the paper predicts)\n",
+		ro.Names(tr), sched.AndTreeCost(tr, ro))
+
+	p := [7]float64{0.3, 0.6, 0.5, 0.8, 0.2, 0.7, 0.4}
+	dtr := Section2BTree(p)
+	s := sched.Schedule{0, 1, 2, 3, 4, 5, 6}
+	closed := 1 + 1 + (p[0] + (1-p[0])*p[1]) +
+		(p[0]*p[2] + (1-p[0]*p[2])*(1-p[1]*p[4])*p[5])
+	b.WriteString("\nSection II-B — shared DNF example (Figure 3), schedule l1..l7\n")
+	fmt.Fprintf(&b, "  Proposition 2 cost:     %.6f\n", sched.Cost(dtr, s))
+	fmt.Fprintf(&b, "  paper closed form:      %.6f\n", closed)
+	fmt.Fprintf(&b, "  truth-table execution:  %.6f\n", sched.ExactCostEnum(dtr, s))
+	return b.String()
+}

@@ -1,0 +1,229 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"paotr/internal/dnf"
+	"paotr/internal/gen"
+)
+
+// TestFig4Small runs a scaled-down Figure 4 (10 instances per config,
+// 1,570 trees) and checks the qualitative claims of the paper: the
+// read-once greedy is never better than Algorithm 1, is strictly worse on
+// a substantial fraction of instances, and can be tens of percent worse.
+func TestFig4Small(t *testing.T) {
+	res := Fig4(Fig4Options{InstancesPerConfig: 10, Seed: 7, KeepSeries: true})
+	if res.Instances != 1570 {
+		t.Fatalf("instances = %d, want 1570", res.Instances)
+	}
+	if res.Profile.Quantile(0.001) < 1-1e-9 {
+		t.Errorf("read-once greedy beat the optimal algorithm: min ratio %v",
+			res.Profile.Quantile(0.001))
+	}
+	if res.MaxRatio < 1.3 {
+		t.Errorf("max ratio %v suspiciously low (paper: 1.86)", res.MaxRatio)
+	}
+	if res.MaxRatio > 2.2 {
+		t.Errorf("max ratio %v suspiciously high (paper: 1.86)", res.MaxRatio)
+	}
+	if res.FracAbove1 < 0.3 || res.FracAbove1 > 0.9 {
+		t.Errorf("fraction >1%% worse = %v, paper reports 60.20%%", res.FracAbove1)
+	}
+	if res.FracAbove10 < 0.05 || res.FracAbove10 > 0.5 {
+		t.Errorf("fraction >10%% worse = %v, paper reports 19.54%%", res.FracAbove10)
+	}
+	if res.FracEqual < 0.02 || res.FracEqual > 0.4 {
+		t.Errorf("fraction equal = %v, paper reports 11.29%%", res.FracEqual)
+	}
+	if len(res.Series) != res.Instances {
+		t.Fatalf("series length %d", len(res.Series))
+	}
+	for i := 1; i < len(res.Series); i++ {
+		if res.Series[i].Optimal < res.Series[i-1].Optimal {
+			t.Fatal("series not sorted by optimal cost")
+		}
+	}
+	rep := res.Report()
+	if !strings.Contains(rep, "1.86") || !strings.Contains(rep, "19.54%") {
+		t.Errorf("report missing paper reference values:\n%s", rep)
+	}
+	csv := res.CSV()
+	if len(strings.Split(strings.TrimSpace(csv), "\n")) != res.Instances+1 {
+		t.Error("CSV row count mismatch")
+	}
+}
+
+// TestFig4Deterministic: same seed, same results, regardless of workers.
+func TestFig4Deterministic(t *testing.T) {
+	a := Fig4(Fig4Options{InstancesPerConfig: 3, Seed: 11, Workers: 1})
+	b := Fig4(Fig4Options{InstancesPerConfig: 3, Seed: 11, Workers: 8})
+	if a.MaxRatio != b.MaxRatio || a.FracAbove1 != b.FracAbove1 {
+		t.Error("Fig4 is not deterministic across worker counts")
+	}
+}
+
+// TestFig5Small runs a scaled-down Figure 5 (2 instances per config) and
+// checks the paper's qualitative ordering: every heuristic ratio >= 1 (the
+// reference is the true optimum), and the dynamic C/p AND-ordered
+// heuristic is the best of the ten on a clear majority of instances.
+func TestFig5Small(t *testing.T) {
+	res := Fig5(DNFOptions{InstancesPerConfig: 1, Seed: 3, MaxNodes: 250_000})
+	if res.Instances+res.Skipped != 216 {
+		t.Fatalf("instances+skipped = %d, want 216", res.Instances+res.Skipped)
+	}
+	// Hard instances whose exhaustive search exceeds the node cap are
+	// skipped; the qualitative checks run on the exactly-solved subset.
+	if res.Instances < 120 {
+		t.Fatalf("too many skipped instances: %d", res.Skipped)
+	}
+	if len(res.Names) != 10 {
+		t.Fatalf("expected 10 heuristics, got %d", len(res.Names))
+	}
+	for i, p := range res.Profiles {
+		if p.Quantile(0.0001) < 1-1e-6 {
+			t.Errorf("heuristic %q beat the exhaustive optimum (ratio %v)",
+				res.Names[i], p.Quantile(0.0001))
+		}
+	}
+	win := res.BestWinFraction(dnf.Best.Name)
+	if win < 0.5 {
+		t.Errorf("best heuristic wins only %.1f%% (paper: 83.8%%)", 100*win)
+	}
+	// The random baseline must be clearly worse than the best heuristic.
+	var randomMean, bestMean float64
+	for i, n := range res.Names {
+		switch n {
+		case "Leaf-ord., random":
+			randomMean = res.Profiles[i].Mean()
+		case dnf.Best.Name:
+			bestMean = res.Profiles[i].Mean()
+		}
+	}
+	if randomMean <= bestMean {
+		t.Errorf("random (%v) should be worse than best heuristic (%v)", randomMean, bestMean)
+	}
+	rep := res.Report()
+	if !strings.Contains(rep, "83.8%") {
+		t.Errorf("report missing paper reference:\n%s", rep)
+	}
+	if !strings.Contains(res.CSV(10), "percent") {
+		t.Error("CSV missing header")
+	}
+}
+
+// TestFig6Small: ratios are against the best heuristic, so they may dip
+// below 1; the reference heuristic must not be plotted against itself.
+func TestFig6Small(t *testing.T) {
+	res := Fig6(DNFOptions{InstancesPerConfig: 1, Seed: 5})
+	if res.Instances != 324 {
+		t.Fatalf("instances = %d, want 324", res.Instances)
+	}
+	if len(res.Names) != 9 {
+		t.Fatalf("expected 9 plotted heuristics, got %d (%v)", len(res.Names), res.Names)
+	}
+	for _, n := range res.Names {
+		if n == dnf.Best.Name {
+			t.Error("reference heuristic plotted against itself")
+		}
+	}
+	win := res.BestWinFraction(dnf.Best.Name)
+	if win < 0.5 {
+		t.Errorf("best heuristic wins only %.1f%% on large instances (paper: 94.5%%)", 100*win)
+	}
+}
+
+func TestSection2Report(t *testing.T) {
+	rep := Section2Report()
+	for _, want := range []string{"1.8750", "2.0000", "1.8250", "Proposition 2"} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("Section2Report missing %q:\n%s", want, rep)
+		}
+	}
+	// Proposition 2, paper closed form and truth-table must print the
+	// same number (the test suite checks equality to 1e-9 elsewhere).
+	lines := strings.Split(rep, "\n")
+	var vals []string
+	for _, l := range lines {
+		if strings.Contains(l, "cost:") || strings.Contains(l, "form:") || strings.Contains(l, "execution:") {
+			f := strings.Fields(l)
+			vals = append(vals, f[len(f)-1])
+		}
+	}
+	if len(vals) != 3 || vals[0] != vals[1] || vals[1] != vals[2] {
+		t.Errorf("Section II-B evaluators disagree: %v", vals)
+	}
+}
+
+// TestAblationSmall checks the two qualitative ablation claims: the
+// increasing-d leaf order never loses to decreasing-d, and the dynamic
+// AND-ordered variant is at least as good as the static one on average.
+func TestAblationSmall(t *testing.T) {
+	res := Ablation(AblationOptions{InstancesPerConfig: 1, Seed: 13, MaxNodes: 250_000})
+	if res.Instances == 0 {
+		t.Fatal("no instances solved")
+	}
+	if res.ImprovedNeverWorse < res.Total*99/100 {
+		t.Errorf("increasing-d no-worse on only %d/%d instances", res.ImprovedNeverWorse, res.Total)
+	}
+	var statMean, dynMean float64
+	for i, n := range res.Names {
+		switch n {
+		case "AND-ord., inc. C/p, stat":
+			statMean = res.Profiles[i].Mean()
+		case "AND-ord., inc. C/p, dyn":
+			dynMean = res.Profiles[i].Mean()
+		}
+	}
+	if dynMean > statMean+0.02 {
+		t.Errorf("dynamic (%v) should not be clearly worse than static (%v)", dynMean, statMean)
+	}
+	if !strings.Contains(res.Report(), "Ablation") {
+		t.Error("report header missing")
+	}
+}
+
+// TestRhoSensitivity: the shared-aware algorithm's advantage over the
+// read-once greedy must grow with the sharing ratio, and the fraction of
+// instances where the two coincide must shrink.
+func TestRhoSensitivity(t *testing.T) {
+	res := RhoSensitivity(RhoOptions{InstancesPerConfig: 20, Seed: 9})
+	if len(res.Cells) != 9 {
+		t.Fatalf("%d cells, want 9 sharing ratios", len(res.Cells))
+	}
+	first, last := res.Cells[0], res.Cells[len(res.Cells)-1]
+	if first.Rho != 1 || last.Rho != 10 {
+		t.Fatalf("cells out of order: %+v", res.Cells)
+	}
+	if last.MeanRatio <= first.MeanRatio {
+		t.Errorf("advantage should grow with rho: mean at rho=1 %v, at rho=10 %v",
+			first.MeanRatio, last.MeanRatio)
+	}
+	if last.FracEqual >= first.FracEqual {
+		t.Errorf("equality should shrink with rho: %v -> %v", first.FracEqual, last.FracEqual)
+	}
+	for _, c := range res.Cells {
+		if c.MeanRatio < 1-1e-9 {
+			t.Errorf("rho=%v: mean ratio %v < 1 (read-once beat the optimum?)", c.Rho, c.MeanRatio)
+		}
+	}
+	if !strings.Contains(res.Report(), "rho") {
+		t.Error("report missing")
+	}
+}
+
+// TestFig4DistOverride: custom distributions flow through the experiment.
+func TestFig4DistOverride(t *testing.T) {
+	res := Fig4(Fig4Options{
+		InstancesPerConfig: 2, Seed: 5,
+		Dist: gen.Dist{MaxItems: 1, MinCost: 1, MaxCost: 1},
+	})
+	// With d=1 and c=1 everywhere, sharing makes many leaves free but the
+	// experiment must still be well-formed.
+	if res.Instances != 314 {
+		t.Fatalf("instances = %d", res.Instances)
+	}
+	if res.MaxRatio < 1 {
+		t.Error("impossible ratio")
+	}
+}

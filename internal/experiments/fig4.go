@@ -1,0 +1,167 @@
+// Package experiments reproduces every figure and quoted statistic of the
+// paper's evaluation: Figure 4 (shared AND-trees: read-once greedy vs the
+// optimal Algorithm 1), Figure 5 (DNF heuristics vs the exhaustive
+// depth-first optimum on 21,600 small instances), Figure 6 (DNF heuristics
+// vs the best heuristic on 32,400 large instances), the Section II worked
+// examples, and the ablation studies called out in DESIGN.md.
+//
+// All drivers are deterministic: every instance derives its RNG from the
+// experiment seed, the configuration index and the instance index, so
+// results are independent of the number of worker goroutines.
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+
+	"paotr/internal/andtree"
+	"paotr/internal/gen"
+	"paotr/internal/sched"
+	"paotr/internal/stats"
+)
+
+// Fig4Options parameterizes the AND-tree experiment of Figure 4.
+type Fig4Options struct {
+	// InstancesPerConfig is the number of random trees per (m, rho)
+	// configuration; the paper uses 1000 (157,000 trees in total).
+	InstancesPerConfig int
+	// Seed is the experiment master seed.
+	Seed uint64
+	// Dist overrides the sampling distributions (zero = paper defaults).
+	Dist gen.Dist
+	// Workers bounds parallelism; 0 means GOMAXPROCS.
+	Workers int
+	// KeepSeries retains the per-instance (optimal, read-once) cost pairs
+	// needed to plot the figure; disable to save memory in benchmarks.
+	KeepSeries bool
+}
+
+func (o *Fig4Options) defaults() {
+	if o.InstancesPerConfig == 0 {
+		o.InstancesPerConfig = 1000
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+}
+
+// Fig4Point is one instance of the Figure 4 scatter plot.
+type Fig4Point struct {
+	// Optimal is the expected cost of the Algorithm 1 schedule.
+	Optimal float64
+	// ReadOnce is the expected cost of the Smith-rule schedule.
+	ReadOnce float64
+}
+
+// Fig4Result aggregates the Figure 4 experiment. The paper reports:
+// max ratio 1.86, ratio > 1.10 on 19.54% of instances, ratio > 1.01 on
+// 60.20%, and equality on 11.29%.
+type Fig4Result struct {
+	Instances   int
+	MaxRatio    float64
+	FracAbove10 float64 // fraction with read-once cost > 1.10 * optimal
+	FracAbove1  float64 // fraction with read-once cost > 1.01 * optimal
+	FracEqual   float64 // fraction with equal costs (within 1e-9 relative)
+	Profile     *stats.Profile
+	// Series is the per-instance cost pairs sorted by increasing optimal
+	// cost (the x-axis of Figure 4); nil unless KeepSeries was set.
+	Series []Fig4Point
+}
+
+// Fig4 runs the AND-tree experiment: for every configuration and instance
+// it generates a random shared AND-tree, schedules it with both the
+// read-once greedy and Algorithm 1, and accumulates the cost ratio
+// distribution.
+func Fig4(opt Fig4Options) Fig4Result {
+	opt.defaults()
+	cfgs := gen.Fig4Configs()
+	type job struct{ cfg, inst int }
+	type out struct {
+		ratio float64
+		point Fig4Point
+	}
+	total := len(cfgs) * opt.InstancesPerConfig
+	results := make([]out, total)
+
+	jobs := make(chan job, 256)
+	var wg sync.WaitGroup
+	for w := 0; w < opt.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				rng := gen.NewRng(opt.Seed + uint64(j.cfg)*1_000_003 + uint64(j.inst)*7)
+				tr := gen.AndTree(cfgs[j.cfg].M, cfgs[j.cfg].Rho, opt.Dist, rng)
+				optCost := sched.AndTreeCost(tr, andtree.Greedy(tr))
+				roCost := sched.AndTreeCost(tr, andtree.ReadOnceGreedy(tr))
+				ratio := 1.0
+				if optCost > 0 {
+					ratio = roCost / optCost
+				}
+				results[j.cfg*opt.InstancesPerConfig+j.inst] = out{
+					ratio: ratio,
+					point: Fig4Point{Optimal: optCost, ReadOnce: roCost},
+				}
+			}
+		}()
+	}
+	for c := range cfgs {
+		for i := 0; i < opt.InstancesPerConfig; i++ {
+			jobs <- job{c, i}
+		}
+	}
+	close(jobs)
+	wg.Wait()
+
+	ratios := make([]float64, total)
+	res := Fig4Result{Instances: total}
+	for i, o := range results {
+		ratios[i] = o.ratio
+	}
+	res.Profile = stats.NewProfile(ratios)
+	res.MaxRatio = res.Profile.Max()
+	res.FracAbove10 = res.Profile.FracAbove(1.10)
+	res.FracAbove1 = res.Profile.FracAbove(1.01)
+	res.FracEqual = res.Profile.FracWithin(1e-9)
+	if opt.KeepSeries {
+		res.Series = make([]Fig4Point, total)
+		for i, o := range results {
+			res.Series[i] = o.point
+		}
+		sort.Slice(res.Series, func(a, b int) bool {
+			return res.Series[a].Optimal < res.Series[b].Optimal
+		})
+	}
+	return res
+}
+
+// Report renders the quoted Figure 4 statistics next to the paper's values.
+func (r Fig4Result) Report() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 4 — shared AND-trees: read-once greedy vs optimal Algorithm 1\n")
+	fmt.Fprintf(&b, "instances: %d\n", r.Instances)
+	fmt.Fprintf(&b, "%-42s %10s %10s\n", "statistic", "measured", "paper")
+	fmt.Fprintf(&b, "%-42s %10.2f %10s\n", "max ratio read-once / optimal", r.MaxRatio, "1.86")
+	fmt.Fprintf(&b, "%-42s %9.2f%% %10s\n", "instances with ratio > 1.10", 100*r.FracAbove10, "19.54%")
+	fmt.Fprintf(&b, "%-42s %9.2f%% %10s\n", "instances with ratio > 1.01", 100*r.FracAbove1, "60.20%")
+	fmt.Fprintf(&b, "%-42s %9.2f%% %10s\n", "instances with equal cost", 100*r.FracEqual, "11.29%")
+	return b.String()
+}
+
+// CSV renders the sorted per-instance series (requires KeepSeries): one row
+// per instance with the optimal and read-once costs — the two point sets of
+// Figure 4.
+func (r Fig4Result) CSV() string {
+	var b strings.Builder
+	b.WriteString("rank,optimal,readonce\n")
+	for i, p := range r.Series {
+		fmt.Fprintf(&b, "%d,%.6f,%.6f\n", i, p.Optimal, p.ReadOnce)
+	}
+	return b.String()
+}

@@ -1,0 +1,218 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+
+	"paotr/internal/dnf"
+	"paotr/internal/gen"
+	"paotr/internal/sched"
+	"paotr/internal/stats"
+)
+
+// DNFOptions parameterizes the Figure 5 and Figure 6 experiments.
+type DNFOptions struct {
+	// InstancesPerConfig is the number of instances per configuration;
+	// the paper uses 100 (21,600 small / 32,400 large in total).
+	InstancesPerConfig int
+	// Seed is the experiment master seed.
+	Seed uint64
+	// Dist overrides sampling distributions (zero = paper defaults).
+	Dist gen.Dist
+	// Workers bounds parallelism; 0 means GOMAXPROCS.
+	Workers int
+	// MaxNodes caps the per-instance branch-and-bound search for the
+	// exhaustive optimum (Figure 5 only). Instances whose search is
+	// truncated are dropped from the profiles and counted in Skipped.
+	// 0 means unlimited (exact on every instance, possibly slow).
+	MaxNodes int64
+}
+
+func (o *DNFOptions) defaults() {
+	if o.InstancesPerConfig == 0 {
+		o.InstancesPerConfig = 100
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+}
+
+// DNFResult aggregates a Figure 5 or Figure 6 run: one ratio profile per
+// heuristic, plus win counts (how often each heuristic is the best of all).
+type DNFResult struct {
+	// Figure is 5 or 6.
+	Figure int
+	// Names lists the heuristics, in figure-legend order.
+	Names []string
+	// Profiles holds the cost-ratio distribution of each heuristic
+	// against the reference (exhaustive optimum for Figure 5, the
+	// AND-ordered increasing-C/p dynamic heuristic for Figure 6).
+	Profiles []*stats.Profile
+	// Wins counts, per heuristic, the instances where it achieves the
+	// minimum cost among all heuristics (ties count for all).
+	Wins []int
+	// Instances is the number of instances that contributed ratios;
+	// Skipped counts instances dropped because the exhaustive search was
+	// truncated by MaxNodes.
+	Instances, Skipped int
+}
+
+// Fig5 runs the "small instances" experiment: every heuristic against the
+// exhaustive depth-first optimum (which is globally optimal by Theorem 2).
+func Fig5(opt DNFOptions) DNFResult {
+	opt.defaults()
+	return runDNF(opt, 5, gen.SmallDNFConfigs())
+}
+
+// Fig6 runs the "large instances" experiment: every other heuristic
+// against the AND-ordered increasing-C/p dynamic heuristic.
+func Fig6(opt DNFOptions) DNFResult {
+	opt.defaults()
+	return runDNF(opt, 6, gen.LargeDNFConfigs())
+}
+
+func runDNF(opt DNFOptions, figure int, cfgs []gen.DNFConfig) DNFResult {
+	heuristics := dnf.Heuristics()
+	nh := len(heuristics)
+	total := len(cfgs) * opt.InstancesPerConfig
+
+	// costs[h][i] = cost of heuristic h on instance i; ref[i] = reference.
+	costs := make([][]float64, nh)
+	for h := range costs {
+		costs[h] = make([]float64, total)
+	}
+	ref := make([]float64, total)
+	skipped := make([]bool, total)
+
+	type job struct{ cfg, inst int }
+	jobs := make(chan job, 256)
+	var wg sync.WaitGroup
+	for w := 0; w < opt.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				idx := j.cfg*opt.InstancesPerConfig + j.inst
+				rng := gen.NewRng(opt.Seed + uint64(figure)*17 + uint64(j.cfg)*1_000_003 + uint64(j.inst)*13)
+				tr := cfgs[j.cfg].Generate(opt.Dist, rng)
+				for h, heur := range heuristics {
+					costs[h][idx] = sched.Cost(tr, heur.Schedule(tr, rng))
+				}
+				if figure == 5 {
+					res := dnf.OptimalDepthFirst(tr, dnf.SearchOptions{MaxNodes: opt.MaxNodes})
+					if !res.Exact {
+						skipped[idx] = true
+						continue
+					}
+					ref[idx] = res.Cost
+				} else {
+					// Reference: the best heuristic (last in the list).
+					ref[idx] = costs[nh-1][idx]
+				}
+			}
+		}()
+	}
+	for c := range cfgs {
+		for i := 0; i < opt.InstancesPerConfig; i++ {
+			jobs <- job{c, i}
+		}
+	}
+	close(jobs)
+	wg.Wait()
+
+	res := DNFResult{Figure: figure}
+	kept := make([]int, 0, total)
+	for i := 0; i < total; i++ {
+		if skipped[i] {
+			res.Skipped++
+			continue
+		}
+		kept = append(kept, i)
+	}
+	res.Instances = len(kept)
+	keptCosts := make([][]float64, nh)
+	for h, heur := range heuristics {
+		if figure == 6 && heur.Name == dnf.Best.Name {
+			continue // the reference is not plotted against itself
+		}
+		ratios := make([]float64, 0, len(kept))
+		for _, i := range kept {
+			r := 1.0
+			if ref[i] > 0 {
+				r = costs[h][i] / ref[i]
+			} else if costs[h][i] > 0 {
+				r = 1e9 // reference free, heuristic pays: arbitrarily bad
+			}
+			ratios = append(ratios, r)
+		}
+		res.Names = append(res.Names, heur.Name)
+		res.Profiles = append(res.Profiles, stats.NewProfile(ratios))
+	}
+	for h := range heuristics {
+		col := make([]float64, len(kept))
+		for n, i := range kept {
+			col[n] = costs[h][i]
+		}
+		keptCosts[h] = col
+	}
+	res.Wins = stats.WinCounts(keptCosts, 1e-9)
+	return res
+}
+
+// BestWinFraction returns the fraction of instances on which the named
+// heuristic achieves the minimum cost among all heuristics. The paper
+// reports 83.8% for the best heuristic on Figure 5 and 94.5% on Figure 6.
+func (r DNFResult) BestWinFraction(name string) float64 {
+	for h, n := range heuristicNames() {
+		if n == name {
+			if r.Instances == 0 {
+				return 0
+			}
+			return float64(r.Wins[h]) / float64(r.Instances)
+		}
+	}
+	return 0
+}
+
+func heuristicNames() []string {
+	hs := dnf.Heuristics()
+	names := make([]string, len(hs))
+	for i, h := range hs {
+		names[i] = h.Name
+	}
+	return names
+}
+
+// Report renders a per-heuristic summary table plus the headline win rate.
+func (r DNFResult) Report() string {
+	var b strings.Builder
+	ref := "exhaustive optimum"
+	paperWin := "83.8%"
+	if r.Figure == 6 {
+		ref = "AND-ord., inc. C/p, dyn"
+		paperWin = "94.5%"
+	}
+	fmt.Fprintf(&b, "Figure %d — DNF heuristics, ratio to %s\n", r.Figure, ref)
+	fmt.Fprintf(&b, "instances: %d (skipped: %d)\n", r.Instances, r.Skipped)
+	b.WriteString(stats.Header())
+	b.WriteString("\n")
+	for i, name := range r.Names {
+		b.WriteString(stats.Summarize(name, r.Profiles[i]).Row())
+		b.WriteString("\n")
+	}
+	win := r.BestWinFraction(dnf.Best.Name)
+	fmt.Fprintf(&b, "best heuristic (%s) wins on %.1f%% of instances (paper: %s)\n",
+		dnf.Best.Name, 100*win, paperWin)
+	return b.String()
+}
+
+// CSV renders the ratio-vs-percentile curves of every heuristic (the lines
+// of Figures 5 and 6).
+func (r DNFResult) CSV(points int) string {
+	return stats.CSV(r.Names, r.Profiles, points)
+}

@@ -1,0 +1,232 @@
+// Package gen generates random problem instances following the
+// experimental methodology of Casanova et al. (IPDPS 2014), Sections III-B
+// and IV-D: leaf success probabilities uniform on [0,1], window sizes
+// uniform on {1..5}, per-item stream costs uniform on [1,10], and a
+// "sharing ratio" rho controlling how many leaves share each stream.
+package gen
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"paotr/internal/query"
+)
+
+// Dist holds the sampling distributions for instance generation. The zero
+// value is replaced by the paper's defaults (d ~ U{1..5}, c ~ U[1,10],
+// p ~ U[0,1]).
+type Dist struct {
+	// MaxItems is the maximum window size; d is uniform on {1..MaxItems}.
+	MaxItems int
+	// MinCost and MaxCost bound the uniform per-item stream cost.
+	MinCost, MaxCost float64
+}
+
+// PaperDist returns the distributions used in the paper's evaluation.
+func PaperDist() Dist { return Dist{MaxItems: 5, MinCost: 1, MaxCost: 10} }
+
+func (d Dist) orDefault() Dist {
+	if d.MaxItems == 0 && d.MinCost == 0 && d.MaxCost == 0 {
+		return PaperDist()
+	}
+	return d
+}
+
+// SharingRatios is the set of sharing ratios rho used throughout the
+// paper's evaluation: the expected number of leaves per stream.
+func SharingRatios() []float64 {
+	return []float64{1, 5.0 / 4, 4.0 / 3, 3.0 / 2, 2, 3, 4, 5, 10}
+}
+
+// NumStreams returns the number of streams for m leaves and sharing ratio
+// rho: round(m/rho), at least 1.
+func NumStreams(m int, rho float64) int {
+	s := int(math.Round(float64(m) / rho))
+	if s < 1 {
+		s = 1
+	}
+	if s > m {
+		s = m
+	}
+	return s
+}
+
+// streams samples s streams with uniform per-item costs.
+func streams(s int, dist Dist, rng *rand.Rand) []query.Stream {
+	out := make([]query.Stream, s)
+	for k := range out {
+		out[k] = query.Stream{
+			Name: streamName(k),
+			Cost: dist.MinCost + rng.Float64()*(dist.MaxCost-dist.MinCost),
+		}
+	}
+	return out
+}
+
+// streamName yields A, B, ..., Z, S26, S27, ...
+func streamName(k int) string {
+	if k < 26 {
+		return string(rune('A' + k))
+	}
+	return fmt.Sprintf("S%d", k)
+}
+
+// AndTree generates a random shared AND-tree with m leaves and sharing
+// ratio rho (Section III-B methodology). Each leaf's stream is uniform
+// over the round(m/rho) streams.
+func AndTree(m int, rho float64, dist Dist, rng *rand.Rand) *query.Tree {
+	dist = dist.orDefault()
+	t := &query.Tree{
+		Streams: streams(NumStreams(m, rho), dist, rng),
+		Leaves:  make([]query.Leaf, m),
+	}
+	for j := range t.Leaves {
+		t.Leaves[j] = randomLeaf(0, len(t.Streams), dist, rng)
+	}
+	return t
+}
+
+// DNF generates a random DNF tree with the given per-AND leaf counts and
+// sharing ratio rho. Streams are shared across the whole tree, as in the
+// paper's DNF experiments.
+func DNF(andSizes []int, rho float64, dist Dist, rng *rand.Rand) *query.Tree {
+	dist = dist.orDefault()
+	m := 0
+	for _, n := range andSizes {
+		m += n
+	}
+	t := &query.Tree{Streams: streams(NumStreams(m, rho), dist, rng)}
+	for i, n := range andSizes {
+		for r := 0; r < n; r++ {
+			t.Leaves = append(t.Leaves, randomLeaf(i, len(t.Streams), dist, rng))
+		}
+	}
+	return t
+}
+
+func randomLeaf(and, numStreams int, dist Dist, rng *rand.Rand) query.Leaf {
+	return query.Leaf{
+		And:    and,
+		Stream: query.StreamID(rng.IntN(numStreams)),
+		Items:  1 + rng.IntN(dist.MaxItems),
+		Prob:   rng.Float64(),
+	}
+}
+
+// SmallDNFSizes samples per-AND leaf counts for the paper's "small" DNF
+// instances: n AND nodes, each with 1..cap leaves, with the total number of
+// leaves capped at maxTotal (20 in the paper).
+func SmallDNFSizes(n, cap, maxTotal int, rng *rand.Rand) []int {
+	sizes := make([]int, n)
+	total := 0
+	for i := range sizes {
+		sizes[i] = 1
+		total++
+	}
+	for i := range sizes {
+		extra := rng.IntN(cap) // 0..cap-1 additional leaves
+		if total+extra > maxTotal {
+			extra = maxTotal - total
+		}
+		if max := cap - 1; extra > max {
+			extra = max
+		}
+		sizes[i] += extra
+		total += extra
+	}
+	return sizes
+}
+
+// AndConfig is one (m, rho) cell of the Figure 4 AND-tree experiment.
+type AndConfig struct {
+	M   int
+	Rho float64
+}
+
+// Fig4Configs enumerates the 157 (m, rho) configurations of Figure 4:
+// m = 2..20 and every sharing ratio rho <= m. With 1000 instances per
+// configuration this yields the paper's 157,000 instances.
+func Fig4Configs() []AndConfig {
+	var cfgs []AndConfig
+	for m := 2; m <= 20; m++ {
+		for _, rho := range SharingRatios() {
+			if rho <= float64(m) {
+				cfgs = append(cfgs, AndConfig{M: m, Rho: rho})
+			}
+		}
+	}
+	return cfgs
+}
+
+// DNFConfig is one cell of the Figure 5 / Figure 6 DNF experiments.
+type DNFConfig struct {
+	// N is the number of AND nodes.
+	N int
+	// LeavesPerAnd is the exact per-AND leaf count for "large" instances,
+	// or 0 for "small" instances.
+	LeavesPerAnd int
+	// Cap is the per-AND leaf-count cap for "small" instances (sizes are
+	// sampled in 1..Cap), or 0 for "large" instances.
+	Cap int
+	// MaxTotal caps the total number of leaves (20 for small instances).
+	MaxTotal int
+	// Rho is the sharing ratio.
+	Rho float64
+}
+
+// Sizes samples (or returns) the per-AND leaf counts for the config.
+func (c DNFConfig) Sizes(rng *rand.Rand) []int {
+	if c.LeavesPerAnd > 0 {
+		sizes := make([]int, c.N)
+		for i := range sizes {
+			sizes[i] = c.LeavesPerAnd
+		}
+		return sizes
+	}
+	return SmallDNFSizes(c.N, c.Cap, c.MaxTotal, rng)
+}
+
+// Generate builds one random instance for the config.
+func (c DNFConfig) Generate(dist Dist, rng *rand.Rand) *query.Tree {
+	return DNF(c.Sizes(rng), c.Rho, dist, rng)
+}
+
+// SmallDNFConfigs enumerates the 216 configurations of the "small" DNF
+// experiment (Figure 5): N = 2..9 AND nodes, per-AND cap in {2,4,8}, total
+// leaves <= 20, and the nine sharing ratios. With 100 instances per
+// configuration this yields the paper's 21,600 instances.
+func SmallDNFConfigs() []DNFConfig {
+	var cfgs []DNFConfig
+	for n := 2; n <= 9; n++ {
+		for _, cap := range []int{2, 4, 8} {
+			for _, rho := range SharingRatios() {
+				cfgs = append(cfgs, DNFConfig{N: n, Cap: cap, MaxTotal: 20, Rho: rho})
+			}
+		}
+	}
+	return cfgs
+}
+
+// LargeDNFConfigs enumerates the 324 configurations of the "large" DNF
+// experiment (Figure 6): N = 2..10 AND nodes, m in {5,10,15,20} leaves per
+// AND node, and the nine sharing ratios. With 100 instances per
+// configuration this yields the paper's 32,400 instances.
+func LargeDNFConfigs() []DNFConfig {
+	var cfgs []DNFConfig
+	for n := 2; n <= 10; n++ {
+		for _, m := range []int{5, 10, 15, 20} {
+			for _, rho := range SharingRatios() {
+				cfgs = append(cfgs, DNFConfig{N: n, LeavesPerAnd: m, Rho: rho})
+			}
+		}
+	}
+	return cfgs
+}
+
+// NewRng returns a deterministic PCG generator for the given seed; all
+// experiment drivers derive their generators from explicit seeds so runs
+// are reproducible.
+func NewRng(seed uint64) *rand.Rand {
+	return rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))
+}

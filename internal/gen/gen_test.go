@@ -1,0 +1,202 @@
+package gen
+
+import (
+	"math"
+	"testing"
+
+	"paotr/internal/query"
+)
+
+func TestFig4ConfigCount(t *testing.T) {
+	cfgs := Fig4Configs()
+	if len(cfgs) != 157 {
+		t.Fatalf("Fig4Configs: %d configs, want 157 (x1000 = the paper's 157,000 instances)", len(cfgs))
+	}
+	for _, c := range cfgs {
+		if c.Rho > float64(c.M) {
+			t.Errorf("config %+v violates rho <= m", c)
+		}
+		if c.M < 2 || c.M > 20 {
+			t.Errorf("config %+v out of range", c)
+		}
+	}
+}
+
+func TestSmallDNFConfigCount(t *testing.T) {
+	cfgs := SmallDNFConfigs()
+	if len(cfgs) != 216 {
+		t.Fatalf("SmallDNFConfigs: %d, want 216 (x100 = 21,600 instances)", len(cfgs))
+	}
+	for _, c := range cfgs {
+		if c.N < 2 || c.N > 9 || c.MaxTotal != 20 || c.Cap == 0 || c.LeavesPerAnd != 0 {
+			t.Errorf("bad small config %+v", c)
+		}
+	}
+}
+
+func TestLargeDNFConfigCount(t *testing.T) {
+	cfgs := LargeDNFConfigs()
+	if len(cfgs) != 324 {
+		t.Fatalf("LargeDNFConfigs: %d, want 324 (x100 = 32,400 instances)", len(cfgs))
+	}
+	for _, c := range cfgs {
+		if c.N < 2 || c.N > 10 || c.LeavesPerAnd == 0 || c.Cap != 0 {
+			t.Errorf("bad large config %+v", c)
+		}
+	}
+}
+
+func TestAndTreeGeneration(t *testing.T) {
+	rng := NewRng(1)
+	for _, cfg := range Fig4Configs() {
+		tr := AndTree(cfg.M, cfg.Rho, Dist{}, rng)
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("config %+v: %v", cfg, err)
+		}
+		if !tr.IsAndTree() {
+			t.Fatalf("config %+v: not an AND-tree", cfg)
+		}
+		if tr.NumLeaves() != cfg.M {
+			t.Fatalf("config %+v: %d leaves", cfg, tr.NumLeaves())
+		}
+		if got, want := tr.NumStreams(), NumStreams(cfg.M, cfg.Rho); got != want {
+			t.Fatalf("config %+v: %d streams, want %d", cfg, got, want)
+		}
+		for _, l := range tr.Leaves {
+			if l.Items < 1 || l.Items > 5 {
+				t.Fatalf("window %d out of paper range {1..5}", l.Items)
+			}
+		}
+		for _, s := range tr.Streams {
+			if s.Cost < 1 || s.Cost > 10 {
+				t.Fatalf("cost %v out of paper range [1,10]", s.Cost)
+			}
+		}
+	}
+}
+
+func TestSmallDNFSizesRespectCaps(t *testing.T) {
+	rng := NewRng(2)
+	for _, cfg := range SmallDNFConfigs() {
+		for trial := 0; trial < 20; trial++ {
+			sizes := cfg.Sizes(rng)
+			if len(sizes) != cfg.N {
+				t.Fatalf("config %+v: %d sizes", cfg, len(sizes))
+			}
+			total := 0
+			for _, s := range sizes {
+				if s < 1 || s > cfg.Cap {
+					t.Fatalf("config %+v: AND size %d outside 1..%d", cfg, s, cfg.Cap)
+				}
+				total += s
+			}
+			if total > cfg.MaxTotal {
+				t.Fatalf("config %+v: total %d > %d", cfg, total, cfg.MaxTotal)
+			}
+		}
+	}
+}
+
+func TestLargeDNFGeneration(t *testing.T) {
+	rng := NewRng(3)
+	for _, cfg := range LargeDNFConfigs() {
+		tr := cfg.Generate(Dist{}, rng)
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("config %+v: %v", cfg, err)
+		}
+		if tr.NumAnds() != cfg.N {
+			t.Fatalf("config %+v: %d ANDs", cfg, tr.NumAnds())
+		}
+		if tr.NumLeaves() != cfg.N*cfg.LeavesPerAnd {
+			t.Fatalf("config %+v: %d leaves", cfg, tr.NumLeaves())
+		}
+	}
+}
+
+func TestNumStreams(t *testing.T) {
+	cases := []struct {
+		m    int
+		rho  float64
+		want int
+	}{
+		{10, 1, 10},
+		{10, 2, 5},
+		{10, 10, 1},
+		{3, 10, 1},   // clamped to >= 1
+		{2, 1.25, 2}, // round(1.6) = 2
+		{20, 3, 7},   // round(6.67) = 7
+	}
+	for _, c := range cases {
+		if got := NumStreams(c.m, c.rho); got != c.want {
+			t.Errorf("NumStreams(%d, %v) = %d, want %d", c.m, c.rho, got, c.want)
+		}
+	}
+}
+
+func TestSharingRatioRealized(t *testing.T) {
+	// With rho = 1 the generated AND-tree uses m streams, so the realized
+	// sharing ratio is >= 1 and tends to 1/duty; with rho = m there is a
+	// single stream so the realized ratio is exactly m.
+	rng := NewRng(4)
+	tr := AndTree(10, 10, Dist{}, rng)
+	if got := tr.SharingRatio(); math.Abs(got-10) > 1e-12 {
+		t.Errorf("single-stream tree sharing ratio = %v, want 10", got)
+	}
+}
+
+func TestDeterministicSeeding(t *testing.T) {
+	a := AndTree(8, 2, Dist{}, NewRng(77))
+	b := AndTree(8, 2, Dist{}, NewRng(77))
+	if a.String() != b.String() {
+		t.Error("same seed should generate identical trees")
+	}
+	for j := range a.Leaves {
+		if a.Leaves[j] != b.Leaves[j] {
+			t.Error("leaf mismatch between identical seeds")
+		}
+	}
+	c := AndTree(8, 2, Dist{}, NewRng(78))
+	same := true
+	for j := range a.Leaves {
+		if a.Leaves[j] != c.Leaves[j] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds should (overwhelmingly) differ")
+	}
+}
+
+func TestCustomDist(t *testing.T) {
+	rng := NewRng(5)
+	d := Dist{MaxItems: 2, MinCost: 3, MaxCost: 3}
+	tr := AndTree(20, 2, d, rng)
+	for _, l := range tr.Leaves {
+		if l.Items > 2 {
+			t.Fatalf("window %d > 2", l.Items)
+		}
+	}
+	for _, s := range tr.Streams {
+		if s.Cost != 3 {
+			t.Fatalf("cost %v != 3", s.Cost)
+		}
+	}
+}
+
+func TestStreamNames(t *testing.T) {
+	rng := NewRng(6)
+	tr := DNF([]int{30}, 1, Dist{}, rng)
+	if tr.Streams[0].Name != "A" {
+		t.Errorf("first stream %q", tr.Streams[0].Name)
+	}
+	if tr.Streams[25].Name != "Z" {
+		t.Errorf("26th stream %q", tr.Streams[25].Name)
+	}
+	if tr.Streams[26].Name != "S26" {
+		t.Errorf("27th stream %q", tr.Streams[26].Name)
+	}
+	var q query.Tree = *tr
+	if err := q.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,347 @@
+// Package multistream explores the second future-work direction of the
+// paper's Section V: predicates that read several streams at once, e.g.
+// "AVG(X,10) < MIN(Y,20)". The paper asks whether the PAOTR problem for
+// AND-trees remains polynomial in this model or becomes NP-complete.
+//
+// The package provides the generalized cost model, an exhaustive optimal
+// search, and two greedy algorithms:
+//
+//   - GreedySingle generalizes Smith's rule (dynamic incremental cost over
+//     failure probability, one leaf at a time);
+//   - GreedyChains generalizes the paper's Algorithm 1: where Algorithm 1
+//     considers prefixes of same-stream leaves ordered by window size,
+//     GreedyChains considers, for each leaf, the downward-closed set of
+//     leaves whose requirements are contained in that leaf's requirements
+//     — for single-stream predicates this degenerates exactly to
+//     Algorithm 1's same-stream prefixes.
+//
+// The Study function measures how often each greedy matches the exhaustive
+// optimum on random instances; its results (a measurable optimality gap
+// for every natural greedy, see the tests) are empirical support for the
+// paper's suspicion that the multi-stream variant is genuinely harder.
+package multistream
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"sort"
+)
+
+// Req is one stream requirement of a predicate: the Items most recent
+// items of stream Stream.
+type Req struct {
+	Stream int
+	Items  int
+}
+
+// Leaf is a probabilistic predicate over one or more streams.
+type Leaf struct {
+	Reqs []Req
+	Prob float64
+}
+
+// Tree is an AND of multi-stream leaves (the case the paper's open
+// question concerns).
+type Tree struct {
+	// Costs[k] is the per-item cost of stream k.
+	Costs  []float64
+	Leaves []Leaf
+}
+
+// Validate checks model invariants: positive windows, at most one
+// requirement per stream per leaf, probabilities in [0,1].
+func (t *Tree) Validate() error {
+	if len(t.Leaves) == 0 {
+		return fmt.Errorf("multistream: no leaves")
+	}
+	for j, l := range t.Leaves {
+		if len(l.Reqs) == 0 {
+			return fmt.Errorf("multistream: leaf %d has no requirements", j)
+		}
+		seen := map[int]bool{}
+		for _, r := range l.Reqs {
+			if r.Stream < 0 || r.Stream >= len(t.Costs) {
+				return fmt.Errorf("multistream: leaf %d references stream %d", j, r.Stream)
+			}
+			if seen[r.Stream] {
+				return fmt.Errorf("multistream: leaf %d requires stream %d twice", j, r.Stream)
+			}
+			seen[r.Stream] = true
+			if r.Items < 1 {
+				return fmt.Errorf("multistream: leaf %d has window %d", j, r.Items)
+			}
+		}
+		if l.Prob < 0 || l.Prob > 1 {
+			return fmt.Errorf("multistream: leaf %d probability %v", j, l.Prob)
+		}
+	}
+	return nil
+}
+
+// incCost returns the acquisition cost of evaluating leaf l when
+// acquired[k] items of stream k are already held, and updates acquired.
+func (t *Tree) incCost(l Leaf, acquired []int) float64 {
+	c := 0.0
+	for _, r := range l.Reqs {
+		if r.Items > acquired[r.Stream] {
+			c += float64(r.Items-acquired[r.Stream]) * t.Costs[r.Stream]
+			acquired[r.Stream] = r.Items
+		}
+	}
+	return c
+}
+
+// Cost returns the expected cost of evaluating the AND of the leaves in
+// the given order: the j-th leaf is reached iff all previous leaves
+// evaluated TRUE, and pays only for items not already acquired.
+func (t *Tree) Cost(order []int) float64 {
+	acquired := make([]int, len(t.Costs))
+	reach := 1.0
+	total := 0.0
+	for _, j := range order {
+		l := t.Leaves[j]
+		if c := t.incCost(l, acquired); c > 0 {
+			total += reach * c
+		}
+		reach *= l.Prob
+	}
+	return total
+}
+
+// Exhaustive returns an optimal order and its cost by branch-and-bound
+// over all permutations. Exponential; small m only.
+func (t *Tree) Exhaustive() ([]int, float64) {
+	m := len(t.Leaves)
+	best := GreedyChains(t)
+	bestCost := t.Cost(best)
+	used := make([]bool, m)
+	cur := make([]int, 0, m)
+	acquired := make([]int, len(t.Costs))
+
+	var rec func(reach, cost float64)
+	rec = func(reach, cost float64) {
+		if len(cur) == m {
+			if cost < bestCost {
+				bestCost = cost
+				best = append([]int(nil), cur...)
+			}
+			return
+		}
+		for j := 0; j < m; j++ {
+			if used[j] {
+				continue
+			}
+			saved := append([]int(nil), acquired...)
+			add := reach * t.incCost(t.Leaves[j], acquired)
+			if cost+add < bestCost-1e-15 {
+				used[j] = true
+				cur = append(cur, j)
+				rec(reach*t.Leaves[j].Prob, cost+add)
+				cur = cur[:len(cur)-1]
+				used[j] = false
+			}
+			copy(acquired, saved)
+		}
+	}
+	rec(1, 0)
+	return best, bestCost
+}
+
+// GreedySingle schedules one leaf at a time, always picking the leaf with
+// the smallest ratio of incremental cost to failure probability given the
+// items acquired so far (the dynamic Smith rule). It is optimal in the
+// read-once single-stream case but, like the read-once greedy of the
+// paper's Section II-A, suboptimal under sharing.
+func GreedySingle(t *Tree) []int {
+	m := len(t.Leaves)
+	used := make([]bool, m)
+	acquired := make([]int, len(t.Costs))
+	order := make([]int, 0, m)
+	for len(order) < m {
+		bestJ := -1
+		bestRatio := math.Inf(1)
+		for j := 0; j < m; j++ {
+			if used[j] {
+				continue
+			}
+			tmp := append([]int(nil), acquired...)
+			c := t.incCost(t.Leaves[j], tmp)
+			q := 1 - t.Leaves[j].Prob
+			ratio := math.Inf(1)
+			if q > 0 {
+				ratio = c / q
+			} else if c == 0 {
+				ratio = 0 // free and certain: harmless to run now
+			}
+			if ratio < bestRatio {
+				bestRatio = ratio
+				bestJ = j
+			}
+		}
+		if bestJ == -1 {
+			for j := 0; j < m; j++ {
+				if !used[j] {
+					used[j] = true
+					order = append(order, j)
+				}
+			}
+			break
+		}
+		used[bestJ] = true
+		t.incCost(t.Leaves[bestJ], acquired)
+		order = append(order, bestJ)
+	}
+	return order
+}
+
+// covers reports whether the requirements of leaf a are contained in those
+// of leaf b (every stream window of a is <= b's window on that stream).
+func covers(b, a Leaf) bool {
+	for _, ra := range a.Reqs {
+		ok := false
+		for _, rb := range b.Reqs {
+			if rb.Stream == ra.Stream && rb.Items >= ra.Items {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// GreedyChains generalizes Algorithm 1: at every step it considers, for
+// each unscheduled leaf j, the candidate group consisting of j and every
+// unscheduled leaf whose requirements j covers, ordered by increasing
+// total incremental cost; it computes the group-prefix ratios
+// cost/(1 - prod p) exactly as Algorithm 1 does for same-stream prefixes,
+// and appends the best prefix. With single-stream leaves the groups are
+// exactly Algorithm 1's same-stream window prefixes, so GreedyChains
+// reproduces the paper's optimal algorithm in that case.
+func GreedyChains(t *Tree) []int {
+	m := len(t.Leaves)
+	used := make([]bool, m)
+	acquired := make([]int, len(t.Costs))
+	order := make([]int, 0, m)
+
+	for len(order) < m {
+		bestRatio := math.Inf(1)
+		var bestGroup []int
+		for j := 0; j < m; j++ {
+			if used[j] {
+				continue
+			}
+			// Group: j plus the unscheduled leaves j covers (they are
+			// free once j's data is acquired), in increasing incremental
+			// cost order, evaluated as prefixes.
+			var group []int
+			for r := 0; r < m; r++ {
+				if !used[r] && r != j && covers(t.Leaves[j], t.Leaves[r]) {
+					group = append(group, r)
+				}
+			}
+			group = append(group, j)
+			sort.SliceStable(group, func(a, b int) bool {
+				ta := append([]int(nil), acquired...)
+				tb := append([]int(nil), acquired...)
+				ca := t.incCost(t.Leaves[group[a]], ta)
+				cb := t.incCost(t.Leaves[group[b]], tb)
+				if ca != cb {
+					return ca < cb
+				}
+				return t.Leaves[group[a]].Prob < t.Leaves[group[b]].Prob
+			})
+			tmp := append([]int(nil), acquired...)
+			cost := 0.0
+			proba := 1.0
+			for n, r := range group {
+				cost += proba * t.incCost(t.Leaves[r], tmp)
+				proba *= t.Leaves[r].Prob
+				if proba < 1 {
+					if ratio := cost / (1 - proba); ratio < bestRatio {
+						bestRatio = ratio
+						bestGroup = append(bestGroup[:0], group[:n+1]...)
+					}
+				}
+			}
+		}
+		if bestGroup == nil {
+			for j := 0; j < m; j++ {
+				if !used[j] {
+					used[j] = true
+					t.incCost(t.Leaves[j], acquired)
+					order = append(order, j)
+				}
+			}
+			break
+		}
+		for _, r := range bestGroup {
+			used[r] = true
+			t.incCost(t.Leaves[r], acquired)
+			order = append(order, r)
+		}
+	}
+	return order
+}
+
+// StudyResult summarizes a random study of the greedy algorithms against
+// the exhaustive optimum.
+type StudyResult struct {
+	Instances    int
+	SingleExact  int // instances where GreedySingle is optimal
+	ChainsExact  int // instances where GreedyChains is optimal
+	WorstSingle  float64
+	WorstChains  float64
+	CounterChain *Tree // an instance where GreedyChains is suboptimal
+}
+
+// Study generates random multi-stream AND-trees and measures the
+// optimality rate of both greedy algorithms.
+func Study(instances int, rng *rand.Rand) StudyResult {
+	res := StudyResult{WorstSingle: 1, WorstChains: 1}
+	for i := 0; i < instances; i++ {
+		t := randomTree(rng)
+		res.Instances++
+		_, opt := t.Exhaustive()
+		sc := t.Cost(GreedySingle(t))
+		cc := t.Cost(GreedyChains(t))
+		if sc <= opt+1e-9*(1+opt) {
+			res.SingleExact++
+		} else if opt > 0 && sc/opt > res.WorstSingle {
+			res.WorstSingle = sc / opt
+		}
+		if cc <= opt+1e-9*(1+opt) {
+			res.ChainsExact++
+		} else {
+			if opt > 0 && cc/opt > res.WorstChains {
+				res.WorstChains = cc / opt
+			}
+			if res.CounterChain == nil {
+				res.CounterChain = t
+			}
+		}
+	}
+	return res
+}
+
+func randomTree(rng *rand.Rand) *Tree {
+	nStreams := 2 + rng.IntN(2)
+	m := 2 + rng.IntN(5)
+	t := &Tree{}
+	for k := 0; k < nStreams; k++ {
+		t.Costs = append(t.Costs, 1+9*rng.Float64())
+	}
+	for j := 0; j < m; j++ {
+		n := 1 + rng.IntN(2)
+		perm := rng.Perm(nStreams)
+		l := Leaf{Prob: rng.Float64()}
+		for r := 0; r < n && r < nStreams; r++ {
+			l.Reqs = append(l.Reqs, Req{Stream: perm[r], Items: 1 + rng.IntN(3)})
+		}
+		t.Leaves = append(t.Leaves, l)
+	}
+	return t
+}

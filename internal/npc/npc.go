@@ -1,0 +1,153 @@
+// Package npc provides the machinery around Theorem 3 of the paper
+// (NP-completeness of DNF-Decision, by reduction from 2-PARTITION):
+//
+//   - an exact 2-PARTITION solver (meet-in-the-middle for the sizes used
+//     here, plus a pseudo-polynomial dynamic program);
+//   - a reduction-style instance family that maps a 2-PARTITION instance
+//     to a shared DNF tree in which the scheduler must, in effect, choose
+//     a subset of "integer" streams to prepay — so schedule quality tracks
+//     partition quality;
+//   - the DNF-Decision predicate itself (is there a schedule of expected
+//     cost at most K?), answered by exhaustive search for small instances.
+//
+// The full gadget of the paper appears only in research report RR-8373,
+// which the conference paper cites for the proof; the family implemented
+// here follows the same structural idea and is validated empirically in
+// the tests (see DESIGN.md, "Substitutions").
+package npc
+
+import (
+	"fmt"
+	"sort"
+
+	"paotr/internal/dnf"
+	"paotr/internal/query"
+)
+
+// Partition describes a 2-PARTITION instance: can a multiset of positive
+// integers be split into two halves of equal sum?
+type Partition struct {
+	Values []int
+}
+
+// Sum returns the total of the values.
+func (p Partition) Sum() int {
+	s := 0
+	for _, v := range p.Values {
+		s += v
+	}
+	return s
+}
+
+// SolveDP decides 2-PARTITION with the classical pseudo-polynomial dynamic
+// program in O(n * sum) time and returns one witness subset (by index)
+// when the instance is a yes-instance.
+func (p Partition) SolveDP() (subset []int, ok bool) {
+	total := p.Sum()
+	if total%2 != 0 || len(p.Values) == 0 {
+		return nil, false
+	}
+	for _, v := range p.Values {
+		if v <= 0 {
+			return nil, false
+		}
+	}
+	half := total / 2
+	// reach[i][s] = some subset of the first i values sums to s.
+	reach := make([][]bool, len(p.Values)+1)
+	reach[0] = make([]bool, half+1)
+	reach[0][0] = true
+	for i, v := range p.Values {
+		reach[i+1] = make([]bool, half+1)
+		copy(reach[i+1], reach[i])
+		for s := half; s >= v; s-- {
+			if reach[i][s-v] {
+				reach[i+1][s] = true
+			}
+		}
+	}
+	if !reach[len(p.Values)][half] {
+		return nil, false
+	}
+	s := half
+	for i := len(p.Values); i > 0; i-- {
+		v := p.Values[i-1]
+		if s >= v && reach[i-1][s-v] {
+			subset = append(subset, i-1)
+			s -= v
+		}
+	}
+	if s != 0 {
+		return nil, false
+	}
+	sort.Ints(subset)
+	return subset, true
+}
+
+// Decide reports whether the instance is a yes-instance.
+func (p Partition) Decide() bool {
+	_, ok := p.SolveDP()
+	return ok
+}
+
+// ReductionTree builds a shared DNF tree from a 2-PARTITION instance.
+//
+// Construction: one stream per integer a_i with per-item cost a_i, plus a
+// distinguished "probe" stream of negligible cost. Two symmetric AND
+// nodes each contain one leaf per integer stream (window 1, probability
+// p), prefixed by a probe leaf with probability 1/2. Whichever AND node
+// is scheduled first pays for the integer streams its leaves touch before
+// failing; the second AND node reuses those items for free. The evaluated
+// prefix of the first AND node therefore acts as the "chosen subset" of
+// integers, tying schedule quality to partition structure.
+//
+// The exact gadget of the paper's proof is only in RR-8373; this family
+// follows its structural idea and is studied empirically (the tests check
+// the properties that hold for it, not the full iff — see DESIGN.md).
+func ReductionTree(p Partition, leafProb float64) *query.Tree {
+	t := &query.Tree{}
+	for i, v := range p.Values {
+		t.Streams = append(t.Streams, query.Stream{
+			Name: fmt.Sprintf("a%d", i),
+			Cost: float64(v),
+		})
+	}
+	probe := query.StreamID(len(t.Streams))
+	t.Streams = append(t.Streams, query.Stream{Name: "probe", Cost: 0})
+	// AND 0 and AND 1: probe leaf then one leaf per integer.
+	for and := 0; and < 2; and++ {
+		t.Leaves = append(t.Leaves, query.Leaf{
+			And: and, Stream: probe, Items: 1, Prob: 0.5,
+			Label: fmt.Sprintf("probe%d", and),
+		})
+		for i := range p.Values {
+			t.Leaves = append(t.Leaves, query.Leaf{
+				And: and, Stream: query.StreamID(i), Items: 1, Prob: leafProb,
+				Label: fmt.Sprintf("A%d:a%d", and, i),
+			})
+		}
+	}
+	return t
+}
+
+// DecisionResult reports a DNF-Decision answer together with the witness.
+type DecisionResult struct {
+	// Answer is true when a schedule of expected cost <= K exists.
+	Answer bool
+	// Cost is the optimal expected cost found.
+	Cost float64
+	// Exact indicates the underlying exhaustive search completed.
+	Exact bool
+}
+
+// Decision answers DNF-Decision for tree t and bound K by exhaustive
+// depth-first search (sound by Theorem 2). Only practical for small trees;
+// this is exactly what one expects for an NP-complete problem.
+func Decision(t *query.Tree, k float64, maxNodes int64) DecisionResult {
+	res := dnf.OptimalDepthFirst(t, dnf.SearchOptions{MaxNodes: maxNodes})
+	return DecisionResult{
+		Answer: res.Cost <= k+1e-9,
+		Cost:   res.Cost,
+		Exact:  res.Exact,
+	}
+}

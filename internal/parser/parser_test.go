@@ -1,0 +1,184 @@
+package parser
+
+import (
+	"math"
+	"testing"
+
+	"paotr/internal/predicate"
+)
+
+func TestParseFig1a(t *testing.T) {
+	e, err := Parse("(AVG(A,5) < 70 AND MAX(B,4) > 100) OR C < 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	or, ok := e.(Or)
+	if !ok {
+		t.Fatalf("top level is %T, want Or", e)
+	}
+	if len(or.Terms) != 2 {
+		t.Fatalf("%d OR terms", len(or.Terms))
+	}
+	and, ok := or.Terms[0].(And)
+	if !ok || len(and.Terms) != 2 {
+		t.Fatalf("first term %T", or.Terms[0])
+	}
+	preds := Predicates(e)
+	if len(preds) != 3 {
+		t.Fatalf("%d predicates", len(preds))
+	}
+	p0 := preds[0].P
+	if p0.Stream != "A" || p0.Op != predicate.Avg || p0.Window != 5 ||
+		p0.Cmp != predicate.LT || p0.Threshold != 70 {
+		t.Errorf("pred 0 = %+v", p0)
+	}
+	p2 := preds[2].P
+	if p2.Stream != "C" || p2.Op != predicate.Last || p2.Window != 1 || p2.Threshold != 3 {
+		t.Errorf("pred 2 = %+v", p2)
+	}
+}
+
+func TestAndBindsTighterThanOr(t *testing.T) {
+	e, err := Parse("A < 1 OR B < 2 AND C < 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	or, ok := e.(Or)
+	if !ok || len(or.Terms) != 2 {
+		t.Fatalf("top = %T", e)
+	}
+	if _, ok := or.Terms[0].(Pred); !ok {
+		t.Errorf("first OR term should be the bare predicate, got %T", or.Terms[0])
+	}
+	if and, ok := or.Terms[1].(And); !ok || len(and.Terms) != 2 {
+		t.Errorf("second OR term should be an AND of two, got %T", or.Terms[1])
+	}
+}
+
+func TestProbabilityAnnotation(t *testing.T) {
+	e, err := Parse("AVG(A,5) < 70 [p=0.6] AND C < 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	preds := Predicates(e)
+	if preds[0].Prob != 0.6 {
+		t.Errorf("annotated prob = %v", preds[0].Prob)
+	}
+	if !math.IsNaN(preds[1].Prob) {
+		t.Errorf("unannotated prob = %v, want NaN", preds[1].Prob)
+	}
+}
+
+func TestSymbolicOperators(t *testing.T) {
+	e, err := Parse("A < 1 && B >= 2 || C != 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := e.(Or); !ok {
+		t.Fatalf("top = %T", e)
+	}
+	preds := Predicates(e)
+	if preds[1].P.Cmp != predicate.GE || preds[2].P.Cmp != predicate.NE {
+		t.Error("comparison operators mis-parsed")
+	}
+}
+
+func TestCaseInsensitiveKeywords(t *testing.T) {
+	for _, q := range []string{"A<1 and B<2", "A<1 And B<2", "A<1 AND B<2"} {
+		e, err := Parse(q)
+		if err != nil {
+			t.Fatalf("%q: %v", q, err)
+		}
+		if _, ok := e.(And); !ok {
+			t.Errorf("%q: top = %T", q, e)
+		}
+	}
+}
+
+func TestNegativeAndFloatThresholds(t *testing.T) {
+	e, err := Parse("A < -3.5 AND SUM(B,3) >= 1e2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	preds := Predicates(e)
+	if preds[0].P.Threshold != -3.5 || preds[1].P.Threshold != 100 {
+		t.Errorf("thresholds %v, %v", preds[0].P.Threshold, preds[1].P.Threshold)
+	}
+}
+
+func TestNestedParens(t *testing.T) {
+	e, err := Parse("((A < 1))")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := e.(Pred); !ok {
+		t.Fatalf("top = %T", e)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"A",
+		"A <",
+		"A < x",
+		"FOO(A,5) < 3",
+		"AVG(A) < 3",
+		"AVG(A,0) < 3",
+		"AVG(A,-2) < 3",
+		"A < 3 AND",
+		"(A < 3",
+		"A < 3 )",
+		"A < 3 [q=0.5]",
+		"A < 3 [p=1.5]",
+		"A < 3 [p=0.5",
+		"A = 3",
+		"A ! 3",
+		"A & B",
+		"A | B",
+		"A < 3 B < 4",
+		"#",
+	}
+	for _, q := range bad {
+		if _, err := Parse(q); err == nil {
+			t.Errorf("Parse(%q) should fail", q)
+		} else if se := err.(*SyntaxError); se.Error() == "" {
+			t.Errorf("empty error for %q", q)
+		}
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	src := "(AVG(A,5) < 70 [p=0.6] AND MAX(B,4) > 100) OR C < 3"
+	e, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rendering and reparsing must give the same structure.
+	e2, err := Parse(e.String())
+	if err != nil {
+		t.Fatalf("reparse %q: %v", e.String(), err)
+	}
+	if e.String() != e2.String() {
+		t.Errorf("round trip: %q vs %q", e.String(), e2.String())
+	}
+	p1, p2 := Predicates(e), Predicates(e2)
+	if len(p1) != len(p2) {
+		t.Fatal("predicate count changed")
+	}
+	for i := range p1 {
+		if p1[i].P != p2[i].P {
+			t.Errorf("pred %d: %+v vs %+v", i, p1[i].P, p2[i].P)
+		}
+	}
+}
+
+func TestHyphenatedStreamNames(t *testing.T) {
+	e, err := Parse("AVG(heart-rate,5) > 100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Predicates(e)[0].P.Stream != "heart-rate" {
+		t.Error("hyphenated name mis-parsed")
+	}
+}

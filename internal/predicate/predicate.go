@@ -1,0 +1,215 @@
+// Package predicate implements the windowed boolean predicates at query
+// tree leaves: an aggregate operator (AVG, MAX, ...) applied to the most
+// recent d items of a stream, compared against a constant — e.g.
+// "AVG(A,5) < 70" or "C < 3" from Figure 1 of the paper.
+package predicate
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Op is a window aggregate operator.
+type Op int
+
+const (
+	// Last is the identity on the most recent item (window size 1),
+	// written without an operator in queries: "C < 3".
+	Last Op = iota
+	// Avg averages the window.
+	Avg
+	// Max takes the window maximum.
+	Max
+	// Min takes the window minimum.
+	Min
+	// Sum totals the window.
+	Sum
+	// Count counts items strictly greater than zero in the window.
+	Count
+	// Median takes the window median (mean of middle two for even sizes).
+	Median
+	// Stddev is the population standard deviation of the window.
+	Stddev
+)
+
+var opNames = map[Op]string{
+	Last: "LAST", Avg: "AVG", Max: "MAX", Min: "MIN",
+	Sum: "SUM", Count: "COUNT", Median: "MEDIAN", Stddev: "STDDEV",
+}
+
+func (o Op) String() string {
+	if n, ok := opNames[o]; ok {
+		return n
+	}
+	return fmt.Sprintf("Op(%d)", int(o))
+}
+
+// ParseOp resolves an operator name (case-sensitive, upper-case as in the
+// paper's examples).
+func ParseOp(name string) (Op, bool) {
+	for op, n := range opNames {
+		if n == name {
+			return op, true
+		}
+	}
+	return 0, false
+}
+
+// Cmp is a comparison operator.
+type Cmp int
+
+const (
+	LT Cmp = iota // <
+	LE            // <=
+	GT            // >
+	GE            // >=
+	EQ            // ==
+	NE            // !=
+)
+
+var cmpNames = map[Cmp]string{LT: "<", LE: "<=", GT: ">", GE: ">=", EQ: "==", NE: "!="}
+
+func (c Cmp) String() string {
+	if n, ok := cmpNames[c]; ok {
+		return n
+	}
+	return fmt.Sprintf("Cmp(%d)", int(c))
+}
+
+// ParseCmp resolves a comparison token.
+func ParseCmp(tok string) (Cmp, bool) {
+	for c, n := range cmpNames {
+		if n == tok {
+			return c, true
+		}
+	}
+	return 0, false
+}
+
+// Predicate is "Op(stream, window) Cmp Threshold".
+type Predicate struct {
+	// Stream is the stream name the predicate reads.
+	Stream string
+	// Op is the window aggregate.
+	Op Op
+	// Window is d: the number of most recent items aggregated (>= 1).
+	Window int
+	// Cmp compares the aggregate against Threshold.
+	Cmp Cmp
+	// Threshold is the constant right-hand side.
+	Threshold float64
+}
+
+// ErrWindow is returned when a window has fewer items than the predicate
+// needs.
+var ErrWindow = errors.New("predicate: window shorter than required")
+
+// String renders the predicate in the paper's notation.
+func (p Predicate) String() string {
+	if p.Op == Last && p.Window <= 1 {
+		return fmt.Sprintf("%s %s %g", p.Stream, p.Cmp, p.Threshold)
+	}
+	return fmt.Sprintf("%s(%s,%d) %s %g", p.Op, p.Stream, p.Window, p.Cmp, p.Threshold)
+}
+
+// Aggregate applies the operator to a window of values ordered from most
+// recent to oldest; len(window) must be at least p.Window.
+func (p Predicate) Aggregate(window []float64) (float64, error) {
+	d := p.Window
+	if d < 1 {
+		d = 1
+	}
+	if len(window) < d {
+		return 0, fmt.Errorf("%w: have %d items, need %d", ErrWindow, len(window), d)
+	}
+	w := window[:d]
+	switch p.Op {
+	case Last:
+		return w[0], nil
+	case Avg:
+		return sum(w) / float64(d), nil
+	case Max:
+		m := w[0]
+		for _, v := range w[1:] {
+			if v > m {
+				m = v
+			}
+		}
+		return m, nil
+	case Min:
+		m := w[0]
+		for _, v := range w[1:] {
+			if v < m {
+				m = v
+			}
+		}
+		return m, nil
+	case Sum:
+		return sum(w), nil
+	case Count:
+		n := 0.0
+		for _, v := range w {
+			if v > 0 {
+				n++
+			}
+		}
+		return n, nil
+	case Median:
+		s := append([]float64(nil), w...)
+		sort.Float64s(s)
+		if d%2 == 1 {
+			return s[d/2], nil
+		}
+		return (s[d/2-1] + s[d/2]) / 2, nil
+	case Stddev:
+		mean := sum(w) / float64(d)
+		ss := 0.0
+		for _, v := range w {
+			ss += (v - mean) * (v - mean)
+		}
+		return math.Sqrt(ss / float64(d)), nil
+	}
+	return 0, fmt.Errorf("predicate: unknown operator %v", p.Op)
+}
+
+// Eval evaluates the predicate on a window of values ordered from most
+// recent to oldest.
+func (p Predicate) Eval(window []float64) (bool, error) {
+	v, err := p.Aggregate(window)
+	if err != nil {
+		return false, err
+	}
+	switch p.Cmp {
+	case LT:
+		return v < p.Threshold, nil
+	case LE:
+		return v <= p.Threshold, nil
+	case GT:
+		return v > p.Threshold, nil
+	case GE:
+		return v >= p.Threshold, nil
+	case EQ:
+		return v == p.Threshold, nil
+	case NE:
+		return v != p.Threshold, nil
+	}
+	return false, fmt.Errorf("predicate: unknown comparison %v", p.Cmp)
+}
+
+// Items returns the window size d the predicate requires (at least 1).
+func (p Predicate) Items() int {
+	if p.Window < 1 {
+		return 1
+	}
+	return p.Window
+}
+
+func sum(w []float64) float64 {
+	s := 0.0
+	for _, v := range w {
+		s += v
+	}
+	return s
+}

@@ -1,0 +1,187 @@
+package predicate
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestAggregates(t *testing.T) {
+	w := []float64{3, 1, 4, 1, 5} // most recent first
+	cases := []struct {
+		op   Op
+		d    int
+		want float64
+	}{
+		{Last, 1, 3},
+		{Avg, 5, 2.8},
+		{Avg, 2, 2},
+		{Max, 5, 5},
+		{Max, 2, 3},
+		{Min, 5, 1},
+		{Sum, 3, 8},
+		{Count, 5, 5},
+		{Median, 5, 3},
+		{Median, 4, 2}, // sorted {1,1,3,4} -> (1+3)/2
+	}
+	for _, c := range cases {
+		p := Predicate{Op: c.op, Window: c.d}
+		got, err := p.Aggregate(w)
+		if err != nil {
+			t.Fatalf("%v(%d): %v", c.op, c.d, err)
+		}
+		if math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("%v(%d) = %v, want %v", c.op, c.d, got, c.want)
+		}
+	}
+}
+
+func TestStddev(t *testing.T) {
+	p := Predicate{Op: Stddev, Window: 4}
+	got, err := p.Aggregate([]float64{2, 4, 4, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-math.Sqrt(2)) > 1e-12 {
+		t.Errorf("Stddev = %v, want sqrt(2)", got)
+	}
+	// Constant window: zero deviation.
+	got, _ = Predicate{Op: Stddev, Window: 3}.Aggregate([]float64{5, 5, 5})
+	if got != 0 {
+		t.Errorf("Stddev of constant = %v", got)
+	}
+}
+
+func TestCountPositive(t *testing.T) {
+	p := Predicate{Op: Count, Window: 4}
+	got, _ := p.Aggregate([]float64{1, -2, 0, 3})
+	if got != 2 {
+		t.Errorf("Count = %v, want 2", got)
+	}
+}
+
+func TestComparisons(t *testing.T) {
+	w := []float64{10}
+	cases := []struct {
+		cmp  Cmp
+		thr  float64
+		want bool
+	}{
+		{LT, 11, true}, {LT, 10, false},
+		{LE, 10, true}, {LE, 9, false},
+		{GT, 9, true}, {GT, 10, false},
+		{GE, 10, true}, {GE, 11, false},
+		{EQ, 10, true}, {EQ, 9, false},
+		{NE, 9, true}, {NE, 10, false},
+	}
+	for _, c := range cases {
+		p := Predicate{Op: Last, Window: 1, Cmp: c.cmp, Threshold: c.thr}
+		got, err := p.Eval(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != c.want {
+			t.Errorf("10 %v %v = %v, want %v", c.cmp, c.thr, got, c.want)
+		}
+	}
+}
+
+func TestWindowTooShort(t *testing.T) {
+	p := Predicate{Op: Avg, Window: 5}
+	if _, err := p.Eval([]float64{1, 2}); !errors.Is(err, ErrWindow) {
+		t.Errorf("expected ErrWindow, got %v", err)
+	}
+}
+
+func TestStringNotation(t *testing.T) {
+	p := Predicate{Stream: "A", Op: Avg, Window: 5, Cmp: LT, Threshold: 70}
+	if got := p.String(); got != "AVG(A,5) < 70" {
+		t.Errorf("String = %q", got)
+	}
+	p = Predicate{Stream: "C", Op: Last, Window: 1, Cmp: LT, Threshold: 3}
+	if got := p.String(); got != "C < 3" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestParseOpAndCmp(t *testing.T) {
+	for _, name := range []string{"AVG", "MAX", "MIN", "SUM", "COUNT", "MEDIAN", "STDDEV", "LAST"} {
+		op, ok := ParseOp(name)
+		if !ok {
+			t.Errorf("ParseOp(%q) failed", name)
+		}
+		if op.String() != name {
+			t.Errorf("round trip %q -> %v", name, op)
+		}
+	}
+	if _, ok := ParseOp("avg"); ok {
+		t.Error("lower-case op should not parse (operators are upper-case)")
+	}
+	for _, tok := range []string{"<", "<=", ">", ">=", "==", "!="} {
+		c, ok := ParseCmp(tok)
+		if !ok || c.String() != tok {
+			t.Errorf("ParseCmp(%q) = %v, %v", tok, c, ok)
+		}
+	}
+	if _, ok := ParseCmp("<>"); ok {
+		t.Error("bogus comparison parsed")
+	}
+}
+
+func TestItems(t *testing.T) {
+	if (Predicate{Window: 4}).Items() != 4 {
+		t.Error("Items should return the window")
+	}
+	if (Predicate{Window: 0}).Items() != 1 {
+		t.Error("Items should clamp to 1")
+	}
+}
+
+// Property: MIN <= MEDIAN <= MAX and MIN <= AVG <= MAX on any window.
+func TestAggregateOrderingQuick(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		w := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			// Clamp to a range where the mean cannot overflow, keeping
+			// the property about ordering (not float extremes).
+			if !math.IsNaN(v) && !math.IsInf(v, 0) && math.Abs(v) < 1e100 {
+				w = append(w, v)
+			}
+		}
+		if len(w) == 0 {
+			return true
+		}
+		d := len(w)
+		get := func(op Op) float64 {
+			v, err := Predicate{Op: op, Window: d}.Aggregate(w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return v
+		}
+		mn, mx, avg, med := get(Min), get(Max), get(Avg), get(Median)
+		return mn <= mx && mn <= avg+1e-9*math.Abs(avg) && avg <= mx+1e-9*math.Abs(mx) &&
+			mn <= med && med <= mx
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUnknownOpErrors(t *testing.T) {
+	p := Predicate{Op: Op(99), Window: 1}
+	if _, err := p.Aggregate([]float64{1}); err == nil {
+		t.Error("unknown op should error")
+	}
+	if (Op(99)).String() == "" || (Cmp(99)).String() == "" {
+		t.Error("unknown enum String should be non-empty")
+	}
+	q := Predicate{Op: Last, Window: 1, Cmp: Cmp(99)}
+	if _, err := q.Eval([]float64{1}); err == nil {
+		t.Error("unknown cmp should error")
+	}
+}

@@ -1,0 +1,52 @@
+package query
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Dot renders the DNF tree in Graphviz DOT format: the OR root, one node
+// per AND, and one labeled node per leaf ("A[2] p=0.10"). Useful for
+// inspecting generated instances and for documentation.
+func (t *Tree) Dot() string {
+	var b strings.Builder
+	b.WriteString("digraph query {\n")
+	b.WriteString("  rankdir=TB;\n")
+	b.WriteString("  or [label=\"OR\", shape=diamond];\n")
+	for i := range t.AndLeaves() {
+		fmt.Fprintf(&b, "  and%d [label=\"AND %d\", shape=box];\n", i, i+1)
+		fmt.Fprintf(&b, "  or -> and%d;\n", i)
+	}
+	for j, l := range t.Leaves {
+		fmt.Fprintf(&b, "  leaf%d [label=\"%s\\np=%.3g\", shape=ellipse];\n",
+			j, escapeDot(t.LeafName(j)), l.Prob)
+		fmt.Fprintf(&b, "  and%d -> leaf%d;\n", l.And, j)
+	}
+	// One node per stream, dashed edges from the leaves that read it —
+	// this makes sharing visible at a glance.
+	used := map[StreamID]bool{}
+	for _, l := range t.Leaves {
+		used[l.Stream] = true
+	}
+	for k, s := range t.Streams {
+		if !used[StreamID(k)] {
+			continue
+		}
+		name := s.Name
+		if name == "" {
+			name = fmt.Sprintf("S%d", k)
+		}
+		fmt.Fprintf(&b, "  stream%d [label=\"%s\\nc=%.3g\", shape=cylinder];\n",
+			k, escapeDot(name), s.Cost)
+	}
+	for j, l := range t.Leaves {
+		fmt.Fprintf(&b, "  leaf%d -> stream%d [style=dashed, arrowhead=none];\n", j, l.Stream)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func escapeDot(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, `"`, `\"`)
+}

@@ -1,0 +1,46 @@
+package query
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDot(t *testing.T) {
+	tr := fig1bTree()
+	dot := tr.Dot()
+	for _, want := range []string{
+		"digraph query",
+		"or [label=\"OR\"",
+		"and0", "and1",
+		"AVG(A,5) < 70",
+		"shape=cylinder",
+		"style=dashed",
+		"}",
+	} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("Dot output missing %q:\n%s", want, dot)
+		}
+	}
+	// One leaf node and one ownership edge per leaf.
+	if got := strings.Count(dot, "shape=ellipse"); got != tr.NumLeaves() {
+		t.Errorf("%d leaf nodes, want %d", got, tr.NumLeaves())
+	}
+	// Sharing visible: stream A (index 0) referenced by two leaves.
+	if got := strings.Count(dot, "-> stream0"); got != 2 {
+		t.Errorf("%d edges to shared stream A, want 2", got)
+	}
+}
+
+func TestDotEscaping(t *testing.T) {
+	tr := &Tree{
+		Streams: []Stream{{Name: `we"ird`, Cost: 1}},
+		Leaves:  []Leaf{{And: 0, Stream: 0, Items: 1, Prob: 0.5, Label: `x"y`}},
+	}
+	dot := tr.Dot()
+	if strings.Contains(dot, `"x"y`) {
+		t.Error("unescaped quote in label")
+	}
+	if !strings.Contains(dot, `x\"y`) {
+		t.Errorf("expected escaped label:\n%s", dot)
+	}
+}

@@ -1,0 +1,53 @@
+package query
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// MarshalJSON/UnmarshalJSON use the default struct encoding; the wrapper
+// functions below add validation and convenience I/O.
+
+// Encode writes the tree as indented JSON to w.
+func Encode(w io.Writer, t *Tree) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(t)
+}
+
+// Decode reads a tree from JSON and validates it.
+func Decode(r io.Reader) (*Tree, error) {
+	var t Tree
+	if err := json.NewDecoder(r).Decode(&t); err != nil {
+		return nil, fmt.Errorf("query: decoding tree: %w", err)
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return &t, nil
+}
+
+// SaveFile writes the tree to a JSON file.
+func SaveFile(path string, t *Tree) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := Encode(f, t); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads and validates a tree from a JSON file.
+func LoadFile(path string) (*Tree, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Decode(f)
+}

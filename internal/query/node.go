@@ -1,0 +1,190 @@
+package query
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// NodeKind distinguishes operators from predicates in a general AND-OR tree.
+type NodeKind int
+
+const (
+	// NodeLeaf is a probabilistic predicate node.
+	NodeLeaf NodeKind = iota
+	// NodeAnd is a conjunction of its children.
+	NodeAnd
+	// NodeOr is a disjunction of its children.
+	NodeOr
+)
+
+func (k NodeKind) String() string {
+	switch k {
+	case NodeLeaf:
+		return "leaf"
+	case NodeAnd:
+		return "and"
+	case NodeOr:
+		return "or"
+	}
+	return fmt.Sprintf("NodeKind(%d)", int(k))
+}
+
+// Node is a general rooted AND-OR tree, as produced by the query parser.
+// The scheduling algorithms of this library operate on DNF Trees; ToDNF
+// normalizes a Node into that form.
+type Node struct {
+	Kind     NodeKind
+	Children []*Node // for NodeAnd / NodeOr
+	Pred     Leaf    // for NodeLeaf (the And field is ignored)
+}
+
+// NewLeafNode builds a predicate node.
+func NewLeafNode(pred Leaf) *Node { return &Node{Kind: NodeLeaf, Pred: pred} }
+
+// NewAndNode builds a conjunction node.
+func NewAndNode(children ...*Node) *Node {
+	return &Node{Kind: NodeAnd, Children: children}
+}
+
+// NewOrNode builds a disjunction node.
+func NewOrNode(children ...*Node) *Node {
+	return &Node{Kind: NodeOr, Children: children}
+}
+
+// ErrEmptyNode is returned when normalizing a node with an operator that
+// has no children.
+var ErrEmptyNode = errors.New("query: operator node with no children")
+
+// CountLeaves returns the number of predicate leaves below n.
+func (n *Node) CountLeaves() int {
+	if n.Kind == NodeLeaf {
+		return 1
+	}
+	c := 0
+	for _, ch := range n.Children {
+		c += ch.CountLeaves()
+	}
+	return c
+}
+
+// String renders the node tree with infix operators.
+func (n *Node) String() string {
+	switch n.Kind {
+	case NodeLeaf:
+		if n.Pred.Label != "" {
+			return n.Pred.Label
+		}
+		return fmt.Sprintf("S%d[%d]", n.Pred.Stream, n.Pred.Items)
+	case NodeAnd, NodeOr:
+		op := " AND "
+		if n.Kind == NodeOr {
+			op = " OR "
+		}
+		parts := make([]string, len(n.Children))
+		for i, ch := range n.Children {
+			parts[i] = ch.String()
+		}
+		return "(" + strings.Join(parts, op) + ")"
+	}
+	return "?"
+}
+
+// IsDNFShape reports whether the node is already in DNF shape: an OR of
+// ANDs of leaves (single leaves and a bare AND are also accepted).
+func (n *Node) IsDNFShape() bool {
+	isConj := func(c *Node) bool {
+		if c.Kind == NodeLeaf {
+			return true
+		}
+		if c.Kind != NodeAnd {
+			return false
+		}
+		for _, l := range c.Children {
+			if l.Kind != NodeLeaf {
+				return false
+			}
+		}
+		return true
+	}
+	if n.Kind != NodeOr {
+		return isConj(n)
+	}
+	for _, c := range n.Children {
+		if !isConj(c) {
+			return false
+		}
+	}
+	return true
+}
+
+// ToDNF normalizes the node tree into a DNF Tree over the given streams by
+// distributing AND over OR. Each resulting conjunction becomes one AND node.
+//
+// Note: DNF expansion can duplicate a predicate into several AND nodes. The
+// scheduling model treats leaves as statistically independent, so expansion
+// of non-DNF queries yields an approximation of the true cost semantics
+// (documented in DESIGN.md); queries already in DNF shape are exact.
+func (n *Node) ToDNF(streams []Stream) (*Tree, error) {
+	terms, err := n.dnfTerms()
+	if err != nil {
+		return nil, err
+	}
+	t := &Tree{Streams: streams}
+	for i, term := range terms {
+		for _, pred := range term {
+			pred.And = i
+			t.Leaves = append(t.Leaves, pred)
+		}
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// dnfTerms returns the list of conjunctions (each a list of predicates)
+// equivalent to the node.
+func (n *Node) dnfTerms() ([][]Leaf, error) {
+	switch n.Kind {
+	case NodeLeaf:
+		return [][]Leaf{{n.Pred}}, nil
+	case NodeOr:
+		if len(n.Children) == 0 {
+			return nil, ErrEmptyNode
+		}
+		var all [][]Leaf
+		for _, c := range n.Children {
+			ts, err := c.dnfTerms()
+			if err != nil {
+				return nil, err
+			}
+			all = append(all, ts...)
+		}
+		return all, nil
+	case NodeAnd:
+		if len(n.Children) == 0 {
+			return nil, ErrEmptyNode
+		}
+		// Cross product of the children's term lists.
+		acc := [][]Leaf{{}}
+		for _, c := range n.Children {
+			ts, err := c.dnfTerms()
+			if err != nil {
+				return nil, err
+			}
+			next := make([][]Leaf, 0, len(acc)*len(ts))
+			for _, a := range acc {
+				for _, t := range ts {
+					term := make([]Leaf, 0, len(a)+len(t))
+					term = append(term, a...)
+					term = append(term, t...)
+					next = append(next, term)
+				}
+			}
+			acc = next
+		}
+		return acc, nil
+	}
+	return nil, fmt.Errorf("query: unknown node kind %v", n.Kind)
+}

@@ -1,0 +1,129 @@
+package query
+
+import (
+	"strings"
+	"testing"
+)
+
+func leafA() Leaf { return Leaf{Stream: 0, Items: 1, Prob: 0.5, Label: "a"} }
+func leafB() Leaf { return Leaf{Stream: 1, Items: 2, Prob: 0.6, Label: "b"} }
+func leafC() Leaf { return Leaf{Stream: 0, Items: 3, Prob: 0.7, Label: "c"} }
+
+func twoStreams() []Stream {
+	return []Stream{{Name: "X", Cost: 1}, {Name: "Y", Cost: 2}}
+}
+
+func TestNodeKindString(t *testing.T) {
+	if NodeLeaf.String() != "leaf" || NodeAnd.String() != "and" || NodeOr.String() != "or" {
+		t.Error("NodeKind.String mismatch")
+	}
+	if !strings.Contains(NodeKind(9).String(), "9") {
+		t.Error("unknown kind should include the value")
+	}
+}
+
+func TestToDNFAlreadyDNF(t *testing.T) {
+	n := NewOrNode(
+		NewAndNode(NewLeafNode(leafA()), NewLeafNode(leafB())),
+		NewAndNode(NewLeafNode(leafC())),
+	)
+	if !n.IsDNFShape() {
+		t.Error("IsDNFShape should be true")
+	}
+	tr, err := n.ToDNF(twoStreams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.NumAnds() != 2 || tr.NumLeaves() != 3 {
+		t.Errorf("got %d ands, %d leaves", tr.NumAnds(), tr.NumLeaves())
+	}
+}
+
+func TestToDNFDistributes(t *testing.T) {
+	// a AND (b OR c)  =>  (a AND b) OR (a AND c)
+	n := NewAndNode(
+		NewLeafNode(leafA()),
+		NewOrNode(NewLeafNode(leafB()), NewLeafNode(leafC())),
+	)
+	if n.IsDNFShape() {
+		t.Error("IsDNFShape should be false for AND over OR")
+	}
+	tr, err := n.ToDNF(twoStreams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.NumAnds() != 2 {
+		t.Fatalf("got %d AND nodes, want 2", tr.NumAnds())
+	}
+	if tr.NumLeaves() != 4 {
+		t.Fatalf("got %d leaves, want 4 (a duplicated)", tr.NumLeaves())
+	}
+	ands := tr.AndLeaves()
+	for i, and := range ands {
+		if tr.Leaves[and[0]].Label != "a" {
+			t.Errorf("AND %d should start with the distributed leaf a", i)
+		}
+	}
+}
+
+func TestToDNFNested(t *testing.T) {
+	// (a OR b) AND (b OR c) => 4 conjunctions.
+	n := NewAndNode(
+		NewOrNode(NewLeafNode(leafA()), NewLeafNode(leafB())),
+		NewOrNode(NewLeafNode(leafB()), NewLeafNode(leafC())),
+	)
+	tr, err := n.ToDNF(twoStreams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.NumAnds() != 4 || tr.NumLeaves() != 8 {
+		t.Errorf("got %d ands / %d leaves, want 4 / 8", tr.NumAnds(), tr.NumLeaves())
+	}
+}
+
+func TestToDNFSingleLeaf(t *testing.T) {
+	tr, err := NewLeafNode(leafA()).ToDNF(twoStreams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.NumAnds() != 1 || tr.NumLeaves() != 1 {
+		t.Error("single leaf should become a one-leaf AND")
+	}
+}
+
+func TestToDNFEmptyOperator(t *testing.T) {
+	if _, err := NewAndNode().ToDNF(twoStreams()); err == nil {
+		t.Error("empty AND should fail")
+	}
+	if _, err := NewOrNode().ToDNF(twoStreams()); err == nil {
+		t.Error("empty OR should fail")
+	}
+}
+
+func TestNodeString(t *testing.T) {
+	n := NewOrNode(
+		NewAndNode(NewLeafNode(leafA()), NewLeafNode(leafB())),
+		NewLeafNode(leafC()),
+	)
+	s := n.String()
+	if !strings.Contains(s, "AND") || !strings.Contains(s, "OR") {
+		t.Errorf("String = %q", s)
+	}
+	if n.CountLeaves() != 3 {
+		t.Errorf("CountLeaves = %d", n.CountLeaves())
+	}
+}
+
+func TestBareAndIsDNFShape(t *testing.T) {
+	n := NewAndNode(NewLeafNode(leafA()), NewLeafNode(leafB()))
+	if !n.IsDNFShape() {
+		t.Error("bare AND of leaves is DNF shape")
+	}
+	tr, err := n.ToDNF(twoStreams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.IsAndTree() {
+		t.Error("should become an AND-tree")
+	}
+}

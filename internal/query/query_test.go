@@ -1,0 +1,255 @@
+package query
+
+import (
+	"bytes"
+	"math"
+	"math/rand/v2"
+	"path/filepath"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func fig1bTree() *Tree {
+	// Figure 1(b): (AVG(A,5)<70 AND MAX(B,4)>100) OR (C<3 AND MAX(A,10)>80)
+	return &Tree{
+		Streams: []Stream{{Name: "A", Cost: 2}, {Name: "B", Cost: 3}, {Name: "C", Cost: 1}},
+		Leaves: []Leaf{
+			{And: 0, Stream: 0, Items: 5, Prob: 0.6, Label: "AVG(A,5) < 70"},
+			{And: 0, Stream: 1, Items: 4, Prob: 0.3, Label: "MAX(B,4) > 100"},
+			{And: 1, Stream: 2, Items: 1, Prob: 0.5, Label: "C < 3"},
+			{And: 1, Stream: 0, Items: 10, Prob: 0.4, Label: "MAX(A,10) > 80"},
+		},
+	}
+}
+
+func TestTreeAccessors(t *testing.T) {
+	tr := fig1bTree()
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.NumLeaves(); got != 4 {
+		t.Errorf("NumLeaves = %d", got)
+	}
+	if got := tr.NumAnds(); got != 2 {
+		t.Errorf("NumAnds = %d", got)
+	}
+	if tr.IsAndTree() {
+		t.Error("IsAndTree should be false")
+	}
+	if tr.IsReadOnce() {
+		t.Error("IsReadOnce should be false (A occurs twice)")
+	}
+	if got := tr.MaxItems(); got != 10 {
+		t.Errorf("MaxItems = %d", got)
+	}
+	want := []int{10, 4, 1}
+	for k, d := range tr.StreamMaxItems() {
+		if d != want[k] {
+			t.Errorf("StreamMaxItems[%d] = %d, want %d", k, d, want[k])
+		}
+	}
+	if got := tr.LeafAcquireCost(0); got != 10 {
+		t.Errorf("LeafAcquireCost(0) = %v, want 10", got)
+	}
+	if got := tr.AndProb(0); math.Abs(got-0.18) > 1e-12 {
+		t.Errorf("AndProb(0) = %v, want 0.18", got)
+	}
+	wantRoot := 1 - (1-0.18)*(1-0.2)
+	if got := tr.RootProb(); math.Abs(got-wantRoot) > 1e-12 {
+		t.Errorf("RootProb = %v, want %v", got, wantRoot)
+	}
+	if got := tr.SharingRatio(); math.Abs(got-4.0/3) > 1e-12 {
+		t.Errorf("SharingRatio = %v, want 4/3", got)
+	}
+	if id, ok := tr.StreamByName("B"); !ok || id != 1 {
+		t.Errorf("StreamByName(B) = %v, %v", id, ok)
+	}
+	if _, ok := tr.StreamByName("Z"); ok {
+		t.Error("StreamByName(Z) should fail")
+	}
+	if got := tr.LeafName(2); got != "C < 3" {
+		t.Errorf("LeafName(2) = %q", got)
+	}
+	s := tr.String()
+	if !strings.Contains(s, " | ") || !strings.Contains(s, " & ") {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+func TestAndLeavesGrouping(t *testing.T) {
+	tr := fig1bTree()
+	ands := tr.AndLeaves()
+	if len(ands) != 2 || len(ands[0]) != 2 || len(ands[1]) != 2 {
+		t.Fatalf("AndLeaves = %v", ands)
+	}
+	if ands[0][0] != 0 || ands[0][1] != 1 || ands[1][0] != 2 || ands[1][1] != 3 {
+		t.Errorf("AndLeaves = %v", ands)
+	}
+	// Mutation + InvalidateCache refreshes the grouping.
+	tr.Leaves = append(tr.Leaves, Leaf{And: 0, Stream: 2, Items: 1, Prob: 0.9})
+	tr.InvalidateCache()
+	if got := len(tr.AndLeaves()[0]); got != 3 {
+		t.Errorf("after mutation AndLeaves[0] has %d leaves", got)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Tree)
+		want error
+	}{
+		{"no leaves", func(tr *Tree) { tr.Leaves = nil }, ErrNoLeaves},
+		{"no streams", func(tr *Tree) { tr.Streams = nil }, ErrNoStreams},
+		{"bad and", func(tr *Tree) { tr.Leaves[0].And = 7 }, ErrBadAndIndex},
+		{"negative and", func(tr *Tree) { tr.Leaves[0].And = -1 }, ErrBadAndIndex},
+		{"gap in ands", func(tr *Tree) { tr.Leaves[2].And = 2; tr.Leaves[3].And = 2 }, ErrBadAndIndex},
+		{"bad stream", func(tr *Tree) { tr.Leaves[1].Stream = 9 }, ErrBadStream},
+		{"zero items", func(tr *Tree) { tr.Leaves[0].Items = 0 }, ErrBadItems},
+		{"bad prob", func(tr *Tree) { tr.Leaves[0].Prob = 1.5 }, ErrBadProb},
+		{"neg prob", func(tr *Tree) { tr.Leaves[0].Prob = -0.1 }, ErrBadProb},
+		{"neg cost", func(tr *Tree) { tr.Streams[0].Cost = -1 }, ErrNegativeCost},
+		{"dup name", func(tr *Tree) { tr.Streams[1].Name = "A" }, ErrDuplicateName},
+	}
+	for _, c := range cases {
+		tr := fig1bTree()
+		c.mut(tr)
+		tr.InvalidateCache()
+		err := tr.Validate()
+		if err == nil {
+			t.Errorf("%s: Validate accepted invalid tree", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), strings.TrimPrefix(c.want.Error(), "query: ")) {
+			t.Errorf("%s: error %q does not wrap %q", c.name, err, c.want)
+		}
+	}
+	// The pristine tree must validate.
+	if err := fig1bTree().Validate(); err != nil {
+		t.Errorf("valid tree rejected: %v", err)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	tr := fig1bTree()
+	c := tr.Clone()
+	c.Leaves[0].Prob = 0.99
+	c.Streams[0].Cost = 42
+	if tr.Leaves[0].Prob == 0.99 || tr.Streams[0].Cost == 42 {
+		t.Error("Clone shares storage with original")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	tr := fig1bTree()
+	var buf bytes.Buffer
+	if err := Encode(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.String() != tr.String() {
+		t.Errorf("round trip mismatch: %q vs %q", got.String(), tr.String())
+	}
+	if got.NumLeaves() != tr.NumLeaves() || got.NumStreams() != tr.NumStreams() {
+		t.Error("round trip lost leaves or streams")
+	}
+}
+
+func TestJSONFileRoundTrip(t *testing.T) {
+	tr := fig1bTree()
+	path := filepath.Join(t.TempDir(), "tree.json")
+	if err := SaveFile(path, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.String() != tr.String() {
+		t.Error("file round trip mismatch")
+	}
+	if _, err := LoadFile(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("LoadFile on missing file should fail")
+	}
+}
+
+func TestDecodeRejectsInvalid(t *testing.T) {
+	bad := `{"streams":[{"name":"A","cost":1}],"leaves":[{"and":0,"stream":0,"items":0,"prob":0.5}]}`
+	if _, err := Decode(strings.NewReader(bad)); err == nil {
+		t.Error("Decode accepted a tree with zero items")
+	}
+	if _, err := Decode(strings.NewReader("{not json")); err == nil {
+		t.Error("Decode accepted malformed JSON")
+	}
+}
+
+func TestJSONRoundTripQuick(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 99))
+		tr := &Tree{}
+		n := 1 + rng.IntN(3)
+		s := 1 + rng.IntN(3)
+		for k := 0; k < s; k++ {
+			tr.Streams = append(tr.Streams, Stream{Cost: rng.Float64() * 10})
+		}
+		for i := 0; i < n; i++ {
+			for r := 0; r <= rng.IntN(3); r++ {
+				tr.Leaves = append(tr.Leaves, Leaf{
+					And: i, Stream: StreamID(rng.IntN(s)),
+					Items: 1 + rng.IntN(5), Prob: rng.Float64(),
+				})
+			}
+		}
+		var buf bytes.Buffer
+		if err := Encode(&buf, tr); err != nil {
+			return false
+		}
+		got, err := Decode(&buf)
+		if err != nil {
+			return false
+		}
+		if got.NumLeaves() != tr.NumLeaves() {
+			return false
+		}
+		for j := range got.Leaves {
+			if got.Leaves[j] != tr.Leaves[j] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNewAndTreeForcesAndZero(t *testing.T) {
+	tr := NewAndTree(
+		[]Stream{{Name: "A", Cost: 1}},
+		[]Leaf{{And: 3, Stream: 0, Items: 1, Prob: 0.5}, {And: 7, Stream: 0, Items: 2, Prob: 0.2}},
+	)
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !tr.IsAndTree() {
+		t.Error("NewAndTree should produce a single-AND tree")
+	}
+}
+
+func TestLeafNameFallbacks(t *testing.T) {
+	tr := &Tree{
+		Streams: []Stream{{Cost: 1}},
+		Leaves:  []Leaf{{And: 0, Stream: 0, Items: 3, Prob: 0.5}},
+	}
+	if got := tr.LeafName(0); got != "S0[3]" {
+		t.Errorf("LeafName = %q, want S0[3]", got)
+	}
+	tr.Streams[0].Name = "HR"
+	if got := tr.LeafName(0); got != "HR[3]" {
+		t.Errorf("LeafName = %q, want HR[3]", got)
+	}
+}

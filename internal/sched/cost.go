@@ -1,0 +1,177 @@
+package sched
+
+import "paotr/internal/query"
+
+// Cost returns the expected cost of evaluating tree t under schedule s,
+// using the closed form of Section IV-A / Proposition 2 of the paper.
+//
+// For every scheduled leaf l_{i,j} (AND node i) and every item index t in
+// 1..d_{i,j} of its stream S_k, the expected cost of acquiring that item is
+// zero when an earlier leaf of the same AND node also requires it;
+// otherwise it is
+//
+//	C_{i,j,t} = F1 * F2 * F3 * c(S_k)
+//
+// where
+//
+//	F1 = prod over leaves l_{r,s} in L_{k,t} preceding l_{i,j}
+//	     of (1 - prod_{l_{r,u} before l_{r,s} in same AND} p_{r,u})
+//	     -- the probability that no earlier "first-of-its-AND" leaf
+//	        requiring the item was actually evaluated (hence the item was
+//	        not yet acquired, and none of those AND nodes is TRUE);
+//	F2 = prod over fully evaluated AND nodes a (before l_{i,j}) that have
+//	     no leaf in L_{k,t}, of (1 - prod_r p_{a,r})
+//	     -- the probability that no completed AND node already made the OR
+//	        root TRUE;
+//	F3 = prod over same-AND leaves before l_{i,j} of their p
+//	     -- the probability that the evaluation of AND node i reached
+//	        l_{i,j} without being short-circuited.
+//
+// L_{k,t} is the set of leaves that require the t-th item of stream k and
+// are the first of their respective AND node (in schedule order) to do so.
+//
+// s may be a prefix of a schedule (any sequence of distinct leaves): the
+// result is then the expected cost incurred by those leaves under any
+// completion, since a leaf's contribution depends only on its predecessors.
+//
+// The complexity is O(|L| * D * N^2) with |L| leaves, N AND nodes and D the
+// maximum window size, as in the paper.
+func Cost(t *query.Tree, s Schedule) float64 { return costImpl(t, s, nil) }
+
+// costImpl implements Cost and CostWarm: items already cached in w
+// contribute zero cost for every leaf, and nothing else changes (the F1,
+// F2, F3 factors concern only uncached items).
+func costImpl(t *query.Tree, s Schedule, w Warm) float64 {
+	m := t.NumLeaves()
+	if m == 0 || len(s) == 0 {
+		return 0
+	}
+	nAnds := t.NumAnds()
+	maxD := t.StreamMaxItems()
+
+	// pos[j] = position of leaf j in s, or -1 if unscheduled.
+	pos := make([]int, m)
+	for j := range pos {
+		pos[j] = -1
+	}
+	for i, j := range s {
+		pos[j] = i
+	}
+
+	// prefixProb[j] = product of p over same-AND leaves strictly before
+	// leaf j in the schedule: the probability that leaf j is evaluated,
+	// conditioned on its AND node being reached at all.
+	prefixProb := make([]float64, m)
+	// completedPos[a] = schedule position after which all leaves of AND a
+	// have been scheduled, or -1 if AND a is not fully scheduled.
+	completedPos := make([]int, nAnds)
+	// andAllProb[a] = product of all leaf probabilities of AND a.
+	andAllProb := make([]float64, nAnds)
+	andScheduled := make([]int, nAnds)
+	for a := range andAllProb {
+		andAllProb[a] = 1
+		completedPos[a] = -1
+	}
+	for _, l := range t.Leaves {
+		andAllProb[l.And] *= l.Prob
+	}
+	andSize := make([]int, nAnds)
+	for a, and := range t.AndLeaves() {
+		andSize[a] = len(and)
+	}
+	andAcc := make([]float64, nAnds) // running product while scanning s
+	for a := range andAcc {
+		andAcc[a] = 1
+	}
+	for i, j := range s {
+		l := t.Leaves[j]
+		prefixProb[j] = andAcc[l.And]
+		andAcc[l.And] *= l.Prob
+		andScheduled[l.And]++
+		if andScheduled[l.And] == andSize[l.And] {
+			completedPos[l.And] = i
+		}
+	}
+
+	// first[k][t-1][a] = leaf index of the first scheduled leaf (in
+	// schedule order) of AND a requiring the t-th item of stream k, or -1.
+	first := make([][][]int, t.NumStreams())
+	for k := range first {
+		first[k] = make([][]int, maxD[k])
+		for d := range first[k] {
+			row := make([]int, nAnds)
+			for a := range row {
+				row[a] = -1
+			}
+			first[k][d] = row
+		}
+	}
+	for _, j := range s { // schedule order => first occurrence wins
+		l := t.Leaves[j]
+		for d := 0; d < l.Items; d++ {
+			if first[l.Stream][d][l.And] == -1 {
+				first[l.Stream][d][l.And] = j
+			}
+		}
+	}
+
+	total := 0.0
+	for _, j := range s {
+		l := t.Leaves[j]
+		pj := pos[j]
+		c := t.Streams[l.Stream].Cost
+		for d := 0; d < l.Items; d++ {
+			if w.Has(l.Stream, d+1) {
+				continue // item already in the device cache: free
+			}
+			lkt := first[l.Stream][d]
+			// Case 1: an earlier leaf of the same AND requires the item.
+			if f := lkt[l.And]; f != j {
+				continue // f precedes j by first-occurrence construction
+			}
+			f1 := 1.0
+			for a, r := range lkt {
+				if r == -1 || a == l.And || pos[r] >= pj {
+					continue
+				}
+				f1 *= 1 - prefixProb[r]
+			}
+			f2 := 1.0
+			for a := 0; a < nAnds; a++ {
+				if a == l.And || lkt[a] != -1 {
+					continue
+				}
+				if cp := completedPos[a]; cp >= 0 && cp < pj {
+					f2 *= 1 - andAllProb[a]
+				}
+			}
+			total += f1 * f2 * prefixProb[j] * c
+		}
+	}
+	return total
+}
+
+// AndTreeCost returns the expected cost of schedule s on a single-AND tree
+// in O(m + s) time: the j-th evaluated leaf is reached iff all previous
+// leaves evaluated to TRUE, and it pays only for items of its stream not
+// already acquired by earlier leaves. Like Cost, it accepts schedule
+// prefixes.
+//
+// It panics if the tree has more than one AND node.
+func AndTreeCost(t *query.Tree, s Schedule) float64 {
+	if !t.IsAndTree() {
+		panic("sched: AndTreeCost on a tree with multiple AND nodes")
+	}
+	acquired := make([]int, t.NumStreams())
+	reach := 1.0 // probability that evaluation reaches the current leaf
+	total := 0.0
+	for _, j := range s {
+		l := t.Leaves[j]
+		if extra := l.Items - acquired[l.Stream]; extra > 0 {
+			total += reach * float64(extra) * t.Streams[l.Stream].Cost
+			acquired[l.Stream] = l.Items
+		}
+		reach *= l.Prob
+	}
+	return total
+}

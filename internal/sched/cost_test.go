@@ -1,0 +1,326 @@
+package sched
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"paotr/internal/query"
+)
+
+// section2BTree builds the 7-leaf, 3-AND DNF tree of Figure 3 / Section
+// II-B with the given leaf probabilities (p[0] is p_1, ... p[6] is p_7) and
+// unit stream costs unless costs is non-nil.
+//
+// Leaves, in schedule order l1..l7:
+//
+//	l1 = AND1:A[1], l2 = AND2:B[1], l3 = AND1:C[1], l4 = AND1:D[1],
+//	l5 = AND2:C[1], l6 = AND3:B[1], l7 = AND3:D[1]
+func section2BTree(p [7]float64, costs []float64) (*query.Tree, Schedule) {
+	c := []float64{1, 1, 1, 1}
+	if costs != nil {
+		c = costs
+	}
+	t := &query.Tree{
+		Streams: []query.Stream{
+			{Name: "A", Cost: c[0]}, {Name: "B", Cost: c[1]},
+			{Name: "C", Cost: c[2]}, {Name: "D", Cost: c[3]},
+		},
+		Leaves: []query.Leaf{
+			{And: 0, Stream: 0, Items: 1, Prob: p[0]}, // l1
+			{And: 1, Stream: 1, Items: 1, Prob: p[1]}, // l2
+			{And: 0, Stream: 2, Items: 1, Prob: p[2]}, // l3
+			{And: 0, Stream: 3, Items: 1, Prob: p[3]}, // l4
+			{And: 1, Stream: 2, Items: 1, Prob: p[4]}, // l5
+			{And: 2, Stream: 1, Items: 1, Prob: p[5]}, // l6
+			{And: 2, Stream: 3, Items: 1, Prob: p[6]}, // l7
+		},
+	}
+	return t, Schedule{0, 1, 2, 3, 4, 5, 6}
+}
+
+// section2BClosedForm is the cost expression derived step by step in
+// Section II-B:
+//
+//	C = c(A) + c(B) + (p1 + (1-p1)p2) c(C)
+//	    + (p1 p3 + (1-p1 p3)(1-p2 p5) p6) c(D)
+func section2BClosedForm(p [7]float64, c []float64) float64 {
+	return c[0] + c[1] +
+		(p[0]+(1-p[0])*p[1])*c[2] +
+		(p[0]*p[2]+(1-p[0]*p[2])*(1-p[1]*p[4])*p[5])*c[3]
+}
+
+func TestSection2BExample(t *testing.T) {
+	p := [7]float64{0.3, 0.6, 0.5, 0.8, 0.2, 0.7, 0.4}
+	tree, s := section2BTree(p, nil)
+	if err := tree.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	want := section2BClosedForm(p, []float64{1, 1, 1, 1})
+	if got := Cost(tree, s); math.Abs(got-want) > 1e-12 {
+		t.Errorf("Cost = %v, want %v (paper closed form)", got, want)
+	}
+	if got := ExactCostEnum(tree, s); math.Abs(got-want) > 1e-12 {
+		t.Errorf("ExactCostEnum = %v, want %v", got, want)
+	}
+}
+
+func TestSection2BExampleRandomProbs(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 11))
+	for trial := 0; trial < 200; trial++ {
+		var p [7]float64
+		for i := range p {
+			p[i] = rng.Float64()
+		}
+		costs := []float64{1 + 9*rng.Float64(), 1 + 9*rng.Float64(),
+			1 + 9*rng.Float64(), 1 + 9*rng.Float64()}
+		tree, s := section2BTree(p, costs)
+		want := section2BClosedForm(p, costs)
+		if got := Cost(tree, s); math.Abs(got-want) > 1e-9 {
+			t.Fatalf("trial %d: Cost = %v, want %v (p=%v c=%v)", trial, got, want, p, costs)
+		}
+	}
+}
+
+// randomTree builds a random DNF tree with up to maxAnds AND nodes, up to
+// maxLeavesPerAnd leaves each, windows up to maxD, and a small stream pool
+// to force sharing.
+func randomTree(rng *rand.Rand, maxAnds, maxLeavesPerAnd, maxD int) *query.Tree {
+	nAnds := 1 + rng.IntN(maxAnds)
+	nStreams := 1 + rng.IntN(4)
+	tr := &query.Tree{}
+	for k := 0; k < nStreams; k++ {
+		tr.Streams = append(tr.Streams, query.Stream{Cost: 1 + 9*rng.Float64()})
+	}
+	for i := 0; i < nAnds; i++ {
+		n := 1 + rng.IntN(maxLeavesPerAnd)
+		for r := 0; r < n; r++ {
+			tr.Leaves = append(tr.Leaves, query.Leaf{
+				And:    i,
+				Stream: query.StreamID(rng.IntN(nStreams)),
+				Items:  1 + rng.IntN(maxD),
+				Prob:   rng.Float64(),
+			})
+		}
+	}
+	return tr
+}
+
+func randomSchedule(rng *rand.Rand, m int) Schedule {
+	s := make(Schedule, m)
+	for j := range s {
+		s[j] = j
+	}
+	rng.Shuffle(m, func(a, b int) { s[a], s[b] = s[b], s[a] })
+	return s
+}
+
+// TestCostMatchesTruthTable is the central cross-validation: the closed
+// form of Proposition 2 must equal the exact expectation of the pull-model
+// executor over all truth assignments, for arbitrary trees and schedules.
+func TestCostMatchesTruthTable(t *testing.T) {
+	rng := rand.New(rand.NewPCG(42, 43))
+	for trial := 0; trial < 500; trial++ {
+		tr := randomTree(rng, 4, 4, 3)
+		if tr.NumLeaves() > 14 {
+			continue
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		s := randomSchedule(rng, tr.NumLeaves())
+		want := ExactCostEnum(tr, s)
+		got := Cost(tr, s)
+		if math.Abs(got-want) > 1e-9*(1+want) {
+			t.Fatalf("trial %d: Cost=%v truth-table=%v\ntree=%v\nschedule=%v",
+				trial, got, want, tr, s)
+		}
+	}
+}
+
+// TestCostMatchesTruthTableQuick drives the same cross-validation through
+// testing/quick, with the seed as the generated input.
+func TestCostMatchesTruthTableQuick(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, seed+1))
+		tr := randomTree(rng, 3, 3, 3)
+		if tr.NumLeaves() > 12 {
+			return true
+		}
+		s := randomSchedule(rng, tr.NumLeaves())
+		return math.Abs(Cost(tr, s)-ExactCostEnum(tr, s)) <= 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAndTreeCostMatchesGeneralCost(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 6))
+	for trial := 0; trial < 300; trial++ {
+		tr := randomTree(rng, 1, 8, 4)
+		s := randomSchedule(rng, tr.NumLeaves())
+		fast := AndTreeCost(tr, s)
+		general := Cost(tr, s)
+		if math.Abs(fast-general) > 1e-9*(1+general) {
+			t.Fatalf("trial %d: AndTreeCost=%v Cost=%v tree=%v", trial, fast, general, tr)
+		}
+	}
+}
+
+func TestPrefixMatchesCost(t *testing.T) {
+	rng := rand.New(rand.NewPCG(9, 10))
+	for trial := 0; trial < 300; trial++ {
+		tr := randomTree(rng, 4, 4, 3)
+		s := randomSchedule(rng, tr.NumLeaves())
+		p := NewPrefix(tr)
+		sum := 0.0
+		for _, j := range s {
+			sum += p.Append(j)
+		}
+		want := Cost(tr, s)
+		if math.Abs(p.Cost()-want) > 1e-9*(1+want) || math.Abs(sum-want) > 1e-9*(1+want) {
+			t.Fatalf("trial %d: prefix=%v sum=%v want=%v", trial, p.Cost(), sum, want)
+		}
+	}
+}
+
+// TestPrefixPopRestores verifies that Append followed by Pop is a no-op by
+// interleaving random appends/pops and re-checking the final cost.
+func TestPrefixPopRestores(t *testing.T) {
+	rng := rand.New(rand.NewPCG(11, 12))
+	for trial := 0; trial < 200; trial++ {
+		tr := randomTree(rng, 3, 4, 3)
+		m := tr.NumLeaves()
+		p := NewPrefix(tr)
+		var stack []int
+		inPrefix := make([]bool, m)
+		for step := 0; step < 80; step++ {
+			if len(stack) > 0 && (len(stack) == m || rng.Float64() < 0.45) {
+				j := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				inPrefix[j] = false
+				p.Pop()
+			} else {
+				j := rng.IntN(m)
+				if inPrefix[j] {
+					continue
+				}
+				inPrefix[j] = true
+				stack = append(stack, j)
+				p.Append(j)
+			}
+			want := Cost(tr, Schedule(p.Order()))
+			if math.Abs(p.Cost()-want) > 1e-9*(1+want) {
+				t.Fatalf("trial %d step %d: prefix cost %v, recompute %v (order %v)",
+					trial, step, p.Cost(), want, p.Order())
+			}
+		}
+	}
+}
+
+func TestMonteCarloConvergesToCost(t *testing.T) {
+	rng := rand.New(rand.NewPCG(21, 22))
+	for trial := 0; trial < 10; trial++ {
+		tr := randomTree(rng, 3, 4, 3)
+		s := randomSchedule(rng, tr.NumLeaves())
+		exact := Cost(tr, s)
+		est := MonteCarloCost(tr, s, 200000, rng)
+		if math.Abs(est-exact) > 0.05*(1+exact) {
+			t.Errorf("trial %d: Monte-Carlo %v vs exact %v", trial, est, exact)
+		}
+	}
+}
+
+// TestCostScheduleInvariance: the expected cost depends on the schedule,
+// but leaves of probability 1 at the end of an AND may be permuted freely;
+// more fundamentally, reversing a schedule of an OR of single-leaf ANDs
+// with identical leaves must not change cost.
+func TestCostSymmetricLeaves(t *testing.T) {
+	tr := &query.Tree{
+		Streams: []query.Stream{{Name: "A", Cost: 2}},
+		Leaves: []query.Leaf{
+			{And: 0, Stream: 0, Items: 1, Prob: 0.5},
+			{And: 1, Stream: 0, Items: 1, Prob: 0.5},
+			{And: 2, Stream: 0, Items: 1, Prob: 0.5},
+		},
+	}
+	a := Cost(tr, Schedule{0, 1, 2})
+	b := Cost(tr, Schedule{2, 1, 0})
+	if math.Abs(a-b) > 1e-12 {
+		t.Errorf("symmetric schedules differ: %v vs %v", a, b)
+	}
+	// Single-leaf ANDs sharing one item: only the first evaluation pays.
+	// Cost = c (first leaf always evaluated; later leaves are free).
+	if math.Abs(a-2) > 1e-12 {
+		t.Errorf("cost = %v, want 2 (single shared item paid once)", a)
+	}
+}
+
+func TestExecutorShortCircuits(t *testing.T) {
+	tr := &query.Tree{
+		Streams: []query.Stream{{Cost: 1}, {Cost: 10}},
+		Leaves: []query.Leaf{
+			{And: 0, Stream: 0, Items: 1, Prob: 0.5},
+			{And: 0, Stream: 1, Items: 1, Prob: 0.5},
+			{And: 1, Stream: 1, Items: 1, Prob: 0.5},
+		},
+	}
+	e := NewExecutor(tr)
+	// Leaf 0 FALSE: AND0 dead, leaf 1 skipped, leaf 2 evaluated.
+	res := e.Execute(Schedule{0, 1, 2}, []bool{false, true, true})
+	if res.Cost != 1+10 || !res.Value || res.Evaluated != 2 {
+		t.Errorf("unexpected result %+v", res)
+	}
+	// Leaf 0,1 TRUE: AND0 TRUE resolves the OR; leaf 2 not evaluated.
+	res = e.Execute(Schedule{0, 1, 2}, []bool{true, true, false})
+	if res.Cost != 11 || !res.Value || res.Evaluated != 2 {
+		t.Errorf("unexpected result %+v", res)
+	}
+	// All FALSE: leaf 0 kills AND0, leaf 2 kills AND1 -> OR FALSE.
+	res = e.Execute(Schedule{0, 1, 2}, []bool{false, true, false})
+	if res.Cost != 11 || res.Value || res.Evaluated != 2 {
+		t.Errorf("unexpected result %+v", res)
+	}
+}
+
+func TestScheduleValidate(t *testing.T) {
+	tr := randomTree(rand.New(rand.NewPCG(1, 2)), 2, 3, 2)
+	m := tr.NumLeaves()
+	good := make(Schedule, m)
+	for i := range good {
+		good[i] = i
+	}
+	if err := good.Validate(tr); err != nil {
+		t.Errorf("valid schedule rejected: %v", err)
+	}
+	if err := good[:m-1].Validate(tr); err == nil {
+		t.Error("short schedule accepted")
+	}
+	bad := good.Clone()
+	bad[0] = bad[1]
+	if err := bad.Validate(tr); err == nil {
+		t.Error("duplicate leaf accepted")
+	}
+}
+
+func TestIsDepthFirst(t *testing.T) {
+	tr := &query.Tree{
+		Streams: []query.Stream{{Cost: 1}},
+		Leaves: []query.Leaf{
+			{And: 0, Stream: 0, Items: 1, Prob: 0.5},
+			{And: 0, Stream: 0, Items: 1, Prob: 0.5},
+			{And: 1, Stream: 0, Items: 1, Prob: 0.5},
+		},
+	}
+	if !(Schedule{0, 1, 2}).IsDepthFirst(tr) {
+		t.Error("0,1,2 should be depth-first")
+	}
+	if !(Schedule{2, 0, 1}).IsDepthFirst(tr) {
+		t.Error("2,0,1 should be depth-first")
+	}
+	if (Schedule{0, 2, 1}).IsDepthFirst(tr) {
+		t.Error("0,2,1 should not be depth-first")
+	}
+}

@@ -1,0 +1,192 @@
+package sched
+
+import "paotr/internal/query"
+
+// Prefix incrementally evaluates the expected cost of a schedule prefix of
+// a DNF tree under the Proposition 2 semantics. Because the cost
+// contribution of a leaf depends only on the leaves scheduled before it,
+// the expected cost of a partial schedule is a lower bound on the cost of
+// any completion — the key fact exploited by the branch-and-bound searches
+// and by the dynamic AND-ordered heuristics.
+//
+// Append adds a leaf to the prefix and returns its (exact) expected cost
+// contribution; Pop undoes the most recent Append in O(D) time.
+type Prefix struct {
+	t     *query.Tree
+	warm  Warm
+	words int // bitset words per (stream,item) slot
+
+	order []int // appended leaves, in order
+
+	pi      []float64 // per AND: product of p over appended leaves
+	cnt     []int     // per AND: number of appended leaves
+	size    []int     // per AND: total number of leaves
+	andAll  []float64 // per AND: product of all leaf probabilities
+	done    []int     // completed ANDs, in completion order
+	acq     [][]float64
+	has     [][]uint64 // has[k][t*words+w]: ANDs owning a leaf in L_{k,t}
+	maxD    []int
+	cost    float64
+	history []undoRec
+}
+
+type undoRec struct {
+	leaf      int
+	delta     float64
+	changedTs []int
+	oldAcq    []float64
+	completed bool
+}
+
+// NewPrefix creates an empty prefix evaluator for tree t.
+func NewPrefix(t *query.Tree) *Prefix { return NewPrefixWarm(t, nil) }
+
+// NewPrefixWarm creates a prefix evaluator that treats the items cached in
+// w as free (see CostWarm).
+func NewPrefixWarm(t *query.Tree, w Warm) *Prefix {
+	n := t.NumAnds()
+	p := &Prefix{
+		t:      t,
+		warm:   w,
+		words:  (n + 63) / 64,
+		pi:     make([]float64, n),
+		cnt:    make([]int, n),
+		size:   make([]int, n),
+		andAll: make([]float64, n),
+		maxD:   t.StreamMaxItems(),
+	}
+	for a := range p.pi {
+		p.pi[a] = 1
+		p.andAll[a] = 1
+	}
+	for a, and := range t.AndLeaves() {
+		p.size[a] = len(and)
+	}
+	for _, l := range t.Leaves {
+		p.andAll[l.And] *= l.Prob
+	}
+	p.acq = make([][]float64, t.NumStreams())
+	p.has = make([][]uint64, t.NumStreams())
+	for k := range p.acq {
+		p.acq[k] = make([]float64, p.maxD[k])
+		for d := range p.acq[k] {
+			p.acq[k][d] = 1
+		}
+		p.has[k] = make([]uint64, p.maxD[k]*p.words)
+	}
+	return p
+}
+
+func (p *Prefix) hasBit(k query.StreamID, d, a int) bool {
+	return p.has[k][d*p.words+a/64]&(1<<uint(a%64)) != 0
+}
+
+func (p *Prefix) setBit(k query.StreamID, d, a int) {
+	p.has[k][d*p.words+a/64] |= 1 << uint(a%64)
+}
+
+func (p *Prefix) clearBit(k query.StreamID, d, a int) {
+	p.has[k][d*p.words+a/64] &^= 1 << uint(a%64)
+}
+
+// Len returns the number of leaves appended so far.
+func (p *Prefix) Len() int { return len(p.order) }
+
+// Cost returns the expected cost of the current prefix: the exact expected
+// acquisition cost incurred by the leaves appended so far, whatever leaves
+// are appended later.
+func (p *Prefix) Cost() float64 { return p.cost }
+
+// Order returns the appended leaves in order. Callers must not mutate it.
+func (p *Prefix) Order() []int { return p.order }
+
+// Append adds leaf j to the prefix and returns its expected cost
+// contribution C_j = sum_t C_{i,j,t} (Proposition 2).
+func (p *Prefix) Append(j int) float64 {
+	l := p.t.Leaves[j]
+	i, k := l.And, l.Stream
+	c := p.t.Streams[k].Cost
+	rec := undoRec{leaf: j}
+	delta := 0.0
+	for d := 0; d < l.Items; d++ {
+		if p.warm.Has(k, d+1) {
+			continue // item already in the device cache: free
+		}
+		if p.hasBit(k, d, i) {
+			continue // an earlier same-AND leaf already requires the item
+		}
+		f1 := p.acq[k][d]
+		f2 := 1.0
+		for _, a := range p.done {
+			if a != i && !p.hasBit(k, d, a) {
+				f2 *= 1 - p.andAll[a]
+			}
+		}
+		delta += f1 * f2 * p.pi[i] * c
+		// Leaf j becomes the first of AND i to require this item.
+		rec.changedTs = append(rec.changedTs, d)
+		rec.oldAcq = append(rec.oldAcq, p.acq[k][d])
+		p.acq[k][d] *= 1 - p.pi[i]
+		p.setBit(k, d, i)
+	}
+	p.pi[i] *= l.Prob
+	p.cnt[i]++
+	if p.cnt[i] == p.size[i] {
+		p.done = append(p.done, i)
+		rec.completed = true
+	}
+	rec.delta = delta
+	p.cost += delta
+	p.order = append(p.order, j)
+	p.history = append(p.history, rec)
+	return delta
+}
+
+// Pop undoes the most recent Append. It panics if the prefix is empty.
+func (p *Prefix) Pop() {
+	rec := p.history[len(p.history)-1]
+	p.history = p.history[:len(p.history)-1]
+	p.order = p.order[:len(p.order)-1]
+	l := p.t.Leaves[rec.leaf]
+	i, k := l.And, l.Stream
+	if rec.completed {
+		p.done = p.done[:len(p.done)-1]
+	}
+	p.cnt[i]--
+	// Recompute pi rather than dividing, to stay exact when p == 0.
+	p.pi[i] = 1
+	for _, r := range p.order {
+		if p.t.Leaves[r].And == i {
+			p.pi[i] *= p.t.Leaves[r].Prob
+		}
+	}
+	for n, d := range rec.changedTs {
+		p.acq[k][d] = rec.oldAcq[n]
+		p.clearBit(k, d, i)
+	}
+	p.cost -= rec.delta
+}
+
+// Reset empties the prefix.
+func (p *Prefix) Reset() {
+	for p.Len() > 0 {
+		p.Pop()
+	}
+}
+
+// AppendAll appends the given leaves in order and returns the total
+// expected cost contribution.
+func (p *Prefix) AppendAll(leaves []int) float64 {
+	total := 0.0
+	for _, j := range leaves {
+		total += p.Append(j)
+	}
+	return total
+}
+
+// PopN undoes the n most recent Appends.
+func (p *Prefix) PopN(n int) {
+	for ; n > 0; n-- {
+		p.Pop()
+	}
+}

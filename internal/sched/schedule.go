@@ -1,0 +1,85 @@
+// Package sched defines leaf-evaluation schedules for shared-stream query
+// trees and implements the expected-cost semantics of Casanova et al.
+// (IPDPS 2014): the closed-form evaluation of Section IV-A / Proposition 2,
+// an incremental prefix evaluator used by branch-and-bound searches and
+// dynamic heuristics, and two independent reference evaluators (exhaustive
+// truth-table execution and Monte-Carlo execution).
+package sched
+
+import (
+	"errors"
+	"fmt"
+
+	"paotr/internal/query"
+)
+
+// Schedule is a leaf evaluation order: a permutation of 0..m-1 where m is
+// the number of leaves of the tree, listing leaf indices in the order in
+// which they are to be evaluated.
+type Schedule []int
+
+// ErrNotPermutation is returned by Validate when a schedule is not a
+// permutation of the tree's leaf indices.
+var ErrNotPermutation = errors.New("sched: schedule is not a permutation of the tree leaves")
+
+// Validate checks that s is a permutation of 0..m-1 for tree t.
+func (s Schedule) Validate(t *query.Tree) error {
+	m := t.NumLeaves()
+	if len(s) != m {
+		return fmt.Errorf("%w: length %d, want %d", ErrNotPermutation, len(s), m)
+	}
+	seen := make([]bool, m)
+	for _, j := range s {
+		if j < 0 || j >= m || seen[j] {
+			return fmt.Errorf("%w: bad or repeated leaf %d", ErrNotPermutation, j)
+		}
+		seen[j] = true
+	}
+	return nil
+}
+
+// Positions returns pos such that pos[leaf] is the position of the leaf in
+// the schedule.
+func (s Schedule) Positions() []int {
+	pos := make([]int, len(s))
+	for i, j := range s {
+		pos[j] = i
+	}
+	return pos
+}
+
+// Clone returns a copy of the schedule.
+func (s Schedule) Clone() Schedule { return append(Schedule(nil), s...) }
+
+// IsDepthFirst reports whether the schedule processes AND nodes one by one:
+// once a leaf of an AND node has been evaluated, all leaves of that AND node
+// are evaluated before any leaf of another AND node.
+func (s Schedule) IsDepthFirst(t *query.Tree) bool {
+	remaining := make([]int, t.NumAnds())
+	for i, and := range t.AndLeaves() {
+		remaining[i] = len(and)
+	}
+	current := -1
+	for _, j := range s {
+		a := t.Leaves[j].And
+		if current != -1 && a != current {
+			return false
+		}
+		remaining[a]--
+		if remaining[a] == 0 {
+			current = -1
+		} else {
+			current = a
+		}
+	}
+	return true
+}
+
+// Names renders the schedule using LeafName, for debugging and reports.
+func (s Schedule) Names(t *query.Tree) []string {
+	out := make([]string, len(s))
+	for i, j := range s {
+		out[i] = t.LeafName(j)
+	}
+	return out
+}

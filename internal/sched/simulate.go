@@ -1,0 +1,130 @@
+package sched
+
+import (
+	"math/rand/v2"
+
+	"paotr/internal/query"
+)
+
+// Executor simulates the pull-model evaluation of a schedule for one fixed
+// truth assignment of the leaves. It is the operational ground truth for
+// the cost semantics: Cost (Proposition 2) must equal the expectation of
+// Execute over the leaf-truth distribution, which the tests assert via
+// ExactCostEnum and MonteCarloCost.
+type Executor struct {
+	t        *query.Tree
+	acquired []int  // per stream, deepest item index pulled so far
+	andFalse []bool // AND short-circuited to FALSE
+	andLeft  []int  // unevaluated leaves remaining per AND
+}
+
+// NewExecutor prepares an executor for tree t.
+func NewExecutor(t *query.Tree) *Executor {
+	return &Executor{
+		t:        t,
+		acquired: make([]int, t.NumStreams()),
+		andFalse: make([]bool, t.NumAnds()),
+		andLeft:  make([]int, t.NumAnds()),
+	}
+}
+
+// Result reports the outcome of executing a schedule under one assignment.
+type Result struct {
+	// Cost is the total acquisition cost actually paid.
+	Cost float64
+	// Value is the truth value of the OR root.
+	Value bool
+	// Evaluated counts the leaves whose predicate was actually computed.
+	Evaluated int
+	// Acquired counts the data items pulled, per stream.
+	Acquired []int
+}
+
+// Execute runs schedule s assuming truth[j] is the value of leaf j.
+// Evaluation short-circuits exactly as in the paper: a leaf is skipped when
+// its AND node is already FALSE, and everything stops as soon as one AND
+// node has all leaves TRUE (OR resolved) or all AND nodes are FALSE.
+func (e *Executor) Execute(s Schedule, truth []bool) Result {
+	t := e.t
+	for k := range e.acquired {
+		e.acquired[k] = 0
+	}
+	falseAnds := 0
+	for a, and := range t.AndLeaves() {
+		e.andFalse[a] = false
+		e.andLeft[a] = len(and)
+	}
+	res := Result{}
+	for _, j := range s {
+		l := t.Leaves[j]
+		if e.andFalse[l.And] {
+			continue // AND already FALSE: leaf short-circuited
+		}
+		// Evaluate the leaf: pull the items not yet in memory.
+		if extra := l.Items - e.acquired[l.Stream]; extra > 0 {
+			res.Cost += float64(extra) * t.Streams[l.Stream].Cost
+			e.acquired[l.Stream] = l.Items
+		}
+		res.Evaluated++
+		e.andLeft[l.And]--
+		if !truth[j] {
+			e.andFalse[l.And] = true
+			falseAnds++
+			if falseAnds == t.NumAnds() {
+				break // OR resolved FALSE
+			}
+		} else if e.andLeft[l.And] == 0 {
+			res.Value = true // OR resolved TRUE
+			break
+		}
+	}
+	res.Acquired = append([]int(nil), e.acquired...)
+	return res
+}
+
+// ExactCostEnum computes the exact expected cost of schedule s by
+// enumerating all 2^m truth assignments and executing each one. It is
+// exponential and intended for tests on small trees (m <= ~20); it serves
+// as an independent check of Cost.
+func ExactCostEnum(t *query.Tree, s Schedule) float64 {
+	m := t.NumLeaves()
+	if m > 30 {
+		panic("sched: ExactCostEnum limited to 30 leaves")
+	}
+	e := NewExecutor(t)
+	truth := make([]bool, m)
+	total := 0.0
+	for mask := 0; mask < 1<<uint(m); mask++ {
+		prob := 1.0
+		for j := 0; j < m; j++ {
+			if mask&(1<<uint(j)) != 0 {
+				truth[j] = true
+				prob *= t.Leaves[j].Prob
+			} else {
+				truth[j] = false
+				prob *= 1 - t.Leaves[j].Prob
+			}
+		}
+		if prob == 0 {
+			continue
+		}
+		total += prob * e.Execute(s, truth).Cost
+	}
+	return total
+}
+
+// MonteCarloCost estimates the expected cost of schedule s by sampling n
+// random truth assignments with the leaf probabilities.
+func MonteCarloCost(t *query.Tree, s Schedule, n int, rng *rand.Rand) float64 {
+	m := t.NumLeaves()
+	e := NewExecutor(t)
+	truth := make([]bool, m)
+	total := 0.0
+	for i := 0; i < n; i++ {
+		for j := 0; j < m; j++ {
+			truth[j] = rng.Float64() < t.Leaves[j].Prob
+		}
+		total += e.Execute(s, truth).Cost
+	}
+	return total / float64(n)
+}

@@ -1,0 +1,78 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// AsciiPlot renders performance profiles as a terminal chart in the style
+// of the paper's Figures 5 and 6: x-axis is the fraction of instances,
+// y-axis the cost ratio, one letter per heuristic. It is intentionally
+// simple — gnuplot-quality output comes from the CSV exports — but makes
+// `paotrexp` self-contained.
+func AsciiPlot(names []string, profiles []*Profile, width, height int, yMax float64) string {
+	if width < 10 {
+		width = 10
+	}
+	if height < 4 {
+		height = 4
+	}
+	if yMax <= 1 {
+		yMax = 1
+		for _, p := range profiles {
+			if m := p.Quantile(0.99); m > yMax && !math.IsNaN(m) {
+				yMax = m
+			}
+		}
+		if yMax > 10 {
+			yMax = 10 // match the paper's axis cap
+		}
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	marks := "SRQCABDEFGHIJK"
+	for i, p := range profiles {
+		mark := byte('?')
+		if i < len(marks) {
+			mark = marks[i]
+		}
+		for col := 0; col < width; col++ {
+			frac := float64(col+1) / float64(width)
+			ratio := p.Quantile(frac)
+			if math.IsNaN(ratio) {
+				continue
+			}
+			if ratio > yMax {
+				ratio = yMax
+			}
+			// Row 0 is the top (ratio == yMax); the bottom is ratio 1.
+			rel := (ratio - 1) / (yMax - 1)
+			row := height - 1 - int(math.Round(rel*float64(height-1)))
+			if row < 0 {
+				row = 0
+			}
+			if row >= height {
+				row = height - 1
+			}
+			grid[row][col] = mark
+		}
+	}
+	var b strings.Builder
+	for r := range grid {
+		y := yMax - (yMax-1)*float64(r)/float64(height-1)
+		fmt.Fprintf(&b, "%6.2f |%s\n", y, string(grid[r]))
+	}
+	b.WriteString("       +" + strings.Repeat("-", width) + "\n")
+	fmt.Fprintf(&b, "        0%%%s100%%\n", strings.Repeat(" ", width-7))
+	for i, n := range names {
+		mark := "?"
+		if i < len(marks) {
+			mark = string(marks[i])
+		}
+		fmt.Fprintf(&b, "  %s = %s\n", mark, n)
+	}
+	return b.String()
+}

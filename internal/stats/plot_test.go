@@ -1,0 +1,50 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAsciiPlotBasics(t *testing.T) {
+	p1 := NewProfile([]float64{1, 1, 1.2, 2, 3})
+	p2 := NewProfile([]float64{1, 1.5, 2.5, 4, 8})
+	out := AsciiPlot([]string{"good", "bad"}, []*Profile{p1, p2}, 40, 10, 0)
+	if !strings.Contains(out, "S = good") || !strings.Contains(out, "R = bad") {
+		t.Errorf("legend missing:\n%s", out)
+	}
+	if !strings.Contains(out, "0%") || !strings.Contains(out, "100%") {
+		t.Errorf("axis labels missing:\n%s", out)
+	}
+	lines := strings.Split(out, "\n")
+	if len(lines) < 12 {
+		t.Errorf("plot too short: %d lines", len(lines))
+	}
+	// The first column label should be the y max, the last grid row y=1.
+	if !strings.HasPrefix(strings.TrimSpace(lines[0]), "8.00") {
+		t.Errorf("top label = %q", lines[0])
+	}
+}
+
+func TestAsciiPlotClampsAxis(t *testing.T) {
+	p := NewProfile([]float64{1, 50, 100})
+	out := AsciiPlot([]string{"x"}, []*Profile{p}, 20, 5, 0)
+	if !strings.Contains(out, "10.00") {
+		t.Errorf("y axis should cap at 10 like the paper's figures:\n%s", out)
+	}
+}
+
+func TestAsciiPlotTinyDimensions(t *testing.T) {
+	p := NewProfile([]float64{1})
+	out := AsciiPlot([]string{"x"}, []*Profile{p}, 1, 1, 0)
+	if out == "" {
+		t.Error("empty plot")
+	}
+}
+
+func TestAsciiPlotExplicitYMax(t *testing.T) {
+	p := NewProfile([]float64{1, 2, 3})
+	out := AsciiPlot([]string{"x"}, []*Profile{p}, 30, 6, 5)
+	if !strings.Contains(out, "5.00") {
+		t.Errorf("explicit yMax ignored:\n%s", out)
+	}
+}

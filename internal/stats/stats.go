@@ -1,0 +1,181 @@
+// Package stats computes the summary statistics and performance profiles
+// used in the paper's evaluation: ratio-to-reference distributions
+// (Figures 5 and 6), fraction-above thresholds and win rates.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Profile is a distribution of cost ratios (heuristic cost / reference
+// cost), as plotted in Figures 5 and 6: for a fraction x of instances the
+// heuristic achieves a ratio below Quantile(x).
+type Profile struct {
+	sorted []float64
+}
+
+// NewProfile builds a profile from a set of ratios.
+func NewProfile(ratios []float64) *Profile {
+	s := append([]float64(nil), ratios...)
+	sort.Float64s(s)
+	return &Profile{sorted: s}
+}
+
+// Len returns the number of samples.
+func (p *Profile) Len() int { return len(p.sorted) }
+
+// Quantile returns the smallest ratio r such that at least frac (in [0,1])
+// of the instances have ratio <= r.
+func (p *Profile) Quantile(frac float64) float64 {
+	if len(p.sorted) == 0 {
+		return math.NaN()
+	}
+	idx := int(math.Ceil(frac*float64(len(p.sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(p.sorted) {
+		idx = len(p.sorted) - 1
+	}
+	return p.sorted[idx]
+}
+
+// Max returns the largest ratio.
+func (p *Profile) Max() float64 {
+	if len(p.sorted) == 0 {
+		return math.NaN()
+	}
+	return p.sorted[len(p.sorted)-1]
+}
+
+// Mean returns the average ratio.
+func (p *Profile) Mean() float64 {
+	if len(p.sorted) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, r := range p.sorted {
+		sum += r
+	}
+	return sum / float64(len(p.sorted))
+}
+
+// FracAbove returns the fraction of instances with ratio strictly greater
+// than x.
+func (p *Profile) FracAbove(x float64) float64 {
+	if len(p.sorted) == 0 {
+		return math.NaN()
+	}
+	i := sort.SearchFloat64s(p.sorted, x)
+	for i < len(p.sorted) && p.sorted[i] <= x {
+		i++
+	}
+	return float64(len(p.sorted)-i) / float64(len(p.sorted))
+}
+
+// FracWithin returns the fraction of instances with ratio <= 1+tol —
+// instances where the heuristic matches the reference up to tolerance.
+func (p *Profile) FracWithin(tol float64) float64 {
+	return 1 - p.FracAbove(1+tol)
+}
+
+// Curve samples the profile at n evenly spaced fractions and returns
+// (percentage, ratio) pairs, the series plotted in Figures 5 and 6.
+func (p *Profile) Curve(n int) [][2]float64 {
+	out := make([][2]float64, 0, n)
+	for i := 1; i <= n; i++ {
+		f := float64(i) / float64(n)
+		out = append(out, [2]float64{100 * f, p.Quantile(f)})
+	}
+	return out
+}
+
+// WinCounts returns, for each competitor, the number of instances on which
+// it achieves the (possibly tied) minimum cost. costs[h][i] is the cost of
+// competitor h on instance i.
+func WinCounts(costs [][]float64, tol float64) []int {
+	if len(costs) == 0 {
+		return nil
+	}
+	wins := make([]int, len(costs))
+	n := len(costs[0])
+	for i := 0; i < n; i++ {
+		best := math.Inf(1)
+		for h := range costs {
+			if costs[h][i] < best {
+				best = costs[h][i]
+			}
+		}
+		for h := range costs {
+			if costs[h][i] <= best*(1+tol) {
+				wins[h]++
+			}
+		}
+	}
+	return wins
+}
+
+// Summary is a one-line numeric digest of a profile.
+type Summary struct {
+	Name                 string
+	Mean, Max            float64
+	FracEq               float64 // ratio == 1 (within 1e-9)
+	FracAbove1Pct        float64
+	FracAbove10Pct       float64
+	Quantile50, Q90, Q99 float64
+}
+
+// Summarize computes a Summary for a named profile.
+func Summarize(name string, p *Profile) Summary {
+	return Summary{
+		Name:           name,
+		Mean:           p.Mean(),
+		Max:            p.Max(),
+		FracEq:         p.FracWithin(1e-9),
+		FracAbove1Pct:  p.FracAbove(1.01),
+		FracAbove10Pct: p.FracAbove(1.10),
+		Quantile50:     p.Quantile(0.5),
+		Q90:            p.Quantile(0.9),
+		Q99:            p.Quantile(0.99),
+	}
+}
+
+// Header returns the column header matching Summary.Row.
+func Header() string {
+	return fmt.Sprintf("%-28s %8s %8s %8s %8s %8s %8s %8s %8s",
+		"heuristic", "mean", "max", "eq%", ">1%", ">10%", "p50", "p90", "p99")
+}
+
+// Row renders the summary as a fixed-width table row.
+func (s Summary) Row() string {
+	return fmt.Sprintf("%-28s %8.4f %8.4f %7.2f%% %7.2f%% %7.2f%% %8.4f %8.4f %8.4f",
+		s.Name, s.Mean, s.Max, 100*s.FracEq, 100*s.FracAbove1Pct,
+		100*s.FracAbove10Pct, s.Quantile50, s.Q90, s.Q99)
+}
+
+// CSV renders (percentage, ratio) curves for several named profiles as a
+// CSV table with a shared percentage column, ready for plotting.
+func CSV(names []string, profiles []*Profile, points int) string {
+	var b strings.Builder
+	b.WriteString("percent")
+	for _, n := range names {
+		b.WriteString(",")
+		b.WriteString(strings.ReplaceAll(n, ",", ";"))
+	}
+	b.WriteString("\n")
+	curves := make([][][2]float64, len(profiles))
+	for i, p := range profiles {
+		curves[i] = p.Curve(points)
+	}
+	for row := 0; row < points; row++ {
+		fmt.Fprintf(&b, "%.2f", curves[0][row][0])
+		for i := range curves {
+			fmt.Fprintf(&b, ",%.6f", curves[i][row][1])
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

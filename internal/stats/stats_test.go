@@ -1,0 +1,153 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestProfileQuantiles(t *testing.T) {
+	p := NewProfile([]float64{1, 1, 1.5, 2, 4})
+	if got := p.Quantile(0.2); got != 1 {
+		t.Errorf("Quantile(0.2) = %v", got)
+	}
+	if got := p.Quantile(0.6); got != 1.5 {
+		t.Errorf("Quantile(0.6) = %v", got)
+	}
+	if got := p.Quantile(1.0); got != 4 {
+		t.Errorf("Quantile(1.0) = %v", got)
+	}
+	if got := p.Max(); got != 4 {
+		t.Errorf("Max = %v", got)
+	}
+	if got := p.Mean(); math.Abs(got-1.9) > 1e-12 {
+		t.Errorf("Mean = %v", got)
+	}
+	if got := p.Len(); got != 5 {
+		t.Errorf("Len = %v", got)
+	}
+}
+
+func TestFracAboveAndWithin(t *testing.T) {
+	p := NewProfile([]float64{1, 1, 1.005, 1.2, 2})
+	if got := p.FracAbove(1.01); math.Abs(got-0.4) > 1e-12 {
+		t.Errorf("FracAbove(1.01) = %v, want 0.4", got)
+	}
+	if got := p.FracAbove(1.10); math.Abs(got-0.4) > 1e-12 {
+		t.Errorf("FracAbove(1.10) = %v, want 0.4", got)
+	}
+	if got := p.FracWithin(1e-9); math.Abs(got-0.4) > 1e-12 {
+		t.Errorf("FracWithin(0) = %v, want 0.4 (two exact ones)", got)
+	}
+	if got := p.FracAbove(2); got != 0 {
+		t.Errorf("FracAbove(max) = %v, want 0", got)
+	}
+}
+
+func TestCurveMonotone(t *testing.T) {
+	p := NewProfile([]float64{3, 1, 2, 1.1, 1.7, 5, 1})
+	curve := p.Curve(20)
+	if len(curve) != 20 {
+		t.Fatalf("curve has %d points", len(curve))
+	}
+	for i := 1; i < len(curve); i++ {
+		if curve[i][1] < curve[i-1][1] {
+			t.Fatalf("curve not monotone at %d: %v", i, curve)
+		}
+		if curve[i][0] <= curve[i-1][0] {
+			t.Fatalf("percent not increasing at %d", i)
+		}
+	}
+	if curve[19][0] != 100 || curve[19][1] != 5 {
+		t.Errorf("last point = %v, want (100, 5)", curve[19])
+	}
+}
+
+func TestQuantileMonotoneQuick(t *testing.T) {
+	f := func(xs []float64) bool {
+		if len(xs) == 0 {
+			return true
+		}
+		for i, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				xs[i] = 1
+			}
+		}
+		p := NewProfile(xs)
+		prev := math.Inf(-1)
+		for i := 1; i <= 10; i++ {
+			q := p.Quantile(float64(i) / 10)
+			if q < prev {
+				return false
+			}
+			prev = q
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWinCounts(t *testing.T) {
+	costs := [][]float64{
+		{1, 2, 3},   // h0 wins instance 0
+		{1, 1, 4},   // h1 ties 0, wins 1
+		{2, 3, 2.5}, // h2 wins instance 2
+	}
+	wins := WinCounts(costs, 0)
+	want := []int{1, 2, 1}
+	for h := range wins {
+		if wins[h] != want[h] {
+			t.Errorf("wins[%d] = %d, want %d", h, wins[h], want[h])
+		}
+	}
+	if WinCounts(nil, 0) != nil {
+		t.Error("empty input should return nil")
+	}
+}
+
+func TestSummaryAndRendering(t *testing.T) {
+	p := NewProfile([]float64{1, 1.02, 1.2, 1.86})
+	s := Summarize("test-h", p)
+	if s.Max != 1.86 {
+		t.Errorf("Max = %v", s.Max)
+	}
+	if math.Abs(s.FracEq-0.25) > 1e-12 {
+		t.Errorf("FracEq = %v", s.FracEq)
+	}
+	if math.Abs(s.FracAbove10Pct-0.5) > 1e-12 {
+		t.Errorf("FracAbove10Pct = %v", s.FracAbove10Pct)
+	}
+	row := s.Row()
+	if !strings.Contains(row, "test-h") || !strings.Contains(row, "1.8600") {
+		t.Errorf("Row = %q", row)
+	}
+	if !strings.Contains(Header(), "heuristic") {
+		t.Error("missing header")
+	}
+}
+
+func TestCSV(t *testing.T) {
+	p1 := NewProfile([]float64{1, 2})
+	p2 := NewProfile([]float64{1, 3})
+	out := CSV([]string{"a", "b,c"}, []*Profile{p1, p2}, 4)
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("got %d lines: %q", len(lines), out)
+	}
+	if lines[0] != "percent,a,b;c" {
+		t.Errorf("header = %q (commas in names must be escaped)", lines[0])
+	}
+	if !strings.HasPrefix(lines[4], "100.00,2") {
+		t.Errorf("last row = %q", lines[4])
+	}
+}
+
+func TestEmptyProfile(t *testing.T) {
+	p := NewProfile(nil)
+	if !math.IsNaN(p.Quantile(0.5)) || !math.IsNaN(p.Max()) || !math.IsNaN(p.Mean()) {
+		t.Error("empty profile should yield NaN statistics")
+	}
+}

@@ -1,0 +1,144 @@
+package strategy
+
+import (
+	"fmt"
+	"strings"
+
+	"paotr/internal/query"
+)
+
+// OptimalStrategy computes an optimal non-linear strategy and returns it
+// as an explicit decision tree together with its expected cost. It panics
+// if t has more than 12 leaves (the DP state space is 3^m).
+//
+// The returned decision tree shares subtrees (it is a DAG when rendered by
+// reference), so its size is bounded by the number of reachable DP states
+// rather than 2^depth.
+func OptimalStrategy(t *query.Tree) (*DecisionNode, float64) {
+	m := t.NumLeaves()
+	if m > maxLeaves {
+		panic("strategy: OptimalStrategy limited to 12 leaves")
+	}
+	d := &dp{
+		t:    t,
+		memo: make(map[uint32]float64),
+		ands: t.AndLeaves(),
+	}
+	cost := d.solve(0)
+	nodes := make(map[uint32]*DecisionNode)
+	return d.extract(0, nodes), cost
+}
+
+// extract rebuilds the argmin decision tree from the memoized values.
+func (d *dp) extract(state uint32, nodes map[uint32]*DecisionNode) *DecisionNode {
+	if n, ok := nodes[state]; ok {
+		return n
+	}
+	if d.rootKnown(state) {
+		n := &DecisionNode{Leaf: -1}
+		nodes[state] = n
+		return n
+	}
+	acq := d.acquiredItems(state)
+	bestLeaf := -1
+	bestCost := 0.0
+	for j, l := range d.t.Leaves {
+		if get(state, j) != unevaluated || !d.useful(state, j) {
+			continue
+		}
+		cost := 0.0
+		if extra := l.Items - acq[l.Stream]; extra > 0 {
+			cost = float64(extra) * d.t.Streams[l.Stream].Cost
+		}
+		cost += l.Prob * d.solve(set(state, j, evalTrue))
+		cost += (1 - l.Prob) * d.solve(set(state, j, evalFalse))
+		if bestLeaf == -1 || cost < bestCost {
+			bestLeaf = j
+			bestCost = cost
+		}
+	}
+	if bestLeaf == -1 {
+		n := &DecisionNode{Leaf: -1}
+		nodes[state] = n
+		return n
+	}
+	n := &DecisionNode{Leaf: bestLeaf}
+	nodes[state] = n
+	n.IfTrue = d.extract(set(state, bestLeaf, evalTrue), nodes)
+	n.IfFalse = d.extract(set(state, bestLeaf, evalFalse), nodes)
+	return n
+}
+
+// IsLinear reports whether the decision tree evaluates leaves in a fixed
+// order regardless of outcomes — i.e. whether it is equivalent to some
+// schedule. A strategy is linear when, at every internal node, the next
+// *distinct* leaf tried on the TRUE branch and on the FALSE branch (after
+// skipping short-circuited leaves) follows one global order.
+func IsLinear(root *DecisionNode) bool {
+	// Collect the first-evaluation order on every root-to-node path; the
+	// strategy is linear iff the relative order of any two leaves is the
+	// same on all paths where both occur.
+	type edge struct{ a, b int }
+	before := map[edge]bool{}
+	var walk func(n *DecisionNode, path []int) bool
+	walk = func(n *DecisionNode, path []int) bool {
+		if n == nil || n.Leaf < 0 {
+			return true
+		}
+		for _, a := range path {
+			if a == n.Leaf {
+				return true // revisit impossible in well-formed strategies
+			}
+			if before[edge{n.Leaf, a}] {
+				return false
+			}
+			before[edge{a, n.Leaf}] = true
+		}
+		np := append(append([]int(nil), path...), n.Leaf)
+		return walk(n.IfTrue, np) && walk(n.IfFalse, np)
+	}
+	return walk(root, nil)
+}
+
+// CountNodes returns the number of distinct decision nodes (the DAG size).
+func CountNodes(root *DecisionNode) int {
+	seen := map[*DecisionNode]bool{}
+	var walk func(n *DecisionNode)
+	walk = func(n *DecisionNode) {
+		if n == nil || seen[n] {
+			return
+		}
+		seen[n] = true
+		walk(n.IfTrue)
+		walk(n.IfFalse)
+	}
+	walk(root)
+	return len(seen)
+}
+
+// Render pretty-prints the strategy with leaf names from the tree, up to
+// the given depth (the full tree can be exponential when written out).
+func Render(t *query.Tree, root *DecisionNode, maxDepth int) string {
+	var b strings.Builder
+	var walk func(n *DecisionNode, prefix string, depth int)
+	walk = func(n *DecisionNode, prefix string, depth int) {
+		if n == nil {
+			return
+		}
+		if n.Leaf < 0 {
+			fmt.Fprintf(&b, "%s└ done\n", prefix)
+			return
+		}
+		fmt.Fprintf(&b, "%s├ eval %s\n", prefix, t.LeafName(n.Leaf))
+		if depth >= maxDepth {
+			fmt.Fprintf(&b, "%s│  …\n", prefix)
+			return
+		}
+		fmt.Fprintf(&b, "%s│ if TRUE:\n", prefix)
+		walk(n.IfTrue, prefix+"│  ", depth+1)
+		fmt.Fprintf(&b, "%s│ if FALSE:\n", prefix)
+		walk(n.IfFalse, prefix+"│  ", depth+1)
+	}
+	walk(root, "", 0)
+	return b.String()
+}

@@ -1,0 +1,103 @@
+package strategy
+
+import (
+	"math"
+	"math/rand/v2"
+	"strings"
+	"testing"
+
+	"paotr/internal/dnf"
+	"paotr/internal/sched"
+)
+
+// TestOptimalStrategyCostMatchesDP: the extracted decision tree must
+// realize exactly the DP's optimal cost.
+func TestOptimalStrategyCostMatchesDP(t *testing.T) {
+	rng := rand.New(rand.NewPCG(20, 21))
+	for trial := 0; trial < 150; trial++ {
+		tr := randomTinyDNF(rng)
+		root, cost := OptimalStrategy(tr)
+		if math.Abs(cost-OptimalNonLinear(tr)) > 1e-12 {
+			t.Fatalf("trial %d: extraction changed the DP value", trial)
+		}
+		realized := CostOfDecisionTree(tr, root)
+		if math.Abs(realized-cost) > 1e-9*(1+cost) {
+			t.Fatalf("trial %d: decision tree realizes %v, DP says %v", trial, realized, cost)
+		}
+	}
+}
+
+// TestOptimalStrategyOnCounterExample: the extracted strategy on the
+// shipped counter-example must be strictly cheaper than every schedule and
+// must actually be non-linear.
+func TestOptimalStrategyOnCounterExample(t *testing.T) {
+	tr := CounterExample()
+	root, cost := OptimalStrategy(tr)
+	lin := dnf.OptimalDepthFirst(tr, dnf.SearchOptions{})
+	if cost >= lin.Cost-1e-12 {
+		t.Fatalf("strategy %v not better than linear %v", cost, lin.Cost)
+	}
+	if IsLinear(root) {
+		t.Error("optimal strategy on the counter-example should be non-linear")
+	}
+	if CountNodes(root) < 3 {
+		t.Error("suspiciously small strategy")
+	}
+	out := Render(tr, root, 3)
+	if !strings.Contains(out, "eval") || !strings.Contains(out, "if TRUE") {
+		t.Errorf("Render output: %q", out)
+	}
+}
+
+// TestScheduleStrategiesAreLinear: converting a schedule to a decision
+// tree must produce a linear strategy.
+func TestScheduleStrategiesAreLinear(t *testing.T) {
+	rng := rand.New(rand.NewPCG(22, 23))
+	for trial := 0; trial < 100; trial++ {
+		tr := randomTinyDNF(rng)
+		m := tr.NumLeaves()
+		s := make(sched.Schedule, m)
+		for i := range s {
+			s[i] = i
+		}
+		rng.Shuffle(m, func(a, b int) { s[a], s[b] = s[b], s[a] })
+		root := ScheduleAsDecisionTree(tr, s)
+		if !IsLinear(root) {
+			t.Fatalf("trial %d: schedule-derived strategy flagged non-linear\nsched %v tree %v",
+				trial, s, tr)
+		}
+	}
+}
+
+// TestStrategyIsDAG: shared subtrees keep the node count far below the
+// worst-case 2^m.
+func TestStrategyIsDAG(t *testing.T) {
+	rng := rand.New(rand.NewPCG(24, 25))
+	for trial := 0; trial < 30; trial++ {
+		tr := randomTinyDNF(rng)
+		root, _ := OptimalStrategy(tr)
+		if n := CountNodes(root); n > 3000 {
+			t.Fatalf("trial %d: %d nodes for %d leaves", trial, n, tr.NumLeaves())
+		}
+	}
+}
+
+// TestZeroGapImpliesLinearEquivalence: when the DP value equals the
+// optimal schedule cost, the schedule achieves the non-linear optimum (the
+// strategy itself may still branch between cost-equal alternatives).
+func TestZeroGapImpliesLinearEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewPCG(26, 27))
+	for trial := 0; trial < 60; trial++ {
+		tr := randomTinyDNF(rng)
+		g := Analyze(tr)
+		if g.Ratio() > 1+1e-9 {
+			continue
+		}
+		// Equal optima: the linear optimum realizes the DP value.
+		lin := dnf.OptimalDepthFirst(tr, dnf.SearchOptions{})
+		realized := CostOfDecisionTree(tr, ScheduleAsDecisionTree(tr, lin.Schedule))
+		if math.Abs(realized-g.NonLinear) > 1e-9*(1+g.NonLinear) {
+			t.Fatalf("trial %d: schedule cost %v vs DP %v", trial, realized, g.NonLinear)
+		}
+	}
+}

@@ -1,0 +1,285 @@
+// Package strategy implements non-linear evaluation strategies for shared
+// DNF trees: decision trees in which the next leaf to evaluate depends on
+// the truth values observed so far (Section V of the paper, after [6]).
+//
+// A linear strategy (a schedule) evaluates leaves in a fixed order; a
+// non-linear strategy may branch. In the read-once model linear strategies
+// are dominant for DNF trees; the paper notes that this is no longer true
+// in the shared model. OptimalNonLinear computes the exact optimal
+// non-linear expected cost by dynamic programming over evaluation states,
+// which lets the library exhibit concrete counter-examples (see
+// FindCounterExample) and measure the linear/non-linear gap.
+package strategy
+
+import (
+	"math"
+	"math/rand/v2"
+	"sync"
+
+	"paotr/internal/dnf"
+	"paotr/internal/query"
+	"paotr/internal/sched"
+)
+
+// maxLeaves bounds the DP: states are ternary words over the leaves.
+const maxLeaves = 12
+
+// leafState is the observed status of one leaf.
+type leafState uint8
+
+const (
+	unevaluated leafState = iota
+	evalTrue
+	evalFalse
+)
+
+// OptimalNonLinear returns the expected cost of an optimal non-linear
+// (decision-tree) strategy for t, computed by memoized dynamic programming
+// over the 3^m evaluation states. It panics if t has more than 12 leaves.
+//
+// In every state the strategy may evaluate any *useful* leaf: leaves of
+// AND nodes already known FALSE are never evaluated (they cannot influence
+// the root), and evaluation stops as soon as the root value is known.
+func OptimalNonLinear(t *query.Tree) float64 {
+	m := t.NumLeaves()
+	if m > maxLeaves {
+		panic("strategy: OptimalNonLinear limited to 12 leaves")
+	}
+	d := &dp{
+		t:    t,
+		memo: make(map[uint32]float64),
+		ands: t.AndLeaves(),
+	}
+	return d.solve(0)
+}
+
+type dp struct {
+	t    *query.Tree
+	ands [][]int
+	memo map[uint32]float64
+}
+
+// state encoding: 2 bits per leaf.
+func get(state uint32, j int) leafState { return leafState(state >> (2 * uint(j)) & 3) }
+func set(state uint32, j int, v leafState) uint32 {
+	return state&^(3<<(2*uint(j))) | uint32(v)<<(2*uint(j))
+}
+
+// rootKnown reports whether the OR root's value is determined: some AND
+// node has all leaves TRUE, or every AND node has a FALSE leaf.
+func (d *dp) rootKnown(state uint32) bool {
+	allFalse := true
+	for _, and := range d.ands {
+		andTrue := true
+		andFalse := false
+		for _, j := range and {
+			switch get(state, j) {
+			case evalFalse:
+				andFalse = true
+				andTrue = false
+			case unevaluated:
+				andTrue = false
+			}
+		}
+		if andTrue {
+			return true
+		}
+		if !andFalse {
+			allFalse = false
+		}
+	}
+	return allFalse
+}
+
+// acquired returns the deepest item index already pulled from each stream:
+// the maximum window over evaluated leaves.
+func (d *dp) acquiredItems(state uint32) []int {
+	acq := make([]int, d.t.NumStreams())
+	for j, l := range d.t.Leaves {
+		if get(state, j) != unevaluated && l.Items > acq[l.Stream] {
+			acq[l.Stream] = l.Items
+		}
+	}
+	return acq
+}
+
+// useful reports whether evaluating leaf j can influence the outcome: its
+// AND node has no FALSE leaf yet.
+func (d *dp) useful(state uint32, j int) bool {
+	for _, r := range d.ands[d.t.Leaves[j].And] {
+		if get(state, r) == evalFalse {
+			return false
+		}
+	}
+	return true
+}
+
+func (d *dp) solve(state uint32) float64 {
+	if d.rootKnown(state) {
+		return 0
+	}
+	if v, ok := d.memo[state]; ok {
+		return v
+	}
+	acq := d.acquiredItems(state)
+	best := math.Inf(1)
+	for j, l := range d.t.Leaves {
+		if get(state, j) != unevaluated || !d.useful(state, j) {
+			continue
+		}
+		cost := 0.0
+		if extra := l.Items - acq[l.Stream]; extra > 0 {
+			cost = float64(extra) * d.t.Streams[l.Stream].Cost
+		}
+		cost += l.Prob * d.solve(set(state, j, evalTrue))
+		cost += (1 - l.Prob) * d.solve(set(state, j, evalFalse))
+		if cost < best {
+			best = cost
+		}
+	}
+	if math.IsInf(best, 1) {
+		// No useful leaf but root unknown cannot happen on valid trees:
+		// if every remaining leaf is useless, all ANDs have FALSE leaves
+		// and the root is known FALSE.
+		best = 0
+	}
+	d.memo[state] = best
+	return best
+}
+
+// Gap compares the optimal linear strategy (exhaustive over schedules,
+// using depth-first dominance) with the optimal non-linear strategy.
+type Gap struct {
+	Tree      *query.Tree
+	Linear    float64 // optimal schedule cost
+	NonLinear float64 // optimal decision-tree cost
+}
+
+// Ratio returns Linear / NonLinear (>= 1; strictly > 1 witnesses that
+// linear strategies are not dominant in the shared model).
+func (g Gap) Ratio() float64 {
+	if g.NonLinear == 0 {
+		if g.Linear == 0 {
+			return 1
+		}
+		return math.Inf(1)
+	}
+	return g.Linear / g.NonLinear
+}
+
+// Analyze computes both optima for a small tree.
+func Analyze(t *query.Tree) Gap {
+	res := dnf.OptimalDepthFirst(t, dnf.SearchOptions{})
+	return Gap{Tree: t, Linear: res.Cost, NonLinear: OptimalNonLinear(t)}
+}
+
+var (
+	counterOnce sync.Once
+	counterTree *query.Tree
+)
+
+// CounterExample returns a fixed shared DNF tree on which the optimal
+// non-linear strategy is strictly cheaper than every schedule, witnessing
+// the paper's Section V claim that linear strategies are not dominant in
+// the shared model (the read-once dominance result of [6] fails once
+// streams are shared). The witness is found once by a deterministic search
+// and cached; it panics if the search fails (covered by tests).
+func CounterExample() *query.Tree {
+	counterOnce.Do(func() { counterTree = found() })
+	if counterTree == nil {
+		panic("strategy: built-in counter-example search failed")
+	}
+	return counterTree
+}
+
+// found searches a deterministic pseudo-random family of small shared DNF
+// trees for a linear/non-linear gap and returns the first witness. The
+// search is seeded, so the returned tree is stable across runs.
+func found() *query.Tree {
+	rng := rand.New(rand.NewPCG(2014, 8373))
+	for trial := 0; trial < 50_000; trial++ {
+		nAnds := 2 + rng.IntN(2)
+		nStreams := 2 + rng.IntN(2)
+		tr := &query.Tree{}
+		for k := 0; k < nStreams; k++ {
+			tr.Streams = append(tr.Streams, query.Stream{
+				Name: string(rune('X' + k)),
+				Cost: 1 + float64(rng.IntN(5)),
+			})
+		}
+		for i := 0; i < nAnds; i++ {
+			n := 1 + rng.IntN(2)
+			for r := 0; r < n; r++ {
+				tr.Leaves = append(tr.Leaves, query.Leaf{
+					And:    i,
+					Stream: query.StreamID(rng.IntN(nStreams)),
+					Items:  1 + rng.IntN(3),
+					Prob:   float64(1+rng.IntN(9)) / 10,
+				})
+			}
+		}
+		if tr.NumLeaves() > 6 || tr.IsReadOnce() {
+			continue
+		}
+		if g := Analyze(tr); g.Ratio() > 1+1e-6 {
+			return tr
+		}
+	}
+	return nil
+}
+
+// LinearCostOfStrategyTree evaluates an explicit decision-tree strategy —
+// used by tests to validate OptimalNonLinear bottom-up on tiny instances.
+type DecisionNode struct {
+	// Leaf is the leaf to evaluate, or -1 for a terminal node.
+	Leaf int
+	// IfTrue and IfFalse are the subsequent decisions.
+	IfTrue, IfFalse *DecisionNode
+}
+
+// CostOfDecisionTree returns the expected cost of following the given
+// decision tree: each evaluated leaf pays for the items of its stream not
+// already acquired on the path from the root.
+func CostOfDecisionTree(t *query.Tree, root *DecisionNode) float64 {
+	acq := make([]int, t.NumStreams())
+	var walk func(n *DecisionNode) float64
+	walk = func(n *DecisionNode) float64 {
+		if n == nil || n.Leaf < 0 {
+			return 0
+		}
+		l := t.Leaves[n.Leaf]
+		cost := 0.0
+		old := acq[l.Stream]
+		if extra := l.Items - old; extra > 0 {
+			cost = float64(extra) * t.Streams[l.Stream].Cost
+			acq[l.Stream] = l.Items
+		}
+		cost += l.Prob*walk(n.IfTrue) + (1-l.Prob)*walk(n.IfFalse)
+		acq[l.Stream] = old
+		return cost
+	}
+	return walk(root)
+}
+
+// ScheduleAsDecisionTree converts a schedule into the equivalent decision
+// tree (with the short-circuit skips made explicit), for cross-validation:
+// its CostOfDecisionTree must equal sched.Cost.
+func ScheduleAsDecisionTree(t *query.Tree, s sched.Schedule) *DecisionNode {
+	var build func(i int, state uint32) *DecisionNode
+	d := &dp{t: t, ands: t.AndLeaves()}
+	build = func(i int, state uint32) *DecisionNode {
+		if i == len(s) || d.rootKnown(state) {
+			return &DecisionNode{Leaf: -1}
+		}
+		j := s[i]
+		if get(state, j) != unevaluated || !d.useful(state, j) {
+			return build(i+1, state)
+		}
+		return &DecisionNode{
+			Leaf:    j,
+			IfTrue:  build(i+1, set(state, j, evalTrue)),
+			IfFalse: build(i+1, set(state, j, evalFalse)),
+		}
+	}
+	return build(0, 0)
+}

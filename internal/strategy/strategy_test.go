@@ -1,0 +1,191 @@
+package strategy
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"paotr/internal/dnf"
+	"paotr/internal/query"
+	"paotr/internal/sched"
+)
+
+func randomTinyDNF(rng *rand.Rand) *query.Tree {
+	nAnds := 1 + rng.IntN(3)
+	nStreams := 1 + rng.IntN(3)
+	tr := &query.Tree{}
+	for k := 0; k < nStreams; k++ {
+		tr.Streams = append(tr.Streams, query.Stream{Cost: 1 + 4*rng.Float64()})
+	}
+	for i := 0; i < nAnds; i++ {
+		n := 1 + rng.IntN(2)
+		for r := 0; r < n; r++ {
+			tr.Leaves = append(tr.Leaves, query.Leaf{
+				And:    i,
+				Stream: query.StreamID(rng.IntN(nStreams)),
+				Items:  1 + rng.IntN(3),
+				Prob:   rng.Float64(),
+			})
+		}
+	}
+	return tr
+}
+
+// TestNonLinearLowerBoundsLinear: the optimal non-linear cost can never
+// exceed the optimal linear cost (every schedule is a decision tree).
+func TestNonLinearLowerBoundsLinear(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	for trial := 0; trial < 150; trial++ {
+		tr := randomTinyDNF(rng)
+		g := Analyze(tr)
+		if g.NonLinear > g.Linear+1e-9*(1+g.Linear) {
+			t.Fatalf("trial %d: non-linear %v > linear %v on %v", trial, g.NonLinear, g.Linear, tr)
+		}
+		if g.Ratio() < 1-1e-9 {
+			t.Fatalf("trial %d: ratio %v < 1", trial, g.Ratio())
+		}
+	}
+}
+
+// TestReadOnceNoGap: in the read-once model linear strategies are dominant
+// for DNF trees ([6]), so the gap must be zero.
+func TestReadOnceNoGap(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 4))
+	for trial := 0; trial < 100; trial++ {
+		nAnds := 1 + rng.IntN(3)
+		tr := &query.Tree{}
+		for i := 0; i < nAnds; i++ {
+			n := 1 + rng.IntN(2)
+			for r := 0; r < n; r++ {
+				k := len(tr.Streams)
+				tr.Streams = append(tr.Streams, query.Stream{Cost: 1 + 4*rng.Float64()})
+				tr.Leaves = append(tr.Leaves, query.Leaf{
+					And: i, Stream: query.StreamID(k),
+					Items: 1 + rng.IntN(3), Prob: rng.Float64(),
+				})
+			}
+		}
+		g := Analyze(tr)
+		if math.Abs(g.Linear-g.NonLinear) > 1e-9*(1+g.Linear) {
+			t.Fatalf("trial %d: read-once gap %v vs %v on %v", trial, g.Linear, g.NonLinear, tr)
+		}
+	}
+}
+
+// TestCounterExample: the shipped witness must have a strict gap — the
+// Section V claim that linear strategies are not dominant with sharing.
+func TestCounterExample(t *testing.T) {
+	tr := CounterExample()
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.IsReadOnce() {
+		t.Error("counter-example should share a stream")
+	}
+	g := Analyze(tr)
+	if g.Ratio() <= 1+1e-9 {
+		t.Fatalf("no strict gap: linear %v, non-linear %v", g.Linear, g.NonLinear)
+	}
+	t.Logf("counter-example: %v, linear %.6f, non-linear %.6f (ratio %.4f)",
+		tr, g.Linear, g.NonLinear, g.Ratio())
+}
+
+// TestScheduleAsDecisionTreeCost: converting a schedule to its decision
+// tree must preserve the expected cost (third independent implementation
+// of the cost semantics).
+func TestScheduleAsDecisionTreeCost(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 6))
+	for trial := 0; trial < 200; trial++ {
+		tr := randomTinyDNF(rng)
+		m := tr.NumLeaves()
+		s := make(sched.Schedule, m)
+		for i := range s {
+			s[i] = i
+		}
+		rng.Shuffle(m, func(a, b int) { s[a], s[b] = s[b], s[a] })
+		want := sched.Cost(tr, s)
+		got := CostOfDecisionTree(tr, ScheduleAsDecisionTree(tr, s))
+		if math.Abs(got-want) > 1e-9*(1+want) {
+			t.Fatalf("trial %d: decision-tree cost %v, schedule cost %v on %v (sched %v)",
+				trial, got, want, tr, s)
+		}
+	}
+}
+
+// TestNonLinearMatchesBestScheduleOnAndTrees: for an AND-tree (single AND)
+// the optimal non-linear strategy coincides with the optimal schedule: the
+// only decision information is "all previous leaves TRUE".
+func TestNonLinearMatchesOnAndTrees(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 8))
+	for trial := 0; trial < 100; trial++ {
+		tr := randomTinyDNF(rng)
+		if !tr.IsAndTree() {
+			continue
+		}
+		g := Analyze(tr)
+		if math.Abs(g.Linear-g.NonLinear) > 1e-9*(1+g.Linear) {
+			t.Fatalf("trial %d: AND-tree gap %v vs %v on %v", trial, g.Linear, g.NonLinear, tr)
+		}
+	}
+}
+
+func TestOptimalNonLinearPanicsOnLargeTrees(t *testing.T) {
+	tr := &query.Tree{Streams: []query.Stream{{Cost: 1}}}
+	for j := 0; j < 13; j++ {
+		tr.Leaves = append(tr.Leaves, query.Leaf{And: 0, Stream: 0, Items: 1, Prob: 0.5})
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for > 12 leaves")
+		}
+	}()
+	OptimalNonLinear(tr)
+}
+
+// TestDecisionStateEncoding exercises the 2-bit state packing.
+func TestDecisionStateEncoding(t *testing.T) {
+	var s uint32
+	s = set(s, 3, evalTrue)
+	s = set(s, 7, evalFalse)
+	if get(s, 3) != evalTrue || get(s, 7) != evalFalse || get(s, 0) != unevaluated {
+		t.Error("state encoding broken")
+	}
+	s = set(s, 3, evalFalse)
+	if get(s, 3) != evalFalse {
+		t.Error("overwrite broken")
+	}
+}
+
+// TestGapStatistics: sample random shared trees and confirm gaps exist but
+// are not universal (sanity check on the phenomenon's prevalence).
+func TestGapStatistics(t *testing.T) {
+	rng := rand.New(rand.NewPCG(9, 10))
+	gaps, total := 0, 0
+	for trial := 0; trial < 300; trial++ {
+		tr := randomTinyDNF(rng)
+		if tr.IsReadOnce() || tr.NumLeaves() > 6 {
+			continue
+		}
+		total++
+		if Analyze(tr).Ratio() > 1+1e-9 {
+			gaps++
+		}
+	}
+	if total == 0 {
+		t.Skip("no shared instances sampled")
+	}
+	t.Logf("linear/non-linear gaps on %d/%d shared tiny instances", gaps, total)
+	if gaps == total {
+		t.Error("every instance has a gap — suspicious")
+	}
+}
+
+func TestDNFPackageIntegration(t *testing.T) {
+	// The analysis must agree with the dnf search on the counter-example.
+	tr := CounterExample()
+	res := dnf.OptimalDepthFirst(tr, dnf.SearchOptions{})
+	g := Analyze(tr)
+	if math.Abs(res.Cost-g.Linear) > 1e-12 {
+		t.Errorf("linear optimum mismatch: %v vs %v", res.Cost, g.Linear)
+	}
+}

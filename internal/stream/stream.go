@@ -1,0 +1,247 @@
+// Package stream models periodic sensor data streams for the pull-based
+// query processing scenario of the paper: each stream produces one data
+// item per time step, and the query engine explicitly pulls the most
+// recent items it needs, paying a per-item acquisition cost (e.g. the
+// energy cost of radio transfer from a wearable sensor).
+//
+// The paper's experiments ran against synthetic (p, d, c) triples; this
+// package supplies the full substrate its motivation describes — concrete
+// sensors (heart rate, SpO2, accelerometer, GPS speed, temperature) whose
+// items flow through the same acquisition and caching code paths, so the
+// end-to-end engine can be validated against the analytical cost model
+// (see DESIGN.md, "Substitutions").
+package stream
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+)
+
+// Item is one sensor reading.
+type Item struct {
+	// Seq is the production time step (monotonically increasing).
+	Seq int64
+	// Value is the reading.
+	Value float64
+}
+
+// Source produces one item per time step on demand. Implementations must
+// be deterministic functions of their seed and the step so that pulls are
+// reproducible. Streams conceptually have always existed (the paper's
+// model), so At must accept negative steps as well.
+type Source interface {
+	// At returns the item produced at the given step (any int64).
+	At(step int64) Item
+	// Name identifies the source.
+	Name() string
+}
+
+// CostModel prices the acquisition of items from a stream.
+type CostModel struct {
+	// BytesPerItem is the payload size of one item.
+	BytesPerItem int
+	// JoulesPerByte is the transfer energy cost of the medium.
+	JoulesPerByte float64
+	// BaseJoules is a fixed per-item radio wake-up overhead.
+	BaseJoules float64
+}
+
+// PerItem returns the energy cost of acquiring one item.
+func (c CostModel) PerItem() float64 {
+	return c.BaseJoules + float64(c.BytesPerItem)*c.JoulesPerByte
+}
+
+// Media presets loosely modeled on short-range radio technologies; the
+// absolute values are arbitrary but their ordering (BLE < WiFi < cellular)
+// matches the motivation of [4].
+var (
+	BLE      = CostModel{BytesPerItem: 8, JoulesPerByte: 0.05, BaseJoules: 0.1}
+	WiFi     = CostModel{BytesPerItem: 8, JoulesPerByte: 0.12, BaseJoules: 0.5}
+	Cellular = CostModel{BytesPerItem: 8, JoulesPerByte: 0.35, BaseJoules: 2.0}
+)
+
+// Stream couples a source with a cost model.
+type Stream struct {
+	Source Source
+	Cost   CostModel
+}
+
+// sine is a deterministic sinusoid with additive pseudo-random noise.
+type sine struct {
+	name            string
+	base, amp, freq float64
+	noise           float64
+	seed            uint64
+}
+
+func (s sine) Name() string { return s.name }
+
+func (s sine) At(step int64) Item {
+	// Deterministic per-step noise: hash the step with the seed.
+	rng := rand.New(rand.NewPCG(s.seed, uint64(step)*0x9e3779b97f4a7c15+1))
+	v := s.base + s.amp*math.Sin(2*math.Pi*s.freq*float64(step)) +
+		s.noise*(2*rng.Float64()-1)
+	return Item{Seq: step, Value: v}
+}
+
+// randomWalk is a bounded random walk, deterministic in (seed, step).
+// Each At recomputes the walk prefix lazily with caching.
+type randomWalk struct {
+	name       string
+	start      float64
+	stepSize   float64
+	lo, hi     float64
+	seed       uint64
+	cache      []float64
+	cacheValid bool
+}
+
+func (r *randomWalk) Name() string { return r.name }
+
+func (r *randomWalk) At(step int64) Item {
+	// The walk starts at step 0; earlier steps return the start value
+	// (streams have always existed in the paper's model).
+	if step < 0 {
+		return Item{Seq: step, Value: r.start}
+	}
+	// The walk is defined recursively; memoize from step 0.
+	if !r.cacheValid {
+		r.cache = []float64{r.start}
+		r.cacheValid = true
+	}
+	for int64(len(r.cache)) <= step {
+		i := int64(len(r.cache))
+		rng := rand.New(rand.NewPCG(r.seed, uint64(i)))
+		v := r.cache[i-1] + r.stepSize*(2*rng.Float64()-1)
+		if v < r.lo {
+			v = r.lo
+		}
+		if v > r.hi {
+			v = r.hi
+		}
+		r.cache = append(r.cache, v)
+	}
+	return Item{Seq: step, Value: r.cache[step]}
+}
+
+// spikes is a mostly-flat signal with occasional bursts, modeling event
+// sensors (e.g. accelerometer magnitude with activity bursts).
+type spikes struct {
+	name       string
+	base, peak float64
+	period     int64
+	width      int64
+	seed       uint64
+}
+
+func (s spikes) Name() string { return s.name }
+
+func (s spikes) At(step int64) Item {
+	rng := rand.New(rand.NewPCG(s.seed, uint64(step)+7))
+	v := s.base + 0.1*s.base*(2*rng.Float64()-1)
+	phase := step % s.period
+	if phase < 0 {
+		phase += s.period
+	}
+	if s.period > 0 && phase < s.width {
+		v = s.peak + 0.05*s.peak*(2*rng.Float64()-1)
+	}
+	return Item{Seq: step, Value: v}
+}
+
+// Synthetic sensor constructors. All are deterministic in their seed.
+
+// HeartRate returns a resting-heart-rate stream in beats per minute:
+// a random walk around 60-100 bpm.
+func HeartRate(seed uint64) Source {
+	return &randomWalk{name: "heart-rate", start: 72, stepSize: 2.5, lo: 45, hi: 185, seed: seed}
+}
+
+// SpO2 returns a blood-oxygen-saturation stream in percent (random walk
+// near 97 with a floor of 80).
+func SpO2(seed uint64) Source {
+	return &randomWalk{name: "spo2", start: 97, stepSize: 0.4, lo: 80, hi: 100, seed: seed}
+}
+
+// Accelerometer returns an activity-magnitude stream in m/s^2: near-1g at
+// rest with periodic activity bursts.
+func Accelerometer(seed uint64) Source {
+	return spikes{name: "accelerometer", base: 9.8, peak: 25, period: 97, width: 13, seed: seed}
+}
+
+// GPSSpeed returns a movement-speed stream in m/s with commute-like
+// periodicity.
+func GPSSpeed(seed uint64) Source {
+	return sine{name: "gps-speed", base: 1.2, amp: 1.2, freq: 1.0 / 240, noise: 0.3, seed: seed}
+}
+
+// Temperature returns an ambient-temperature stream in Celsius with a slow
+// diurnal cycle.
+func Temperature(seed uint64) Source {
+	return sine{name: "temperature", base: 21, amp: 4, freq: 1.0 / 1440, noise: 0.2, seed: seed}
+}
+
+// Constant returns a stream that always produces the same value — useful
+// in tests.
+func Constant(name string, v float64) Source { return constant{name, v} }
+
+type constant struct {
+	name string
+	v    float64
+}
+
+func (c constant) Name() string       { return c.name }
+func (c constant) At(step int64) Item { return Item{Seq: step, Value: c.v} }
+
+// Registry is a named collection of streams, the device's view of its
+// sensor network.
+type Registry struct {
+	streams []Stream
+	byName  map[string]int
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: map[string]int{}}
+}
+
+// Add registers a stream; the source name must be unique.
+func (r *Registry) Add(src Source, cost CostModel) error {
+	if _, dup := r.byName[src.Name()]; dup {
+		return fmt.Errorf("stream: duplicate stream %q", src.Name())
+	}
+	r.byName[src.Name()] = len(r.streams)
+	r.streams = append(r.streams, Stream{Source: src, Cost: cost})
+	return nil
+}
+
+// Len returns the number of registered streams.
+func (r *Registry) Len() int { return len(r.streams) }
+
+// ByName returns the stream with the given name.
+func (r *Registry) ByName(name string) (Stream, bool) {
+	i, ok := r.byName[name]
+	if !ok {
+		return Stream{}, false
+	}
+	return r.streams[i], true
+}
+
+// IndexOf returns the registry index of the named stream.
+func (r *Registry) IndexOf(name string) (int, bool) {
+	i, ok := r.byName[name]
+	return i, ok
+}
+
+// At returns the stream at a registry index.
+func (r *Registry) At(i int) Stream { return r.streams[i] }
+
+// Names lists registered stream names in registration order.
+func (r *Registry) Names() []string {
+	out := make([]string, len(r.streams))
+	for i, s := range r.streams {
+		out[i] = s.Source.Name()
+	}
+	return out
+}

@@ -1,0 +1,124 @@
+package stream
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSourcesDeterministic(t *testing.T) {
+	sources := []Source{
+		HeartRate(1), SpO2(2), Accelerometer(3), GPSSpeed(4), Temperature(5),
+	}
+	for _, src := range sources {
+		a := src.At(100)
+		b := src.At(100)
+		if a != b {
+			t.Errorf("%s: At(100) not deterministic: %v vs %v", src.Name(), a, b)
+		}
+		if a.Seq != 100 {
+			t.Errorf("%s: Seq = %d", src.Name(), a.Seq)
+		}
+	}
+	// Two instances with the same seed agree.
+	x, y := HeartRate(7), HeartRate(7)
+	for step := int64(0); step < 50; step++ {
+		if x.At(step) != y.At(step) {
+			t.Fatalf("heart-rate seed 7 disagrees at step %d", step)
+		}
+	}
+}
+
+func TestRandomWalkOutOfOrderAccess(t *testing.T) {
+	src := HeartRate(11)
+	late := src.At(500)
+	early := src.At(100)
+	if src.At(500) != late || src.At(100) != early {
+		t.Error("random walk access order changes values")
+	}
+}
+
+func TestSourceRanges(t *testing.T) {
+	cases := []struct {
+		src    Source
+		lo, hi float64
+	}{
+		{HeartRate(1), 45, 185},
+		{SpO2(1), 80, 100},
+		{Accelerometer(1), 0, 30},
+		{Temperature(1), 10, 32},
+	}
+	for _, c := range cases {
+		for step := int64(0); step < 2000; step++ {
+			v := c.src.At(step).Value
+			if v < c.lo || v > c.hi || math.IsNaN(v) {
+				t.Fatalf("%s: value %v at step %d outside [%v, %v]",
+					c.src.Name(), v, step, c.lo, c.hi)
+			}
+		}
+	}
+}
+
+func TestAccelerometerHasBursts(t *testing.T) {
+	src := Accelerometer(9)
+	high, low := 0, 0
+	for step := int64(0); step < 1000; step++ {
+		if src.At(step).Value > 15 {
+			high++
+		} else {
+			low++
+		}
+	}
+	if high == 0 || low == 0 {
+		t.Errorf("expected both rest and burst phases, got high=%d low=%d", high, low)
+	}
+}
+
+func TestCostModels(t *testing.T) {
+	if !(BLE.PerItem() < WiFi.PerItem() && WiFi.PerItem() < Cellular.PerItem()) {
+		t.Errorf("cost ordering broken: BLE=%v WiFi=%v Cell=%v",
+			BLE.PerItem(), WiFi.PerItem(), Cellular.PerItem())
+	}
+	c := CostModel{BytesPerItem: 10, JoulesPerByte: 0.5, BaseJoules: 1}
+	if got := c.PerItem(); got != 6 {
+		t.Errorf("PerItem = %v, want 6", got)
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Add(HeartRate(1), BLE); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Add(SpO2(1), BLE); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Add(HeartRate(2), WiFi); err == nil {
+		t.Error("duplicate name accepted")
+	}
+	if r.Len() != 2 {
+		t.Errorf("Len = %d", r.Len())
+	}
+	if _, ok := r.ByName("heart-rate"); !ok {
+		t.Error("ByName failed")
+	}
+	if _, ok := r.ByName("nope"); ok {
+		t.Error("ByName found a ghost")
+	}
+	if i, ok := r.IndexOf("spo2"); !ok || i != 1 {
+		t.Errorf("IndexOf(spo2) = %d, %v", i, ok)
+	}
+	names := r.Names()
+	if len(names) != 2 || names[0] != "heart-rate" || names[1] != "spo2" {
+		t.Errorf("Names = %v", names)
+	}
+	if r.At(0).Source.Name() != "heart-rate" {
+		t.Error("At(0) mismatch")
+	}
+}
+
+func TestConstant(t *testing.T) {
+	c := Constant("k", 42)
+	if c.Name() != "k" || c.At(9).Value != 42 || c.At(9).Seq != 9 {
+		t.Error("Constant misbehaves")
+	}
+}

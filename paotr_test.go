@@ -1,0 +1,121 @@
+package paotr_test
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"paotr"
+)
+
+func section2ATree() *paotr.Tree {
+	return paotr.NewAndTree(
+		[]paotr.Stream{{Name: "A", Cost: 1}, {Name: "B", Cost: 1}},
+		[]paotr.Leaf{
+			{Stream: 0, Items: 1, Prob: 0.75},
+			{Stream: 0, Items: 2, Prob: 0.10},
+			{Stream: 1, Items: 1, Prob: 0.50},
+		},
+	)
+}
+
+func TestQuickStartExample(t *testing.T) {
+	tree := section2ATree()
+	s := paotr.OptimalAndTree(tree)
+	if got := paotr.ExpectedCost(tree, s); math.Abs(got-1.825) > 1e-12 {
+		t.Errorf("optimal cost = %v, want 1.825", got)
+	}
+	if got := paotr.AndTreeCost(tree, s); math.Abs(got-1.825) > 1e-12 {
+		t.Errorf("AndTreeCost = %v", got)
+	}
+	ro := paotr.ReadOnceAndTree(tree)
+	if got := paotr.ExpectedCost(tree, ro); got < 1.875-1e-12 {
+		t.Errorf("read-once baseline = %v, expected >= 1.875", got)
+	}
+}
+
+func TestFacadeDNF(t *testing.T) {
+	tree := &paotr.Tree{
+		Streams: []paotr.Stream{{Name: "X", Cost: 2}, {Name: "Y", Cost: 3}},
+		Leaves: []paotr.Leaf{
+			{And: 0, Stream: 0, Items: 1, Prob: 0.4},
+			{And: 0, Stream: 1, Items: 2, Prob: 0.7},
+			{And: 1, Stream: 0, Items: 2, Prob: 0.5},
+			{And: 1, Stream: 1, Items: 1, Prob: 0.6},
+		},
+	}
+	if err := tree.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	s := paotr.ScheduleDNF(tree)
+	if err := s.Validate(tree); err != nil {
+		t.Fatal(err)
+	}
+	hc := paotr.ExpectedCost(tree, s)
+	res := paotr.OptimalDNF(tree, paotr.SearchOptions{})
+	if !res.Exact {
+		t.Fatal("search should complete")
+	}
+	if res.Cost > hc+1e-9 {
+		t.Errorf("optimum %v worse than heuristic %v", res.Cost, hc)
+	}
+	bs, bc := paotr.BestHeuristic(tree)
+	if err := bs.Validate(tree); err != nil {
+		t.Fatal(err)
+	}
+	if bc > hc+1e-9 {
+		t.Errorf("portfolio %v worse than single heuristic %v", bc, hc)
+	}
+	if len(paotr.Heuristics()) != 10 {
+		t.Errorf("expected the paper's 10 heuristics")
+	}
+}
+
+func TestFacadeMonteCarlo(t *testing.T) {
+	tree := section2ATree()
+	s := paotr.OptimalAndTree(tree)
+	rng := rand.New(rand.NewPCG(1, 2))
+	est := paotr.MonteCarloCost(tree, s, 100000, rng)
+	if math.Abs(est-1.825) > 0.05 {
+		t.Errorf("Monte-Carlo = %v, want ~1.825", est)
+	}
+}
+
+func TestFacadeWarmAndParallel(t *testing.T) {
+	tree := section2ATree()
+	// With the two most recent A items cached, l1 and l2 are free; only
+	// l3 can cost anything, and only if both A-leaves succeed.
+	w := paotr.WarmFromCounts([]int{2, 0})
+	s := paotr.OptimalAndTreeWarm(tree, w)
+	want := 0.75 * 0.10 * 1.0
+	if got := paotr.ExpectedCostWarm(tree, s, w); math.Abs(got-want) > 1e-12 {
+		t.Errorf("warm cost = %v, want %v", got, want)
+	}
+	dnfTree := &paotr.Tree{
+		Streams: []paotr.Stream{{Name: "X", Cost: 2}, {Name: "Y", Cost: 3}},
+		Leaves: []paotr.Leaf{
+			{And: 0, Stream: 0, Items: 1, Prob: 0.4},
+			{And: 0, Stream: 1, Items: 2, Prob: 0.7},
+			{And: 1, Stream: 0, Items: 2, Prob: 0.5},
+			{And: 1, Stream: 1, Items: 1, Prob: 0.6},
+		},
+	}
+	seq := paotr.OptimalDNF(dnfTree, paotr.SearchOptions{})
+	par := paotr.OptimalDNFParallel(dnfTree, paotr.SearchOptions{}, 4)
+	if math.Abs(seq.Cost-par.Cost) > 1e-12 {
+		t.Errorf("parallel %v != sequential %v", par.Cost, seq.Cost)
+	}
+	ws := paotr.ScheduleDNFWarm(dnfTree, nil)
+	if err := ws.Validate(dnfTree); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeNonLinear(t *testing.T) {
+	tree := paotr.NonLinearCounterExample()
+	res := paotr.OptimalDNF(tree, paotr.SearchOptions{})
+	nl := paotr.OptimalNonLinear(tree)
+	if nl >= res.Cost-1e-12 {
+		t.Errorf("counter-example gap missing: non-linear %v vs linear %v", nl, res.Cost)
+	}
+}
