@@ -42,16 +42,9 @@ func main() {
 			fmt.Fprintln(os.Stderr, "paotrgen: -corpus requires -o FILE")
 			os.Exit(2)
 		}
-		var instances []corpus.Instance
-		switch *batch {
-		case "fig4":
-			instances = corpus.GenerateAndTrees(*perCfg, *seed, dist)
-		case "small":
-			instances = corpus.GenerateDNF(gen.SmallDNFConfigs(), *perCfg, *seed, dist)
-		case "large":
-			instances = corpus.GenerateDNF(gen.LargeDNFConfigs(), *perCfg, *seed, dist)
-		default:
-			fmt.Fprintf(os.Stderr, "paotrgen: unknown corpus %q (want fig4|small|large)\n", *batch)
+		instances, err := buildCorpus(*batch, *perCfg, *seed, dist)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "paotrgen: %v\n", err)
 			os.Exit(2)
 		}
 		if err := corpus.WriteFile(*out, instances); err != nil {
@@ -61,24 +54,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "wrote %s: %d instances\n", *out, len(instances))
 		return
 	}
-	rng := gen.NewRng(*seed)
-	var tree *query.Tree
-	switch *typ {
-	case "and":
-		tree = gen.AndTree(*leaves, *rho, dist, rng)
-	case "dnf":
-		sizes := make([]int, *ands)
-		for i := range sizes {
-			sizes[i] = *perAnd
-		}
-		tree = gen.DNF(sizes, *rho, dist, rng)
-	default:
-		fmt.Fprintf(os.Stderr, "paotrgen: unknown -type %q (want and|dnf)\n", *typ)
+	tree, err := buildTree(*typ, *leaves, *ands, *perAnd, *rho, dist, *seed)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "paotrgen: %v\n", err)
 		os.Exit(2)
-	}
-	if err := tree.Validate(); err != nil {
-		fmt.Fprintf(os.Stderr, "paotrgen: generated invalid tree: %v\n", err)
-		os.Exit(1)
 	}
 	if *out == "" {
 		if err := query.Encode(os.Stdout, tree); err != nil {
@@ -93,4 +72,41 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "wrote %s: %d leaves, %d AND nodes, %d streams (rho=%.2f)\n",
 		*out, tree.NumLeaves(), tree.NumAnds(), tree.NumStreams(), tree.SharingRatio())
+}
+
+// buildTree generates one validated random instance of the requested
+// type: a shared AND-tree or a DNF tree with ands AND nodes of perAnd
+// leaves each.
+func buildTree(typ string, leaves, ands, perAnd int, rho float64, dist gen.Dist, seed uint64) (*query.Tree, error) {
+	rng := gen.NewRng(seed)
+	var tree *query.Tree
+	switch typ {
+	case "and":
+		tree = gen.AndTree(leaves, rho, dist, rng)
+	case "dnf":
+		sizes := make([]int, ands)
+		for i := range sizes {
+			sizes[i] = perAnd
+		}
+		tree = gen.DNF(sizes, rho, dist, rng)
+	default:
+		return nil, fmt.Errorf("unknown -type %q (want and|dnf)", typ)
+	}
+	if err := tree.Validate(); err != nil {
+		return nil, fmt.Errorf("generated invalid tree: %v", err)
+	}
+	return tree, nil
+}
+
+// buildCorpus generates one of the named instance corpora.
+func buildCorpus(name string, perCfg int, seed uint64, dist gen.Dist) ([]corpus.Instance, error) {
+	switch name {
+	case "fig4":
+		return corpus.GenerateAndTrees(perCfg, seed, dist), nil
+	case "small":
+		return corpus.GenerateDNF(gen.SmallDNFConfigs(), perCfg, seed, dist), nil
+	case "large":
+		return corpus.GenerateDNF(gen.LargeDNFConfigs(), perCfg, seed, dist), nil
+	}
+	return nil, fmt.Errorf("unknown corpus %q (want fig4|small|large)", name)
 }

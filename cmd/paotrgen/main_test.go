@@ -1,0 +1,72 @@
+package main
+
+import (
+	"testing"
+
+	"paotr/internal/gen"
+)
+
+func TestBuildTreeAnd(t *testing.T) {
+	tr, err := buildTree("and", 10, 0, 0, 2, gen.Dist{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.NumLeaves() != 10 || !tr.IsAndTree() {
+		t.Errorf("AND-tree: %d leaves, %d ANDs", tr.NumLeaves(), tr.NumAnds())
+	}
+	if err := tr.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBuildTreeDNF(t *testing.T) {
+	tr, err := buildTree("dnf", 0, 4, 3, 2.5, gen.Dist{}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.NumAnds() != 4 || tr.NumLeaves() != 12 {
+		t.Errorf("DNF: %d ANDs, %d leaves, want 4 and 12", tr.NumAnds(), tr.NumLeaves())
+	}
+	if err := tr.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBuildTreeDeterministic(t *testing.T) {
+	a, err := buildTree("dnf", 0, 3, 4, 2, gen.Dist{}, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := buildTree("dnf", 0, 3, 4, 2, gen.Dist{}, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("same seed produced different trees")
+	}
+}
+
+func TestBuildTreeUnknownType(t *testing.T) {
+	if _, err := buildTree("nope", 1, 1, 1, 1, gen.Dist{}, 1); err == nil {
+		t.Fatal("unknown type accepted")
+	}
+}
+
+func TestBuildCorpus(t *testing.T) {
+	instances, err := buildCorpus("fig4", 2, 5, gen.Dist{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Figure 4's grid has 157 configurations.
+	if len(instances) != 314 {
+		t.Errorf("fig4 corpus has %d instances, want 314", len(instances))
+	}
+	for _, in := range instances[:10] {
+		if err := in.Tree.Validate(); err != nil {
+			t.Fatalf("instance %d invalid: %v", in.ID, err)
+		}
+	}
+	if _, err := buildCorpus("nope", 1, 1, gen.Dist{}); err == nil {
+		t.Fatal("unknown corpus accepted")
+	}
+}

@@ -1,0 +1,263 @@
+// Command paotrserve runs the multi-query scheduling service as an
+// HTTP/JSON server: clients register continuous queries over the shared
+// sensor streams, advance time in ticks, and read per-query results and
+// fleet-wide metrics. All registered queries share one acquisition cache,
+// so an item pulled for one tenant's query is free for every other query
+// that needs it — the multi-query payoff of the paper's shared-stream
+// model.
+//
+// Usage:
+//
+//	paotrserve -addr :8080
+//	paotrserve -demo -steps 300        # run the multi-tenant demo and exit
+//
+// Endpoints:
+//
+//	POST   /queries   {"id":"q1","query":"AVG(heart-rate,5) > 100","every":1}
+//	GET    /queries
+//	DELETE /queries/{id}
+//	POST   /tick      {"steps":10}
+//	GET    /results/{id}?n=20
+//	GET    /metrics
+//
+// Available streams: heart-rate, spo2, accelerometer, gps-speed,
+// temperature (BLE cost model; accelerometer uses WiFi).
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"strconv"
+
+	"paotr/internal/engine"
+	"paotr/internal/service"
+	"paotr/internal/stream"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		seed    = flag.Uint64("seed", 1, "sensor simulation seed")
+		workers = flag.Int("workers", 0, "tick worker-pool size (0 = GOMAXPROCS)")
+		demo    = flag.Bool("demo", false, "run the multi-tenant demo scenario and exit")
+		steps   = flag.Int("steps", 300, "ticks to run in -demo mode")
+		replan  = flag.Float64("replan-threshold", 0.02,
+			"probability drift tolerated before re-planning (0 = exact match, negative = re-plan every tick)")
+	)
+	flag.Parse()
+
+	svc := newService(*seed, *workers, *replan)
+	if *demo {
+		if err := runDemo(os.Stdout, svc, *steps); err != nil {
+			fmt.Fprintf(os.Stderr, "paotrserve: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	log.Printf("paotrserve listening on %s (streams: %s)", *addr, "heart-rate, spo2, accelerometer, gps-speed, temperature")
+	log.Fatal(http.ListenAndServe(*addr, newServer(svc)))
+}
+
+// newService builds the service over the standard simulated sensor fleet.
+func newService(seed uint64, workers int, replanThreshold float64) *service.Service {
+	opts := []service.Option{
+		service.WithEngineOptions(engine.WithReplanThreshold(replanThreshold)),
+	}
+	if workers > 0 {
+		opts = append(opts, service.WithWorkers(workers))
+	}
+	return service.New(stream.Wearables(seed), opts...)
+}
+
+// server is the HTTP front-end over one service.
+type server struct {
+	svc *service.Service
+	mux *http.ServeMux
+}
+
+// newServer wires the endpoint handlers.
+func newServer(svc *service.Service) *server {
+	s := &server{svc: svc, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /queries", s.handleRegister)
+	s.mux.HandleFunc("GET /queries", s.handleListQueries)
+	// {id...} matches across '/' so tenant-style ids like "a/tachycardia"
+	// stay addressable.
+	s.mux.HandleFunc("DELETE /queries/{id...}", s.handleUnregister)
+	s.mux.HandleFunc("POST /tick", s.handleTick)
+	s.mux.HandleFunc("GET /results/{id...}", s.handleResults)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	return s
+}
+
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// registerRequest is the body of POST /queries.
+type registerRequest struct {
+	ID    string `json:"id"`
+	Query string `json:"query"`
+	// Every runs the query only on every n-th tick (default 1).
+	Every int `json:"every,omitempty"`
+}
+
+func (s *server) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var req registerRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	if req.ID == "" || req.Query == "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("id and query are required"))
+		return
+	}
+	var opts []service.QueryOption
+	if req.Every > 0 {
+		opts = append(opts, service.Every(req.Every))
+	}
+	if err := s.svc.Register(req.ID, req.Query, opts...); err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, service.ErrDuplicateID) {
+			status = http.StatusConflict
+		}
+		writeError(w, status, err)
+		return
+	}
+	m, _ := s.svc.QueryMetrics(req.ID)
+	writeJSON(w, http.StatusCreated, m)
+}
+
+func (s *server) handleListQueries(w http.ResponseWriter, r *http.Request) {
+	ids := s.svc.QueryIDs()
+	out := make([]service.QueryMetrics, 0, len(ids))
+	for _, id := range ids {
+		if m, err := s.svc.QueryMetrics(id); err == nil {
+			out = append(out, m)
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *server) handleUnregister(w http.ResponseWriter, r *http.Request) {
+	if err := s.svc.Unregister(r.PathValue("id")); err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "unregistered"})
+}
+
+// tickRequest is the body of POST /tick.
+type tickRequest struct {
+	Steps int `json:"steps"`
+}
+
+// maxTickSteps bounds one request's work.
+const maxTickSteps = 100_000
+
+func (s *server) handleTick(w http.ResponseWriter, r *http.Request) {
+	req := tickRequest{Steps: 1}
+	if r.ContentLength != 0 {
+		if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+			return
+		}
+	}
+	if req.Steps < 1 || req.Steps > maxTickSteps {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("steps must be in [1, %d]", maxTickSteps))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.svc.Run(req.Steps))
+}
+
+func (s *server) handleResults(w http.ResponseWriter, r *http.Request) {
+	n := 0
+	if q := r.URL.Query().Get("n"); q != "" {
+		v, err := strconv.Atoi(q)
+		if err != nil || v < 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("invalid n %q", q))
+			return
+		}
+		n = v
+	}
+	res, err := s.svc.Results(r.PathValue("id"), n)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.svc.Metrics())
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// demoQueries is the multi-tenant demo scenario: three tenants whose
+// continuous queries overlap heavily on the same streams, so the shared
+// cache and plan reuse both get traction.
+var demoQueries = []registerRequest{
+	// Tenant A: telehealth alerting.
+	{ID: "a/tachycardia", Query: "AVG(heart-rate,5) > 100 AND accelerometer < 12"},
+	{ID: "a/hypoxia", Query: "spo2 < 92 OR (heart-rate > 110 AND gps-speed < 0.5)"},
+	{ID: "a/exertion", Query: "AVG(heart-rate,5) > 90 AND AVG(spo2,3) < 95"},
+	// Tenant B: activity tracking, lower cadence.
+	{ID: "b/fall", Query: "accelerometer > 20 AND AVG(gps-speed,4) < 0.2", Every: 2},
+	{ID: "b/workout", Query: "accelerometer > 15 AND heart-rate > 100"},
+	{ID: "b/commute", Query: "AVG(gps-speed,4) > 1.5 AND heart-rate > 80", Every: 2},
+	// Tenant C: environment monitoring, slow cadence.
+	{ID: "c/heat", Query: "AVG(temperature,6) > 24 AND heart-rate > 90", Every: 5},
+	{ID: "c/indoors", Query: "AVG(temperature,6) < 25 AND spo2 > 90", Every: 5},
+}
+
+// runDemo registers the demo fleet, runs it for the given number of
+// ticks, and prints per-query and fleet-wide metrics.
+func runDemo(w io.Writer, svc *service.Service, steps int) error {
+	for _, q := range demoQueries {
+		var opts []service.QueryOption
+		if q.Every > 0 {
+			opts = append(opts, service.Every(q.Every))
+		}
+		if err := svc.Register(q.ID, q.Query, opts...); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(w, "multi-tenant demo: %d queries, %d ticks\n\n", len(demoQueries), steps)
+	svc.Run(steps)
+	m := svc.Metrics()
+	fmt.Fprintf(w, "%-14s %6s %6s %10s %10s %8s %s\n",
+		"query", "runs", "true", "paid J", "expect J", "plan-hit", "text")
+	for _, qm := range m.PerQuery {
+		hit := 0.0
+		if qm.Executions > 0 {
+			hit = float64(qm.PlanCacheHits) / float64(qm.Executions)
+		}
+		fmt.Fprintf(w, "%-14s %6d %6d %10.2f %10.2f %7.0f%% %s\n",
+			qm.ID, qm.Executions, qm.TrueCount, qm.PaidCost, qm.ExpectedCost, 100*hit, qm.Query)
+	}
+	fmt.Fprintf(w, "\n--- fleet over %d ticks ---\n", m.Ticks)
+	fmt.Fprintf(w, "executions:            %d\n", m.Executions)
+	fmt.Fprintf(w, "predicates evaluated:  %d\n", m.PredicatesEvaluated)
+	fmt.Fprintf(w, "paid cost:             %.2f J (expected %.2f J)\n", m.PaidCost, m.ExpectedCost)
+	fmt.Fprintf(w, "cache hit rate:        %.1f%% (%d/%d items served from cache)\n",
+		100*m.CacheHitRate, m.CacheRequested-m.CacheTransferred, m.CacheRequested)
+	fmt.Fprintf(w, "plan-cache hit rate:   %.1f%%\n", 100*m.PlanCacheHitRate)
+	return nil
+}

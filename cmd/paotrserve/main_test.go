@@ -1,0 +1,170 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"paotr/internal/service"
+)
+
+func testServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(newServer(newService(1, 4, 0.02)))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// doJSON performs a request and decodes the JSON response into out.
+func doJSON(t *testing.T, method, url, body string, out any) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(method, url, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("%s %s: decoding response: %v", method, url, err)
+		}
+	}
+	return resp
+}
+
+func TestRegisterTickResultsMetrics(t *testing.T) {
+	srv := testServer(t)
+
+	var qm service.QueryMetrics
+	resp := doJSON(t, "POST", srv.URL+"/queries",
+		`{"id":"hr","query":"AVG(heart-rate,5) > 100 AND accelerometer < 12"}`, &qm)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("register status = %d", resp.StatusCode)
+	}
+	if qm.ID != "hr" || qm.Every != 1 {
+		t.Fatalf("registered metrics = %+v", qm)
+	}
+
+	// Duplicate id conflicts; bad query is a 400.
+	if resp := doJSON(t, "POST", srv.URL+"/queries", `{"id":"hr","query":"spo2 < 90"}`, nil); resp.StatusCode != http.StatusConflict {
+		t.Fatalf("duplicate register status = %d, want 409", resp.StatusCode)
+	}
+	if resp := doJSON(t, "POST", srv.URL+"/queries", `{"id":"bad","query":"nosuch > 1"}`, nil); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad query status = %d, want 400", resp.StatusCode)
+	}
+	if resp := doJSON(t, "POST", srv.URL+"/queries", `{"id":"","query":""}`, nil); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty register status = %d, want 400", resp.StatusCode)
+	}
+
+	var ticks []service.TickResult
+	if resp := doJSON(t, "POST", srv.URL+"/tick", `{"steps":10}`, &ticks); resp.StatusCode != http.StatusOK {
+		t.Fatalf("tick status = %d", resp.StatusCode)
+	}
+	if len(ticks) != 10 || len(ticks[9].Executions) != 1 {
+		t.Fatalf("ticks = %d, last executions = %+v", len(ticks), ticks[len(ticks)-1])
+	}
+	if ticks[9].Executions[0].Err != "" {
+		t.Fatalf("execution error: %s", ticks[9].Executions[0].Err)
+	}
+
+	var res []service.Execution
+	if resp := doJSON(t, "GET", srv.URL+"/results/hr?n=3", "", &res); resp.StatusCode != http.StatusOK {
+		t.Fatalf("results status = %d", resp.StatusCode)
+	}
+	if len(res) != 3 || res[2].Tick != 10 {
+		t.Fatalf("results = %+v", res)
+	}
+	if resp := doJSON(t, "GET", srv.URL+"/results/nope", "", nil); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown results status = %d, want 404", resp.StatusCode)
+	}
+
+	var m service.Metrics
+	if resp := doJSON(t, "GET", srv.URL+"/metrics", "", &m); resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics status = %d", resp.StatusCode)
+	}
+	if m.Ticks != 10 || m.Executions != 10 || m.Queries != 1 {
+		t.Fatalf("metrics = %+v", m)
+	}
+	if m.PaidCost <= 0 {
+		t.Fatalf("fleet paid nothing: %+v", m)
+	}
+
+	var ids []service.QueryMetrics
+	doJSON(t, "GET", srv.URL+"/queries", "", &ids)
+	if len(ids) != 1 || ids[0].Executions != 10 {
+		t.Fatalf("query list = %+v", ids)
+	}
+
+	if resp := doJSON(t, "DELETE", srv.URL+"/queries/hr", "", nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("unregister status = %d", resp.StatusCode)
+	}
+	if resp := doJSON(t, "DELETE", srv.URL+"/queries/hr", "", nil); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("double unregister status = %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestTenantStyleIDs: ids containing '/' (the demo's tenant/query
+// format) must round-trip through the path-parameter routes.
+func TestTenantStyleIDs(t *testing.T) {
+	srv := testServer(t)
+	if resp := doJSON(t, "POST", srv.URL+"/queries", `{"id":"a/tachycardia","query":"heart-rate > 100"}`, nil); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("register status = %d", resp.StatusCode)
+	}
+	doJSON(t, "POST", srv.URL+"/tick", `{"steps":2}`, nil)
+	var res []service.Execution
+	if resp := doJSON(t, "GET", srv.URL+"/results/a/tachycardia", "", &res); resp.StatusCode != http.StatusOK || len(res) != 2 {
+		t.Fatalf("slash-id results: status %d, %d results", resp.StatusCode, len(res))
+	}
+	if resp := doJSON(t, "DELETE", srv.URL+"/queries/a/tachycardia", "", nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("slash-id unregister status = %d", resp.StatusCode)
+	}
+}
+
+func TestTickValidation(t *testing.T) {
+	srv := testServer(t)
+	if resp := doJSON(t, "POST", srv.URL+"/tick", `{"steps":0}`, nil); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("steps=0 status = %d, want 400", resp.StatusCode)
+	}
+	if resp := doJSON(t, "POST", srv.URL+"/tick", `{"steps":1000000}`, nil); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("huge steps status = %d, want 400", resp.StatusCode)
+	}
+	// Empty body defaults to one step.
+	var ticks []service.TickResult
+	if resp := doJSON(t, "POST", srv.URL+"/tick", "", &ticks); resp.StatusCode != http.StatusOK || len(ticks) != 1 {
+		t.Fatalf("default tick: status %d, %d ticks", resp.StatusCode, len(ticks))
+	}
+}
+
+func TestDemoScenario(t *testing.T) {
+	var b strings.Builder
+	if err := runDemo(&b, newService(1, 4, 0.02), 50); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"multi-tenant demo: 8 queries, 50 ticks",
+		"a/tachycardia", "b/fall", "c/indoors",
+		"cache hit rate", "plan-cache hit rate",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("demo output missing %q:\n%s", want, out)
+		}
+	}
+	// Low-cadence queries must have run fewer times: b/fall every 2 ticks.
+	svc := newService(1, 4, 0.02)
+	if err := runDemo(&strings.Builder{}, svc, 50); err != nil {
+		t.Fatal(err)
+	}
+	fall, err := svc.QueryMetrics("b/fall")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fall.Executions != 25 {
+		t.Errorf("b/fall ran %d times over 50 ticks with every=2, want 25", fall.Executions)
+	}
+}

@@ -34,13 +34,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	reg := stream.NewRegistry()
-	must(reg.Add(stream.HeartRate(*seed), stream.BLE))
-	must(reg.Add(stream.SpO2(*seed+1), stream.BLE))
-	must(reg.Add(stream.Accelerometer(*seed+2), stream.WiFi))
-	must(reg.Add(stream.GPSSpeed(*seed+3), stream.BLE))
-	must(reg.Add(stream.Temperature(*seed+4), stream.BLE))
-
+	reg := stream.Wearables(*seed)
 	eng := engine.New(reg)
 	q, err := eng.Compile(flag.Arg(0))
 	if err != nil {
@@ -107,11 +101,4 @@ func naiveCost(t *query.Tree, reg *stream.Registry) float64 {
 		}
 	}
 	return total
-}
-
-func must(err error) {
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "paotrsim: %v\n", err)
-		os.Exit(1)
-	}
 }

@@ -1,0 +1,64 @@
+package main
+
+import (
+	"testing"
+
+	"paotr/internal/engine"
+	"paotr/internal/stream"
+)
+
+func TestWearablesRegistry(t *testing.T) {
+	reg := stream.Wearables(1)
+	if reg.Len() != 5 {
+		t.Fatalf("registry has %d streams, want 5", reg.Len())
+	}
+	for _, name := range []string{"heart-rate", "spo2", "accelerometer", "gps-speed", "temperature"} {
+		if _, ok := reg.ByName(name); !ok {
+			t.Errorf("stream %q missing", name)
+		}
+	}
+}
+
+func TestNaiveCostCoversQueryStreams(t *testing.T) {
+	reg := stream.Wearables(1)
+	eng := engine.New(reg)
+	q, err := eng.Compile("AVG(heart-rate,5) > 100 AND accelerometer < 12")
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive := naiveCost(q.Tree(), reg)
+	hr, _ := reg.ByName("heart-rate")
+	acc, _ := reg.ByName("accelerometer")
+	want := hr.Cost.PerItem() + acc.Cost.PerItem()
+	if naive != want {
+		t.Errorf("naiveCost = %v, want one item per subscribed stream = %v", naive, want)
+	}
+}
+
+// TestSimulationBeatsNaive runs the simulator's core loop for a short
+// span: the adaptive pull engine must never spend more than the naive
+// push baseline on a short-circuiting query.
+func TestSimulationBeatsNaive(t *testing.T) {
+	reg := stream.Wearables(7)
+	eng := engine.New(reg)
+	q, err := eng.Compile("spo2 < 92 OR (heart-rate > 120 AND gps-speed < 0.5)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache, err := q.NewCache()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const steps = 100
+	results, err := q.Run(cache, steps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != steps {
+		t.Fatalf("%d results, want %d", len(results), steps)
+	}
+	naive := naiveCost(q.Tree(), reg) * steps
+	if cache.Spent() > naive {
+		t.Errorf("adaptive pull spent %.3f, naive push %.3f", cache.Spent(), naive)
+	}
+}

@@ -1,0 +1,3 @@
+module paotr
+
+go 1.24

@@ -1,13 +1,21 @@
 // Package acquisition implements the device-side data item cache of the
 // paper's pull model (Section I): acquired items are held in memory until
 // they are no longer relevant — i.e. older than the maximum time window
-// used for their stream in the query — and every leaf evaluation pays only
-// for the items not already cached.
+// used for their stream in any registered query — and every leaf
+// evaluation pays only for the items not already cached.
+//
+// A Cache is safe for concurrent use and can be shared by many queries:
+// an item pulled for one query is reused for free by every other query
+// that needs it, which is where the multi-query savings of the paper's
+// shared-stream model come from. Per-query retention claims (Retain /
+// Release) keep the per-stream horizon equal to the maximum window over
+// all registered queries, recomputed whenever the query set changes.
 package acquisition
 
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"paotr/internal/stream"
 )
@@ -15,23 +23,34 @@ import (
 // Cache holds the most recent items pulled from each stream of a registry
 // and accounts for acquisition costs. Items are identified by production
 // step: at time now, the "t-th item" of the paper (t >= 1) is the one
-// produced at step now-t.
+// produced at step now-t. All methods are safe for concurrent use.
 type Cache struct {
+	mu  sync.Mutex
 	reg *stream.Registry
 	// items[k] = cached items of stream k, sorted by decreasing Seq
 	// (most recent first). Not necessarily contiguous after Advance.
 	items [][]stream.Item
-	// maxWindow[k] = retention horizon: items older than this relative
-	// age are dropped (the paper's "no longer relevant" rule).
+	// base[k] = fixed retention horizon supplied at construction.
+	base []int
+	// claims holds per-query retention claims (Retain/Release).
+	claims map[string][]int
+	// maxWindow[k] = effective retention horizon: the elementwise max of
+	// base and every claim. Items older than this relative age are
+	// dropped (the paper's "no longer relevant" rule).
 	maxWindow []int
 	now       int64
 	spent     float64
 	pulls     []int
+	// requested counts items asked for via Pull/Acquire; transferred
+	// counts the subset that actually had to be acquired. Their ratio is
+	// the cache hit rate.
+	requested   int64
+	transferred int64
 }
 
-// NewCache creates a cache over the registry; maxWindow[k] is the
+// NewCache creates a cache over the registry; maxWindow[k] is the fixed
 // retention horizon of stream k (the maximum window any query leaf uses on
-// that stream).
+// that stream). Additional horizons can be claimed later with Retain.
 func NewCache(reg *stream.Registry, maxWindow []int) (*Cache, error) {
 	if len(maxWindow) != reg.Len() {
 		return nil, fmt.Errorf("acquisition: %d horizons for %d streams", len(maxWindow), reg.Len())
@@ -39,27 +58,61 @@ func NewCache(reg *stream.Registry, maxWindow []int) (*Cache, error) {
 	return &Cache{
 		reg:       reg,
 		items:     make([][]stream.Item, reg.Len()),
+		base:      append([]int(nil), maxWindow...),
+		claims:    map[string][]int{},
 		maxWindow: append([]int(nil), maxWindow...),
 		pulls:     make([]int, reg.Len()),
 	}, nil
 }
 
-// Now returns the current time step.
-func (c *Cache) Now() int64 { return c.now }
+// NewShared creates a cache with no fixed horizons: retention is driven
+// entirely by Retain/Release claims, the configuration of a multi-query
+// service where the query set changes at runtime.
+func NewShared(reg *stream.Registry) *Cache {
+	c, _ := NewCache(reg, make([]int, reg.Len()))
+	return c
+}
 
-// Spent returns the total acquisition cost paid so far.
-func (c *Cache) Spent() float64 { return c.spent }
-
-// Pulls returns the number of items transferred from stream k.
-func (c *Cache) Pulls(k int) int { return c.pulls[k] }
-
-// Advance moves time forward by steps. Cached items age accordingly, and
-// items older than the retention horizon are evicted.
-func (c *Cache) Advance(steps int64) {
-	if steps <= 0 {
-		return
+// Retain registers a per-query retention claim: windows[k] is the maximum
+// window the query uses on stream k. The effective horizon of every
+// stream becomes the maximum over the base horizon and all claims.
+// Claiming again under the same id replaces the previous claim.
+func (c *Cache) Retain(id string, windows []int) error {
+	if len(windows) != c.reg.Len() {
+		return fmt.Errorf("acquisition: %d horizons for %d streams", len(windows), c.reg.Len())
 	}
-	c.now += steps
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.claims[id] = append([]int(nil), windows...)
+	c.recomputeHorizons()
+	return nil
+}
+
+// Release withdraws a retention claim. Items beyond the shrunken horizon
+// are evicted immediately.
+func (c *Cache) Release(id string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.claims, id)
+	c.recomputeHorizons()
+}
+
+// recomputeHorizons rebuilds maxWindow from base and claims and evicts
+// items that fell outside the new horizons. Caller holds mu.
+func (c *Cache) recomputeHorizons() {
+	for k := range c.maxWindow {
+		c.maxWindow[k] = c.base[k]
+		for _, w := range c.claims {
+			if w[k] > c.maxWindow[k] {
+				c.maxWindow[k] = w[k]
+			}
+		}
+	}
+	c.evictLocked()
+}
+
+// evictLocked drops items older than the retention horizon. Caller holds mu.
+func (c *Cache) evictLocked() {
 	for k := range c.items {
 		kept := c.items[k][:0]
 		for _, it := range c.items[k] {
@@ -71,7 +124,76 @@ func (c *Cache) Advance(steps int64) {
 	}
 }
 
+// Now returns the current time step.
+func (c *Cache) Now() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Spent returns the total acquisition cost paid so far.
+func (c *Cache) Spent() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.spent
+}
+
+// Pulls returns the number of items transferred from stream k.
+func (c *Cache) Pulls(k int) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.pulls[k]
+}
+
+// Horizon returns the effective retention horizon of stream k.
+func (c *Cache) Horizon(k int) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.maxWindow[k]
+}
+
+// Stats summarizes cache traffic.
+type Stats struct {
+	// Requested counts items asked for via Pull/Acquire.
+	Requested int64
+	// Transferred counts the requested items that were not cached and had
+	// to be acquired (and paid for).
+	Transferred int64
+	// Spent is the total acquisition cost paid.
+	Spent float64
+	// Now is the current time step.
+	Now int64
+}
+
+// HitRate is the fraction of requested items served from the cache.
+func (s Stats) HitRate() float64 {
+	if s.Requested == 0 {
+		return 0
+	}
+	return 1 - float64(s.Transferred)/float64(s.Requested)
+}
+
+// Stats returns a snapshot of the traffic counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{Requested: c.requested, Transferred: c.transferred, Spent: c.spent, Now: c.now}
+}
+
+// Advance moves time forward by steps. Cached items age accordingly, and
+// items older than the retention horizon are evicted.
+func (c *Cache) Advance(steps int64) {
+	if steps <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now += steps
+	c.evictLocked()
+}
+
 // cached returns the cached item of stream k produced at step seq.
+// Caller holds mu.
 func (c *Cache) cached(k int, seq int64) (stream.Item, bool) {
 	for _, it := range c.items[k] {
 		if it.Seq == seq {
@@ -87,6 +209,8 @@ func (c *Cache) cached(k int, seq int64) (stream.Item, bool) {
 // Have returns how many consecutive most-recent items of stream k are
 // cached: the largest t such that items 1..t are all in memory.
 func (c *Cache) Have(k int) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	n := 0
 	for {
 		if _, ok := c.cached(k, c.now-int64(n+1)); !ok {
@@ -99,6 +223,8 @@ func (c *Cache) Have(k int) int {
 // Missing returns how many of the d most recent items of stream k are not
 // cached — the incremental item count a Pull(k, d) would transfer.
 func (c *Cache) Missing(k, d int) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	miss := 0
 	for t := 1; t <= d; t++ {
 		if _, ok := c.cached(k, c.now-int64(t)); !ok {
@@ -108,13 +234,13 @@ func (c *Cache) Missing(k, d int) int {
 	return miss
 }
 
-// Pull ensures the d most recent items of stream k are cached, transfers
-// the missing ones, charges their cost, and returns the incremental cost
-// paid.
-func (c *Cache) Pull(k, d int) float64 {
+// pullLocked ensures the d most recent items of stream k are cached and
+// returns the incremental cost paid. Caller holds mu.
+func (c *Cache) pullLocked(k, d int) float64 {
 	st := c.reg.At(k)
 	per := st.Cost.PerItem()
 	cost := 0.0
+	c.requested += int64(d)
 	for t := 1; t <= d; t++ {
 		seq := c.now - int64(t)
 		if _, ok := c.cached(k, seq); ok {
@@ -123,16 +249,32 @@ func (c *Cache) Pull(k, d int) float64 {
 		c.items[k] = append(c.items[k], st.Source.At(seq))
 		cost += per
 		c.pulls[k]++
+		c.transferred++
 	}
 	sort.Slice(c.items[k], func(a, b int) bool { return c.items[k][a].Seq > c.items[k][b].Seq })
 	c.spent += cost
 	return cost
 }
 
+// Pull ensures the d most recent items of stream k are cached, transfers
+// the missing ones, charges their cost, and returns the incremental cost
+// paid.
+func (c *Cache) Pull(k, d int) float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.pullLocked(k, d)
+}
+
 // Values returns the values of the d most recent items of stream k, most
 // recent first, for predicate evaluation. It does not pull; call Pull
-// first.
+// first (or use Acquire, which does both atomically).
 func (c *Cache) Values(k, d int) ([]float64, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.valuesLocked(k, d)
+}
+
+func (c *Cache) valuesLocked(k, d int) ([]float64, error) {
 	out := make([]float64, d)
 	for t := 1; t <= d; t++ {
 		it, ok := c.cached(k, c.now-int64(t))
@@ -144,12 +286,26 @@ func (c *Cache) Values(k, d int) ([]float64, error) {
 	return out, nil
 }
 
+// Acquire pulls the d most recent items of stream k and returns their
+// values (most recent first) together with the incremental cost paid.
+// Pull and read happen under one lock, so concurrent executions sharing
+// the cache cannot interleave between paying for items and reading them.
+func (c *Cache) Acquire(k, d int) ([]float64, float64, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cost := c.pullLocked(k, d)
+	vals, err := c.valuesLocked(k, d)
+	return vals, cost, err
+}
+
 // Snapshot reports which of the most recent items are currently cached:
 // the result has one row per stream with windows[k] entries, where entry
 // t-1 is true when the t-th most recent item of stream k is in memory.
 // The row layout matches sched.Warm, so planners can price cached items
 // as free.
 func (c *Cache) Snapshot(windows []int) [][]bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	out := make([][]bool, len(c.items))
 	for k := range out {
 		d := 0
@@ -165,10 +321,14 @@ func (c *Cache) Snapshot(windows []int) [][]bool {
 	return out
 }
 
-// ResetAccounting zeroes the spent counter and pull counts (the cache
-// contents are preserved).
+// ResetAccounting zeroes the spent counter, pull counts and traffic
+// counters (the cache contents are preserved).
 func (c *Cache) ResetAccounting() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	c.spent = 0
+	c.requested = 0
+	c.transferred = 0
 	for k := range c.pulls {
 		c.pulls[k] = 0
 	}

@@ -2,6 +2,7 @@ package acquisition
 
 import (
 	"math"
+	"sync"
 	"testing"
 
 	"paotr/internal/stream"
@@ -159,4 +160,107 @@ func TestMatchesAnalyticalModel(t *testing.T) {
 		}
 	}
 	_ = c
+}
+
+func TestRetainReleaseRecomputesHorizons(t *testing.T) {
+	reg := testRegistry(t)
+	c := NewShared(reg)
+	if c.Horizon(0) != 0 || c.Horizon(1) != 0 {
+		t.Fatal("shared cache must start with zero horizons")
+	}
+	if err := c.Retain("q1", []int{3, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Retain("q2", []int{1, 5}); err != nil {
+		t.Fatal(err)
+	}
+	if c.Horizon(0) != 3 || c.Horizon(1) != 5 {
+		t.Fatalf("horizons = %d,%d, want elementwise max 3,5", c.Horizon(0), c.Horizon(1))
+	}
+	if err := c.Retain("short", []int{1}); err == nil {
+		t.Fatal("mis-sized claim accepted")
+	}
+
+	// Items survive as long as the widest claim wants them...
+	c.Advance(10)
+	c.Pull(1, 5)
+	if got := c.Have(1); got != 5 {
+		t.Fatalf("Have = %d, want 5", got)
+	}
+	// ...and shrinking the claim evicts immediately.
+	c.Release("q2")
+	if c.Horizon(1) != 1 {
+		t.Fatalf("horizon after release = %d, want 1", c.Horizon(1))
+	}
+	if got := c.Have(1); got != 1 {
+		t.Fatalf("Have after release = %d, want 1 (evicted to new horizon)", got)
+	}
+}
+
+func TestAcquireAtomicPullAndValues(t *testing.T) {
+	reg := testRegistry(t)
+	c, _ := NewCache(reg, []int{3, 3})
+	c.Advance(5)
+	vals, cost, err := c.Acquire(0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	per := reg.At(0).Cost.PerItem()
+	if math.Abs(cost-3*per) > 1e-12 {
+		t.Errorf("cost = %v, want %v", cost, 3*per)
+	}
+	if len(vals) != 3 || vals[0] != 1 {
+		t.Errorf("vals = %v", vals)
+	}
+	// Second acquire is free: everything cached.
+	_, cost, err = c.Acquire(0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost != 0 {
+		t.Errorf("re-acquire cost = %v, want 0", cost)
+	}
+	st := c.Stats()
+	if st.Requested != 6 || st.Transferred != 3 {
+		t.Errorf("stats = %+v, want 6 requested / 3 transferred", st)
+	}
+	if math.Abs(st.HitRate()-0.5) > 1e-12 {
+		t.Errorf("hit rate = %v, want 0.5", st.HitRate())
+	}
+}
+
+// TestConcurrentPullsChargeOnce: many goroutines acquiring the same
+// window concurrently must together pay for each item exactly once.
+func TestConcurrentPullsChargeOnce(t *testing.T) {
+	reg := testRegistry(t)
+	c, _ := NewCache(reg, []int{8, 8})
+	c.Advance(100)
+	var wg sync.WaitGroup
+	costs := make([]float64, 16)
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				_, cost, err := c.Acquire(g%2, 1+(i+g)%8)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				costs[g] += cost
+			}
+		}(g)
+	}
+	wg.Wait()
+	total := 0.0
+	for _, v := range costs {
+		total += v
+	}
+	want := 8*reg.At(0).Cost.PerItem() + 8*reg.At(1).Cost.PerItem()
+	if math.Abs(total-want) > 1e-9 {
+		t.Errorf("fleet paid %v, want each item charged once: %v", total, want)
+	}
+	if math.Abs(c.Spent()-want) > 1e-9 {
+		t.Errorf("Spent = %v, want %v", c.Spent(), want)
+	}
 }

@@ -14,6 +14,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 
 	"paotr/internal/acquisition"
 	"paotr/internal/andtree"
@@ -52,12 +53,20 @@ func DefaultWarmPlanner(t *query.Tree, w sched.Warm) sched.Schedule {
 	return dnf.AndOrderedIncCOverPDynamicWarm(t, w)
 }
 
-// Engine processes queries over a stream registry.
+// Engine processes queries over a stream registry. An Engine and its
+// compiled queries are safe for concurrent use: many queries may plan and
+// execute simultaneously against a shared acquisition cache.
 type Engine struct {
 	reg      *stream.Registry
 	traces   *trace.Store
 	plan     Planner     // set by WithPlanner; overrides warm planning
 	planWarm WarmPlanner // default planning path
+	// replanEps is the plan-cache drift threshold: a cached schedule is
+	// reused while every leaf probability has moved by at most replanEps
+	// since it was planned and the warm cache state is unchanged.
+	// 0 (the default) reuses only on an exact fingerprint match; negative
+	// disables plan reuse entirely.
+	replanEps float64
 }
 
 // Option configures an Engine.
@@ -73,6 +82,14 @@ func WithWarmPlanner(p WarmPlanner) Option { return func(e *Engine) { e.planWarm
 // WithTraceStore supplies a pre-populated trace store.
 func WithTraceStore(s *trace.Store) Option { return func(e *Engine) { e.traces = s } }
 
+// WithReplanThreshold sets the plan-cache drift threshold. A query's last
+// schedule is reused — skipping the planner — when the warm cache state is
+// identical to the one it was planned against and no leaf probability
+// estimate has drifted by more than eps since. eps = 0 (the default)
+// reuses only when the fingerprint matches exactly; a negative eps
+// disables reuse, re-planning on every execution (the seed behaviour).
+func WithReplanThreshold(eps float64) Option { return func(e *Engine) { e.replanEps = eps } }
+
 // New creates an engine over the registry.
 func New(reg *stream.Registry, opts ...Option) *Engine {
 	e := &Engine{reg: reg, traces: trace.NewStore(), planWarm: DefaultWarmPlanner}
@@ -86,7 +103,9 @@ func New(reg *stream.Registry, opts ...Option) *Engine {
 func (e *Engine) Traces() *trace.Store { return e.traces }
 
 // Query is a compiled query: the parsed predicates bound to registry
-// streams, ready to be planned and executed.
+// streams, ready to be planned and executed. A Query may be executed
+// concurrently with other queries of the same engine; the plan cache is
+// per query and lock-protected.
 type Query struct {
 	// Text is the original query string.
 	Text string
@@ -98,6 +117,9 @@ type Query struct {
 	// structure (streams, windows, AND grouping) is fixed at compile time.
 	skeleton *query.Tree
 	engine   *Engine
+
+	mu   sync.Mutex
+	last *Plan // plan cache: most recent plan, with its fingerprint
 }
 
 // ErrUnknownStream is returned when a query references an unregistered
@@ -217,28 +239,145 @@ type Result struct {
 	Schedule sched.Schedule
 	// Tree is the probability-annotated tree that was planned.
 	Tree *query.Tree
+	// PlanReused reports whether the schedule came from the plan cache
+	// instead of a fresh planner run (see WithReplanThreshold).
+	PlanReused bool
 }
 
-// Execute plans and runs the query once against the cache's current time,
-// recording outcomes in the trace store. The caller advances time on the
-// cache between executions (one execution per arrival of new data, in the
-// continuous-processing model of [4]).
-func (q *Query) Execute(cache *acquisition.Cache) (Result, error) {
+// Plan is a ready-to-execute schedule for one query at one cache state:
+// the probability-annotated tree, the leaf order, and its expected cost.
+// The probability vector and warm snapshot it was planned against are kept
+// as the plan-cache fingerprint.
+type Plan struct {
+	// Tree is the probability-annotated tree the plan was built for.
+	Tree *query.Tree
+	// Schedule is the planned leaf evaluation order.
+	Schedule sched.Schedule
+	// ExpectedCost is the expected acquisition cost of the schedule under
+	// Tree's probabilities and the warm state at planning time.
+	ExpectedCost float64
+	// Reused reports whether the schedule was taken from the plan cache.
+	Reused bool
+
+	probs []float64  // fingerprint: per-leaf probabilities planned against
+	warm  sched.Warm // fingerprint: warm cache snapshot planned against
+}
+
+// Plan builds (or reuses) a schedule for the query against the cache's
+// current state. When the fingerprint — the per-leaf probability estimates
+// plus the warm-state snapshot — has not drifted beyond the engine's
+// replan threshold since the last plan, the cached schedule is reused and
+// only its expected cost is recomputed; otherwise the planner runs anew.
+func (q *Query) Plan(cache *acquisition.Cache) (*Plan, error) {
 	t := q.Tree()
+	var warm sched.Warm
+	cold := q.engine.plan != nil
+	if !cold {
+		warm = sched.Warm(cache.Snapshot(t.StreamMaxItems()))
+	}
+	probs := make([]float64, len(t.Leaves))
+	for j := range t.Leaves {
+		probs[j] = t.Leaves[j].Prob
+	}
+
+	q.mu.Lock()
+	prev := q.last
+	q.mu.Unlock()
+	if prev != nil && q.engine.replanEps >= 0 && warmEqual(prev.warm, warm) {
+		drift := maxDrift(prev.probs, probs)
+		if drift <= q.engine.replanEps {
+			// Keep the fingerprint of the plan that produced the schedule:
+			// drift is always measured against the probabilities the planner
+			// actually saw, so slow cumulative drift still forces a re-plan
+			// once it exceeds the threshold.
+			p := &Plan{Tree: t, Schedule: prev.Schedule, Reused: true, probs: prev.probs, warm: prev.warm}
+			switch {
+			case drift == 0:
+				// Exact fingerprint match: same probabilities and same warm
+				// state give the same expected cost.
+				p.ExpectedCost = prev.ExpectedCost
+			case cold:
+				p.ExpectedCost = sched.Cost(t, p.Schedule)
+			default:
+				p.ExpectedCost = sched.CostWarm(t, p.Schedule, warm)
+			}
+			q.storePlan(p)
+			return p, nil
+		}
+	}
+
 	var s sched.Schedule
 	var expected float64
-	if q.engine.plan != nil {
+	if cold {
 		s = q.engine.plan(t)
 		expected = sched.Cost(t, s)
 	} else {
-		warm := sched.Warm(cache.Snapshot(t.StreamMaxItems()))
 		s = q.engine.planWarm(t, warm)
 		expected = sched.CostWarm(t, s, warm)
 	}
 	if err := s.Validate(t); err != nil {
-		return Result{}, fmt.Errorf("engine: planner returned invalid schedule: %w", err)
+		return nil, fmt.Errorf("engine: planner returned invalid schedule: %w", err)
 	}
-	res := Result{Schedule: s, Tree: t, ExpectedCost: expected}
+	p := &Plan{Tree: t, Schedule: s, ExpectedCost: expected, probs: probs, warm: warm}
+	q.storePlan(p)
+	return p, nil
+}
+
+func (q *Query) storePlan(p *Plan) {
+	q.mu.Lock()
+	q.last = p
+	q.mu.Unlock()
+}
+
+// InvalidatePlan drops the cached plan, forcing the next Plan call to run
+// the planner.
+func (q *Query) InvalidatePlan() {
+	q.mu.Lock()
+	q.last = nil
+	q.mu.Unlock()
+}
+
+// warmEqual reports whether two warm snapshots describe the same cache
+// state (row lengths are fixed per query, so elementwise compare).
+func warmEqual(a, b sched.Warm) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if len(a[k]) != len(b[k]) {
+			return false
+		}
+		for t := range a[k] {
+			if a[k][t] != b[k][t] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// maxDrift returns the largest absolute per-leaf probability change, or
+// +Inf when the vectors are incomparable.
+func maxDrift(a, b []float64) float64 {
+	if len(a) != len(b) {
+		return math.Inf(1)
+	}
+	d := 0.0
+	for j := range a {
+		if dj := math.Abs(a[j] - b[j]); dj > d {
+			d = dj
+		}
+	}
+	return d
+}
+
+// ExecutePlan runs a previously built plan against the cache's current
+// time, paying for acquisitions and recording predicate outcomes in the
+// trace store. The plan must have been built for the same cache state
+// (same Now and contents); Execute composes Plan and ExecutePlan.
+func (q *Query) ExecutePlan(p *Plan, cache *acquisition.Cache) (Result, error) {
+	t := p.Tree
+	res := Result{Schedule: p.Schedule, Tree: t, ExpectedCost: p.ExpectedCost, PlanReused: p.Reused}
 
 	nAnds := t.NumAnds()
 	andFalse := make([]bool, nAnds)
@@ -247,13 +386,13 @@ func (q *Query) Execute(cache *acquisition.Cache) (Result, error) {
 		andLeft[i] = len(and)
 	}
 	falseAnds := 0
-	for _, j := range s {
+	for _, j := range p.Schedule {
 		l := t.Leaves[j]
 		if andFalse[l.And] {
 			continue
 		}
-		res.Cost += cache.Pull(int(l.Stream), l.Items)
-		vals, err := cache.Values(int(l.Stream), l.Items)
+		vals, cost, err := cache.Acquire(int(l.Stream), l.Items)
+		res.Cost += cost
 		if err != nil {
 			return res, err
 		}
@@ -278,11 +417,28 @@ func (q *Query) Execute(cache *acquisition.Cache) (Result, error) {
 	return res, nil
 }
 
+// Execute plans (or reuses a cached plan) and runs the query once against
+// the cache's current time, recording outcomes in the trace store. The
+// caller advances time on the cache between executions (one execution per
+// arrival of new data, in the continuous-processing model of [4]).
+func (q *Query) Execute(cache *acquisition.Cache) (Result, error) {
+	p, err := q.Plan(cache)
+	if err != nil {
+		return Result{}, err
+	}
+	return q.ExecutePlan(p, cache)
+}
+
 // NewCache builds an acquisition cache sized for the query: each stream's
 // retention horizon is the maximum window the query uses on it.
 func (q *Query) NewCache() (*acquisition.Cache, error) {
 	return acquisition.NewCache(q.engine.reg, q.skeleton.StreamMaxItems())
 }
+
+// Windows returns, per registry stream, the maximum window the query uses
+// on it — the retention claim a shared cache must honour while the query
+// is registered (see acquisition.Cache.Retain).
+func (q *Query) Windows() []int { return q.skeleton.StreamMaxItems() }
 
 // Run executes the query over a span of time steps: at every step the
 // cache advances one step (one new item per stream) and the query runs

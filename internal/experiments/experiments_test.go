@@ -68,6 +68,9 @@ func TestFig4Deterministic(t *testing.T) {
 // reference is the true optimum), and the dynamic C/p AND-ordered
 // heuristic is the best of the ten on a clear majority of instances.
 func TestFig5Small(t *testing.T) {
+	if testing.Short() {
+		t.Skip("Fig5 reproduction takes ~18s; TestShortSmoke covers the pipeline in short mode")
+	}
 	res := Fig5(DNFOptions{InstancesPerConfig: 1, Seed: 3, MaxNodes: 250_000})
 	if res.Instances+res.Skipped != 216 {
 		t.Fatalf("instances+skipped = %d, want 216", res.Instances+res.Skipped)
@@ -159,6 +162,9 @@ func TestSection2Report(t *testing.T) {
 // increasing-d leaf order never loses to decreasing-d, and the dynamic
 // AND-ordered variant is at least as good as the static one on average.
 func TestAblationSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablation study takes ~17s; TestShortSmoke covers the pipeline in short mode")
+	}
 	res := Ablation(AblationOptions{InstancesPerConfig: 1, Seed: 13, MaxNodes: 250_000})
 	if res.Instances == 0 {
 		t.Fatal("no instances solved")
@@ -209,6 +215,38 @@ func TestRhoSensitivity(t *testing.T) {
 	}
 	if !strings.Contains(res.Report(), "rho") {
 		t.Error("report missing")
+	}
+}
+
+// TestShortSmoke keeps the Fig5 and Ablation pipelines exercised in
+// -short runs: a tight exhaustive-search node cap makes hard instances
+// get skipped instead of searched, so the run stays fast while every
+// code path (generation, heuristics, search, profiles, reports) is hit.
+func TestShortSmoke(t *testing.T) {
+	f5 := Fig5(DNFOptions{InstancesPerConfig: 1, Seed: 3, MaxNodes: 5_000})
+	if f5.Instances+f5.Skipped != 216 {
+		t.Fatalf("Fig5 instances+skipped = %d, want 216", f5.Instances+f5.Skipped)
+	}
+	if f5.Instances == 0 {
+		t.Fatal("Fig5 smoke solved no instances")
+	}
+	if len(f5.Names) != 10 {
+		t.Fatalf("expected 10 heuristics, got %d", len(f5.Names))
+	}
+	for i, p := range f5.Profiles {
+		if p.Quantile(0.0001) < 1-1e-6 {
+			t.Errorf("heuristic %q beat the exhaustive optimum", f5.Names[i])
+		}
+	}
+	ab := Ablation(AblationOptions{InstancesPerConfig: 1, Seed: 13, MaxNodes: 5_000})
+	if ab.Instances == 0 {
+		t.Fatal("ablation smoke solved no instances")
+	}
+	if ab.ImprovedNeverWorse < ab.Total*99/100 {
+		t.Errorf("increasing-d no-worse on only %d/%d instances", ab.ImprovedNeverWorse, ab.Total)
+	}
+	if !strings.Contains(f5.Report(), "instances") || !strings.Contains(ab.Report(), "Ablation") {
+		t.Error("smoke reports malformed")
 	}
 }
 

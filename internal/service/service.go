@@ -1,0 +1,404 @@
+// Package service turns the single-query engine into a concurrent
+// multi-query scheduling service: many compiled queries share one stream
+// registry, one acquisition cache and one trace store, time advances in
+// ticks, and every query due at a tick executes on a worker pool.
+//
+// Sharing is the point of the paper's model — a data item pulled for one
+// query is reused for free by every other query that needs it — and the
+// service is where that sharing pays off across queries, not just across
+// the leaves of one tree. The cache's per-stream retention horizon is
+// kept equal to the maximum window over all registered queries,
+// recomputed on register/unregister, and the per-query plan caches of the
+// engine skip re-planning on ticks where nothing drifted.
+package service
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"paotr/internal/acquisition"
+	"paotr/internal/engine"
+	"paotr/internal/stream"
+)
+
+// Service schedules and executes many continuous queries over one shared
+// registry and acquisition cache. All methods are safe for concurrent
+// use; Register/Unregister serialize against running ticks.
+type Service struct {
+	mu      sync.Mutex
+	reg     *stream.Registry
+	eng     *engine.Engine
+	cache   *acquisition.Cache
+	queries map[string]*registered
+	order   []string // registration order, for deterministic dispatch
+	workers int
+	history int
+	tick    int64
+
+	executions int64
+	planHits   int64
+	planMisses int64
+	paidCost   float64
+	expCost    float64
+	evaluated  int64
+}
+
+// registered is one query under service management.
+type registered struct {
+	id    string
+	text  string
+	q     *engine.Query
+	every int
+	hist  []Execution
+	m     QueryMetrics
+}
+
+// Option configures a Service.
+type Option func(*config)
+
+type config struct {
+	workers int
+	history int
+	engOpts []engine.Option
+}
+
+// WithWorkers sets the tick worker-pool size (default GOMAXPROCS).
+func WithWorkers(n int) Option { return func(c *config) { c.workers = n } }
+
+// WithHistory sets how many past executions are retained per query for
+// Results (default 64).
+func WithHistory(n int) Option { return func(c *config) { c.history = n } }
+
+// WithEngineOptions forwards options to the underlying engine (planner
+// overrides, trace store, replan threshold).
+func WithEngineOptions(opts ...engine.Option) Option {
+	return func(c *config) { c.engOpts = append(c.engOpts, opts...) }
+}
+
+// New creates a service over the registry with an empty shared cache.
+func New(reg *stream.Registry, opts ...Option) *Service {
+	cfg := config{workers: runtime.GOMAXPROCS(0), history: 64}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.workers < 1 {
+		cfg.workers = 1
+	}
+	if cfg.history < 1 {
+		cfg.history = 1
+	}
+	return &Service{
+		reg:     reg,
+		eng:     engine.New(reg, cfg.engOpts...),
+		cache:   acquisition.NewShared(reg),
+		queries: map[string]*registered{},
+		workers: cfg.workers,
+		history: cfg.history,
+	}
+}
+
+// Engine exposes the shared engine (e.g. for trace-store inspection).
+func (s *Service) Engine() *engine.Engine { return s.eng }
+
+// Cache exposes the shared acquisition cache.
+func (s *Service) Cache() *acquisition.Cache { return s.cache }
+
+// QueryOption configures one registered query.
+type QueryOption func(*registered)
+
+// Every makes the query execute only on every n-th tick (default 1:
+// every tick). The query still shares the cache on the ticks it runs.
+func Every(n int) QueryOption {
+	return func(r *registered) {
+		if n > 0 {
+			r.every = n
+		}
+	}
+}
+
+// ErrDuplicateID is returned by Register when the id is already taken.
+var ErrDuplicateID = errors.New("service: duplicate query id")
+
+// Register compiles the query text and adds it under the given id. The
+// shared cache's retention horizons grow to cover the query's windows.
+// Registering an already-taken id returns an error wrapping
+// ErrDuplicateID.
+func (s *Service) Register(id, text string, opts ...QueryOption) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.queries[id]; dup {
+		return fmt.Errorf("%w: %q", ErrDuplicateID, id)
+	}
+	q, err := s.eng.Compile(text)
+	if err != nil {
+		return fmt.Errorf("service: compiling %q: %w", id, err)
+	}
+	if err := s.cache.Retain(id, q.Windows()); err != nil {
+		return err
+	}
+	r := &registered{id: id, text: text, q: q, every: 1}
+	for _, o := range opts {
+		o(r)
+	}
+	r.m = QueryMetrics{ID: id, Query: text, Every: r.every}
+	s.queries[id] = r
+	s.order = append(s.order, id)
+	return nil
+}
+
+// Unregister removes a query and releases its retention claim; the
+// cache's horizons shrink to the maximum over the remaining queries.
+func (s *Service) Unregister(id string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.queries[id]; !ok {
+		return fmt.Errorf("service: unknown query id %q", id)
+	}
+	delete(s.queries, id)
+	for i, o := range s.order {
+		if o == id {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			break
+		}
+	}
+	s.cache.Release(id)
+	return nil
+}
+
+// QueryIDs lists registered query ids in registration order.
+func (s *Service) QueryIDs() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]string(nil), s.order...)
+}
+
+// Execution records one query execution at one tick.
+type Execution struct {
+	// ID is the query id.
+	ID string `json:"id"`
+	// Tick is the service tick at which the execution ran.
+	Tick int64 `json:"tick"`
+	// Value is the query's truth value.
+	Value bool `json:"value"`
+	// Cost is the acquisition cost this execution paid. Under a shared
+	// cache, an item pulled by one query is free for the others, so the
+	// per-query split depends on dispatch order; the sum is what matters.
+	Cost float64 `json:"cost"`
+	// ExpectedCost is the planner's expected cost at planning time.
+	ExpectedCost float64 `json:"expected_cost"`
+	// Evaluated counts predicates computed before the tree resolved.
+	Evaluated int `json:"evaluated"`
+	// PlanReused reports a plan-cache hit.
+	PlanReused bool `json:"plan_reused"`
+	// Err is the execution error, if any.
+	Err string `json:"err,omitempty"`
+}
+
+// TickResult reports everything that ran during one tick.
+type TickResult struct {
+	// Tick is the time step just processed.
+	Tick int64 `json:"tick"`
+	// Executions holds one entry per due query, in registration order.
+	Executions []Execution `json:"executions"`
+}
+
+// Tick advances shared time by one step and executes every due query on
+// the worker pool. Executions of one tick all see the same cache time;
+// the cache serializes concurrent pulls, so the first query to need an
+// item pays for it and the rest reuse it for free.
+func (s *Service) Tick() TickResult {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.tick++
+	s.cache.Advance(1)
+
+	due := make([]*registered, 0, len(s.order))
+	for _, id := range s.order {
+		r := s.queries[id]
+		if s.tick%int64(r.every) == 0 {
+			due = append(due, r)
+		}
+	}
+	out := TickResult{Tick: s.tick, Executions: make([]Execution, len(due))}
+	if len(due) == 0 {
+		return out
+	}
+
+	// Fan the due queries out over the worker pool. The engine and cache
+	// are concurrency-safe; the service lock is held, so registration
+	// changes cannot race with the tick.
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	workers := s.workers
+	if workers > len(due) {
+		workers = len(due)
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				r := due[i]
+				res, err := r.q.Execute(s.cache)
+				e := Execution{
+					ID:           r.id,
+					Tick:         s.tick,
+					Value:        res.Value,
+					Cost:         res.Cost,
+					ExpectedCost: res.ExpectedCost,
+					Evaluated:    res.Evaluated,
+					PlanReused:   res.PlanReused,
+				}
+				if err != nil {
+					e.Err = err.Error()
+				}
+				out.Executions[i] = e
+			}
+		}()
+	}
+	for i := range due {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+
+	for i, r := range due {
+		e := out.Executions[i]
+		s.executions++
+		if e.PlanReused {
+			s.planHits++
+		} else {
+			s.planMisses++
+		}
+		s.paidCost += e.Cost
+		s.expCost += e.ExpectedCost
+		s.evaluated += int64(e.Evaluated)
+		r.m.Executions++
+		if e.Value {
+			r.m.TrueCount++
+		}
+		r.m.PaidCost += e.Cost
+		r.m.ExpectedCost += e.ExpectedCost
+		r.m.PredicatesEvaluated += int64(e.Evaluated)
+		if e.PlanReused {
+			r.m.PlanCacheHits++
+		}
+		if e.Err != "" {
+			r.m.Errors++
+		}
+		r.hist = append(r.hist, e)
+		if len(r.hist) > s.history {
+			r.hist = r.hist[len(r.hist)-s.history:]
+		}
+	}
+	return out
+}
+
+// Run executes n consecutive ticks and returns their results.
+func (s *Service) Run(n int) []TickResult {
+	out := make([]TickResult, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, s.Tick())
+	}
+	return out
+}
+
+// Results returns the most recent executions of a query (up to the
+// configured history), oldest first.
+func (s *Service) Results(id string, n int) ([]Execution, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.queries[id]
+	if !ok {
+		return nil, fmt.Errorf("service: unknown query id %q", id)
+	}
+	h := r.hist
+	if n > 0 && n < len(h) {
+		h = h[len(h)-n:]
+	}
+	return append([]Execution(nil), h...), nil
+}
+
+// QueryMetrics aggregates the executions of one query.
+type QueryMetrics struct {
+	ID                  string  `json:"id"`
+	Query               string  `json:"query"`
+	Every               int     `json:"every"`
+	Executions          int64   `json:"executions"`
+	TrueCount           int64   `json:"true_count"`
+	PaidCost            float64 `json:"paid_cost"`
+	ExpectedCost        float64 `json:"expected_cost"`
+	PredicatesEvaluated int64   `json:"predicates_evaluated"`
+	PlanCacheHits       int64   `json:"plan_cache_hits"`
+	Errors              int64   `json:"errors"`
+}
+
+// QueryMetrics returns the per-query aggregates.
+func (s *Service) QueryMetrics(id string) (QueryMetrics, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.queries[id]
+	if !ok {
+		return QueryMetrics{}, fmt.Errorf("service: unknown query id %q", id)
+	}
+	return r.m, nil
+}
+
+// Metrics aggregates the whole fleet.
+type Metrics struct {
+	// Ticks is the number of time steps processed.
+	Ticks int64 `json:"ticks"`
+	// Queries is the number of currently registered queries.
+	Queries int `json:"queries"`
+	// Executions counts query executions across all ticks.
+	Executions int64 `json:"executions"`
+	// PaidCost is the total acquisition cost actually paid by the fleet;
+	// ExpectedCost sums the planners' expectations. Paid below expected
+	// is the shared-cache dividend.
+	PaidCost     float64 `json:"paid_cost"`
+	ExpectedCost float64 `json:"expected_cost"`
+	// PredicatesEvaluated counts predicate evaluations across the fleet.
+	PredicatesEvaluated int64 `json:"predicates_evaluated"`
+	// PlanCacheHits / PlanCacheHitRate report how often re-planning was
+	// skipped (see engine.WithReplanThreshold).
+	PlanCacheHits    int64   `json:"plan_cache_hits"`
+	PlanCacheHitRate float64 `json:"plan_cache_hit_rate"`
+	// CacheRequested / CacheTransferred / CacheHitRate report shared
+	// acquisition-cache traffic: the fraction of requested items served
+	// without paying.
+	CacheRequested   int64   `json:"cache_requested"`
+	CacheTransferred int64   `json:"cache_transferred"`
+	CacheHitRate     float64 `json:"cache_hit_rate"`
+	// PerQuery holds the per-query aggregates, sorted by id.
+	PerQuery []QueryMetrics `json:"per_query"`
+}
+
+// Metrics returns a fleet-wide snapshot.
+func (s *Service) Metrics() Metrics {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cs := s.cache.Stats()
+	m := Metrics{
+		Ticks:               s.tick,
+		Queries:             len(s.queries),
+		Executions:          s.executions,
+		PaidCost:            s.paidCost,
+		ExpectedCost:        s.expCost,
+		PredicatesEvaluated: s.evaluated,
+		PlanCacheHits:       s.planHits,
+		CacheRequested:      cs.Requested,
+		CacheTransferred:    cs.Transferred,
+		CacheHitRate:        cs.HitRate(),
+	}
+	if s.planHits+s.planMisses > 0 {
+		m.PlanCacheHitRate = float64(s.planHits) / float64(s.planHits+s.planMisses)
+	}
+	for _, r := range s.queries {
+		m.PerQuery = append(m.PerQuery, r.m)
+	}
+	sort.Slice(m.PerQuery, func(i, j int) bool { return m.PerQuery[i].ID < m.PerQuery[j].ID })
+	return m
+}

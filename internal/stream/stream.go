@@ -194,6 +194,29 @@ type constant struct {
 func (c constant) Name() string       { return c.name }
 func (c constant) At(step int64) Item { return Item{Seq: step, Value: c.v} }
 
+// Wearables builds the standard five-sensor wearable registry used by
+// the simulator, the multi-query service and the tests: heart-rate,
+// spo2, accelerometer (WiFi), gps-speed and temperature, seeded with
+// seed..seed+4.
+func Wearables(seed uint64) *Registry {
+	reg := NewRegistry()
+	for _, s := range []struct {
+		src  Source
+		cost CostModel
+	}{
+		{HeartRate(seed), BLE},
+		{SpO2(seed + 1), BLE},
+		{Accelerometer(seed + 2), WiFi},
+		{GPSSpeed(seed + 3), BLE},
+		{Temperature(seed + 4), BLE},
+	} {
+		if err := reg.Add(s.src, s.cost); err != nil {
+			panic(err) // unreachable: names are distinct constants
+		}
+	}
+	return reg
+}
+
 // Registry is a named collection of streams, the device's view of its
 // sensor network.
 type Registry struct {

@@ -25,9 +25,10 @@ type Stats struct {
 }
 
 // Store accumulates evaluation outcomes keyed by predicate text. It is
-// safe for concurrent use.
+// safe for concurrent use; reads (Estimate, StatsFor) take a shared lock
+// so many concurrent planners can consult the store without contending.
 type Store struct {
-	mu     sync.Mutex
+	mu     sync.RWMutex
 	counts map[string]*Stats
 	// PriorProb is the estimate returned for predicates with no history
 	// (default 0.5).
@@ -62,8 +63,8 @@ func (s *Store) Record(pred string, success bool) {
 //
 //	p = (successes + PriorWeight*PriorProb) / (evals + PriorWeight)
 func (s *Store) Estimate(pred string) (p float64, n int) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	st := s.counts[pred]
 	if st == nil {
 		return s.PriorProb, 0
@@ -74,8 +75,8 @@ func (s *Store) Estimate(pred string) (p float64, n int) {
 
 // StatsFor returns the raw counts for a predicate.
 func (s *Store) StatsFor(pred string) Stats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	if st := s.counts[pred]; st != nil {
 		return *st
 	}
@@ -84,8 +85,8 @@ func (s *Store) StatsFor(pred string) Stats {
 
 // Predicates lists the recorded predicate texts, sorted.
 func (s *Store) Predicates() []string {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	out := make([]string, 0, len(s.counts))
 	for k := range s.counts {
 		out = append(out, k)
@@ -96,15 +97,15 @@ func (s *Store) Predicates() []string {
 
 // Len returns the number of distinct predicates recorded.
 func (s *Store) Len() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return len(s.counts)
 }
 
 // Save writes the store as JSON.
 func (s *Store) Save(w io.Writer) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(s.counts)

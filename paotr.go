@@ -26,6 +26,9 @@
 //   - A full pull-model query engine over simulated sensor streams, with
 //     a query language, windowed predicates, an acquisition cache and
 //     trace-driven probability estimation.
+//   - A concurrent multi-query scheduling service (internal/service,
+//     cmd/paotrserve): many continuous queries share one acquisition
+//     cache and skip re-planning via per-query plan caches.
 //
 // # Quick start
 //
