@@ -1,0 +1,332 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+
+	"paotr/internal/service"
+)
+
+// e2eStep is one HTTP interaction of a catalogued case.
+type e2eStep struct {
+	method, path, body string
+	wantStatus         int
+	// check, when set, inspects the decoded JSON response.
+	check func(t *testing.T, body []byte)
+}
+
+// e2eCase is one row of cmd/paotrserve/TESTCASES.md: caseID must appear
+// in the catalog (enforced by TestCatalogInSync).
+type e2eCase struct {
+	caseID string
+	name   string
+	// server overrides the default (linear, batched) test service.
+	server func(t *testing.T) *httptest.Server
+	steps  []e2eStep
+}
+
+// adaptiveServer forces decision-tree execution for every query within
+// the DP bound: adaptive default executor with a negative gap threshold,
+// mirroring `paotrserve -executor adaptive -adaptive-gap -1`.
+func adaptiveServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	svc, err := newServiceWith(1, 4, 0.02, "adaptive", -1, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(newServer(svc, -1))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// thirteenLeafQuery exceeds the 12-leaf DP bound of the strategy package.
+func thirteenLeafQuery() string {
+	terms := make([]string, 13)
+	for i := range terms {
+		terms[i] = fmt.Sprintf("AVG(heart-rate,%d) > %d [p=0.9]", i%5+1, 60+i)
+	}
+	return strings.Join(terms, " AND ")
+}
+
+func e2eCases() []e2eCase {
+	registerHR := e2eStep{"POST", "/queries", `{"id":"hr","query":"heart-rate > 100"}`, http.StatusCreated, nil}
+	return []e2eCase{
+		{caseID: "E00001", name: "register linear query", steps: []e2eStep{
+			{"POST", "/queries", `{"id":"q","query":"AVG(heart-rate,5) > 100"}`, http.StatusCreated,
+				func(t *testing.T, body []byte) {
+					var m service.QueryMetrics
+					mustDecode(t, body, &m)
+					if m.ID != "q" || m.Executor != "linear" || m.Every != 1 {
+						t.Errorf("registered metrics = %+v", m)
+					}
+				}},
+		}},
+		{caseID: "E00002", name: "register adaptive query", steps: []e2eStep{
+			{"POST", "/queries", `{"id":"q","query":"heart-rate > 100 OR spo2 < 92","executor":"adaptive"}`, http.StatusCreated,
+				func(t *testing.T, body []byte) {
+					var m service.QueryMetrics
+					mustDecode(t, body, &m)
+					if m.Executor != "adaptive" {
+						t.Errorf("executor = %q, want adaptive", m.Executor)
+					}
+				}},
+		}},
+		{caseID: "E00003", name: "every=n cadence", steps: []e2eStep{
+			{"POST", "/queries", `{"id":"slow","query":"spo2 > 0","every":5}`, http.StatusCreated, nil},
+			{"POST", "/tick", `{"steps":20}`, http.StatusOK, nil},
+			{"GET", "/metrics", "", http.StatusOK,
+				func(t *testing.T, body []byte) {
+					var m service.Metrics
+					mustDecode(t, body, &m)
+					if m.Executions != 4 {
+						t.Errorf("every=5 over 20 ticks ran %d times, want 4", m.Executions)
+					}
+				}},
+		}},
+		{caseID: "E00004", name: "tick returns due executions", steps: []e2eStep{
+			registerHR,
+			{"POST", "/tick", `{"steps":3}`, http.StatusOK,
+				func(t *testing.T, body []byte) {
+					var ticks []service.TickResult
+					mustDecode(t, body, &ticks)
+					if len(ticks) != 3 || len(ticks[2].Executions) != 1 || ticks[2].Executions[0].ID != "hr" {
+						t.Errorf("ticks = %+v", ticks)
+					}
+				}},
+		}},
+		{caseID: "E00005", name: "results oldest first", steps: []e2eStep{
+			registerHR,
+			{"POST", "/tick", `{"steps":5}`, http.StatusOK, nil},
+			{"GET", "/results/hr?n=2", "", http.StatusOK,
+				func(t *testing.T, body []byte) {
+					var res []service.Execution
+					mustDecode(t, body, &res)
+					if len(res) != 2 || res[0].Tick != 4 || res[1].Tick != 5 {
+						t.Errorf("results = %+v", res)
+					}
+				}},
+		}},
+		{caseID: "E00006", name: "unregister frees the id", steps: []e2eStep{
+			registerHR,
+			{"DELETE", "/queries/hr", "", http.StatusOK, nil},
+			{"POST", "/queries", `{"id":"hr","query":"spo2 < 90"}`, http.StatusCreated, nil},
+		}},
+		{caseID: "E00007", name: "healthz", steps: []e2eStep{
+			{"GET", "/healthz", "", http.StatusOK, nil},
+		}},
+		{caseID: "E00008", name: "list queries", steps: []e2eStep{
+			registerHR,
+			{"POST", "/queries", `{"id":"ox","query":"spo2 < 92"}`, http.StatusCreated, nil},
+			{"GET", "/queries", "", http.StatusOK,
+				func(t *testing.T, body []byte) {
+					var ms []service.QueryMetrics
+					mustDecode(t, body, &ms)
+					if len(ms) != 2 || ms[0].ID != "hr" || ms[1].ID != "ox" {
+						t.Errorf("query list = %+v", ms)
+					}
+				}},
+		}},
+
+		{caseID: "E00101", name: "malformed query text", steps: []e2eStep{
+			{"POST", "/queries", `{"id":"bad","query":"AVG(heart-rate"}`, http.StatusBadRequest, wantErrorBody},
+		}},
+		{caseID: "E00102", name: "unknown stream", steps: []e2eStep{
+			{"POST", "/queries", `{"id":"bad","query":"nosuch > 1"}`, http.StatusBadRequest, wantErrorBody},
+		}},
+		{caseID: "E00103", name: "duplicate id", steps: []e2eStep{
+			registerHR,
+			{"POST", "/queries", `{"id":"hr","query":"spo2 < 90"}`, http.StatusConflict, wantErrorBody},
+		}},
+		{caseID: "E00104", name: "missing id or query", steps: []e2eStep{
+			{"POST", "/queries", `{"id":"","query":""}`, http.StatusBadRequest, wantErrorBody},
+			{"POST", "/queries", `{"id":"x"}`, http.StatusBadRequest, wantErrorBody},
+		}},
+		{caseID: "E00105", name: "unknown executor", steps: []e2eStep{
+			{"POST", "/queries", `{"id":"x","query":"heart-rate > 1","executor":"quantum"}`, http.StatusBadRequest, wantErrorBody},
+		}},
+		{caseID: "E00106", name: "malformed JSON body", steps: []e2eStep{
+			{"POST", "/queries", `{"id": "x", `, http.StatusBadRequest, wantErrorBody},
+		}},
+		{caseID: "E00107", name: "results for unknown id", steps: []e2eStep{
+			{"GET", "/results/nope", "", http.StatusNotFound, wantErrorBody},
+		}},
+		{caseID: "E00108", name: "unregister unknown id", steps: []e2eStep{
+			{"DELETE", "/queries/nope", "", http.StatusNotFound, wantErrorBody},
+		}},
+		{caseID: "E00109", name: "tick steps validation", steps: []e2eStep{
+			{"POST", "/tick", `{"steps":0}`, http.StatusBadRequest, wantErrorBody},
+			{"POST", "/tick", `{"steps":100001}`, http.StatusBadRequest, wantErrorBody},
+		}},
+
+		{caseID: "E00201", name: "adaptive strategy executes decision trees", server: adaptiveServer, steps: []e2eStep{
+			{"POST", "/queries", `{"id":"ce","query":"(heart-rate > 100 [p=0.4] AND AVG(heart-rate,3) > 95 [p=0.5]) OR (spo2 < 92 [p=0.3] AND AVG(heart-rate,2) > 90 [p=0.6])"}`, http.StatusCreated, nil},
+			{"POST", "/tick", `{"steps":10}`, http.StatusOK, nil},
+			{"GET", "/results/ce?n=1", "", http.StatusOK,
+				func(t *testing.T, body []byte) {
+					var res []service.Execution
+					mustDecode(t, body, &res)
+					if len(res) != 1 || res[0].Strategy != "adaptive" {
+						t.Errorf("execution = %+v, want strategy adaptive", res)
+					}
+				}},
+		}},
+		{caseID: "E00202", name: "DP bound falls back to linear", server: adaptiveServer, steps: []e2eStep{
+			{"POST", "/queries", fmt.Sprintf(`{"id":"big","query":%q}`, thirteenLeafQuery()), http.StatusCreated, nil},
+			{"POST", "/tick", `{"steps":2}`, http.StatusOK, nil},
+			{"GET", "/results/big?n=1", "", http.StatusOK,
+				func(t *testing.T, body []byte) {
+					var res []service.Execution
+					mustDecode(t, body, &res)
+					if len(res) != 1 || res[0].Strategy != "linear" {
+						t.Errorf("execution = %+v, want linear fallback", res)
+					}
+				}},
+		}},
+		{caseID: "E00203", name: "fleet metrics aggregate", steps: []e2eStep{
+			registerHR,
+			{"POST", "/tick", `{"steps":10}`, http.StatusOK, nil},
+			{"GET", "/metrics", "", http.StatusOK,
+				func(t *testing.T, body []byte) {
+					var m service.Metrics
+					mustDecode(t, body, &m)
+					if m.Ticks != 10 || m.Executions != 10 || m.Queries != 1 || m.PaidCost <= 0 || m.ExpectedCost <= 0 {
+						t.Errorf("metrics = %+v", m)
+					}
+				}},
+		}},
+		{caseID: "E00204", name: "batcher coalesces duplicate first-leaf pulls", steps: []e2eStep{
+			registerHR,
+			{"POST", "/queries", `{"id":"hr5","query":"AVG(heart-rate,5) > 90"}`, http.StatusCreated, nil},
+			{"POST", "/queries", `{"id":"hr3","query":"AVG(heart-rate,3) > 95"}`, http.StatusCreated, nil},
+			{"POST", "/tick", `{"steps":10}`, http.StatusOK, nil},
+			{"GET", "/metrics", "", http.StatusOK,
+				func(t *testing.T, body []byte) {
+					var m service.Metrics
+					mustDecode(t, body, &m)
+					if m.DuplicatePullsAvoided == 0 || m.BatchedItems == 0 {
+						t.Errorf("no batching recorded for overlapping queries: %+v", m)
+					}
+				}},
+		}},
+		{caseID: "E00205", name: "per-query executor kind and adaptive count", server: adaptiveServer, steps: []e2eStep{
+			{"POST", "/queries", `{"id":"q","query":"heart-rate > 100 [p=0.5] OR spo2 < 92 [p=0.3]"}`, http.StatusCreated, nil},
+			{"POST", "/tick", `{"steps":5}`, http.StatusOK, nil},
+			{"GET", "/queries", "", http.StatusOK,
+				func(t *testing.T, body []byte) {
+					var ms []service.QueryMetrics
+					mustDecode(t, body, &ms)
+					if len(ms) != 1 || ms[0].Executor != "adaptive" || ms[0].AdaptiveExecutions == 0 {
+						t.Errorf("query metrics = %+v, want adaptive executions", ms)
+					}
+				}},
+		}},
+		{caseID: "E00206", name: "realized-vs-expected ratio", steps: []e2eStep{
+			// The first scheduled leaf is pre-pulled by the batcher, but
+			// heart-rate never exceeds 500, so the OR always evaluates the
+			// other leaf too and the query pays for it itself.
+			{"POST", "/queries", `{"id":"hr","query":"heart-rate > 500 OR spo2 > 0"}`, http.StatusCreated, nil},
+			{"POST", "/tick", `{"steps":10}`, http.StatusOK, nil},
+			{"GET", "/metrics", "", http.StatusOK,
+				func(t *testing.T, body []byte) {
+					var m service.Metrics
+					mustDecode(t, body, &m)
+					if m.RealizedOverExpected <= 0 {
+						t.Errorf("fleet ratio missing: %+v", m)
+					}
+					if len(m.PerQuery) != 1 || m.PerQuery[0].RealizedOverExpected <= 0 {
+						t.Errorf("per-query ratio missing: %+v", m.PerQuery)
+					}
+				}},
+		}},
+	}
+}
+
+func mustDecode(t *testing.T, body []byte, out any) {
+	t.Helper()
+	if err := json.Unmarshal(body, out); err != nil {
+		t.Fatalf("decoding %s: %v", body, err)
+	}
+}
+
+func wantErrorBody(t *testing.T, body []byte) {
+	t.Helper()
+	var e map[string]string
+	mustDecode(t, body, &e)
+	if e["error"] == "" {
+		t.Errorf("error response missing error field: %s", body)
+	}
+}
+
+// TestCaseCatalog runs every case of TESTCASES.md end to end against a
+// live server.
+func TestCaseCatalog(t *testing.T) {
+	for _, c := range e2eCases() {
+		t.Run(c.caseID+"_"+strings.ReplaceAll(c.name, " ", "_"), func(t *testing.T) {
+			newSrv := c.server
+			if newSrv == nil {
+				newSrv = testServer
+			}
+			srv := newSrv(t)
+			for i, step := range c.steps {
+				req, err := http.NewRequest(step.method, srv.URL+step.path, strings.NewReader(step.body))
+				if err != nil {
+					t.Fatal(err)
+				}
+				resp, err := http.DefaultClient.Do(req)
+				if err != nil {
+					t.Fatal(err)
+				}
+				body, err := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if resp.StatusCode != step.wantStatus {
+					t.Fatalf("step %d %s %s: status %d, want %d (body %s)",
+						i, step.method, step.path, resp.StatusCode, step.wantStatus, body)
+				}
+				if step.check != nil {
+					step.check(t, body)
+				}
+			}
+		})
+	}
+}
+
+// TestCatalogInSync checks that every implemented case id appears in
+// TESTCASES.md and vice versa, keeping the spiderpool-style catalog and
+// the suite in lockstep.
+func TestCatalogInSync(t *testing.T) {
+	md, err := os.ReadFile("TESTCASES.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	catalog := map[string]bool{}
+	for _, line := range strings.Split(string(md), "\n") {
+		if !strings.HasPrefix(line, "| E") {
+			continue
+		}
+		fields := strings.Split(line, "|")
+		if len(fields) > 1 {
+			catalog[strings.TrimSpace(fields[1])] = true
+		}
+	}
+	impl := map[string]bool{}
+	for _, c := range e2eCases() {
+		impl[c.caseID] = true
+		if !catalog[c.caseID] {
+			t.Errorf("case %s implemented but missing from TESTCASES.md", c.caseID)
+		}
+	}
+	for id := range catalog {
+		if !impl[id] {
+			t.Errorf("case %s catalogued in TESTCASES.md but not implemented", id)
+		}
+	}
+}

@@ -13,7 +13,7 @@
 //
 // Endpoints:
 //
-//	POST   /queries   {"id":"q1","query":"AVG(heart-rate,5) > 100","every":1}
+//	POST   /queries   {"id":"q1","query":"AVG(heart-rate,5) > 100","every":1,"executor":"adaptive"}
 //	GET    /queries
 //	DELETE /queries/{id}
 //	POST   /tick      {"steps":10}
@@ -22,6 +22,12 @@
 //
 // Available streams: heart-rate, spo2, accelerometer, gps-speed,
 // temperature (BLE cost model; accelerometer uses WiFi).
+//
+// The per-query "executor" field (or the -executor flag, for the fleet
+// default) selects the execution strategy: "linear" runs the planner's
+// fixed schedule, "adaptive" walks an optimal decision tree when the
+// query is within the 12-leaf DP bound and the modelled gap clears
+// -adaptive-gap (falling back to linear otherwise).
 package main
 
 import (
@@ -49,41 +55,81 @@ func main() {
 		steps   = flag.Int("steps", 300, "ticks to run in -demo mode")
 		replan  = flag.Float64("replan-threshold", 0.02,
 			"probability drift tolerated before re-planning (0 = exact match, negative = re-plan every tick)")
+		executor = flag.String("executor", "linear",
+			"default execution strategy: linear or adaptive")
+		adaptiveGap = flag.Float64("adaptive-gap", engine.DefaultGapThreshold,
+			"relative linear/non-linear cost gap required before the adaptive executor prefers a decision tree")
+		noBatch = flag.Bool("no-batch", false, "disable tick-level batched acquisition")
 	)
 	flag.Parse()
 
-	svc := newService(*seed, *workers, *replan)
+	svc, err := newServiceWith(*seed, *workers, *replan, *executor, *adaptiveGap, !*noBatch)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "paotrserve: %v\n", err)
+		os.Exit(2)
+	}
 	if *demo {
-		if err := runDemo(os.Stdout, svc, *steps); err != nil {
+		if err := runDemo(os.Stdout, svc, *steps, *adaptiveGap); err != nil {
 			fmt.Fprintf(os.Stderr, "paotrserve: %v\n", err)
 			os.Exit(1)
 		}
 		return
 	}
 	log.Printf("paotrserve listening on %s (streams: %s)", *addr, "heart-rate, spo2, accelerometer, gps-speed, temperature")
-	log.Fatal(http.ListenAndServe(*addr, newServer(svc)))
+	log.Fatal(http.ListenAndServe(*addr, newServer(svc, *adaptiveGap)))
 }
 
-// newService builds the service over the standard simulated sensor fleet.
+// executorByName resolves an execution-strategy name from the API or CLI.
+// The empty string means "use the default".
+func executorByName(name string, gap float64) (engine.Executor, error) {
+	switch name {
+	case "", engine.StrategyLinear:
+		return engine.LinearExecutor{}, nil
+	case engine.StrategyAdaptive:
+		return engine.AdaptiveExecutor{GapThreshold: gap}, nil
+	}
+	return nil, fmt.Errorf("unknown executor %q (want %q or %q)", name, engine.StrategyLinear, engine.StrategyAdaptive)
+}
+
+// newService builds the service over the standard simulated sensor fleet
+// with the linear default executor (the test configuration).
 func newService(seed uint64, workers int, replanThreshold float64) *service.Service {
+	svc, err := newServiceWith(seed, workers, replanThreshold, "linear", engine.DefaultGapThreshold, true)
+	if err != nil {
+		panic(err) // unreachable: "linear" always resolves
+	}
+	return svc
+}
+
+// newServiceWith builds the service over the standard simulated sensor
+// fleet with an explicit default executor and batching choice.
+func newServiceWith(seed uint64, workers int, replanThreshold float64, executor string, gap float64, batch bool) (*service.Service, error) {
+	x, err := executorByName(executor, gap)
+	if err != nil {
+		return nil, err
+	}
 	opts := []service.Option{
 		service.WithEngineOptions(engine.WithReplanThreshold(replanThreshold)),
+		service.WithExecutor(x),
+		service.WithBatchedAcquisition(batch),
 	}
 	if workers > 0 {
 		opts = append(opts, service.WithWorkers(workers))
 	}
-	return service.New(stream.Wearables(seed), opts...)
+	return service.New(stream.Wearables(seed), opts...), nil
 }
 
-// server is the HTTP front-end over one service.
+// server is the HTTP front-end over one service. gap is the adaptive
+// executor's gap threshold, applied to per-query "executor" choices.
 type server struct {
 	svc *service.Service
+	gap float64
 	mux *http.ServeMux
 }
 
 // newServer wires the endpoint handlers.
-func newServer(svc *service.Service) *server {
-	s := &server{svc: svc, mux: http.NewServeMux()}
+func newServer(svc *service.Service, gap float64) *server {
+	s := &server{svc: svc, gap: gap, mux: http.NewServeMux()}
 	s.mux.HandleFunc("POST /queries", s.handleRegister)
 	s.mux.HandleFunc("GET /queries", s.handleListQueries)
 	// {id...} matches across '/' so tenant-style ids like "a/tachycardia"
@@ -100,12 +146,32 @@ func newServer(svc *service.Service) *server {
 
 func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
+// queryOptions converts a register request into service options, using
+// gap as the threshold for per-query adaptive executors.
+func queryOptions(req registerRequest, gap float64) ([]service.QueryOption, error) {
+	var opts []service.QueryOption
+	if req.Every > 0 {
+		opts = append(opts, service.Every(req.Every))
+	}
+	if req.Executor != "" {
+		x, err := executorByName(req.Executor, gap)
+		if err != nil {
+			return nil, err
+		}
+		opts = append(opts, service.WithQueryExecutor(x))
+	}
+	return opts, nil
+}
+
 // registerRequest is the body of POST /queries.
 type registerRequest struct {
 	ID    string `json:"id"`
 	Query string `json:"query"`
 	// Every runs the query only on every n-th tick (default 1).
 	Every int `json:"every,omitempty"`
+	// Executor selects the execution strategy for this query ("linear"
+	// or "adaptive"; empty uses the service default).
+	Executor string `json:"executor,omitempty"`
 }
 
 func (s *server) handleRegister(w http.ResponseWriter, r *http.Request) {
@@ -118,9 +184,10 @@ func (s *server) handleRegister(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("id and query are required"))
 		return
 	}
-	var opts []service.QueryOption
-	if req.Every > 0 {
-		opts = append(opts, service.Every(req.Every))
+	opts, err := queryOptions(req, s.gap)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
 	}
 	if err := s.svc.Register(req.ID, req.Query, opts...); err != nil {
 		status := http.StatusBadRequest
@@ -214,10 +281,15 @@ func writeError(w http.ResponseWriter, status int, err error) {
 // continuous queries overlap heavily on the same streams, so the shared
 // cache and plan reuse both get traction.
 var demoQueries = []registerRequest{
-	// Tenant A: telehealth alerting.
-	{ID: "a/tachycardia", Query: "AVG(heart-rate,5) > 100 AND accelerometer < 12"},
-	{ID: "a/hypoxia", Query: "spo2 < 92 OR (heart-rate > 110 AND gps-speed < 0.5)"},
+	// Tenant A: telehealth alerting. The two alerting queries small
+	// enough for the decision-tree DP run adaptively.
+	{ID: "a/tachycardia", Query: "AVG(heart-rate,5) > 100 AND accelerometer < 12", Executor: "adaptive"},
+	{ID: "a/hypoxia", Query: "spo2 < 92 OR (heart-rate > 110 AND gps-speed < 0.5)", Executor: "adaptive"},
 	{ID: "a/exertion", Query: "AVG(heart-rate,5) > 90 AND AVG(spo2,3) < 95"},
+	// Cardiac triage shares heart-rate across all three AND nodes with
+	// different windows — the shared-stream shape where a decision tree
+	// can beat every fixed schedule (paper, Section V).
+	{ID: "a/cardiac", Query: "(AVG(heart-rate,8) > 95 AND spo2 < 94) OR (AVG(heart-rate,3) > 110 AND gps-speed < 0.5) OR (heart-rate > 125 AND accelerometer > 15)", Executor: "adaptive"},
 	// Tenant B: activity tracking, lower cadence.
 	{ID: "b/fall", Query: "accelerometer > 20 AND AVG(gps-speed,4) < 0.2", Every: 2},
 	{ID: "b/workout", Query: "accelerometer > 15 AND heart-rate > 100"},
@@ -229,11 +301,11 @@ var demoQueries = []registerRequest{
 
 // runDemo registers the demo fleet, runs it for the given number of
 // ticks, and prints per-query and fleet-wide metrics.
-func runDemo(w io.Writer, svc *service.Service, steps int) error {
+func runDemo(w io.Writer, svc *service.Service, steps int, gap float64) error {
 	for _, q := range demoQueries {
-		var opts []service.QueryOption
-		if q.Every > 0 {
-			opts = append(opts, service.Every(q.Every))
+		opts, err := queryOptions(q, gap)
+		if err != nil {
+			return err
 		}
 		if err := svc.Register(q.ID, q.Query, opts...); err != nil {
 			return err
@@ -242,22 +314,25 @@ func runDemo(w io.Writer, svc *service.Service, steps int) error {
 	fmt.Fprintf(w, "multi-tenant demo: %d queries, %d ticks\n\n", len(demoQueries), steps)
 	svc.Run(steps)
 	m := svc.Metrics()
-	fmt.Fprintf(w, "%-14s %6s %6s %10s %10s %8s %s\n",
-		"query", "runs", "true", "paid J", "expect J", "plan-hit", "text")
+	fmt.Fprintf(w, "%-14s %-8s %6s %6s %10s %10s %8s %s\n",
+		"query", "exec", "runs", "true", "paid J", "expect J", "plan-hit", "text")
 	for _, qm := range m.PerQuery {
 		hit := 0.0
 		if qm.Executions > 0 {
 			hit = float64(qm.PlanCacheHits) / float64(qm.Executions)
 		}
-		fmt.Fprintf(w, "%-14s %6d %6d %10.2f %10.2f %7.0f%% %s\n",
-			qm.ID, qm.Executions, qm.TrueCount, qm.PaidCost, qm.ExpectedCost, 100*hit, qm.Query)
+		fmt.Fprintf(w, "%-14s %-8s %6d %6d %10.2f %10.2f %7.0f%% %s\n",
+			qm.ID, qm.Executor, qm.Executions, qm.TrueCount, qm.PaidCost, qm.ExpectedCost, 100*hit, qm.Query)
 	}
 	fmt.Fprintf(w, "\n--- fleet over %d ticks ---\n", m.Ticks)
-	fmt.Fprintf(w, "executions:            %d\n", m.Executions)
+	fmt.Fprintf(w, "executions:            %d (%d adaptive)\n", m.Executions, m.AdaptiveExecutions)
 	fmt.Fprintf(w, "predicates evaluated:  %d\n", m.PredicatesEvaluated)
-	fmt.Fprintf(w, "paid cost:             %.2f J (expected %.2f J)\n", m.PaidCost, m.ExpectedCost)
+	fmt.Fprintf(w, "paid cost:             %.2f J (expected %.2f J, realized/expected %.2f)\n",
+		m.PaidCost, m.ExpectedCost, m.RealizedOverExpected)
 	fmt.Fprintf(w, "cache hit rate:        %.1f%% (%d/%d items served from cache)\n",
 		100*m.CacheHitRate, m.CacheRequested-m.CacheTransferred, m.CacheRequested)
 	fmt.Fprintf(w, "plan-cache hit rate:   %.1f%%\n", 100*m.PlanCacheHitRate)
+	fmt.Fprintf(w, "batched acquisition:   %d duplicate pulls avoided, %d items (%.2f J) pre-acquired\n",
+		m.DuplicatePullsAvoided, m.BatchedItems, m.BatchedCost)
 	return nil
 }

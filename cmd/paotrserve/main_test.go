@@ -7,12 +7,13 @@ import (
 	"strings"
 	"testing"
 
+	"paotr/internal/engine"
 	"paotr/internal/service"
 )
 
 func testServer(t *testing.T) *httptest.Server {
 	t.Helper()
-	srv := httptest.NewServer(newServer(newService(1, 4, 0.02)))
+	srv := httptest.NewServer(newServer(newService(1, 4, 0.02), engine.DefaultGapThreshold))
 	t.Cleanup(srv.Close)
 	return srv
 }
@@ -142,14 +143,14 @@ func TestTickValidation(t *testing.T) {
 
 func TestDemoScenario(t *testing.T) {
 	var b strings.Builder
-	if err := runDemo(&b, newService(1, 4, 0.02), 50); err != nil {
+	if err := runDemo(&b, newService(1, 4, 0.02), 50, engine.DefaultGapThreshold); err != nil {
 		t.Fatal(err)
 	}
 	out := b.String()
 	for _, want := range []string{
-		"multi-tenant demo: 8 queries, 50 ticks",
-		"a/tachycardia", "b/fall", "c/indoors",
-		"cache hit rate", "plan-cache hit rate",
+		"multi-tenant demo: 9 queries, 50 ticks",
+		"a/tachycardia", "a/cardiac", "b/fall", "c/indoors",
+		"cache hit rate", "plan-cache hit rate", "batched acquisition",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("demo output missing %q:\n%s", want, out)
@@ -157,7 +158,7 @@ func TestDemoScenario(t *testing.T) {
 	}
 	// Low-cadence queries must have run fewer times: b/fall every 2 ticks.
 	svc := newService(1, 4, 0.02)
-	if err := runDemo(&strings.Builder{}, svc, 50); err != nil {
+	if err := runDemo(&strings.Builder{}, svc, 50, engine.DefaultGapThreshold); err != nil {
 		t.Fatal(err)
 	}
 	fall, err := svc.QueryMetrics("b/fall")

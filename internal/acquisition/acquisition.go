@@ -235,12 +235,16 @@ func (c *Cache) Missing(k, d int) int {
 }
 
 // pullLocked ensures the d most recent items of stream k are cached and
-// returns the incremental cost paid. Caller holds mu.
-func (c *Cache) pullLocked(k, d int) float64 {
+// returns the incremental cost paid. countRequested attributes the items
+// to the request counter (false for prefetches, whose demand belongs to
+// the readers that follow). Caller holds mu.
+func (c *Cache) pullLocked(k, d int, countRequested bool) float64 {
 	st := c.reg.At(k)
 	per := st.Cost.PerItem()
 	cost := 0.0
-	c.requested += int64(d)
+	if countRequested {
+		c.requested += int64(d)
+	}
 	for t := 1; t <= d; t++ {
 		seq := c.now - int64(t)
 		if _, ok := c.cached(k, seq); ok {
@@ -262,7 +266,21 @@ func (c *Cache) pullLocked(k, d int) float64 {
 func (c *Cache) Pull(k, d int) float64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.pullLocked(k, d)
+	return c.pullLocked(k, d, true)
+}
+
+// Prefetch is Pull on behalf of future readers: it transfers and charges
+// for the missing items, but does not count them as requested — the
+// demand is attributed to the queries that subsequently Acquire them, so
+// Stats.HitRate keeps measuring cross-query sharing rather than the
+// prefetcher's own traffic. It returns the items transferred and the
+// cost paid.
+func (c *Cache) Prefetch(k, d int) (int, float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	before := c.transferred
+	cost := c.pullLocked(k, d, false)
+	return int(c.transferred - before), cost
 }
 
 // Values returns the values of the d most recent items of stream k, most
@@ -293,7 +311,7 @@ func (c *Cache) valuesLocked(k, d int) ([]float64, error) {
 func (c *Cache) Acquire(k, d int) ([]float64, float64, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	cost := c.pullLocked(k, d)
+	cost := c.pullLocked(k, d, true)
 	vals, err := c.valuesLocked(k, d)
 	return vals, cost, err
 }

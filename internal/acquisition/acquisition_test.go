@@ -264,3 +264,39 @@ func TestConcurrentPullsChargeOnce(t *testing.T) {
 		t.Errorf("Spent = %v, want %v", c.Spent(), want)
 	}
 }
+
+// TestPrefetchDoesNotCountRequests: a prefetch transfers and charges for
+// missing items but leaves the request counter alone, so the hit rate
+// keeps measuring the readers' traffic (the batched-acquisition path of
+// the service must not inflate it).
+func TestPrefetchDoesNotCountRequests(t *testing.T) {
+	reg := testRegistry(t)
+	c, err := NewCache(reg, []int{3, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Advance(5)
+	items, cost := c.Prefetch(0, 3)
+	if items != 3 || cost != 3 {
+		t.Fatalf("prefetch = %d items, %.1f J; want 3 items, 3 J", items, cost)
+	}
+	st := c.Stats()
+	if st.Requested != 0 || st.Transferred != 3 {
+		t.Fatalf("after prefetch: requested=%d transferred=%d, want 0/3", st.Requested, st.Transferred)
+	}
+	// The reader that follows requests the same items, all served from
+	// the cache for free. The combined stats are exactly what a direct
+	// cold Acquire would have produced (3 requested, 3 transferred):
+	// prefetching must not move the hit rate in either direction.
+	if _, cost, err := c.Acquire(0, 3); err != nil || cost != 0 {
+		t.Fatalf("acquire after prefetch: cost %.1f, err %v", cost, err)
+	}
+	st = c.Stats()
+	if st.Requested != 3 || st.Transferred != 3 || st.HitRate() != 0 {
+		t.Fatalf("after acquire: %+v (hit rate %.2f), want 3/3 and hit rate 0 as without prefetch", st, st.HitRate())
+	}
+	// Prefetching again is free and transfers nothing.
+	if items, cost := c.Prefetch(0, 3); items != 0 || cost != 0 {
+		t.Fatalf("second prefetch = %d items, %.1f J; want 0, 0", items, cost)
+	}
+}

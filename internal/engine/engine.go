@@ -118,8 +118,9 @@ type Query struct {
 	skeleton *query.Tree
 	engine   *Engine
 
-	mu   sync.Mutex
-	last *Plan // plan cache: most recent plan, with its fingerprint
+	mu           sync.Mutex
+	last         *Plan         // plan cache: most recent plan, with its fingerprint
+	lastAdaptive *AdaptivePlan // adaptive-plan cache (see PlanAdaptive)
 }
 
 // ErrUnknownStream is returned when a query references an unregistered
@@ -242,6 +243,10 @@ type Result struct {
 	// PlanReused reports whether the schedule came from the plan cache
 	// instead of a fresh planner run (see WithReplanThreshold).
 	PlanReused bool
+	// Strategy is the execution strategy kind actually used:
+	// StrategyLinear (a fixed schedule) or StrategyAdaptive (a decision
+	// tree; see AdaptiveExecutor).
+	Strategy string
 }
 
 // Plan is a ready-to-execute schedule for one query at one cache state:
@@ -329,11 +334,12 @@ func (q *Query) storePlan(p *Plan) {
 	q.mu.Unlock()
 }
 
-// InvalidatePlan drops the cached plan, forcing the next Plan call to run
-// the planner.
+// InvalidatePlan drops the cached plans (linear and adaptive), forcing the
+// next Plan or PlanAdaptive call to run the planner.
 func (q *Query) InvalidatePlan() {
 	q.mu.Lock()
 	q.last = nil
+	q.lastAdaptive = nil
 	q.mu.Unlock()
 }
 
@@ -371,47 +377,102 @@ func maxDrift(a, b []float64) float64 {
 	return d
 }
 
+// evalLeaf acquires leaf j's stream window from the cache, evaluates its
+// predicate and records the outcome in the trace store. It returns the
+// truth value and the acquisition cost paid (also on error, so callers
+// can account for partial acquisitions).
+func (q *Query) evalLeaf(t *query.Tree, j int, cache *acquisition.Cache) (bool, float64, error) {
+	l := t.Leaves[j]
+	vals, cost, err := cache.Acquire(int(l.Stream), l.Items)
+	if err != nil {
+		return false, cost, err
+	}
+	truth, err := q.Preds[j].P.Eval(vals)
+	if err != nil {
+		return false, cost, err
+	}
+	q.engine.traces.Record(q.Preds[j].P.String(), truth)
+	return truth, cost, nil
+}
+
+// orState tracks the resolution of a DNF tree while its leaves are
+// evaluated in any order: an AND node with a FALSE leaf is dead, an AND
+// node whose leaves were all TRUE resolves the OR root TRUE, and the root
+// resolves FALSE once every AND node is dead. Both executors (fixed
+// schedules and decision-tree walks) share this bookkeeping, so their
+// verdict semantics cannot diverge.
+type orState struct {
+	andFalse  []bool
+	andLeft   []int // TRUE evaluations still missing per AND node
+	falseAnds int
+}
+
+func newOrState(t *query.Tree) *orState {
+	s := &orState{andFalse: make([]bool, t.NumAnds()), andLeft: make([]int, t.NumAnds())}
+	for i, and := range t.AndLeaves() {
+		s.andLeft[i] = len(and)
+	}
+	return s
+}
+
+// dead reports whether the AND node is already known FALSE (its leaves
+// need not be evaluated).
+func (s *orState) dead(and int) bool { return s.andFalse[and] }
+
+// record applies one leaf outcome and reports whether the root is now
+// resolved, and to which value.
+func (s *orState) record(and int, truth bool) (done, value bool) {
+	if truth {
+		s.andLeft[and]--
+		if s.andLeft[and] == 0 && !s.andFalse[and] {
+			return true, true // AND fully TRUE: OR resolved TRUE
+		}
+	} else if !s.andFalse[and] {
+		s.andFalse[and] = true
+		s.falseAnds++
+		if s.falseAnds == len(s.andFalse) {
+			return true, false // every AND dead: OR resolved FALSE
+		}
+	}
+	return false, false
+}
+
+// value reports the root's value from the state as it stands (used only
+// defensively, when an executor runs out of leaves without resolution).
+func (s *orState) value() bool {
+	if s.falseAnds == len(s.andFalse) {
+		return false
+	}
+	for a, left := range s.andLeft {
+		if left == 0 && !s.andFalse[a] {
+			return true
+		}
+	}
+	return false
+}
+
 // ExecutePlan runs a previously built plan against the cache's current
 // time, paying for acquisitions and recording predicate outcomes in the
 // trace store. The plan must have been built for the same cache state
 // (same Now and contents); Execute composes Plan and ExecutePlan.
 func (q *Query) ExecutePlan(p *Plan, cache *acquisition.Cache) (Result, error) {
 	t := p.Tree
-	res := Result{Schedule: p.Schedule, Tree: t, ExpectedCost: p.ExpectedCost, PlanReused: p.Reused}
+	res := Result{Schedule: p.Schedule, Tree: t, ExpectedCost: p.ExpectedCost, PlanReused: p.Reused, Strategy: StrategyLinear}
 
-	nAnds := t.NumAnds()
-	andFalse := make([]bool, nAnds)
-	andLeft := make([]int, nAnds)
-	for i, and := range t.AndLeaves() {
-		andLeft[i] = len(and)
-	}
-	falseAnds := 0
+	st := newOrState(t)
 	for _, j := range p.Schedule {
-		l := t.Leaves[j]
-		if andFalse[l.And] {
+		if st.dead(t.Leaves[j].And) {
 			continue
 		}
-		vals, cost, err := cache.Acquire(int(l.Stream), l.Items)
+		truth, cost, err := q.evalLeaf(t, j, cache)
 		res.Cost += cost
 		if err != nil {
 			return res, err
 		}
-		truth, err := q.Preds[j].P.Eval(vals)
-		if err != nil {
-			return res, err
-		}
-		q.engine.traces.Record(q.Preds[j].P.String(), truth)
 		res.Evaluated++
-		andLeft[l.And]--
-		if !truth {
-			andFalse[l.And] = true
-			falseAnds++
-			if falseAnds == nAnds {
-				return res, nil // OR resolved FALSE
-			}
-		} else if andLeft[l.And] == 0 {
-			res.Value = true
-			return res, nil // OR resolved TRUE
+		if done, value := st.record(t.Leaves[j].And, truth); done {
+			res.Value = value
+			return res, nil
 		}
 	}
 	return res, nil

@@ -1,0 +1,68 @@
+package parser
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// FuzzParse feeds arbitrary input through the lexer and parser. Parse
+// must never panic: every malformed query reaching the service's
+// registration endpoint has to come back as an error, not a crash. For
+// inputs that do parse, the rendered String() form must parse again
+// (queries survive a round trip through logs and APIs).
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"",
+		"heart-rate > 100",
+		"AVG(heart-rate,5) > 100 AND accelerometer < 12",
+		"spo2 < 92 OR (heart-rate > 110 AND gps-speed < 0.5)",
+		"a < 0.3 [p=0.3] AND b >= 0.7 [p=0.7]",
+		"MAX(u,3) < 0.843432665 [p=0.6]",
+		"MIN(x,2) != 1e-9 OR COUNT(y,4) = 2",
+		"MEDIAN(z,7) <= -3.5 AND STDDEV(w,6) > 0",
+		"(a > 1 AND (b < 2 OR c = 3)) OR d != 4",
+		"AVG(heart-rate",  // truncated call
+		"a >",             // missing threshold
+		"a > 1 [p=2]",     // probability out of range
+		"NOSUCH(a,3) > 1", // unknown operator
+		"a > 1 AND",       // dangling operator
+		"((((((((((a > 1))))))))))",
+		"a > 1 ]",
+		"AVG(a,0) > 1",  // zero window
+		"AVG(a,-1) > 1", // negative window
+		"a\x00b > 1",
+		"ORANDOR > 1",
+		"[p=0.5]",
+		"a > 1 [p=0.5",
+		"🤖 > 1",
+		strings.Repeat("(", 1000),
+		strings.Repeat("a > 1 OR ", 500) + "b < 2",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		e, err := Parse(input) // must not panic
+		if err != nil {
+			return
+		}
+		// Round trip: the rendered form must parse to the same shape.
+		rendered := e.String()
+		e2, err := Parse(rendered)
+		if err != nil {
+			t.Fatalf("re-parsing rendered form %q of %q: %v", rendered, input, err)
+		}
+		p1, p2 := Predicates(e), Predicates(e2)
+		if len(p1) != len(p2) {
+			t.Fatalf("round trip changed predicate count: %d -> %d (%q)", len(p1), len(p2), rendered)
+		}
+		for i := range p1 {
+			if p1[i].P.String() != p2[i].P.String() {
+				t.Fatalf("round trip changed predicate %d: %q -> %q", i, p1[i].P.String(), p2[i].P.String())
+			}
+			if !(math.IsNaN(p1[i].Prob) && math.IsNaN(p2[i].Prob)) && p1[i].Prob != p2[i].Prob {
+				t.Fatalf("round trip changed probability %d: %v -> %v", i, p1[i].Prob, p2[i].Prob)
+			}
+		}
+	})
+}

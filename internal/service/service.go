@@ -36,14 +36,20 @@ type Service struct {
 	order   []string // registration order, for deterministic dispatch
 	workers int
 	history int
+	exec    engine.Executor // default executor for queries without one
+	batch   bool            // batched first-leaf acquisition in Tick
 	tick    int64
 
-	executions int64
-	planHits   int64
-	planMisses int64
-	paidCost   float64
-	expCost    float64
-	evaluated  int64
+	executions    int64
+	planHits      int64
+	planMisses    int64
+	paidCost      float64
+	expCost       float64
+	evaluated     int64
+	adaptiveExecs int64
+	batchCost     float64
+	batchItems    int64
+	dupAvoided    int64
 }
 
 // registered is one query under service management.
@@ -52,6 +58,7 @@ type registered struct {
 	text  string
 	q     *engine.Query
 	every int
+	exec  engine.Executor // nil: use the service default
 	hist  []Execution
 	m     QueryMetrics
 }
@@ -63,6 +70,8 @@ type config struct {
 	workers int
 	history int
 	engOpts []engine.Option
+	exec    engine.Executor
+	batch   bool
 }
 
 // WithWorkers sets the tick worker-pool size (default GOMAXPROCS).
@@ -78,9 +87,23 @@ func WithEngineOptions(opts ...engine.Option) Option {
 	return func(c *config) { c.engOpts = append(c.engOpts, opts...) }
 }
 
+// WithExecutor sets the default execution strategy for every registered
+// query (default engine.LinearExecutor). Individual queries can override
+// it with WithQueryExecutor.
+func WithExecutor(x engine.Executor) Option { return func(c *config) { c.exec = x } }
+
+// WithBatchedAcquisition toggles the tick-level acquisition batcher
+// (default on): before executing due queries, their plans' first-leaf
+// stream windows are coalesced and each shared stream is pre-acquired
+// once, so concurrent workers do not race to pull the same items. First
+// leaves are evaluated unconditionally, so pre-pulling them never wastes
+// cost — it only moves it from the queries to the batcher (see
+// Metrics.BatchedCost).
+func WithBatchedAcquisition(on bool) Option { return func(c *config) { c.batch = on } }
+
 // New creates a service over the registry with an empty shared cache.
 func New(reg *stream.Registry, opts ...Option) *Service {
-	cfg := config{workers: runtime.GOMAXPROCS(0), history: 64}
+	cfg := config{workers: runtime.GOMAXPROCS(0), history: 64, batch: true}
 	for _, o := range opts {
 		o(&cfg)
 	}
@@ -90,6 +113,9 @@ func New(reg *stream.Registry, opts ...Option) *Service {
 	if cfg.history < 1 {
 		cfg.history = 1
 	}
+	if cfg.exec == nil {
+		cfg.exec = engine.LinearExecutor{}
+	}
 	return &Service{
 		reg:     reg,
 		eng:     engine.New(reg, cfg.engOpts...),
@@ -97,6 +123,8 @@ func New(reg *stream.Registry, opts ...Option) *Service {
 		queries: map[string]*registered{},
 		workers: cfg.workers,
 		history: cfg.history,
+		exec:    cfg.exec,
+		batch:   cfg.batch,
 	}
 }
 
@@ -117,6 +145,13 @@ func Every(n int) QueryOption {
 			r.every = n
 		}
 	}
+}
+
+// WithQueryExecutor overrides the execution strategy for this query only
+// (e.g. engine.AdaptiveExecutor on a query small enough for the
+// decision-tree DP, while the fleet default stays linear).
+func WithQueryExecutor(x engine.Executor) QueryOption {
+	return func(r *registered) { r.exec = x }
 }
 
 // ErrDuplicateID is returned by Register when the id is already taken.
@@ -143,7 +178,7 @@ func (s *Service) Register(id, text string, opts ...QueryOption) error {
 	for _, o := range opts {
 		o(r)
 	}
-	r.m = QueryMetrics{ID: id, Query: text, Every: r.every}
+	r.m = QueryMetrics{ID: id, Query: text, Every: r.every, Executor: s.executorFor(r).Name()}
 	s.queries[id] = r
 	s.order = append(s.order, id)
 	return nil
@@ -193,6 +228,11 @@ type Execution struct {
 	Evaluated int `json:"evaluated"`
 	// PlanReused reports a plan-cache hit.
 	PlanReused bool `json:"plan_reused"`
+	// Strategy is the execution strategy actually used
+	// (engine.StrategyLinear or engine.StrategyAdaptive; an adaptive
+	// executor falls back to "linear" above the DP bound or below the gap
+	// threshold).
+	Strategy string `json:"strategy,omitempty"`
 	// Err is the execution error, if any.
 	Err string `json:"err,omitempty"`
 }
@@ -205,10 +245,61 @@ type TickResult struct {
 	Executions []Execution `json:"executions"`
 }
 
+// executorFor returns the query's executor, falling back to the service
+// default.
+func (s *Service) executorFor(r *registered) engine.Executor {
+	if r.exec != nil {
+		return r.exec
+	}
+	return s.exec
+}
+
+// fanOut runs f(0..n-1) on the tick worker pool and waits for completion.
+// Caller holds the service lock, so registration cannot race.
+func (s *Service) fanOut(n int, f func(int)) {
+	workers := s.workers
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				f(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+}
+
 // Tick advances shared time by one step and executes every due query on
-// the worker pool. Executions of one tick all see the same cache time;
-// the cache serializes concurrent pulls, so the first query to need an
-// item pays for it and the rest reuse it for free.
+// the worker pool, in three phases:
+//
+//  1. Plan: every due query builds (or reuses) its plan — linear schedule
+//     or adaptive decision tree, per its executor — against the
+//     post-advance cache state. Planning only reads the cache, so all
+//     plans of one tick see the same state.
+//  2. Batch: the plans' first-leaf stream windows are coalesced and each
+//     shared stream is pre-acquired once (see WithBatchedAcquisition).
+//     First leaves are never short-circuited, so every pre-pulled item
+//     would have been paid for by some query this tick anyway; batching
+//     stops concurrent workers from racing to pull the same items.
+//  3. Execute: the prepared plans run on the worker pool. The cache
+//     serializes residual concurrent pulls, so the first query to need an
+//     item pays for it and the rest reuse it for free.
 func (s *Service) Tick() TickResult {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -227,43 +318,81 @@ func (s *Service) Tick() TickResult {
 		return out
 	}
 
-	// Fan the due queries out over the worker pool. The engine and cache
-	// are concurrency-safe; the service lock is held, so registration
-	// changes cannot race with the tick.
-	jobs := make(chan int)
-	var wg sync.WaitGroup
-	workers := s.workers
-	if workers > len(due) {
-		workers = len(due)
-	}
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range jobs {
-				r := due[i]
-				res, err := r.q.Execute(s.cache)
-				e := Execution{
-					ID:           r.id,
-					Tick:         s.tick,
-					Value:        res.Value,
-					Cost:         res.Cost,
-					ExpectedCost: res.ExpectedCost,
-					Evaluated:    res.Evaluated,
-					PlanReused:   res.PlanReused,
-				}
-				if err != nil {
-					e.Err = err.Error()
-				}
-				out.Executions[i] = e
+	// Phase 1: plan.
+	preps := make([]engine.Prepared, len(due))
+	s.fanOut(len(due), func(i int) {
+		r := due[i]
+		prep, err := s.executorFor(r).Prepare(r.q, s.cache)
+		if err != nil {
+			out.Executions[i] = Execution{ID: r.id, Tick: s.tick, Err: err.Error()}
+			return
+		}
+		preps[i] = prep
+	})
+
+	// Phase 2: batched acquisition of the coalesced first-leaf windows.
+	if s.batch {
+		windows := make(map[int][]int) // stream -> first-leaf windows of due plans
+		need := make([]int, s.reg.Len())
+		for _, p := range preps {
+			if p == nil {
+				continue
 			}
-		}()
+			k, d, ok := p.FirstAcquisition()
+			if !ok {
+				continue
+			}
+			windows[k] = append(windows[k], d)
+			if d > need[k] {
+				need[k] = d
+			}
+		}
+		// Count duplicates against items that actually have to be
+		// transferred: a cached item costs nothing to re-request, but a
+		// missing item wanted by n queries would be raced for by n workers
+		// and is now pulled exactly once.
+		cached := s.cache.Snapshot(need)
+		for k, ds := range windows {
+			for t := 1; t <= need[k]; t++ {
+				if cached[k][t-1] {
+					continue
+				}
+				covering := 0
+				for _, d := range ds {
+					if d >= t {
+						covering++
+					}
+				}
+				s.dupAvoided += int64(covering - 1)
+			}
+			items, cost := s.cache.Prefetch(k, need[k])
+			s.batchItems += int64(items)
+			s.batchCost += cost
+		}
 	}
-	for i := range due {
-		jobs <- i
-	}
-	close(jobs)
-	wg.Wait()
+
+	// Phase 3: execute.
+	s.fanOut(len(due), func(i int) {
+		if preps[i] == nil {
+			return // planning failed; the error is already recorded
+		}
+		r := due[i]
+		res, err := preps[i].Execute(s.cache)
+		e := Execution{
+			ID:           r.id,
+			Tick:         s.tick,
+			Value:        res.Value,
+			Cost:         res.Cost,
+			ExpectedCost: res.ExpectedCost,
+			Evaluated:    res.Evaluated,
+			PlanReused:   res.PlanReused,
+			Strategy:     res.Strategy,
+		}
+		if err != nil {
+			e.Err = err.Error()
+		}
+		out.Executions[i] = e
+	})
 
 	for i, r := range due {
 		e := out.Executions[i]
@@ -276,6 +405,10 @@ func (s *Service) Tick() TickResult {
 		s.paidCost += e.Cost
 		s.expCost += e.ExpectedCost
 		s.evaluated += int64(e.Evaluated)
+		if e.Strategy == engine.StrategyAdaptive {
+			s.adaptiveExecs++
+			r.m.AdaptiveExecutions++
+		}
 		r.m.Executions++
 		if e.Value {
 			r.m.TrueCount++
@@ -324,16 +457,36 @@ func (s *Service) Results(id string, n int) ([]Execution, error) {
 
 // QueryMetrics aggregates the executions of one query.
 type QueryMetrics struct {
-	ID                  string  `json:"id"`
-	Query               string  `json:"query"`
-	Every               int     `json:"every"`
-	Executions          int64   `json:"executions"`
-	TrueCount           int64   `json:"true_count"`
-	PaidCost            float64 `json:"paid_cost"`
-	ExpectedCost        float64 `json:"expected_cost"`
-	PredicatesEvaluated int64   `json:"predicates_evaluated"`
-	PlanCacheHits       int64   `json:"plan_cache_hits"`
-	Errors              int64   `json:"errors"`
+	ID    string `json:"id"`
+	Query string `json:"query"`
+	Every int    `json:"every"`
+	// Executor is the strategy kind the query's executor aims for
+	// ("linear", "adaptive"); AdaptiveExecutions counts executions that
+	// actually walked a decision tree rather than falling back.
+	Executor           string `json:"executor"`
+	AdaptiveExecutions int64  `json:"adaptive_executions,omitempty"`
+	Executions         int64  `json:"executions"`
+	TrueCount          int64  `json:"true_count"`
+	// PaidCost is the acquisition cost this query's executions paid;
+	// ExpectedCost sums the planner's expectations. Under a shared cache
+	// the per-query split of paid cost depends on dispatch order (and
+	// batched acquisitions are paid by the fleet), so
+	// RealizedOverExpected is most meaningful fleet-wide.
+	PaidCost             float64 `json:"paid_cost"`
+	ExpectedCost         float64 `json:"expected_cost"`
+	RealizedOverExpected float64 `json:"realized_over_expected"`
+	PredicatesEvaluated  int64   `json:"predicates_evaluated"`
+	PlanCacheHits        int64   `json:"plan_cache_hits"`
+	Errors               int64   `json:"errors"`
+}
+
+// withRatio returns the metrics with the realized-vs-expected cost ratio
+// filled in.
+func (m QueryMetrics) withRatio() QueryMetrics {
+	if m.ExpectedCost > 0 {
+		m.RealizedOverExpected = m.PaidCost / m.ExpectedCost
+	}
+	return m
 }
 
 // QueryMetrics returns the per-query aggregates.
@@ -344,7 +497,7 @@ func (s *Service) QueryMetrics(id string) (QueryMetrics, error) {
 	if !ok {
 		return QueryMetrics{}, fmt.Errorf("service: unknown query id %q", id)
 	}
-	return r.m, nil
+	return r.m.withRatio(), nil
 }
 
 // Metrics aggregates the whole fleet.
@@ -360,6 +513,22 @@ type Metrics struct {
 	// is the shared-cache dividend.
 	PaidCost     float64 `json:"paid_cost"`
 	ExpectedCost float64 `json:"expected_cost"`
+	// RealizedOverExpected is PaidCost / ExpectedCost: how the fleet's
+	// realized acquisition spend compares to the planners' models (< 1 is
+	// the shared-cache dividend).
+	RealizedOverExpected float64 `json:"realized_over_expected"`
+	// AdaptiveExecutions counts executions that walked a decision tree
+	// instead of a fixed schedule (see engine.AdaptiveExecutor).
+	AdaptiveExecutions int64 `json:"adaptive_executions"`
+	// BatchedCost and BatchedItems report what the tick-level acquisition
+	// batcher pre-pulled on behalf of the fleet (included in PaidCost);
+	// DuplicatePullsAvoided counts, over items that actually had to be
+	// transferred, the redundant first-leaf requests beyond the first —
+	// the pulls concurrent workers would have raced to issue for the same
+	// missing item (see WithBatchedAcquisition).
+	BatchedCost           float64 `json:"batched_cost"`
+	BatchedItems          int64   `json:"batched_items"`
+	DuplicatePullsAvoided int64   `json:"duplicate_pulls_avoided"`
 	// PredicatesEvaluated counts predicate evaluations across the fleet.
 	PredicatesEvaluated int64 `json:"predicates_evaluated"`
 	// PlanCacheHits / PlanCacheHitRate report how often re-planning was
@@ -382,22 +551,32 @@ func (s *Service) Metrics() Metrics {
 	defer s.mu.Unlock()
 	cs := s.cache.Stats()
 	m := Metrics{
-		Ticks:               s.tick,
-		Queries:             len(s.queries),
-		Executions:          s.executions,
-		PaidCost:            s.paidCost,
-		ExpectedCost:        s.expCost,
-		PredicatesEvaluated: s.evaluated,
-		PlanCacheHits:       s.planHits,
-		CacheRequested:      cs.Requested,
-		CacheTransferred:    cs.Transferred,
-		CacheHitRate:        cs.HitRate(),
+		Ticks:      s.tick,
+		Queries:    len(s.queries),
+		Executions: s.executions,
+		// Batched acquisitions are paid by the fleet on the queries'
+		// behalf: include them so PaidCost totals are comparable whether
+		// batching is on or off.
+		PaidCost:              s.paidCost + s.batchCost,
+		ExpectedCost:          s.expCost,
+		AdaptiveExecutions:    s.adaptiveExecs,
+		BatchedCost:           s.batchCost,
+		BatchedItems:          s.batchItems,
+		DuplicatePullsAvoided: s.dupAvoided,
+		PredicatesEvaluated:   s.evaluated,
+		PlanCacheHits:         s.planHits,
+		CacheRequested:        cs.Requested,
+		CacheTransferred:      cs.Transferred,
+		CacheHitRate:          cs.HitRate(),
+	}
+	if m.ExpectedCost > 0 {
+		m.RealizedOverExpected = m.PaidCost / m.ExpectedCost
 	}
 	if s.planHits+s.planMisses > 0 {
 		m.PlanCacheHitRate = float64(s.planHits) / float64(s.planHits+s.planMisses)
 	}
 	for _, r := range s.queries {
-		m.PerQuery = append(m.PerQuery, r.m)
+		m.PerQuery = append(m.PerQuery, r.m.withRatio())
 	}
 	sort.Slice(m.PerQuery, func(i, j int) bool { return m.PerQuery[i].ID < m.PerQuery[j].ID })
 	return m

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"paotr/internal/query"
+	"paotr/internal/sched"
 )
 
 // OptimalStrategy computes an optimal non-linear strategy and returns it
@@ -15,15 +16,17 @@ import (
 // reference), so its size is bounded by the number of reachable DP states
 // rather than 2^depth.
 func OptimalStrategy(t *query.Tree) (*DecisionNode, float64) {
-	m := t.NumLeaves()
-	if m > maxLeaves {
+	return OptimalStrategyWarm(t, nil)
+}
+
+// OptimalStrategyWarm is OptimalStrategy with a warm cache: items already
+// held (sched.Warm semantics) are free, so the extracted decision tree is
+// optimal for the cache state an adaptive executor plans against.
+func OptimalStrategyWarm(t *query.Tree, w sched.Warm) (*DecisionNode, float64) {
+	if t.NumLeaves() > MaxLeaves {
 		panic("strategy: OptimalStrategy limited to 12 leaves")
 	}
-	d := &dp{
-		t:    t,
-		memo: make(map[uint32]float64),
-		ands: t.AndLeaves(),
-	}
+	d := newDP(t, w)
 	cost := d.solve(0)
 	nodes := make(map[uint32]*DecisionNode)
 	return d.extract(0, nodes), cost
@@ -46,10 +49,7 @@ func (d *dp) extract(state uint32, nodes map[uint32]*DecisionNode) *DecisionNode
 		if get(state, j) != unevaluated || !d.useful(state, j) {
 			continue
 		}
-		cost := 0.0
-		if extra := l.Items - acq[l.Stream]; extra > 0 {
-			cost = float64(extra) * d.t.Streams[l.Stream].Cost
-		}
+		cost := d.leafCost(acq, l)
 		cost += l.Prob * d.solve(set(state, j, evalTrue))
 		cost += (1 - l.Prob) * d.solve(set(state, j, evalFalse))
 		if bestLeaf == -1 || cost < bestCost {

@@ -1,0 +1,133 @@
+package strategy
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"paotr/internal/dnf"
+	"paotr/internal/gen"
+	"paotr/internal/query"
+	"paotr/internal/sched"
+)
+
+// corpusTrees generates a deterministic corpus of shared DNF trees with at
+// most MaxLeaves leaves, spanning the sharing ratios of the paper's
+// evaluation.
+func corpusTrees(perConfig int) []*query.Tree {
+	rng := gen.NewRng(2014)
+	var out []*query.Tree
+	for _, rho := range gen.SharingRatios() {
+		for i := 0; i < perConfig; i++ {
+			sizes := gen.SmallDNFSizes(2+rng.IntN(3), 3, MaxLeaves, rng)
+			t := gen.DNF(sizes, rho, gen.Dist{MaxItems: 3, MinCost: 1, MaxCost: 10}, rng)
+			if t.NumLeaves() <= MaxLeaves {
+				out = append(out, t)
+			}
+		}
+	}
+	return out
+}
+
+// TestPropertyNonLinearNeverWorse is the paper's Section V property over
+// a generated corpus: the optimal non-linear (decision-tree) strategy is
+// never more expensive than the best linear schedule, and when the
+// extracted optimal strategy is itself linear the two costs coincide.
+func TestPropertyNonLinearNeverWorse(t *testing.T) {
+	trees := corpusTrees(12)
+	if len(trees) < 40 {
+		t.Fatalf("corpus too small: %d trees", len(trees))
+	}
+	const eps = 1e-9
+	linearOptimal := 0
+	for i, tr := range trees {
+		lin := dnf.OptimalDepthFirst(tr, dnf.SearchOptions{}).Cost
+		root, nl := OptimalStrategy(tr)
+		if nl2 := OptimalNonLinear(tr); math.Abs(nl2-nl) > eps {
+			t.Fatalf("tree %d: OptimalNonLinear %.9f != OptimalStrategy cost %.9f", i, nl2, nl)
+		}
+		if nl > lin+eps {
+			t.Errorf("tree %d: non-linear optimum %.9f exceeds linear optimum %.9f", i, nl, lin)
+		}
+		if cdt := CostOfDecisionTree(tr, root); math.Abs(cdt-nl) > 1e-6 {
+			t.Errorf("tree %d: decision-tree cost %.9f != DP value %.9f", i, cdt, nl)
+		}
+		if IsLinear(root) {
+			linearOptimal++
+			if math.Abs(nl-lin) > 1e-6 {
+				t.Errorf("tree %d: optimal strategy is linear but costs differ (%.9f vs %.9f)", i, nl, lin)
+			}
+		}
+	}
+	t.Logf("%d corpus trees, optimal strategy linear on %d", len(trees), linearOptimal)
+}
+
+// TestPropertyScheduleAsDecisionTree: every linear schedule, rewritten as
+// an explicit decision tree, costs at least the non-linear optimum — and
+// the rewrite itself must preserve the schedule's expected cost (checked
+// in the sched package; here we check the ordering against the DP).
+func TestPropertyScheduleAsDecisionTree(t *testing.T) {
+	trees := corpusTrees(4)
+	for i, tr := range trees {
+		res := dnf.OptimalDepthFirst(tr, dnf.SearchOptions{})
+		asTree := ScheduleAsDecisionTree(tr, res.Schedule)
+		nl := OptimalNonLinear(tr)
+		if c := CostOfDecisionTree(tr, asTree); nl > c+1e-9 {
+			t.Errorf("tree %d: DP value %.9f exceeds a valid strategy's cost %.9f", i, nl, c)
+		}
+	}
+}
+
+// TestPropertySimulatedMeanMatchesDP validates the DP expectation by
+// Monte-Carlo: simulating the optimal decision tree with independent
+// Bernoulli leaf outcomes must converge to OptimalNonLinear.
+func TestPropertySimulatedMeanMatchesDP(t *testing.T) {
+	trees := corpusTrees(2)
+	if len(trees) > 10 {
+		trees = trees[:10]
+	}
+	rng := rand.New(rand.NewPCG(1, 2))
+	const trials = 20000
+	for i, tr := range trees {
+		root, nl := OptimalStrategy(tr)
+		if nl == 0 {
+			continue
+		}
+		total := 0.0
+		for k := 0; k < trials; k++ {
+			total += SimulateDecisionTree(tr, root, rng)
+		}
+		mean := total / trials
+		if rel := math.Abs(mean-nl) / nl; rel > 0.05 {
+			t.Errorf("tree %d: simulated mean %.4f vs DP %.4f (%.1f%% off)", i, mean, nl, 100*rel)
+		}
+	}
+}
+
+// TestWarmNonLinearCheaper: warming any cached item can only reduce the
+// non-linear optimum, and a fully warm cache makes it zero.
+func TestWarmNonLinearCheaper(t *testing.T) {
+	trees := corpusTrees(3)
+	rng := rand.New(rand.NewPCG(3, 4))
+	for i, tr := range trees {
+		cold := OptimalNonLinear(tr)
+		maxD := tr.StreamMaxItems()
+		warm := make(sched.Warm, len(maxD))
+		full := make(sched.Warm, len(maxD))
+		for k, d := range maxD {
+			warm[k] = make([]bool, d)
+			full[k] = make([]bool, d)
+			for t := range warm[k] {
+				warm[k][t] = rng.IntN(2) == 0
+				full[k][t] = true
+			}
+		}
+		wcost := OptimalNonLinearWarm(tr, warm)
+		if wcost > cold+1e-9 {
+			t.Errorf("tree %d: warm optimum %.9f exceeds cold %.9f", i, wcost, cold)
+		}
+		if f := OptimalNonLinearWarm(tr, full); f != 0 {
+			t.Errorf("tree %d: fully warm optimum = %.9f, want 0", i, f)
+		}
+	}
+}

@@ -1,0 +1,103 @@
+package strategy
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"strings"
+
+	"paotr/internal/query"
+)
+
+// UniformQueryText renders a raw query.Tree as query-language text whose
+// realized leaf probabilities match the tree's annotated ones when every
+// stream produces independent uniform values in [0,1) (stream.Uniform):
+// a leaf with window d and probability p becomes "MAX(name,d) < p^(1/d)",
+// since the maximum of d independent uniforms is below t with probability
+// t^d. The annotation [p=...] pins the planner to the same probability.
+//
+// names[k] is the registry name of tree stream k. This is how the
+// counter-example corpora of this package are turned into executable
+// queries for the adaptive-vs-linear end-to-end comparisons.
+func UniformQueryText(t *query.Tree, names []string) string {
+	var b strings.Builder
+	for a, and := range t.AndLeaves() {
+		if a > 0 {
+			b.WriteString(" OR ")
+		}
+		b.WriteString("(")
+		for i, j := range and {
+			if i > 0 {
+				b.WriteString(" AND ")
+			}
+			l := t.Leaves[j]
+			threshold := math.Pow(l.Prob, 1/float64(l.Items))
+			fmt.Fprintf(&b, "MAX(%s,%d) < %.9f [p=%g]", names[l.Stream], l.Items, threshold, l.Prob)
+		}
+		b.WriteString(")")
+	}
+	return b.String()
+}
+
+// GapCorpus returns up to n small shared DNF trees whose optimal
+// non-linear strategy beats the optimal linear schedule by at least
+// minRatio. The search is seeded and deterministic, so the corpus is
+// stable across runs — it is the counter-example workload used by the
+// adaptive-vs-linear benchmarks and examples.
+func GapCorpus(n int, minRatio float64) []*query.Tree {
+	rng := rand.New(rand.NewPCG(2014, 5))
+	var out []*query.Tree
+	for trial := 0; len(out) < n && trial < 200_000; trial++ {
+		nAnds := 2 + rng.IntN(2)
+		nStreams := 2 + rng.IntN(2)
+		tr := &query.Tree{}
+		for k := 0; k < nStreams; k++ {
+			tr.Streams = append(tr.Streams, query.Stream{
+				Name: fmt.Sprintf("s%d", k),
+				Cost: 1 + float64(rng.IntN(5)),
+			})
+		}
+		for i := 0; i < nAnds; i++ {
+			leaves := 1 + rng.IntN(2)
+			for r := 0; r < leaves; r++ {
+				tr.Leaves = append(tr.Leaves, query.Leaf{
+					And:    i,
+					Stream: query.StreamID(rng.IntN(nStreams)),
+					Items:  1 + rng.IntN(3),
+					Prob:   float64(1+rng.IntN(9)) / 10,
+				})
+			}
+		}
+		if tr.NumLeaves() > 8 || tr.IsReadOnce() {
+			continue
+		}
+		if g := Analyze(tr); g.Ratio() >= minRatio {
+			out = append(out, tr)
+		}
+	}
+	return out
+}
+
+// SimulateDecisionTree runs one Monte-Carlo trial of a decision-tree
+// strategy: every leaf's truth value is drawn independently with its
+// annotated probability, the tree is walked from the root, and each
+// evaluated leaf pays for the items of its stream not already acquired
+// during the trial. The mean over many trials converges to
+// CostOfDecisionTree (and, for an optimal strategy, to OptimalNonLinear).
+func SimulateDecisionTree(t *query.Tree, root *DecisionNode, rng *rand.Rand) float64 {
+	acq := make([]int, t.NumStreams())
+	cost := 0.0
+	for n := root; n != nil && n.Leaf >= 0; {
+		l := t.Leaves[n.Leaf]
+		if extra := l.Items - acq[l.Stream]; extra > 0 {
+			cost += float64(extra) * t.Streams[l.Stream].Cost
+			acq[l.Stream] = l.Items
+		}
+		if rng.Float64() < l.Prob {
+			n = n.IfTrue
+		} else {
+			n = n.IfFalse
+		}
+	}
+	return cost
+}

@@ -21,8 +21,10 @@ import (
 	"paotr/internal/sched"
 )
 
-// maxLeaves bounds the DP: states are ternary words over the leaves.
-const maxLeaves = 12
+// MaxLeaves bounds the DP: states are ternary words over the leaves, so
+// the state space is 3^m and m must stay small. Callers that want adaptive
+// execution on larger trees must fall back to linear schedules.
+const MaxLeaves = 12
 
 // leafState is the observed status of one leaf.
 type leafState uint8
@@ -41,22 +43,46 @@ const (
 // AND nodes already known FALSE are never evaluated (they cannot influence
 // the root), and evaluation stops as soon as the root value is known.
 func OptimalNonLinear(t *query.Tree) float64 {
-	m := t.NumLeaves()
-	if m > maxLeaves {
+	return OptimalNonLinearWarm(t, nil)
+}
+
+// OptimalNonLinearWarm is OptimalNonLinear with a warm cache: items already
+// held (sched.Warm semantics) are free for every leaf, which is the state
+// an adaptive executor plans against in continuous operation.
+func OptimalNonLinearWarm(t *query.Tree, w sched.Warm) float64 {
+	if t.NumLeaves() > MaxLeaves {
 		panic("strategy: OptimalNonLinear limited to 12 leaves")
 	}
-	d := &dp{
-		t:    t,
-		memo: make(map[uint32]float64),
-		ands: t.AndLeaves(),
-	}
-	return d.solve(0)
+	return newDP(t, w).solve(0)
 }
 
 type dp struct {
 	t    *query.Tree
 	ands [][]int
 	memo map[uint32]float64
+	// paid[k][t] is the cost of acquiring items 1..t of stream k that the
+	// warm cache does not already hold, so the incremental cost of growing
+	// the acquired prefix from a to b is paid[k][b]-paid[k][a].
+	paid [][]float64
+}
+
+// newDP prepares a DP instance for the tree at the given warm state
+// (nil = cold), precomputing the per-stream prefix cost table.
+func newDP(t *query.Tree, w sched.Warm) *dp {
+	d := &dp{t: t, memo: make(map[uint32]float64), ands: t.AndLeaves()}
+	d.paid = make([][]float64, t.NumStreams())
+	for k, maxD := range t.StreamMaxItems() {
+		row := make([]float64, maxD+1)
+		per := t.Streams[k].Cost
+		for i := 1; i <= maxD; i++ {
+			row[i] = row[i-1]
+			if !w.Has(query.StreamID(k), i) {
+				row[i] += per
+			}
+		}
+		d.paid[k] = row
+	}
+	return d
 }
 
 // state encoding: 2 bits per leaf.
@@ -103,6 +129,18 @@ func (d *dp) acquiredItems(state uint32) []int {
 	return acq
 }
 
+// leafCost is the incremental acquisition cost of evaluating leaf l when
+// acq items of each stream were already pulled on this path: every item of
+// the leaf's window beyond the acquired prefix is paid for unless the warm
+// cache already holds it.
+func (d *dp) leafCost(acq []int, l query.Leaf) float64 {
+	if l.Items <= acq[l.Stream] {
+		return 0
+	}
+	row := d.paid[l.Stream]
+	return row[l.Items] - row[acq[l.Stream]]
+}
+
 // useful reports whether evaluating leaf j can influence the outcome: its
 // AND node has no FALSE leaf yet.
 func (d *dp) useful(state uint32, j int) bool {
@@ -127,10 +165,7 @@ func (d *dp) solve(state uint32) float64 {
 		if get(state, j) != unevaluated || !d.useful(state, j) {
 			continue
 		}
-		cost := 0.0
-		if extra := l.Items - acq[l.Stream]; extra > 0 {
-			cost = float64(extra) * d.t.Streams[l.Stream].Cost
-		}
+		cost := d.leafCost(acq, l)
 		cost += l.Prob * d.solve(set(state, j, evalTrue))
 		cost += (1 - l.Prob) * d.solve(set(state, j, evalFalse))
 		if cost < best {
@@ -241,6 +276,16 @@ type DecisionNode struct {
 // decision tree: each evaluated leaf pays for the items of its stream not
 // already acquired on the path from the root.
 func CostOfDecisionTree(t *query.Tree, root *DecisionNode) float64 {
+	return CostOfDecisionTreeWarm(t, root, nil)
+}
+
+// CostOfDecisionTreeWarm is CostOfDecisionTree with a warm cache: items
+// already held are free for every leaf. It re-prices an existing strategy
+// under fresh probabilities or cache state without re-running the DP,
+// which is how the adaptive executor refreshes a cached decision tree
+// whose fingerprint drifted within tolerance.
+func CostOfDecisionTreeWarm(t *query.Tree, root *DecisionNode, w sched.Warm) float64 {
+	d := newDP(t, w)
 	acq := make([]int, t.NumStreams())
 	var walk func(n *DecisionNode) float64
 	walk = func(n *DecisionNode) float64 {
@@ -248,10 +293,9 @@ func CostOfDecisionTree(t *query.Tree, root *DecisionNode) float64 {
 			return 0
 		}
 		l := t.Leaves[n.Leaf]
-		cost := 0.0
+		cost := d.leafCost(acq, l)
 		old := acq[l.Stream]
-		if extra := l.Items - old; extra > 0 {
-			cost = float64(extra) * t.Streams[l.Stream].Cost
+		if l.Items > old {
 			acq[l.Stream] = l.Items
 		}
 		cost += l.Prob*walk(n.IfTrue) + (1-l.Prob)*walk(n.IfFalse)

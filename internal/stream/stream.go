@@ -182,6 +182,25 @@ func Temperature(seed uint64) Source {
 	return sine{name: "temperature", base: 21, amp: 4, freq: 1.0 / 1440, noise: 0.2, seed: seed}
 }
 
+// Uniform returns a stream of independent uniform values in [0,1),
+// deterministic in (seed, step). Predicates of the form "MAX(u,d) < t"
+// over such a stream are TRUE with probability exactly t^d, which makes
+// uniform streams the workload of choice for validating expected-cost
+// models against realized execution costs.
+func Uniform(name string, seed uint64) Source { return uniform{name, seed} }
+
+type uniform struct {
+	name string
+	seed uint64
+}
+
+func (u uniform) Name() string { return u.name }
+
+func (u uniform) At(step int64) Item {
+	rng := rand.New(rand.NewPCG(u.seed, uint64(step)*0x9e3779b97f4a7c15+1))
+	return Item{Seq: step, Value: rng.Float64()}
+}
+
 // Constant returns a stream that always produces the same value — useful
 // in tests.
 func Constant(name string, v float64) Source { return constant{name, v} }
