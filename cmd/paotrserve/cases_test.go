@@ -36,7 +36,10 @@ type e2eCase struct {
 // mirroring `paotrserve -executor adaptive -adaptive-gap -1`.
 func adaptiveServer(t *testing.T) *httptest.Server {
 	t.Helper()
-	svc, err := newServiceWith(1, 4, 0.02, "adaptive", -1, true)
+	svc, err := newServiceWith(serviceConfig{
+		seed: 1, workers: 4, replan: 0.02,
+		executor: "adaptive", gap: -1, batch: true, fleetPlan: true,
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -226,6 +229,71 @@ func e2eCases() []e2eCase {
 					}
 				}},
 		}},
+		{caseID: "E00301", name: "cross-tenant sharing avoids duplicate pulls", steps: []e2eStep{
+			// Two tenants over overlapping streams: the joint planner
+			// coalesces their opening windows, so missing items wanted by
+			// both are pulled exactly once.
+			{"POST", "/queries", `{"id":"a/load","query":"AVG(heart-rate,6) > 90 AND spo2 < 97"}`, http.StatusCreated, nil},
+			{"POST", "/queries", `{"id":"b/load","query":"AVG(heart-rate,6) > 95 AND accelerometer < 25"}`, http.StatusCreated, nil},
+			{"POST", "/queries", `{"id":"b/rest","query":"AVG(heart-rate,4) < 70 OR spo2 > 93"}`, http.StatusCreated, nil},
+			{"POST", "/tick", `{"steps":12}`, http.StatusOK, nil},
+			{"GET", "/metrics", "", http.StatusOK,
+				func(t *testing.T, body []byte) {
+					var m service.Metrics
+					mustDecode(t, body, &m)
+					if m.DuplicatePullsAvoided == 0 {
+						t.Errorf("overlapping tenants avoided no duplicate pulls: %+v", m)
+					}
+					if m.FleetPlans == 0 || m.FleetPlannedExecutions == 0 {
+						t.Errorf("no fleet planning recorded: %+v", m)
+					}
+					if m.FleetExpectedCost > m.IndependentExpectedCost+1e-9 {
+						t.Errorf("joint model %v exceeds independent %v", m.FleetExpectedCost, m.IndependentExpectedCost)
+					}
+				}},
+		}},
+		{caseID: "E00302", name: "per-stream metrics exposed", steps: []e2eStep{
+			registerHR,
+			{"POST", "/queries", `{"id":"hr5","query":"AVG(heart-rate,5) > 90"}`, http.StatusCreated, nil},
+			{"POST", "/queries", `{"id":"ox","query":"AVG(spo2,3) < 95"}`, http.StatusCreated, nil},
+			{"POST", "/tick", `{"steps":10}`, http.StatusOK, nil},
+			{"GET", "/metrics", "", http.StatusOK,
+				func(t *testing.T, body []byte) {
+					var m service.Metrics
+					mustDecode(t, body, &m)
+					if len(m.PerStream) == 0 {
+						t.Fatalf("no per-stream metrics: %+v", m)
+					}
+					byName := map[string]service.StreamMetrics{}
+					for _, ps := range m.PerStream {
+						byName[ps.Name] = ps
+					}
+					hr, ok := byName["heart-rate"]
+					if !ok || hr.Requested == 0 || hr.Transferred == 0 {
+						t.Errorf("heart-rate stream metrics missing or empty: %+v", m.PerStream)
+					}
+					if hr.HitRate <= 0 {
+						t.Errorf("heart-rate hit rate not tracked: %+v", hr)
+					}
+					if byName["temperature"].Requested != 0 {
+						t.Errorf("unused stream shows traffic: %+v", byName["temperature"])
+					}
+				}},
+		}},
+		{caseID: "E00303", name: "fleet-planned executions flagged", steps: []e2eStep{
+			registerHR,
+			{"POST", "/queries", `{"id":"hr2","query":"AVG(heart-rate,5) > 90"}`, http.StatusCreated, nil},
+			{"POST", "/tick", `{"steps":3}`, http.StatusOK, nil},
+			{"GET", "/results/hr?n=1", "", http.StatusOK,
+				func(t *testing.T, body []byte) {
+					var res []service.Execution
+					mustDecode(t, body, &res)
+					if len(res) != 1 || !res[0].FleetPlanned {
+						t.Errorf("execution = %+v, want fleet_planned", res)
+					}
+				}},
+		}},
+
 		{caseID: "E00206", name: "realized-vs-expected ratio", steps: []e2eStep{
 			// The first scheduled leaf is pre-pulled by the batcher, but
 			// heart-rate never exceeds 500, so the OR always evaluates the

@@ -59,11 +59,19 @@ func main() {
 			"default execution strategy: linear or adaptive")
 		adaptiveGap = flag.Float64("adaptive-gap", engine.DefaultGapThreshold,
 			"relative linear/non-linear cost gap required before the adaptive executor prefers a decision tree")
-		noBatch = flag.Bool("no-batch", false, "disable tick-level batched acquisition")
+		noBatch   = flag.Bool("no-batch", false, "disable tick-level batched acquisition")
+		fleetPlan = flag.Bool("fleet-plan", true,
+			"plan all due linear queries jointly each tick, discounting items sibling queries will pull (see Metrics.FleetExpectedCost)")
+		stripes = flag.Int("cache-stripes", 0,
+			"acquisition-cache lock stripes (0 = one per stream; 1 = single global lock baseline)")
 	)
 	flag.Parse()
 
-	svc, err := newServiceWith(*seed, *workers, *replan, *executor, *adaptiveGap, !*noBatch)
+	svc, err := newServiceWith(serviceConfig{
+		seed: *seed, workers: *workers, replan: *replan,
+		executor: *executor, gap: *adaptiveGap,
+		batch: !*noBatch, fleetPlan: *fleetPlan, stripes: *stripes,
+	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "paotrserve: %v\n", err)
 		os.Exit(2)
@@ -91,10 +99,26 @@ func executorByName(name string, gap float64) (engine.Executor, error) {
 	return nil, fmt.Errorf("unknown executor %q (want %q or %q)", name, engine.StrategyLinear, engine.StrategyAdaptive)
 }
 
+// serviceConfig collects the service-construction knobs of the CLI.
+type serviceConfig struct {
+	seed      uint64
+	workers   int
+	replan    float64
+	executor  string
+	gap       float64
+	batch     bool
+	fleetPlan bool
+	stripes   int
+}
+
 // newService builds the service over the standard simulated sensor fleet
 // with the linear default executor (the test configuration).
 func newService(seed uint64, workers int, replanThreshold float64) *service.Service {
-	svc, err := newServiceWith(seed, workers, replanThreshold, "linear", engine.DefaultGapThreshold, true)
+	svc, err := newServiceWith(serviceConfig{
+		seed: seed, workers: workers, replan: replanThreshold,
+		executor: "linear", gap: engine.DefaultGapThreshold,
+		batch: true, fleetPlan: true,
+	})
 	if err != nil {
 		panic(err) // unreachable: "linear" always resolves
 	}
@@ -102,21 +126,23 @@ func newService(seed uint64, workers int, replanThreshold float64) *service.Serv
 }
 
 // newServiceWith builds the service over the standard simulated sensor
-// fleet with an explicit default executor and batching choice.
-func newServiceWith(seed uint64, workers int, replanThreshold float64, executor string, gap float64, batch bool) (*service.Service, error) {
-	x, err := executorByName(executor, gap)
+// fleet from an explicit configuration.
+func newServiceWith(cfg serviceConfig) (*service.Service, error) {
+	x, err := executorByName(cfg.executor, cfg.gap)
 	if err != nil {
 		return nil, err
 	}
 	opts := []service.Option{
-		service.WithEngineOptions(engine.WithReplanThreshold(replanThreshold)),
+		service.WithEngineOptions(engine.WithReplanThreshold(cfg.replan)),
 		service.WithExecutor(x),
-		service.WithBatchedAcquisition(batch),
+		service.WithBatchedAcquisition(cfg.batch),
+		service.WithFleetPlanning(cfg.fleetPlan),
+		service.WithCacheStripes(cfg.stripes),
 	}
-	if workers > 0 {
-		opts = append(opts, service.WithWorkers(workers))
+	if cfg.workers > 0 {
+		opts = append(opts, service.WithWorkers(cfg.workers))
 	}
-	return service.New(stream.Wearables(seed), opts...), nil
+	return service.New(stream.Wearables(cfg.seed), opts...), nil
 }
 
 // server is the HTTP front-end over one service. gap is the adaptive
@@ -334,5 +360,15 @@ func runDemo(w io.Writer, svc *service.Service, steps int, gap float64) error {
 	fmt.Fprintf(w, "plan-cache hit rate:   %.1f%%\n", 100*m.PlanCacheHitRate)
 	fmt.Fprintf(w, "batched acquisition:   %d duplicate pulls avoided, %d items (%.2f J) pre-acquired\n",
 		m.DuplicatePullsAvoided, m.BatchedItems, m.BatchedCost)
+	if m.FleetPlans > 0 {
+		fmt.Fprintf(w, "fleet planning:        %d joint plans (%d reused), %d executions, modelled %.2f J vs %.2f J independent (%.1f%% saving)\n",
+			m.FleetPlans, m.FleetPlanReuses, m.FleetPlannedExecutions,
+			m.FleetExpectedCost, m.IndependentExpectedCost, 100*m.FleetModelledSaving)
+	}
+	fmt.Fprintf(w, "\n%-14s %10s %10s %8s %8s %8s\n", "stream", "requested", "pulled", "hit-rate", "spent J", "dup-avoid")
+	for _, ps := range m.PerStream {
+		fmt.Fprintf(w, "%-14s %10d %10d %7.1f%% %8.2f %9d\n",
+			ps.Name, ps.Requested, ps.Transferred, 100*ps.HitRate, ps.Spent, ps.DuplicatePullsAvoided)
+	}
 	return nil
 }

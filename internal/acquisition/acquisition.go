@@ -10,6 +10,15 @@
 // shared-stream model come from. Per-query retention claims (Retain /
 // Release) keep the per-stream horizon equal to the maximum window over
 // all registered queries, recomputed whenever the query set changes.
+//
+// Internally the cache is striped per stream: every stream's items and
+// traffic counters live in a shard guarded by its own mutex, so
+// concurrent pulls on different streams never contend. A top-level
+// RWMutex covers the structural state (time, retention horizons): stream
+// operations take it shared, while Advance / Retain / Release and the
+// aggregate accessors take it exclusively. This replaces the former
+// single global mutex, which serialized every pull of a worker pool
+// behind one lock regardless of stream.
 package acquisition
 
 import (
@@ -20,13 +29,30 @@ import (
 	"paotr/internal/stream"
 )
 
+// shard holds the cached items and traffic counters of the streams
+// assigned to one stripe. All fields are guarded by mu (taken together
+// with the cache's structural read lock), except under the cache's
+// structural write lock, which excludes all shard access.
+type shard struct {
+	mu sync.Mutex
+	_  [56]byte // pad to a 64-byte cache line so stripe locks do not false-share
+}
+
 // Cache holds the most recent items pulled from each stream of a registry
 // and accounts for acquisition costs. Items are identified by production
 // step: at time now, the "t-th item" of the paper (t >= 1) is the one
 // produced at step now-t. All methods are safe for concurrent use.
 type Cache struct {
-	mu  sync.Mutex
+	// mu guards the structural state: now, base, claims, maxWindow.
+	// Stream operations hold it shared plus the stream's stripe lock;
+	// structural operations hold it exclusively (which also excludes all
+	// stripe-locked readers, so they may touch every stream's data
+	// without taking stripe locks).
+	mu  sync.RWMutex
 	reg *stream.Registry
+	// shards[stripeOf[k]] guards the per-stream slices below at index k.
+	shards   []shard
+	stripeOf []int
 	// items[k] = cached items of stream k, sorted by decreasing Seq
 	// (most recent first). Not necessarily contiguous after Advance.
 	items [][]stream.Item
@@ -39,38 +65,83 @@ type Cache struct {
 	// dropped (the paper's "no longer relevant" rule).
 	maxWindow []int
 	now       int64
-	spent     float64
-	pulls     []int
-	// requested counts items asked for via Pull/Acquire; transferred
-	// counts the subset that actually had to be acquired. Their ratio is
-	// the cache hit rate.
-	requested   int64
-	transferred int64
+	// Per-stream accounting, guarded like items: spent[k] is the cost
+	// paid for stream k, pulls[k] the items transferred from it, and
+	// requested/transferred count per-stream traffic (their ratio is the
+	// per-stream cache hit rate). Fleet-wide totals are sums over k.
+	spent       []float64
+	pulls       []int
+	requested   []int64
+	transferred []int64
 }
 
 // NewCache creates a cache over the registry; maxWindow[k] is the fixed
 // retention horizon of stream k (the maximum window any query leaf uses on
 // that stream). Additional horizons can be claimed later with Retain.
+// The cache is striped per stream (see NewSharedStriped).
 func NewCache(reg *stream.Registry, maxWindow []int) (*Cache, error) {
 	if len(maxWindow) != reg.Len() {
 		return nil, fmt.Errorf("acquisition: %d horizons for %d streams", len(maxWindow), reg.Len())
 	}
-	return &Cache{
-		reg:       reg,
-		items:     make([][]stream.Item, reg.Len()),
-		base:      append([]int(nil), maxWindow...),
-		claims:    map[string][]int{},
-		maxWindow: append([]int(nil), maxWindow...),
-		pulls:     make([]int, reg.Len()),
-	}, nil
+	return newStriped(reg, maxWindow, reg.Len()), nil
 }
 
 // NewShared creates a cache with no fixed horizons: retention is driven
 // entirely by Retain/Release claims, the configuration of a multi-query
 // service where the query set changes at runtime.
 func NewShared(reg *stream.Registry) *Cache {
-	c, _ := NewCache(reg, make([]int, reg.Len()))
+	return NewSharedStriped(reg, 0)
+}
+
+// NewSharedStriped is NewShared with an explicit stripe count: stream k's
+// data is guarded by stripe k mod stripes. stripes <= 0 uses one stripe
+// per stream (no two streams ever contend); stripes == 1 serializes every
+// stream operation behind a single lock — the pre-sharding behaviour,
+// kept as the benchmark baseline.
+func NewSharedStriped(reg *stream.Registry, stripes int) *Cache {
+	return newStriped(reg, make([]int, reg.Len()), stripes)
+}
+
+func newStriped(reg *stream.Registry, maxWindow []int, stripes int) *Cache {
+	n := reg.Len()
+	if stripes <= 0 || stripes > n {
+		stripes = n
+	}
+	if stripes < 1 {
+		stripes = 1
+	}
+	c := &Cache{
+		reg:         reg,
+		shards:      make([]shard, stripes),
+		stripeOf:    make([]int, n),
+		items:       make([][]stream.Item, n),
+		base:        append([]int(nil), maxWindow...),
+		claims:      map[string][]int{},
+		maxWindow:   append([]int(nil), maxWindow...),
+		spent:       make([]float64, n),
+		pulls:       make([]int, n),
+		requested:   make([]int64, n),
+		transferred: make([]int64, n),
+	}
+	for k := range c.stripeOf {
+		c.stripeOf[k] = k % stripes
+	}
 	return c
+}
+
+// Stripes returns the number of lock stripes guarding per-stream data.
+func (c *Cache) Stripes() int { return len(c.shards) }
+
+// lockStream takes the structural read lock plus stream k's stripe lock.
+// The returned function releases both.
+func (c *Cache) lockStream(k int) func() {
+	c.mu.RLock()
+	sh := &c.shards[c.stripeOf[k]]
+	sh.mu.Lock()
+	return func() {
+		sh.mu.Unlock()
+		c.mu.RUnlock()
+	}
 }
 
 // Retain registers a per-query retention claim: windows[k] is the maximum
@@ -98,7 +169,7 @@ func (c *Cache) Release(id string) {
 }
 
 // recomputeHorizons rebuilds maxWindow from base and claims and evicts
-// items that fell outside the new horizons. Caller holds mu.
+// items that fell outside the new horizons. Caller holds mu exclusively.
 func (c *Cache) recomputeHorizons() {
 	for k := range c.maxWindow {
 		c.maxWindow[k] = c.base[k]
@@ -111,7 +182,8 @@ func (c *Cache) recomputeHorizons() {
 	c.evictLocked()
 }
 
-// evictLocked drops items older than the retention horizon. Caller holds mu.
+// evictLocked drops items older than the retention horizon. Caller holds
+// mu exclusively (so no stripe locks are needed).
 func (c *Cache) evictLocked() {
 	for k := range c.items {
 		kept := c.items[k][:0]
@@ -126,8 +198,8 @@ func (c *Cache) evictLocked() {
 
 // Now returns the current time step.
 func (c *Cache) Now() int64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	return c.now
 }
 
@@ -135,20 +207,24 @@ func (c *Cache) Now() int64 {
 func (c *Cache) Spent() float64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.spent
+	total := 0.0
+	for _, s := range c.spent {
+		total += s
+	}
+	return total
 }
 
 // Pulls returns the number of items transferred from stream k.
 func (c *Cache) Pulls(k int) int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	unlock := c.lockStream(k)
+	defer unlock()
 	return c.pulls[k]
 }
 
 // Horizon returns the effective retention horizon of stream k.
 func (c *Cache) Horizon(k int) int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	return c.maxWindow[k]
 }
 
@@ -177,7 +253,66 @@ func (s Stats) HitRate() float64 {
 func (c *Cache) Stats() Stats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return Stats{Requested: c.requested, Transferred: c.transferred, Spent: c.spent, Now: c.now}
+	out := Stats{Now: c.now}
+	for k := range c.spent {
+		out.Requested += c.requested[k]
+		out.Transferred += c.transferred[k]
+		out.Spent += c.spent[k]
+	}
+	return out
+}
+
+// StreamStats summarizes cache traffic for one stream.
+type StreamStats struct {
+	// Stream is the registry index; Name its source name.
+	Stream int    `json:"stream"`
+	Name   string `json:"name"`
+	// Requested counts items of this stream asked for via Pull/Acquire.
+	// Transferred counts every item actually acquired from the stream —
+	// on-demand misses and prefetches alike (a prefetched item's demand
+	// is attributed to the readers that follow, so Transferred can
+	// exceed Requested's misses).
+	Requested   int64 `json:"requested"`
+	Transferred int64 `json:"transferred"`
+	// Spent is the acquisition cost paid for this stream.
+	Spent float64 `json:"spent"`
+	// HitRate is the fraction of requested items served without a
+	// same-call transfer; prefetched items count against it, so it
+	// measures cross-query sharing rather than prefetcher traffic.
+	HitRate float64 `json:"hit_rate"`
+}
+
+// StreamStats returns the traffic counters of stream k.
+func (c *Cache) StreamStats(k int) StreamStats {
+	unlock := c.lockStream(k)
+	defer unlock()
+	return c.streamStatsLocked(k)
+}
+
+func (c *Cache) streamStatsLocked(k int) StreamStats {
+	s := StreamStats{
+		Stream:      k,
+		Name:        c.reg.At(k).Source.Name(),
+		Requested:   c.requested[k],
+		Transferred: c.transferred[k],
+		Spent:       c.spent[k],
+	}
+	if s.Requested > 0 {
+		s.HitRate = 1 - float64(s.Transferred)/float64(s.Requested)
+	}
+	return s
+}
+
+// PerStream returns the traffic counters of every stream, by registry
+// index.
+func (c *Cache) PerStream() []StreamStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]StreamStats, c.reg.Len())
+	for k := range out {
+		out[k] = c.streamStatsLocked(k)
+	}
+	return out
 }
 
 // Advance moves time forward by steps. Cached items age accordingly, and
@@ -193,7 +328,7 @@ func (c *Cache) Advance(steps int64) {
 }
 
 // cached returns the cached item of stream k produced at step seq.
-// Caller holds mu.
+// Caller holds stream k's locks.
 func (c *Cache) cached(k int, seq int64) (stream.Item, bool) {
 	for _, it := range c.items[k] {
 		if it.Seq == seq {
@@ -209,8 +344,8 @@ func (c *Cache) cached(k int, seq int64) (stream.Item, bool) {
 // Have returns how many consecutive most-recent items of stream k are
 // cached: the largest t such that items 1..t are all in memory.
 func (c *Cache) Have(k int) int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	unlock := c.lockStream(k)
+	defer unlock()
 	n := 0
 	for {
 		if _, ok := c.cached(k, c.now-int64(n+1)); !ok {
@@ -223,8 +358,8 @@ func (c *Cache) Have(k int) int {
 // Missing returns how many of the d most recent items of stream k are not
 // cached — the incremental item count a Pull(k, d) would transfer.
 func (c *Cache) Missing(k, d int) int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	unlock := c.lockStream(k)
+	defer unlock()
 	miss := 0
 	for t := 1; t <= d; t++ {
 		if _, ok := c.cached(k, c.now-int64(t)); !ok {
@@ -237,26 +372,30 @@ func (c *Cache) Missing(k, d int) int {
 // pullLocked ensures the d most recent items of stream k are cached and
 // returns the incremental cost paid. countRequested attributes the items
 // to the request counter (false for prefetches, whose demand belongs to
-// the readers that follow). Caller holds mu.
+// the readers that follow). Caller holds stream k's locks.
 func (c *Cache) pullLocked(k, d int, countRequested bool) float64 {
 	st := c.reg.At(k)
 	per := st.Cost.PerItem()
 	cost := 0.0
 	if countRequested {
-		c.requested += int64(d)
+		c.requested[k] += int64(d)
 	}
+	added := false
 	for t := 1; t <= d; t++ {
 		seq := c.now - int64(t)
 		if _, ok := c.cached(k, seq); ok {
 			continue
 		}
 		c.items[k] = append(c.items[k], st.Source.At(seq))
+		added = true
 		cost += per
 		c.pulls[k]++
-		c.transferred++
+		c.transferred[k]++
 	}
-	sort.Slice(c.items[k], func(a, b int) bool { return c.items[k][a].Seq > c.items[k][b].Seq })
-	c.spent += cost
+	if added {
+		sort.Slice(c.items[k], func(a, b int) bool { return c.items[k][a].Seq > c.items[k][b].Seq })
+	}
+	c.spent[k] += cost
 	return cost
 }
 
@@ -264,8 +403,8 @@ func (c *Cache) pullLocked(k, d int, countRequested bool) float64 {
 // the missing ones, charges their cost, and returns the incremental cost
 // paid.
 func (c *Cache) Pull(k, d int) float64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	unlock := c.lockStream(k)
+	defer unlock()
 	return c.pullLocked(k, d, true)
 }
 
@@ -276,19 +415,19 @@ func (c *Cache) Pull(k, d int) float64 {
 // prefetcher's own traffic. It returns the items transferred and the
 // cost paid.
 func (c *Cache) Prefetch(k, d int) (int, float64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	before := c.transferred
+	unlock := c.lockStream(k)
+	defer unlock()
+	before := c.transferred[k]
 	cost := c.pullLocked(k, d, false)
-	return int(c.transferred - before), cost
+	return int(c.transferred[k] - before), cost
 }
 
 // Values returns the values of the d most recent items of stream k, most
 // recent first, for predicate evaluation. It does not pull; call Pull
 // first (or use Acquire, which does both atomically).
 func (c *Cache) Values(k, d int) ([]float64, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	unlock := c.lockStream(k)
+	defer unlock()
 	return c.valuesLocked(k, d)
 }
 
@@ -306,11 +445,12 @@ func (c *Cache) valuesLocked(k, d int) ([]float64, error) {
 
 // Acquire pulls the d most recent items of stream k and returns their
 // values (most recent first) together with the incremental cost paid.
-// Pull and read happen under one lock, so concurrent executions sharing
-// the cache cannot interleave between paying for items and reading them.
+// Pull and read happen under one stream lock, so concurrent executions
+// sharing the cache cannot interleave between paying for items and
+// reading them.
 func (c *Cache) Acquire(k, d int) ([]float64, float64, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	unlock := c.lockStream(k)
+	defer unlock()
 	cost := c.pullLocked(k, d, true)
 	vals, err := c.valuesLocked(k, d)
 	return vals, cost, err
@@ -320,10 +460,13 @@ func (c *Cache) Acquire(k, d int) ([]float64, float64, error) {
 // the result has one row per stream with windows[k] entries, where entry
 // t-1 is true when the t-th most recent item of stream k is in memory.
 // The row layout matches sched.Warm, so planners can price cached items
-// as free.
+// as free. Each row is read under its stream's lock; rows of different
+// streams are not mutually atomic (concurrent pulls on other streams may
+// land between rows — planners snapshot between execution phases, when
+// nothing pulls).
 func (c *Cache) Snapshot(windows []int) [][]bool {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	out := make([][]bool, len(c.items))
 	for k := range out {
 		d := 0
@@ -331,9 +474,12 @@ func (c *Cache) Snapshot(windows []int) [][]bool {
 			d = windows[k]
 		}
 		row := make([]bool, d)
+		sh := &c.shards[c.stripeOf[k]]
+		sh.mu.Lock()
 		for t := 1; t <= d; t++ {
 			_, row[t-1] = c.cached(k, c.now-int64(t))
 		}
+		sh.mu.Unlock()
 		out[k] = row
 	}
 	return out
@@ -344,10 +490,10 @@ func (c *Cache) Snapshot(windows []int) [][]bool {
 func (c *Cache) ResetAccounting() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.spent = 0
-	c.requested = 0
-	c.transferred = 0
 	for k := range c.pulls {
+		c.spent[k] = 0
 		c.pulls[k] = 0
+		c.requested[k] = 0
+		c.transferred[k] = 0
 	}
 }

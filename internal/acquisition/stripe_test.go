@@ -1,0 +1,151 @@
+package acquisition
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"paotr/internal/stream"
+)
+
+// wideRegistry builds a registry with n constant streams at unit cost.
+func wideRegistry(tb testing.TB, n int) *stream.Registry {
+	tb.Helper()
+	reg := stream.NewRegistry()
+	for i := 0; i < n; i++ {
+		if err := reg.Add(stream.Constant(fmt.Sprintf("s%d", i), float64(i)), stream.CostModel{BytesPerItem: 1, JoulesPerByte: 1}); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	return reg
+}
+
+// TestStripeCounts: the default stripes one lock per stream; explicit
+// counts are clamped to [1, streams].
+func TestStripeCounts(t *testing.T) {
+	reg := wideRegistry(t, 8)
+	if got := NewShared(reg).Stripes(); got != 8 {
+		t.Errorf("default stripes = %d, want 8 (one per stream)", got)
+	}
+	if got := NewSharedStriped(reg, 1).Stripes(); got != 1 {
+		t.Errorf("stripes(1) = %d, want 1", got)
+	}
+	if got := NewSharedStriped(reg, 3).Stripes(); got != 3 {
+		t.Errorf("stripes(3) = %d, want 3", got)
+	}
+	if got := NewSharedStriped(reg, 100).Stripes(); got != 8 {
+		t.Errorf("stripes(100) = %d, want clamp to 8", got)
+	}
+}
+
+// TestStripedMatchesGlobal: under concurrent pulls on many streams, every
+// stripe count yields identical accounting — sharding changes contention,
+// never semantics.
+func TestStripedMatchesGlobal(t *testing.T) {
+	const streams, workers, rounds = 8, 8, 25
+	run := func(stripes int) (Stats, []StreamStats) {
+		c := NewSharedStriped(wideRegistry(t, streams), stripes)
+		if err := c.Retain("q", []int{6, 6, 6, 6, 6, 6, 6, 6}); err != nil {
+			t.Fatal(err)
+		}
+		for r := 0; r < rounds; r++ {
+			c.Advance(1)
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for k := 0; k < streams; k++ {
+						if _, _, err := c.Acquire((k+w)%streams, 1+(k+w)%5); err != nil {
+							t.Error(err)
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+		}
+		return c.Stats(), c.PerStream()
+	}
+	gStats, gPer := run(1)
+	sStats, sPer := run(streams)
+	if gStats != sStats {
+		t.Errorf("stats diverge: global %+v vs striped %+v", gStats, sStats)
+	}
+	for k := range gPer {
+		if gPer[k] != sPer[k] {
+			t.Errorf("stream %d stats diverge: global %+v vs striped %+v", k, gPer[k], sPer[k])
+		}
+	}
+}
+
+// TestPerStreamStats: requested/transferred/pulls/spent and the hit rate
+// are tracked per stream, and sum to the fleet-wide aggregates.
+func TestPerStreamStats(t *testing.T) {
+	c := NewShared(wideRegistry(t, 3))
+	if err := c.Retain("q", []int{4, 4, 4}); err != nil {
+		t.Fatal(err)
+	}
+	c.Advance(5)
+	c.Pull(0, 4) // 4 transferred
+	c.Pull(0, 4) // 4 requested, 0 transferred
+	c.Pull(1, 2) // 2 transferred
+	s0, s1, s2 := c.StreamStats(0), c.StreamStats(1), c.StreamStats(2)
+	if s0.Requested != 8 || s0.Transferred != 4 || s0.HitRate != 0.5 {
+		t.Errorf("stream 0 stats = %+v", s0)
+	}
+	if c.Pulls(0) != 4 {
+		t.Errorf("Pulls(0) = %d, want 4", c.Pulls(0))
+	}
+	if s1.Requested != 2 || s1.Transferred != 2 || s1.HitRate != 0 {
+		t.Errorf("stream 1 stats = %+v", s1)
+	}
+	if s2.Requested != 0 || s2.HitRate != 0 {
+		t.Errorf("stream 2 stats = %+v", s2)
+	}
+	if s0.Name != "s0" || s1.Stream != 1 {
+		t.Errorf("stream identity not reported: %+v %+v", s0, s1)
+	}
+	agg := c.Stats()
+	per := c.PerStream()
+	var req, tr int64
+	var spent float64
+	for _, s := range per {
+		req += s.Requested
+		tr += s.Transferred
+		spent += s.Spent
+	}
+	if req != agg.Requested || tr != agg.Transferred || spent != agg.Spent {
+		t.Errorf("per-stream sums (%d, %d, %v) != aggregates %+v", req, tr, spent, agg)
+	}
+}
+
+// BenchmarkStripedVsGlobal measures concurrent Acquire throughput on
+// disjoint streams with per-stream stripes versus the single global lock
+// (the pre-sharding baseline). Workers pin distinct streams, so striped
+// runs should scale with parallelism while the global lock serializes.
+func BenchmarkStripedVsGlobal(b *testing.B) {
+	const streams = 16
+	bench := func(b *testing.B, stripes int) {
+		c := NewSharedStriped(wideRegistry(b, streams), stripes)
+		windows := make([]int, streams)
+		for k := range windows {
+			windows[k] = 8
+		}
+		if err := c.Retain("q", windows); err != nil {
+			b.Fatal(err)
+		}
+		c.Advance(1)
+		var next atomic.Int64
+		b.RunParallel(func(pb *testing.PB) {
+			k := int(next.Add(1)-1) % streams
+			for pb.Next() {
+				if _, _, err := c.Acquire(k, 8); err != nil {
+					b.Error(err)
+				}
+			}
+		})
+	}
+	b.Run("global", func(b *testing.B) { bench(b, 1) })
+	b.Run("striped", func(b *testing.B) { bench(b, streams) })
+}

@@ -102,6 +102,11 @@ func New(reg *stream.Registry, opts ...Option) *Engine {
 // Traces exposes the engine's trace store.
 func (e *Engine) Traces() *trace.Store { return e.traces }
 
+// ReplanThreshold returns the plan-cache drift threshold (see
+// WithReplanThreshold), so schedulers layering their own plan caches on
+// top — e.g. a fleet-level joint planner — can reuse the same policy.
+func (e *Engine) ReplanThreshold() float64 { return e.replanEps }
+
 // Query is a compiled query: the parsed predicates bound to registry
 // streams, ready to be planned and executed. A Query may be executed
 // concurrently with other queries of the same engine; the plan cache is
@@ -113,6 +118,10 @@ type Query struct {
 	Expr parser.Expr
 	// Preds holds, per tree leaf, the bound predicate.
 	Preds []parser.Pred
+	// predKeys caches Preds[j].P.String(), the trace-store key, which is
+	// needed on every leaf evaluation (rendering it per evaluation
+	// dominated execution profiles).
+	predKeys []string
 	// tree is rebuilt before each execution (probabilities may drift);
 	// structure (streams, windows, AND grouping) is fixed at compile time.
 	skeleton *query.Tree
@@ -159,6 +168,7 @@ func (e *Engine) Compile(text string) (*Query, error) {
 			return nil, fmt.Errorf("engine: internal: leaf %q lost its predicate", l.Label)
 		}
 		q.Preds = append(q.Preds, p)
+		q.predKeys = append(q.predKeys, p.P.String())
 	}
 	return q, nil
 }
@@ -218,7 +228,7 @@ func (q *Query) Tree() *query.Tree {
 			t.Leaves[j].Prob = p.Prob
 			continue
 		}
-		est, _ := q.engine.traces.Estimate(p.P.String())
+		est, _ := q.engine.traces.Estimate(q.predKeys[j])
 		t.Leaves[j].Prob = est
 	}
 	return t
@@ -391,7 +401,7 @@ func (q *Query) evalLeaf(t *query.Tree, j int, cache *acquisition.Cache) (bool, 
 	if err != nil {
 		return false, cost, err
 	}
-	q.engine.traces.Record(q.Preds[j].P.String(), truth)
+	q.engine.traces.Record(q.predKeys[j], truth)
 	return truth, cost, nil
 }
 

@@ -1,0 +1,459 @@
+// Package fleet plans all queries due at a tick as one joint workload,
+// generalizing the paper's shared-aware scheduling across query
+// boundaries.
+//
+// Within one query, the planner layers of this repository already price
+// an item as free once an earlier leaf of the same schedule (probably)
+// acquires it — Algorithm 1's same-stream prefixes for AND-trees and the
+// AND-ordered increasing-C/p dynamic heuristic for DNF trees. A fleet of
+// concurrent queries shares the same acquisition cache, so the same
+// discount applies *across* queries: an item some sibling query will
+// probably pull this tick is probably free for everyone else. The joint
+// planner applies the C/p greedy over the AND units of every due query
+// at once, discounting each item's marginal cost by the probability that
+// no previously placed unit — of any query — acquires it.
+//
+// The modelled joint cost has a closed form: queries execute
+// independently, so for every uncached item the fleet pays
+//
+//	c(S_k) * (1 - prod_q (1 - P_q(item)))
+//
+// where P_q(item) is the probability query q's schedule acquires the
+// item (the summed Proposition 2 weights exposed by
+// sched.Prefix.AppendVisit). The greedy's incremental accounting
+// telescopes to exactly this quantity, whatever the interleaving. As a
+// guardrail the planner also prices the independently planned per-query
+// schedules under the same joint objective and keeps whichever of the
+// two is cheaper, so its modelled joint cost never exceeds the sum of
+// the independent plans' costs.
+package fleet
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+
+	"paotr/internal/andtree"
+	"paotr/internal/dnf"
+	"paotr/internal/query"
+	"paotr/internal/sched"
+)
+
+// QueryPlan is the per-query slice of a joint plan.
+type QueryPlan struct {
+	// Schedule is the planned leaf evaluation order for the query.
+	Schedule sched.Schedule
+	// Expected is the share of the joint expected cost attributed to
+	// this query: the sum of its units' cross-discounted marginals. The
+	// per-query split depends on placement order; the fleet total is
+	// what the planner minimizes.
+	Expected float64
+}
+
+// Prefetch is one stream's slice of the joint acquisition manifest: the
+// items to pre-acquire once on behalf of every due query whose schedule
+// opens on the stream.
+type Prefetch struct {
+	// Stream is the registry stream index.
+	Stream int
+	// Items is the window to pre-acquire: the maximum first-leaf window
+	// over the queries opening on this stream.
+	Items int
+	// Windows holds the individual first-leaf windows, one per opening
+	// query, for duplicate-pull accounting.
+	Windows []int
+}
+
+// Plan is a joint schedule for one tick's due queries: per-query leaf
+// orders, the modelled joint expected acquisition cost, and the
+// deduplicated acquisition manifest of the fleet's opening windows.
+type Plan struct {
+	// Queries holds one plan per input tree, in input order.
+	Queries []QueryPlan
+	// Expected is the modelled joint expected acquisition cost of the
+	// fleet: every item is paid at most once however many queries need
+	// it.
+	Expected float64
+	// IndependentExpected is the sum of the independently planned
+	// per-query expected costs — the cost model of per-query planning,
+	// which prices shared items once per query. Expected never exceeds
+	// it.
+	IndependentExpected float64
+	// GreedyJoint reports whether the cross-query greedy order won the
+	// best-of-two against the independently planned orders re-priced
+	// under the joint objective.
+	GreedyJoint bool
+	// Manifest is the deduplicated acquisition plan: for every stream
+	// some query's schedule opens on, the window to pre-acquire once.
+	// First leaves are evaluated unconditionally, so pre-pulling them
+	// never wastes cost.
+	Manifest []Prefetch
+}
+
+// unit is one AND node of one query, the placement granularity of the
+// joint greedy (the AND-ordered family of the paper).
+type unit struct {
+	q      int   // index into the input trees
+	leaves []int // leaf indices into trees[q], in Algorithm 1 order
+	prob   float64
+}
+
+// jointState prices unit placements under the joint objective: per-query
+// Proposition 2 prefixes plus the cross-query acquisition probabilities
+// accumulated so far.
+type jointState struct {
+	trees []*query.Tree
+	px    []*sched.Prefix
+	// acc[q][k][d] = probability that query q's placed units acquire
+	// item d+1 of stream k.
+	acc [][][]float64
+	// cost[k] = per-item cost of stream k.
+	cost []float64
+}
+
+func newJointState(trees []*query.Tree, warm sched.Warm) *jointState {
+	st := &jointState{trees: trees, px: make([]*sched.Prefix, len(trees)), acc: make([][][]float64, len(trees))}
+	for qi, t := range trees {
+		st.px[qi] = sched.NewPrefixWarm(t, warm)
+		maxD := t.StreamMaxItems()
+		st.acc[qi] = make([][]float64, t.NumStreams())
+		for k := range st.acc[qi] {
+			st.acc[qi][k] = make([]float64, maxD[k])
+		}
+		for k, s := range t.Streams {
+			for len(st.cost) <= k {
+				st.cost = append(st.cost, 0)
+			}
+			st.cost[k] = s.Cost
+		}
+	}
+	return st
+}
+
+// cross returns the probability that no other query's placed units
+// acquire item d+1 of stream k.
+func (st *jointState) cross(q, k, d int) float64 {
+	p := 1.0
+	for q2 := range st.acc {
+		if q2 == q {
+			continue
+		}
+		row := st.acc[q2]
+		if k < len(row) && d < len(row[k]) {
+			p *= 1 - row[k][d]
+		}
+	}
+	return p
+}
+
+// appendUnit appends the unit's leaves to its query's prefix and returns
+// the cross-discounted marginal cost. When commit is false the prefix is
+// rolled back and the accumulated acquisition probabilities are left
+// untouched.
+func (st *jointState) appendUnit(u unit, commit bool) float64 {
+	delta := 0.0
+	for _, j := range u.leaves {
+		st.px[u.q].AppendVisit(j, func(k query.StreamID, d int, pr float64) {
+			delta += pr * st.cross(u.q, int(k), d) * st.cost[k]
+			if commit {
+				st.acc[u.q][k][d] += pr
+			}
+		})
+	}
+	if !commit {
+		st.px[u.q].PopN(len(u.leaves))
+	}
+	return delta
+}
+
+// unitsOf builds the placement units of one query: its AND nodes with
+// their warm Algorithm 1 leaf orders and success probabilities.
+func unitsOf(qi int, t *query.Tree, warm sched.Warm) []unit {
+	plans := dnf.PlanAndsWarm(t, warm)
+	units := make([]unit, len(plans))
+	for i, p := range plans {
+		units[i] = unit{q: qi, leaves: p.Leaves, prob: p.Prob}
+	}
+	return units
+}
+
+// independentOrder plans one query in isolation, exactly as the engine's
+// default warm planner does: warm Algorithm 1 for AND-trees, the warm
+// AND-ordered increasing-C/p dynamic heuristic for DNF trees.
+func independentOrder(t *query.Tree, warm sched.Warm) sched.Schedule {
+	if t.IsAndTree() {
+		return andtree.GreedyWarm(t, warm)
+	}
+	return dnf.AndOrderedIncCOverPDynamicWarm(t, warm)
+}
+
+// PlanJoint plans the given probability-annotated trees as one joint
+// workload against the shared warm cache state. All trees must index the
+// same stream space (the shared registry): leaf Stream fields are global
+// stream indices and warm rows are per global stream.
+//
+// For a single tree the joint plan degenerates to the engine's default
+// warm planner: same schedule, same expected cost.
+func PlanJoint(trees []*query.Tree, warm sched.Warm) *Plan {
+	plan := &Plan{Queries: make([]QueryPlan, len(trees)), GreedyJoint: true}
+	if len(trees) == 0 {
+		return plan
+	}
+
+	// Greedy joint order over every query's AND units: place the unit
+	// with the smallest cross-discounted incremental C/p, as the paper's
+	// best DNF heuristic does within one query.
+	st := newJointState(trees, warm)
+	var remaining []unit
+	for qi, t := range trees {
+		remaining = append(remaining, unitsOf(qi, t, warm)...)
+	}
+	greedy := make([]sched.Schedule, len(trees))
+	greedyPerQuery := make([]float64, len(trees))
+	greedyTotal := 0.0
+	for len(remaining) > 0 {
+		bestIdx := -1
+		bestKey := math.Inf(1)
+		for idx, u := range remaining {
+			delta := st.appendUnit(u, false)
+			key := math.Inf(1)
+			if u.prob > 0 {
+				key = delta / u.prob
+			}
+			if key < bestKey {
+				bestKey = key
+				bestIdx = idx
+			}
+		}
+		if bestIdx == -1 {
+			bestIdx = 0 // all keys +Inf: any order is as good
+		}
+		u := remaining[bestIdx]
+		delta := st.appendUnit(u, true)
+		greedy[u.q] = append(greedy[u.q], u.leaves...)
+		greedyPerQuery[u.q] += delta
+		greedyTotal += delta
+		remaining = append(remaining[:bestIdx], remaining[bestIdx+1:]...)
+	}
+
+	// Guardrail: price the independently planned orders under the same
+	// joint objective (cross-discounting only lowers each query's cost,
+	// so this joint price never exceeds the sum of the independent
+	// plans) and keep the cheaper of the two.
+	indep := make([]sched.Schedule, len(trees))
+	for qi, t := range trees {
+		indep[qi] = independentOrder(t, warm)
+		plan.IndependentExpected += sched.CostWarm(t, indep[qi], warm)
+	}
+	indepPerQuery, indepTotal := priceJoint(trees, indep, warm)
+
+	schedules := greedy
+	perQuery := greedyPerQuery
+	plan.Expected = greedyTotal
+	if indepTotal < greedyTotal-1e-12 {
+		schedules, perQuery = indep, indepPerQuery
+		plan.Expected = indepTotal
+		plan.GreedyJoint = false
+	}
+	for qi := range trees {
+		plan.Queries[qi] = QueryPlan{Schedule: schedules[qi], Expected: perQuery[qi]}
+	}
+	plan.buildManifest(trees)
+	return plan
+}
+
+// priceJoint evaluates fixed per-query schedules under the joint
+// objective: every item's cost is shared across the queries that
+// probably acquire it. The total is independent of the interleaving of
+// queries (the incremental accounting telescopes to the closed form);
+// the per-query attribution prices queries in input order.
+func priceJoint(trees []*query.Tree, schedules []sched.Schedule, warm sched.Warm) ([]float64, float64) {
+	st := newJointState(trees, warm)
+	perQuery := make([]float64, len(trees))
+	total := 0.0
+	for qi := range trees {
+		delta := st.appendUnit(unit{q: qi, leaves: schedules[qi]}, true)
+		perQuery[qi] = delta
+		total += delta
+	}
+	return perQuery, total
+}
+
+// buildManifest collects the fleet's opening windows: the first leaf of
+// every query's schedule is evaluated unconditionally, so its window can
+// be pre-acquired once for the whole fleet without risk of waste.
+func (p *Plan) buildManifest(trees []*query.Tree) {
+	byStream := map[int]*Prefetch{}
+	var order []int
+	for qi, qp := range p.Queries {
+		if len(qp.Schedule) == 0 {
+			continue
+		}
+		l := trees[qi].Leaves[qp.Schedule[0]]
+		k := int(l.Stream)
+		pf := byStream[k]
+		if pf == nil {
+			pf = &Prefetch{Stream: k}
+			byStream[k] = pf
+			order = append(order, k)
+		}
+		pf.Windows = append(pf.Windows, l.Items)
+		if l.Items > pf.Items {
+			pf.Items = l.Items
+		}
+	}
+	for _, k := range order {
+		p.Manifest = append(p.Manifest, *byStream[k])
+	}
+}
+
+// Validate checks that every per-query schedule is a valid leaf order of
+// its tree.
+func (p *Plan) Validate(trees []*query.Tree) error {
+	if len(p.Queries) != len(trees) {
+		return fmt.Errorf("fleet: %d query plans for %d trees", len(p.Queries), len(trees))
+	}
+	for qi, qp := range p.Queries {
+		if err := qp.Schedule.Validate(trees[qi]); err != nil {
+			return fmt.Errorf("fleet: query %d: %w", qi, err)
+		}
+	}
+	return nil
+}
+
+// maxPlannerEntries bounds the fleet plan cache: one entry per distinct
+// due set. Query cadences (service.Every) make the due set cycle through
+// a handful of combinations, so a small cache captures them all; beyond
+// the bound an arbitrary entry is evicted.
+const maxPlannerEntries = 64
+
+// Planner is a caching fleet planner: like the engine's per-query plan
+// cache, it reuses a joint plan while the fleet's fingerprint — the set
+// of due queries, their per-leaf probability estimates, and the shared
+// warm cache state — has not drifted beyond Eps. Plans are kept per due
+// set, so fleets whose cadences cycle through a few due-set combinations
+// reuse each combination's plan.
+type Planner struct {
+	// Eps is the per-leaf probability drift tolerated before re-planning
+	// (0 reuses only on exact match, negative disables reuse).
+	Eps float64
+
+	mu      sync.Mutex
+	entries map[string]*plannerEntry
+}
+
+// plannerEntry is one cached joint plan with its fingerprint.
+type plannerEntry struct {
+	probs [][]float64
+	warm  sched.Warm
+	plan  *Plan
+}
+
+// cacheKey joins the due-set ids (query ids cannot contain NUL).
+func cacheKey(keys []string) string { return strings.Join(keys, "\x00") }
+
+// Plan returns a joint plan for the keyed trees, reusing the cached one
+// for this due set when the fingerprint matches. On reuse with non-zero
+// drift the cached schedules are kept but re-priced under the current
+// probabilities.
+func (pl *Planner) Plan(keys []string, trees []*query.Tree, warm sched.Warm) (plan *Plan, reused bool) {
+	probs := make([][]float64, len(trees))
+	for qi, t := range trees {
+		probs[qi] = make([]float64, len(t.Leaves))
+		for j := range t.Leaves {
+			probs[qi][j] = t.Leaves[j].Prob
+		}
+	}
+	key := cacheKey(keys)
+
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	if ent := pl.entries[key]; ent != nil && pl.Eps >= 0 && warmEqual(ent.warm, warm) {
+		if drift := maxDrift(ent.probs, probs); drift <= pl.Eps {
+			if drift == 0 {
+				return ent.plan, true
+			}
+			// Keep the cached orders, re-price them jointly. The cached
+			// fingerprint is retained, so cumulative drift still forces
+			// a re-plan once it exceeds Eps.
+			prev := ent.plan
+			p := &Plan{
+				Queries:     make([]QueryPlan, len(trees)),
+				GreedyJoint: prev.GreedyJoint,
+				Manifest:    prev.Manifest,
+			}
+			schedules := make([]sched.Schedule, len(trees))
+			for qi := range trees {
+				schedules[qi] = prev.Queries[qi].Schedule
+				p.IndependentExpected += sched.CostWarm(trees[qi], independentOrder(trees[qi], warm), warm)
+			}
+			perQuery, total := priceJoint(trees, schedules, warm)
+			for qi := range trees {
+				p.Queries[qi] = QueryPlan{Schedule: schedules[qi], Expected: perQuery[qi]}
+			}
+			p.Expected = total
+			ent.plan = p
+			return p, true
+		}
+	}
+
+	p := PlanJoint(trees, warm)
+	if pl.entries == nil {
+		pl.entries = map[string]*plannerEntry{}
+	}
+	if _, exists := pl.entries[key]; !exists && len(pl.entries) >= maxPlannerEntries {
+		for k := range pl.entries {
+			delete(pl.entries, k)
+			break
+		}
+	}
+	pl.entries[key] = &plannerEntry{probs: probs, warm: warm, plan: p}
+	return p, false
+}
+
+// Invalidate drops all cached plans.
+func (pl *Planner) Invalidate() {
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	pl.entries = nil
+}
+
+// warmEqual reports whether two warm snapshots describe the same cache
+// state.
+func warmEqual(a, b sched.Warm) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if len(a[k]) != len(b[k]) {
+			return false
+		}
+		for t := range a[k] {
+			if a[k][t] != b[k][t] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// maxDrift returns the largest absolute per-leaf probability change
+// across the fleet, or +Inf when the shapes differ.
+func maxDrift(a, b [][]float64) float64 {
+	if len(a) != len(b) {
+		return math.Inf(1)
+	}
+	d := 0.0
+	for qi := range a {
+		if len(a[qi]) != len(b[qi]) {
+			return math.Inf(1)
+		}
+		for j := range a[qi] {
+			if dj := math.Abs(a[qi][j] - b[qi][j]); dj > d {
+				d = dj
+			}
+		}
+	}
+	return d
+}

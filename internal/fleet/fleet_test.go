@@ -1,0 +1,288 @@
+package fleet
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"paotr/internal/andtree"
+	"paotr/internal/dnf"
+	"paotr/internal/query"
+	"paotr/internal/sched"
+)
+
+// randomFleet builds n random DNF trees over one shared stream space, the
+// multi-query analogue of the paper's instance corpora.
+func randomFleet(rng *rand.Rand, n, streams int) []*query.Tree {
+	ss := make([]query.Stream, streams)
+	for k := range ss {
+		ss[k] = query.Stream{Name: string(rune('A' + k)), Cost: 1 + rng.Float64()*9}
+	}
+	trees := make([]*query.Tree, n)
+	for qi := range trees {
+		t := &query.Tree{Streams: ss}
+		nAnds := 1 + rng.IntN(3)
+		for a := 0; a < nAnds; a++ {
+			leaves := 1 + rng.IntN(3)
+			for j := 0; j < leaves; j++ {
+				t.Leaves = append(t.Leaves, query.Leaf{
+					And:    a,
+					Stream: query.StreamID(rng.IntN(streams)),
+					Items:  1 + rng.IntN(3),
+					Prob:   0.05 + 0.9*rng.Float64(),
+				})
+			}
+		}
+		if err := t.Validate(); err != nil {
+			panic(err)
+		}
+		trees[qi] = t
+	}
+	return trees
+}
+
+// randomWarm builds a random warm state over the fleet's stream windows.
+func randomWarm(rng *rand.Rand, trees []*query.Tree) sched.Warm {
+	maxD := make([]int, len(trees[0].Streams))
+	for _, t := range trees {
+		for k, d := range t.StreamMaxItems() {
+			if d > maxD[k] {
+				maxD[k] = d
+			}
+		}
+	}
+	w := make(sched.Warm, len(maxD))
+	for k, d := range maxD {
+		w[k] = make([]bool, d)
+		for i := range w[k] {
+			w[k][i] = rng.Float64() < 0.35
+		}
+	}
+	return w
+}
+
+// TestSingleQueryDegenerate: on a one-query fleet the joint planner must
+// reproduce the engine's per-query planning exactly — the warm Algorithm
+// 1 schedule for AND-trees, the warm AND-ordered increasing-C/p dynamic
+// schedule for DNF trees — with identical expected cost, and the joint
+// expected must equal the independent expected (there is nobody to share
+// with).
+func TestSingleQueryDegenerate(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 0))
+	for trial := 0; trial < 200; trial++ {
+		tr := randomFleet(rng, 1, 1+rng.IntN(4))[0]
+		var warm sched.Warm
+		if trial%2 == 1 {
+			warm = randomWarm(rng, []*query.Tree{tr})
+		}
+		plan := PlanJoint([]*query.Tree{tr}, warm)
+		var want sched.Schedule
+		if tr.IsAndTree() {
+			want = andtree.GreedyWarm(tr, warm)
+		} else {
+			want = dnf.AndOrderedIncCOverPDynamicWarm(tr, warm)
+		}
+		got := plan.Queries[0].Schedule
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: schedule length %d, want %d", trial, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: schedule %v, want per-query schedule %v", trial, got, want)
+			}
+		}
+		wantCost := sched.CostWarm(tr, want, warm)
+		if math.Abs(plan.Expected-wantCost) > 1e-9 {
+			t.Fatalf("trial %d: joint expected %v, want CostWarm %v", trial, plan.Expected, wantCost)
+		}
+		if math.Abs(plan.Expected-plan.IndependentExpected) > 1e-9 {
+			t.Fatalf("trial %d: joint %v != independent %v on a one-query fleet",
+				trial, plan.Expected, plan.IndependentExpected)
+		}
+	}
+}
+
+// TestJointNeverExceedsIndependent: across random overlapping fleets the
+// modelled joint expected cost must never exceed the sum of the
+// independently planned per-query costs (the planner's best-of-two
+// guardrail), and every emitted schedule must be a valid leaf order.
+func TestJointNeverExceedsIndependent(t *testing.T) {
+	rng := rand.New(rand.NewPCG(6, 0))
+	saved := 0
+	for trial := 0; trial < 150; trial++ {
+		trees := randomFleet(rng, 2+rng.IntN(4), 1+rng.IntN(3))
+		var warm sched.Warm
+		if trial%3 == 1 {
+			warm = randomWarm(rng, trees)
+		}
+		plan := PlanJoint(trees, warm)
+		if err := plan.Validate(trees); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if plan.Expected > plan.IndependentExpected+1e-9 {
+			t.Fatalf("trial %d: joint expected %v exceeds independent sum %v",
+				trial, plan.Expected, plan.IndependentExpected)
+		}
+		if plan.Expected < plan.IndependentExpected-1e-9 {
+			saved++
+		}
+		var attributed float64
+		for _, qp := range plan.Queries {
+			attributed += qp.Expected
+		}
+		if math.Abs(attributed-plan.Expected) > 1e-9 {
+			t.Fatalf("trial %d: per-query attribution sums to %v, joint total %v",
+				trial, attributed, plan.Expected)
+		}
+	}
+	if saved == 0 {
+		t.Error("joint planning never modelled a saving on overlapping fleets")
+	}
+	t.Logf("joint plan strictly cheaper than independent on %d/150 random fleets", saved)
+}
+
+// TestJointSharesOverlap: two queries over one stream share its window —
+// the fleet pays for the items once, so the joint expected cost is
+// roughly half the independent sum.
+func TestJointSharesOverlap(t *testing.T) {
+	ss := []query.Stream{{Name: "S", Cost: 10}}
+	mk := func() *query.Tree {
+		return &query.Tree{Streams: ss, Leaves: []query.Leaf{
+			{And: 0, Stream: 0, Items: 3, Prob: 0.5},
+		}}
+	}
+	trees := []*query.Tree{mk(), mk()}
+	plan := PlanJoint(trees, nil)
+	if want := 30.0; math.Abs(plan.Expected-want) > 1e-9 {
+		t.Errorf("joint expected = %v, want %v (items paid once)", plan.Expected, want)
+	}
+	if want := 60.0; math.Abs(plan.IndependentExpected-want) > 1e-9 {
+		t.Errorf("independent sum = %v, want %v", plan.IndependentExpected, want)
+	}
+}
+
+// TestJointReordersForSharing: a query whose two AND branches are
+// near-tied in isolation should flip to the shared branch when sibling
+// queries will pull its stream anyway.
+func TestJointReordersForSharing(t *testing.T) {
+	// Stream 0 is shared and expensive; streams 1.. are private.
+	ss := []query.Stream{{Name: "S", Cost: 8}, {Name: "P1", Cost: 7}, {Name: "P2", Cost: 7}}
+	mk := func(private query.StreamID) *query.Tree {
+		return &query.Tree{Streams: ss, Leaves: []query.Leaf{
+			// Branch 0: the shared stream, slightly worse C/p in isolation.
+			{And: 0, Stream: 0, Items: 1, Prob: 0.5},
+			// Branch 1: the private stream, slightly better C/p.
+			{And: 1, Stream: private, Items: 1, Prob: 0.5},
+		}}
+	}
+	trees := []*query.Tree{mk(1), mk(2)}
+	warm := sched.Warm(nil)
+	plan := PlanJoint(trees, warm)
+
+	for qi, tr := range trees {
+		indep := independentOrder(tr, warm)
+		if tr.Leaves[indep[0]].Stream != query.StreamID(qi+1) {
+			t.Fatalf("query %d: independent plan opens on stream %d, want the private stream", qi, tr.Leaves[indep[0]].Stream)
+		}
+	}
+	// Jointly, at least one query must open on the shared stream (once
+	// somebody pulls S its item is probably free for the other), and the
+	// modelled joint cost must beat independent planning.
+	opensShared := 0
+	for qi, qp := range plan.Queries {
+		if trees[qi].Leaves[qp.Schedule[0]].Stream == 0 {
+			opensShared++
+		}
+	}
+	if opensShared == 0 {
+		t.Errorf("no query opens on the shared stream under joint planning: %+v", plan.Queries)
+	}
+	if plan.Expected >= plan.IndependentExpected-1e-9 {
+		t.Errorf("joint expected %v does not beat independent %v", plan.Expected, plan.IndependentExpected)
+	}
+}
+
+// TestManifestCollectsOpeningWindows: the manifest groups the fleet's
+// first-leaf windows per stream with the max window and the individual
+// requests.
+func TestManifestCollectsOpeningWindows(t *testing.T) {
+	ss := []query.Stream{{Name: "S", Cost: 5}, {Name: "T", Cost: 1}}
+	t1 := &query.Tree{Streams: ss, Leaves: []query.Leaf{{And: 0, Stream: 0, Items: 4, Prob: 0.5}}}
+	t2 := &query.Tree{Streams: ss, Leaves: []query.Leaf{{And: 0, Stream: 0, Items: 2, Prob: 0.5}}}
+	t3 := &query.Tree{Streams: ss, Leaves: []query.Leaf{{And: 0, Stream: 1, Items: 3, Prob: 0.5}}}
+	plan := PlanJoint([]*query.Tree{t1, t2, t3}, nil)
+	if len(plan.Manifest) != 2 {
+		t.Fatalf("manifest = %+v, want 2 streams", plan.Manifest)
+	}
+	for _, pf := range plan.Manifest {
+		switch pf.Stream {
+		case 0:
+			if pf.Items != 4 || len(pf.Windows) != 2 {
+				t.Errorf("stream 0 prefetch = %+v, want max window 4 over 2 requests", pf)
+			}
+		case 1:
+			if pf.Items != 3 || len(pf.Windows) != 1 {
+				t.Errorf("stream 1 prefetch = %+v", pf)
+			}
+		default:
+			t.Errorf("unexpected manifest stream %d", pf.Stream)
+		}
+	}
+}
+
+// TestPlannerReuse: the fleet plan cache reuses on identical
+// fingerprints, re-prices on tolerated drift, and re-plans beyond Eps or
+// when the due set changes.
+func TestPlannerReuse(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 0))
+	trees := randomFleet(rng, 3, 2)
+	warm := randomWarm(rng, trees)
+	keys := []string{"a", "b", "c"}
+	pl := &Planner{Eps: 0.05}
+
+	p1, reused := pl.Plan(keys, trees, warm)
+	if reused {
+		t.Fatal("first plan reported as reused")
+	}
+	p2, reused := pl.Plan(keys, trees, warm)
+	if !reused || p2 != p1 {
+		t.Error("identical fingerprint did not reuse the cached plan")
+	}
+
+	// Tolerated drift: schedules kept, costs re-priced.
+	drifted := make([]*query.Tree, len(trees))
+	for qi, tr := range trees {
+		drifted[qi] = tr.Clone()
+		drifted[qi].Leaves[0].Prob = math.Min(1, drifted[qi].Leaves[0].Prob+0.03)
+	}
+	p3, reused := pl.Plan(keys, drifted, warm)
+	if !reused {
+		t.Error("drift within Eps re-planned")
+	}
+	for qi := range trees {
+		a, b := p1.Queries[qi].Schedule, p3.Queries[qi].Schedule
+		if len(a) != len(b) {
+			t.Fatalf("reuse changed schedule length for query %d", qi)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Errorf("reuse changed query %d schedule: %v vs %v", qi, a, b)
+			}
+		}
+	}
+
+	// Beyond Eps: re-plan.
+	jumped := make([]*query.Tree, len(trees))
+	for qi, tr := range trees {
+		jumped[qi] = tr.Clone()
+		jumped[qi].Leaves[0].Prob = math.Min(1, jumped[qi].Leaves[0].Prob+0.5)
+	}
+	if _, reused := pl.Plan(keys, jumped, warm); reused {
+		t.Error("drift beyond Eps reused the cached plan")
+	}
+
+	// Different due set: re-plan.
+	if _, reused := pl.Plan([]string{"a", "b"}, jumped[:2], warm); reused {
+		t.Error("changed key set reused the cached plan")
+	}
+}

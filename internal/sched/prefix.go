@@ -102,7 +102,20 @@ func (p *Prefix) Order() []int { return p.order }
 
 // Append adds leaf j to the prefix and returns its expected cost
 // contribution C_j = sum_t C_{i,j,t} (Proposition 2).
-func (p *Prefix) Append(j int) float64 {
+func (p *Prefix) Append(j int) float64 { return p.AppendVisit(j, nil) }
+
+// AppendVisit is Append with a per-item breakdown: for every stream item
+// whose expected acquisition leaf j newly accounts for, visit is called
+// with the stream, the 0-based item index d (item t = d+1 of the paper),
+// and the probability pr = F1 * F2 * F3 that leaf j is the one that
+// actually acquires the item (Proposition 2). The returned cost delta is
+// the sum of pr * c(stream) over the visited items.
+//
+// The per-leaf acquisition events of one item are disjoint, so summing pr
+// over a whole schedule yields the probability that the query acquires
+// the item at all — the marginal-cost primitive a fleet-level planner
+// needs to discount items that sibling queries will probably pull anyway.
+func (p *Prefix) AppendVisit(j int, visit func(k query.StreamID, d int, pr float64)) float64 {
 	l := p.t.Leaves[j]
 	i, k := l.And, l.Stream
 	c := p.t.Streams[k].Cost
@@ -122,7 +135,11 @@ func (p *Prefix) Append(j int) float64 {
 				f2 *= 1 - p.andAll[a]
 			}
 		}
-		delta += f1 * f2 * p.pi[i] * c
+		pr := f1 * f2 * p.pi[i]
+		delta += pr * c
+		if visit != nil {
+			visit(k, d, pr)
+		}
 		// Leaf j becomes the first of AND i to require this item.
 		rec.changedTs = append(rec.changedTs, d)
 		rec.oldAcq = append(rec.oldAcq, p.acq[k][d])

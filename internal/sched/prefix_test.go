@@ -1,0 +1,132 @@
+package sched
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"paotr/internal/query"
+)
+
+// acquireProbEnum computes, by truth-table enumeration, the probability
+// that executing schedule s acquires item d+1 of stream k — the reference
+// for the AppendVisit weights.
+func acquireProbEnum(t *query.Tree, s Schedule, k query.StreamID, d int, w Warm) float64 {
+	m := t.NumLeaves()
+	truth := make([]bool, m)
+	total := 0.0
+	for mask := 0; mask < 1<<uint(m); mask++ {
+		prob := 1.0
+		for j := 0; j < m; j++ {
+			truth[j] = mask&(1<<uint(j)) != 0
+			if truth[j] {
+				prob *= t.Leaves[j].Prob
+			} else {
+				prob *= 1 - t.Leaves[j].Prob
+			}
+		}
+		if prob == 0 {
+			continue
+		}
+		// Replay the execution and record whether the item is acquired.
+		acquired := make([][]bool, t.NumStreams())
+		maxD := t.StreamMaxItems()
+		for kk := range acquired {
+			acquired[kk] = make([]bool, maxD[kk])
+			for dd := range acquired[kk] {
+				acquired[kk][dd] = w.Has(query.StreamID(kk), dd+1)
+			}
+		}
+		nAnds := t.NumAnds()
+		andFalse := make([]bool, nAnds)
+		andLeft := make([]int, nAnds)
+		for i, and := range t.AndLeaves() {
+			andLeft[i] = len(and)
+		}
+		falseAnds := 0
+		got := false
+		wasWarm := w.Has(k, d+1)
+	exec:
+		for _, j := range s {
+			l := t.Leaves[j]
+			if andFalse[l.And] {
+				continue
+			}
+			for dd := 0; dd < l.Items; dd++ {
+				if !acquired[l.Stream][dd] {
+					acquired[l.Stream][dd] = true
+					if l.Stream == k && dd == d && !wasWarm {
+						got = true
+					}
+				}
+			}
+			andLeft[l.And]--
+			if !truth[j] {
+				andFalse[l.And] = true
+				falseAnds++
+				if falseAnds == nAnds {
+					break exec
+				}
+			} else if andLeft[l.And] == 0 {
+				break exec
+			}
+		}
+		if got {
+			total += prob
+		}
+	}
+	return total
+}
+
+// TestAppendVisitWeights: the per-item weights reported by AppendVisit
+// are the Proposition 2 acquisition probabilities — they sum, over a
+// whole schedule, to the probability that the query acquires each item,
+// and weighting them by stream cost reproduces the Append deltas.
+func TestAppendVisitWeights(t *testing.T) {
+	rng := rand.New(rand.NewPCG(11, 0))
+	for trial := 0; trial < 40; trial++ {
+		tr := randomTree(rng, 3, 3, 3)
+		if tr.NumLeaves() > 8 {
+			continue
+		}
+		var w Warm
+		if trial%2 == 1 {
+			w = make(Warm, tr.NumStreams())
+			for k, d := range tr.StreamMaxItems() {
+				w[k] = make([]bool, d)
+				for i := range w[k] {
+					w[k][i] = rng.Float64() < 0.3
+				}
+			}
+		}
+		s := randomSchedule(rng, tr.NumLeaves())
+		p := NewPrefixWarm(tr, w)
+		type slot struct {
+			k query.StreamID
+			d int
+		}
+		sum := map[slot]float64{}
+		for _, j := range s {
+			wantDelta := 0.0
+			gotDelta := p.AppendVisit(j, func(k query.StreamID, d int, pr float64) {
+				sum[slot{k, d}] += pr
+				wantDelta += pr * tr.Streams[k].Cost
+			})
+			if math.Abs(gotDelta-wantDelta) > 1e-9 {
+				t.Fatalf("trial %d: AppendVisit delta %v != weighted sum %v", trial, gotDelta, wantDelta)
+			}
+		}
+		if math.Abs(p.Cost()-CostWarm(tr, s, w)) > 1e-9 {
+			t.Fatalf("trial %d: prefix cost %v != CostWarm %v", trial, p.Cost(), CostWarm(tr, s, w))
+		}
+		for k := 0; k < tr.NumStreams(); k++ {
+			for d := 0; d < tr.StreamMaxItems()[k]; d++ {
+				want := acquireProbEnum(tr, s, query.StreamID(k), d, w)
+				if math.Abs(sum[slot{query.StreamID(k), d}]-want) > 1e-9 {
+					t.Fatalf("trial %d: stream %d item %d acquire prob %v, enum %v",
+						trial, k, d+1, sum[slot{query.StreamID(k), d}], want)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,475 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/metrics"
+	"sync"
+	"testing"
+	"time"
+
+	"paotr/internal/acquisition"
+	"paotr/internal/engine"
+	"paotr/internal/stream"
+)
+
+// overlapRegistry builds a registry with one shared expensive stream and
+// n cheaper private streams, the shape where joint planning pays: each
+// tenant's query is near-tied between a shared branch and a private
+// branch, and only a fleet-level view makes the shared branch win.
+func overlapRegistry(tb testing.TB, tenants int, seed uint64) *stream.Registry {
+	tb.Helper()
+	reg := stream.NewRegistry()
+	if err := reg.Add(stream.Uniform("shared", seed), stream.CostModel{BaseJoules: 8}); err != nil {
+		tb.Fatal(err)
+	}
+	for i := 0; i < tenants; i++ {
+		if err := reg.Add(stream.Uniform(fmt.Sprintf("private%d", i), seed+uint64(i)+1), stream.CostModel{BaseJoules: 7}); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	return reg
+}
+
+// overlapFleet registers one query per tenant: an OR of a shared-stream
+// branch and a private-stream branch with annotated probabilities, so
+// planning is deterministic and the shared/private tie is controlled.
+func overlapFleet(tb testing.TB, svc *Service, tenants int) {
+	tb.Helper()
+	for i := 0; i < tenants; i++ {
+		text := fmt.Sprintf(
+			"(AVG(shared,4) > 0.2 [p=0.5]) OR (AVG(private%d,4) > 0.2 [p=0.5])", i)
+		if err := svc.Register(fmt.Sprintf("tenant%d", i), text); err != nil {
+			tb.Fatal(err)
+		}
+	}
+}
+
+// TestFleetPlanningSharedMatchesSequential is the fleet-planning
+// counterpart of TestSharedMatchesSequential: joint planning reorders
+// leaf evaluation across queries, but every per-tick verdict must equal
+// the one the same query produces alone on a private cache, and the
+// fleet must never pay more than the private-cache baselines combined.
+// Under -race this also stresses the striped cache and the fleet plan
+// cache across the worker pool.
+func TestFleetPlanningSharedMatchesSequential(t *testing.T) {
+	const seed = 271
+	const ticks = 60
+	queries := fleetQueries()
+
+	svc := New(testRegistry(seed), WithWorkers(8), WithFleetPlanning(true))
+	for i, q := range queries {
+		if err := svc.Register(fmt.Sprintf("q%d", i), q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	shared := make([][]bool, len(queries))
+	for i := range shared {
+		shared[i] = make([]bool, ticks)
+	}
+	for tick, tr := range svc.Run(ticks) {
+		for _, e := range tr.Executions {
+			if e.Err != "" {
+				t.Fatalf("tick %d query %s: %s", tick, e.ID, e.Err)
+			}
+			if !e.FleetPlanned {
+				t.Fatalf("tick %d query %s not fleet-planned despite linear executor", tick, e.ID)
+			}
+			var qi int
+			fmt.Sscanf(e.ID, "q%d", &qi)
+			shared[qi][tick] = e.Value
+		}
+	}
+	m := svc.Metrics()
+	if m.FleetPlans != ticks || m.FleetPlannedExecutions != int64(ticks*len(queries)) {
+		t.Errorf("fleet planning metrics = %+v, want %d plans / %d executions",
+			m, ticks, ticks*len(queries))
+	}
+	if m.FleetExpectedCost <= 0 || m.FleetExpectedCost > m.IndependentExpectedCost+1e-9 {
+		t.Errorf("fleet expected %v vs independent %v: joint model must not exceed independent sum",
+			m.FleetExpectedCost, m.IndependentExpectedCost)
+	}
+
+	var privateCost float64
+	for i, qtext := range queries {
+		reg := testRegistry(seed)
+		eng := engine.New(reg)
+		q, err := eng.Compile(qtext)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cache, err := q.NewCache()
+		if err != nil {
+			t.Fatal(err)
+		}
+		results, err := q.Run(cache, ticks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for tick, r := range results {
+			if r.Value != shared[i][tick] {
+				t.Errorf("query %d tick %d: fleet-planned=%v sequential=%v", i, tick, shared[i][tick], r.Value)
+			}
+		}
+		privateCost += cache.Spent()
+	}
+	if m.PaidCost > privateCost+1e-9 {
+		t.Errorf("fleet paid %.3f, more than private caches' %.3f", m.PaidCost, privateCost)
+	}
+	t.Logf("fleet-planned cost %.1f J vs private %.1f J; modelled joint %.1f J vs independent %.1f J (%.1f%% modelled saving)",
+		m.PaidCost, privateCost, m.FleetExpectedCost, m.IndependentExpectedCost, 100*m.FleetModelledSaving)
+}
+
+// TestFleetPlanningRealizesSaving: on the overlapping-tenant corpus,
+// joint planning must realize a lower (or equal) total acquisition cost
+// than independent per-query planning over the same streams, and a
+// strictly lower modelled cost.
+func TestFleetPlanningRealizesSaving(t *testing.T) {
+	const tenants = 6
+	ticks := 400
+	if testing.Short() {
+		ticks = 120
+	}
+	run := func(fleetOn bool) Metrics {
+		svc := New(overlapRegistry(t, tenants, 99), WithWorkers(4), WithFleetPlanning(fleetOn))
+		overlapFleet(t, svc, tenants)
+		svc.Run(ticks)
+		return svc.Metrics()
+	}
+	on := run(true)
+	off := run(false)
+	if on.FleetExpectedCost >= on.IndependentExpectedCost {
+		t.Errorf("joint planning modelled no saving: fleet %v vs independent %v",
+			on.FleetExpectedCost, on.IndependentExpectedCost)
+	}
+	if on.PaidCost > off.PaidCost*1.01 {
+		t.Errorf("fleet planning paid %.1f J, independent planning %.1f J", on.PaidCost, off.PaidCost)
+	}
+	t.Logf("realized over %d ticks: fleet %.1f J vs independent %.1f J (%.1f%% saved); modelled saving %.1f%%",
+		ticks, on.PaidCost, off.PaidCost, 100*(1-on.PaidCost/off.PaidCost), 100*on.FleetModelledSaving)
+}
+
+// TestPerStreamMetricsExposed: the fleet snapshot must break traffic
+// down by stream — hit rate, pulls, spent and the batcher's per-stream
+// duplicate-pull shares — summing to the fleet-wide aggregates.
+func TestPerStreamMetricsExposed(t *testing.T) {
+	svc := New(overlapRegistry(t, 4, 5), WithWorkers(2))
+	overlapFleet(t, svc, 4)
+	svc.Run(30)
+	m := svc.Metrics()
+	if len(m.PerStream) != 5 {
+		t.Fatalf("per-stream metrics for %d streams, want 5", len(m.PerStream))
+	}
+	var req, tr, dup int64
+	sharedSeen := false
+	for _, ps := range m.PerStream {
+		req += ps.Requested
+		tr += ps.Transferred
+		dup += ps.DuplicatePullsAvoided
+		if ps.Name == "shared" {
+			sharedSeen = true
+			if ps.Requested == 0 || ps.Transferred == 0 || ps.HitRate <= 0 {
+				t.Errorf("shared stream has no traffic: %+v", ps)
+			}
+		}
+	}
+	if !sharedSeen {
+		t.Error("shared stream missing from per-stream metrics")
+	}
+	if req != m.CacheRequested || tr != m.CacheTransferred {
+		t.Errorf("per-stream sums (%d, %d) != fleet aggregates (%d, %d)",
+			req, tr, m.CacheRequested, m.CacheTransferred)
+	}
+	if dup != m.DuplicatePullsAvoided {
+		t.Errorf("per-stream duplicate pulls %d != fleet total %d", dup, m.DuplicatePullsAvoided)
+	}
+	if m.DuplicatePullsAvoided == 0 {
+		t.Error("overlapping fleet avoided no duplicate pulls")
+	}
+}
+
+// TestFleetPlanCacheReuses: with annotated probabilities and a stable
+// fleet, the joint planner must reuse its cached plan on most ticks.
+func TestFleetPlanCacheReuses(t *testing.T) {
+	svc := New(overlapRegistry(t, 3, 11), WithWorkers(1),
+		WithEngineOptions(engine.WithReplanThreshold(0.02)))
+	overlapFleet(t, svc, 3)
+	svc.Run(30)
+	m := svc.Metrics()
+	if m.FleetPlans == 0 {
+		t.Fatal("no fleet plans recorded")
+	}
+	if rate := float64(m.FleetPlanReuses) / float64(m.FleetPlans); rate < 0.8 {
+		t.Errorf("fleet plan reuse rate %.2f, want >= 0.8 under stable probabilities", rate)
+	}
+}
+
+// TestRegisterInvalidatesFleetPlans: a query id re-registered with a
+// different query must not inherit the joint plan cached for the old
+// query — Register/Unregister drop the planner's entries, so the next
+// tick re-plans.
+func TestRegisterInvalidatesFleetPlans(t *testing.T) {
+	svc := New(overlapRegistry(t, 3, 13), WithWorkers(1),
+		WithEngineOptions(engine.WithReplanThreshold(0.05)))
+	overlapFleet(t, svc, 3)
+	svc.Run(5)
+	before := svc.Metrics()
+	if before.FleetPlanReuses == 0 {
+		t.Fatal("stable fleet produced no plan reuse to begin with")
+	}
+	if err := svc.Unregister("tenant0"); err != nil {
+		t.Fatal(err)
+	}
+	// Same id, same stream shape, different probabilities: without
+	// invalidation the old fingerprint would match within Eps and the
+	// stale plan would be reused.
+	if err := svc.Register("tenant0",
+		"(AVG(shared,4) > 0.2 [p=0.52]) OR (AVG(private0,4) > 0.2 [p=0.48])"); err != nil {
+		t.Fatal(err)
+	}
+	svc.Tick()
+	after := svc.Metrics()
+	if after.FleetPlanReuses != before.FleetPlanReuses {
+		t.Errorf("tick after re-registration reused a cached joint plan (%d -> %d reuses)",
+			before.FleetPlanReuses, after.FleetPlanReuses)
+	}
+	if after.FleetPlans != before.FleetPlans+1 {
+		t.Errorf("fleet plans %d -> %d, want exactly one fresh plan", before.FleetPlans, after.FleetPlans)
+	}
+}
+
+// BenchmarkFleetVsIndependent measures realized acquisition cost and
+// tick throughput of joint versus per-query planning on the
+// overlapping-tenant corpus. J/tick is the headline: the fleet planner
+// should pay measurably less per tick by steering every tenant onto the
+// shared stream.
+func BenchmarkFleetVsIndependent(b *testing.B) {
+	const tenants = 6
+	bench := func(b *testing.B, fleetOn bool) {
+		svc := New(overlapRegistry(b, tenants, 99), WithWorkers(4), WithFleetPlanning(fleetOn))
+		overlapFleet(b, svc, tenants)
+		svc.Run(3) // steady state
+		start := svc.Metrics().PaidCost
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			svc.Tick()
+		}
+		b.StopTimer()
+		b.ReportMetric((svc.Metrics().PaidCost-start)/float64(b.N), "J/tick")
+	}
+	b.Run("independent", func(b *testing.B) { bench(b, false) })
+	b.Run("fleet", func(b *testing.B) { bench(b, true) })
+}
+
+// wideFleet builds a service whose tick is dominated by cache traffic:
+// many queries over many disjoint streams, each evaluating wide windows
+// on several streams, with stable annotated probabilities so the plan
+// caches absorb planning and phase 3's concurrent pulls are the
+// bottleneck the stripe count controls.
+func wideFleet(tb testing.TB, stripes int) *Service {
+	const streams = 16
+	reg := stream.NewRegistry()
+	for i := 0; i < streams; i++ {
+		if err := reg.Add(stream.Uniform(fmt.Sprintf("s%d", i), uint64(i+1)), stream.CostModel{BaseJoules: 1}); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	svc := New(reg, WithWorkers(8), WithCacheStripes(stripes), WithBatchedAcquisition(false))
+	for q := 0; q < 2*streams; q++ {
+		base := q % streams
+		text := fmt.Sprintf(
+			"AVG(s%d,48) > 0.01 [p=0.95] AND AVG(s%d,40) > 0.01 [p=0.95] AND AVG(s%d,32) > 0.01 [p=0.95]",
+			base, (base+1)%streams, (base+2)%streams)
+		if err := svc.Register(fmt.Sprintf("q%d", q), text); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	return svc
+}
+
+// BenchmarkShardedVsGlobalCacheTicks measures service tick throughput
+// with the per-stream striped cache versus the single-lock baseline, on
+// a fleet whose queries spread over many disjoint streams so phase 3
+// pulls can proceed in parallel.
+func BenchmarkShardedVsGlobalCacheTicks(b *testing.B) {
+	bench := func(b *testing.B, stripes int) {
+		svc := wideFleet(b, stripes)
+		svc.Run(3)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			svc.Tick()
+		}
+	}
+	b.Run("global", func(b *testing.B) { bench(b, 1) })
+	b.Run("sharded", func(b *testing.B) { bench(b, 0) })
+}
+
+// fleetBenchResult is one row of BENCH_fleet.json. Planning rows report
+// J/tick and ticks/sec of the scheduling service; cache rows report the
+// concurrent multi-stream Acquire throughput that bounds tick throughput
+// at scale.
+type fleetBenchResult struct {
+	Name     string  `json:"name"`
+	Unit     string  `json:"unit"` // "tick" or "acquire"
+	Ops      int     `json:"ops"`
+	JPerTick float64 `json:"j_per_tick,omitempty"`
+	PerSec   float64 `json:"per_sec"`
+	// MutexWaitNsPerOp is the time goroutines spent blocked on mutexes
+	// per operation (cache rows only): the serialization a single global
+	// lock imposes and per-stream striping removes. Unlike wall-clock
+	// throughput it exposes the contention even on single-core hosts.
+	MutexWaitNsPerOp float64 `json:"mutex_wait_ns_per_op,omitempty"`
+}
+
+// fleetBenchFile is the machine-readable benchmark artifact tracked
+// PR-over-PR (see the ci workflow).
+type fleetBenchFile struct {
+	GoMaxProcs int                `json:"gomaxprocs"`
+	Results    []fleetBenchResult `json:"results"`
+	// FleetSavingPct is the realized J/tick saving of fleet over
+	// independent planning; ShardedSpeedup the concurrent-acquire
+	// throughput ratio of the striped cache over the single global lock
+	// (meaningful on multi-core hosts; see MutexWaitNsPerOp for the
+	// host-independent contention picture).
+	FleetSavingPct float64 `json:"fleet_saving_pct"`
+	ShardedSpeedup float64 `json:"sharded_speedup"`
+	// MutexWaitReduction is global-lock mutex wait divided by sharded
+	// mutex wait, per acquire — how much blocked time striping removes.
+	MutexWaitReduction float64 `json:"mutex_wait_reduction"`
+}
+
+// mutexWaitSeconds reads the runtime's cumulative mutex wait clock.
+func mutexWaitSeconds(t *testing.T) float64 {
+	t.Helper()
+	sample := []metrics.Sample{{Name: "/sync/mutex/wait/total:seconds"}}
+	metrics.Read(sample)
+	if sample[0].Value.Kind() != metrics.KindFloat64 {
+		t.Fatalf("mutex wait metric unavailable (kind %v)", sample[0].Value.Kind())
+	}
+	return sample[0].Value.Float64()
+}
+
+// measureCacheThroughput drives 8 goroutines of Acquire traffic over 16
+// disjoint streams and returns the aggregate acquires/sec — the
+// contention surface the stripe count controls. GOMAXPROCS is raised for
+// the measurement so the goroutines actually contend.
+func measureCacheThroughput(t *testing.T, name string, stripes int) fleetBenchResult {
+	t.Helper()
+	const streams, workers, opsPerWorker = 16, 8, 20000
+	reg := stream.NewRegistry()
+	for i := 0; i < streams; i++ {
+		if err := reg.Add(stream.Uniform(fmt.Sprintf("s%d", i), uint64(i+1)), stream.CostModel{BaseJoules: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c := acquisition.NewSharedStriped(reg, stripes)
+	windows := make([]int, streams)
+	for k := range windows {
+		windows[k] = 8
+	}
+	if err := c.Retain("bench", windows); err != nil {
+		t.Fatal(err)
+	}
+	c.Advance(1)
+	prev := runtime.GOMAXPROCS(workers)
+	defer runtime.GOMAXPROCS(prev)
+	wait0 := mutexWaitSeconds(t)
+	var wg sync.WaitGroup
+	t0 := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			k := w % streams
+			for i := 0; i < opsPerWorker; i++ {
+				if _, _, err := c.Acquire(k, 8); err != nil {
+					t.Error(err)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	dt := time.Since(t0)
+	ops := workers * opsPerWorker
+	return fleetBenchResult{
+		Name:             name,
+		Unit:             "acquire",
+		Ops:              ops,
+		PerSec:           float64(ops) / dt.Seconds(),
+		MutexWaitNsPerOp: (mutexWaitSeconds(t) - wait0) * 1e9 / float64(ops),
+	}
+}
+
+// TestWriteFleetBenchJSON emits BENCH_fleet.json when PAOTR_BENCH_JSON
+// names an output path (the CI perf-trajectory artifact). It is skipped
+// otherwise, keeping the default test run fast and file-free.
+func TestWriteFleetBenchJSON(t *testing.T) {
+	out := os.Getenv("PAOTR_BENCH_JSON")
+	if out == "" {
+		t.Skip("set PAOTR_BENCH_JSON=<path> to write the benchmark artifact")
+	}
+	const ticks = 600
+	measure := func(name string, mk func() *Service) fleetBenchResult {
+		svc := mk()
+		svc.Run(3)
+		start := svc.Metrics().PaidCost
+		t0 := time.Now()
+		svc.Run(ticks)
+		dt := time.Since(t0)
+		return fleetBenchResult{
+			Name:     name,
+			Unit:     "tick",
+			Ops:      ticks,
+			JPerTick: (svc.Metrics().PaidCost - start) / ticks,
+			PerSec:   float64(ticks) / dt.Seconds(),
+		}
+	}
+	const tenants = 6
+	mkOverlap := func(fleetOn bool) func() *Service {
+		return func() *Service {
+			svc := New(overlapRegistry(t, tenants, 99), WithWorkers(4), WithFleetPlanning(fleetOn))
+			overlapFleet(t, svc, tenants)
+			return svc
+		}
+	}
+
+	file := fleetBenchFile{GoMaxProcs: runtime.GOMAXPROCS(0)}
+	indep := measure("planning/independent", mkOverlap(false))
+	fleetRes := measure("planning/fleet", mkOverlap(true))
+	global := measureCacheThroughput(t, "cache/global-lock", 1)
+	sharded := measureCacheThroughput(t, "cache/sharded", 0)
+	file.Results = []fleetBenchResult{indep, fleetRes, global, sharded}
+	if indep.JPerTick > 0 {
+		file.FleetSavingPct = 100 * (1 - fleetRes.JPerTick/indep.JPerTick)
+	}
+	if global.PerSec > 0 {
+		file.ShardedSpeedup = sharded.PerSec / global.PerSec
+	}
+	if sharded.MutexWaitNsPerOp > 0 {
+		file.MutexWaitReduction = global.MutexWaitNsPerOp / sharded.MutexWaitNsPerOp
+	}
+	if fleetRes.JPerTick > indep.JPerTick*1.01 {
+		t.Errorf("fleet planning J/tick %.2f exceeds independent %.2f", fleetRes.JPerTick, indep.JPerTick)
+	}
+	if file.ShardedSpeedup < 1 {
+		t.Logf("warning: sharded cache slower than global lock on this host (%.2fx)", file.ShardedSpeedup)
+	}
+
+	data, err := json.MarshalIndent(file, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dir := filepath.Dir(out); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s: fleet saves %.1f%% J/tick, sharded cache %.2fx concurrent acquires/sec",
+		out, file.FleetSavingPct, file.ShardedSpeedup)
+}

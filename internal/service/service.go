@@ -21,6 +21,9 @@ import (
 
 	"paotr/internal/acquisition"
 	"paotr/internal/engine"
+	"paotr/internal/fleet"
+	"paotr/internal/query"
+	"paotr/internal/sched"
 	"paotr/internal/stream"
 )
 
@@ -28,17 +31,19 @@ import (
 // registry and acquisition cache. All methods are safe for concurrent
 // use; Register/Unregister serialize against running ticks.
 type Service struct {
-	mu      sync.Mutex
-	reg     *stream.Registry
-	eng     *engine.Engine
-	cache   *acquisition.Cache
-	queries map[string]*registered
-	order   []string // registration order, for deterministic dispatch
-	workers int
-	history int
-	exec    engine.Executor // default executor for queries without one
-	batch   bool            // batched first-leaf acquisition in Tick
-	tick    int64
+	mu        sync.Mutex
+	reg       *stream.Registry
+	eng       *engine.Engine
+	cache     *acquisition.Cache
+	queries   map[string]*registered
+	order     []string // registration order, for deterministic dispatch
+	workers   int
+	history   int
+	exec      engine.Executor // default executor for queries without one
+	batch     bool            // batched first-leaf acquisition in Tick
+	fleetPlan bool            // cross-query joint planning in Tick
+	planner   *fleet.Planner  // fleet-level plan cache
+	tick      int64
 
 	executions    int64
 	planHits      int64
@@ -50,6 +55,12 @@ type Service struct {
 	batchCost     float64
 	batchItems    int64
 	dupAvoided    int64
+	dupAvoidedK   []int64 // per-stream share of dupAvoided
+	fleetPlans    int64
+	fleetReuses   int64
+	fleetExecs    int64
+	fleetExpected float64
+	indepExpected float64
 }
 
 // registered is one query under service management.
@@ -67,11 +78,13 @@ type registered struct {
 type Option func(*config)
 
 type config struct {
-	workers int
-	history int
-	engOpts []engine.Option
-	exec    engine.Executor
-	batch   bool
+	workers   int
+	history   int
+	engOpts   []engine.Option
+	exec      engine.Executor
+	batch     bool
+	fleetPlan bool
+	stripes   int
 }
 
 // WithWorkers sets the tick worker-pool size (default GOMAXPROCS).
@@ -101,9 +114,24 @@ func WithExecutor(x engine.Executor) Option { return func(c *config) { c.exec = 
 // Metrics.BatchedCost).
 func WithBatchedAcquisition(on bool) Option { return func(c *config) { c.batch = on } }
 
+// WithFleetPlanning toggles cross-query joint planning (default on):
+// every tick, the due queries running the linear executor are planned as
+// one joint workload by internal/fleet — a leaf's marginal cost is
+// discounted by the probability that some sibling query's schedule pulls
+// the same items — and the joint plan's acquisition manifest drives the
+// tick batcher. Queries with adaptive executors keep their decision-tree
+// path. Off, every query plans independently (the pre-fleet behaviour).
+func WithFleetPlanning(on bool) Option { return func(c *config) { c.fleetPlan = on } }
+
+// WithCacheStripes sets the acquisition cache's lock stripe count
+// (default 0: one stripe per stream, so pulls on different streams never
+// contend). 1 serializes all streams behind a single lock — the
+// pre-sharding behaviour, kept as a benchmark baseline.
+func WithCacheStripes(n int) Option { return func(c *config) { c.stripes = n } }
+
 // New creates a service over the registry with an empty shared cache.
 func New(reg *stream.Registry, opts ...Option) *Service {
-	cfg := config{workers: runtime.GOMAXPROCS(0), history: 64, batch: true}
+	cfg := config{workers: runtime.GOMAXPROCS(0), history: 64, batch: true, fleetPlan: true}
 	for _, o := range opts {
 		o(&cfg)
 	}
@@ -116,15 +144,19 @@ func New(reg *stream.Registry, opts ...Option) *Service {
 	if cfg.exec == nil {
 		cfg.exec = engine.LinearExecutor{}
 	}
+	eng := engine.New(reg, cfg.engOpts...)
 	return &Service{
-		reg:     reg,
-		eng:     engine.New(reg, cfg.engOpts...),
-		cache:   acquisition.NewShared(reg),
-		queries: map[string]*registered{},
-		workers: cfg.workers,
-		history: cfg.history,
-		exec:    cfg.exec,
-		batch:   cfg.batch,
+		reg:         reg,
+		eng:         eng,
+		cache:       acquisition.NewSharedStriped(reg, cfg.stripes),
+		queries:     map[string]*registered{},
+		workers:     cfg.workers,
+		history:     cfg.history,
+		exec:        cfg.exec,
+		batch:       cfg.batch,
+		fleetPlan:   cfg.fleetPlan,
+		planner:     &fleet.Planner{Eps: eng.ReplanThreshold()},
+		dupAvoidedK: make([]int64, reg.Len()),
 	}
 }
 
@@ -181,6 +213,9 @@ func (s *Service) Register(id, text string, opts ...QueryOption) error {
 	r.m = QueryMetrics{ID: id, Query: text, Every: r.every, Executor: s.executorFor(r).Name()}
 	s.queries[id] = r
 	s.order = append(s.order, id)
+	// Joint plans are keyed by due-set ids: a reused id must not inherit
+	// a plan built for the query that previously held it.
+	s.planner.Invalidate()
 	return nil
 }
 
@@ -200,6 +235,7 @@ func (s *Service) Unregister(id string) error {
 		}
 	}
 	s.cache.Release(id)
+	s.planner.Invalidate()
 	return nil
 }
 
@@ -233,6 +269,11 @@ type Execution struct {
 	// executor falls back to "linear" above the DP bound or below the gap
 	// threshold).
 	Strategy string `json:"strategy,omitempty"`
+	// FleetPlanned reports that the schedule came from the cross-query
+	// joint planner rather than the query's own planner (see
+	// WithFleetPlanning). ExpectedCost is then the query's share of the
+	// joint expected cost, which discounts items sibling queries pull.
+	FleetPlanned bool `json:"fleet_planned,omitempty"`
 	// Err is the execution error, if any.
 	Err string `json:"err,omitempty"`
 }
@@ -285,21 +326,86 @@ func (s *Service) fanOut(n int, f func(int)) {
 	wg.Wait()
 }
 
+// planFleet jointly plans the due queries running the linear executor
+// (see WithFleetPlanning): their probability-annotated trees are handed
+// to the fleet planner as one workload against the shared warm cache
+// state, and the resulting per-query schedules are bound into preps.
+// fleetSet marks the due indices covered by the joint plan. Returns nil
+// when fleet planning is off or does not apply. Caller holds the service
+// lock.
+func (s *Service) planFleet(due []*registered, preps []engine.Prepared, fleetSet []bool) *fleet.Plan {
+	if !s.fleetPlan {
+		return nil
+	}
+	idx := make([]int, 0, len(due))
+	for i, r := range due {
+		if _, ok := s.executorFor(r).(engine.LinearExecutor); ok {
+			idx = append(idx, i)
+		}
+	}
+	if len(idx) == 0 {
+		return nil
+	}
+	keys := make([]string, len(idx))
+	trees := make([]*query.Tree, len(idx))
+	need := make([]int, s.reg.Len())
+	for fi, i := range idx {
+		keys[fi] = due[i].id
+		trees[fi] = due[i].q.Tree()
+		for k, d := range trees[fi].StreamMaxItems() {
+			if d > need[k] {
+				need[k] = d
+			}
+		}
+	}
+	warm := sched.Warm(s.cache.Snapshot(need))
+	fplan, reused := s.planner.Plan(keys, trees, warm)
+	if err := fplan.Validate(trees); err != nil {
+		// Defensive: an invalid joint plan falls back to per-query
+		// planning (phase 1b picks the queries up).
+		s.planner.Invalidate()
+		return nil
+	}
+	s.fleetPlans++
+	if reused {
+		s.fleetReuses++
+	}
+	s.fleetExecs += int64(len(idx))
+	s.fleetExpected += fplan.Expected
+	s.indepExpected += fplan.IndependentExpected
+	for fi, i := range idx {
+		qp := fplan.Queries[fi]
+		preps[i] = engine.NewPrepared(due[i].q, &engine.Plan{
+			Tree:         trees[fi],
+			Schedule:     qp.Schedule,
+			ExpectedCost: qp.Expected,
+			Reused:       reused,
+		})
+		fleetSet[i] = true
+	}
+	return fplan
+}
+
 // Tick advances shared time by one step and executes every due query on
 // the worker pool, in three phases:
 //
-//  1. Plan: every due query builds (or reuses) its plan — linear schedule
-//     or adaptive decision tree, per its executor — against the
-//     post-advance cache state. Planning only reads the cache, so all
-//     plans of one tick see the same state.
-//  2. Batch: the plans' first-leaf stream windows are coalesced and each
-//     shared stream is pre-acquired once (see WithBatchedAcquisition).
-//     First leaves are never short-circuited, so every pre-pulled item
-//     would have been paid for by some query this tick anyway; batching
-//     stops concurrent workers from racing to pull the same items.
+//  1. Plan: the due queries running the linear executor are planned as
+//     one joint workload by the fleet planner (see WithFleetPlanning) —
+//     cross-query sharing discounts each leaf's marginal cost — while
+//     queries with other executors build (or reuse) their own plans.
+//     Planning only reads the cache, so all plans of one tick see the
+//     same state.
+//  2. Batch: the joint plan's acquisition manifest, merged with the
+//     first-leaf windows of the individually planned queries, is
+//     deduplicated and each shared stream is pre-acquired once (see
+//     WithBatchedAcquisition). First leaves are never short-circuited,
+//     so every pre-pulled item would have been paid for by some query
+//     this tick anyway; batching stops concurrent workers from racing
+//     to pull the same items.
 //  3. Execute: the prepared plans run on the worker pool. The cache
-//     serializes residual concurrent pulls, so the first query to need an
-//     item pays for it and the rest reuse it for free.
+//     stripes pulls per stream, so workers on different streams proceed
+//     in parallel and the first query to need an item pays for it while
+//     the rest reuse it for free.
 func (s *Service) Tick() TickResult {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -318,9 +424,17 @@ func (s *Service) Tick() TickResult {
 		return out
 	}
 
-	// Phase 1: plan.
+	// Phase 1a: joint planning of the linear-executor queries.
 	preps := make([]engine.Prepared, len(due))
+	fleetSet := make([]bool, len(due))
+	fplan := s.planFleet(due, preps, fleetSet)
+
+	// Phase 1b: everything not covered by the joint plan prepares
+	// through its own executor.
 	s.fanOut(len(due), func(i int) {
+		if preps[i] != nil {
+			return
+		}
 		r := due[i]
 		prep, err := s.executorFor(r).Prepare(r.q, s.cache)
 		if err != nil {
@@ -330,13 +444,21 @@ func (s *Service) Tick() TickResult {
 		preps[i] = prep
 	})
 
-	// Phase 2: batched acquisition of the coalesced first-leaf windows.
+	// Phase 2: batched acquisition of the deduplicated opening windows.
 	if s.batch {
-		windows := make(map[int][]int) // stream -> first-leaf windows of due plans
+		windows := make(map[int][]int) // stream -> opening windows of due plans
 		need := make([]int, s.reg.Len())
-		for _, p := range preps {
-			if p == nil {
-				continue
+		if fplan != nil {
+			for _, pf := range fplan.Manifest {
+				windows[pf.Stream] = append(windows[pf.Stream], pf.Windows...)
+				if pf.Items > need[pf.Stream] {
+					need[pf.Stream] = pf.Items
+				}
+			}
+		}
+		for i, p := range preps {
+			if p == nil || fleetSet[i] {
+				continue // failed, or already in the joint manifest
 			}
 			k, d, ok := p.FirstAcquisition()
 			if !ok {
@@ -364,6 +486,7 @@ func (s *Service) Tick() TickResult {
 					}
 				}
 				s.dupAvoided += int64(covering - 1)
+				s.dupAvoidedK[k] += int64(covering - 1)
 			}
 			items, cost := s.cache.Prefetch(k, need[k])
 			s.batchItems += int64(items)
@@ -387,6 +510,7 @@ func (s *Service) Tick() TickResult {
 			Evaluated:    res.Evaluated,
 			PlanReused:   res.PlanReused,
 			Strategy:     res.Strategy,
+			FleetPlanned: fleetSet[i],
 		}
 		if err != nil {
 			e.Err = err.Error()
@@ -535,14 +659,54 @@ type Metrics struct {
 	// skipped (see engine.WithReplanThreshold).
 	PlanCacheHits    int64   `json:"plan_cache_hits"`
 	PlanCacheHitRate float64 `json:"plan_cache_hit_rate"`
+	// FleetPlans counts ticks planned jointly across queries and
+	// FleetPlanReuses the subset served from the fleet plan cache;
+	// FleetPlannedExecutions counts executions that ran a joint
+	// schedule (see WithFleetPlanning).
+	FleetPlans             int64 `json:"fleet_plans"`
+	FleetPlanReuses        int64 `json:"fleet_plan_reuses"`
+	FleetPlannedExecutions int64 `json:"fleet_planned_executions"`
+	// FleetExpectedCost sums the joint planner's modelled fleet costs
+	// (every shared item priced once); IndependentExpectedCost sums what
+	// per-query planning would have modelled for the same workloads.
+	// FleetModelledSaving is their relative gap — the modelled dividend
+	// of planning the fleet as one workload.
+	FleetExpectedCost       float64 `json:"fleet_expected_cost"`
+	IndependentExpectedCost float64 `json:"independent_expected_cost"`
+	FleetModelledSaving     float64 `json:"fleet_modelled_saving"`
 	// CacheRequested / CacheTransferred / CacheHitRate report shared
 	// acquisition-cache traffic: the fraction of requested items served
 	// without paying.
 	CacheRequested   int64   `json:"cache_requested"`
 	CacheTransferred int64   `json:"cache_transferred"`
 	CacheHitRate     float64 `json:"cache_hit_rate"`
+	// PerStream breaks acquisition traffic down by stream, by registry
+	// index (see StreamMetrics).
+	PerStream []StreamMetrics `json:"per_stream"`
 	// PerQuery holds the per-query aggregates, sorted by id.
 	PerQuery []QueryMetrics `json:"per_query"`
+}
+
+// StreamMetrics reports one stream's share of the shared acquisition
+// cache's traffic — the per-stream contention and sharing picture that
+// fleet-wide aggregates hide.
+type StreamMetrics struct {
+	// Stream is the registry index; Name the stream's source name.
+	Stream int    `json:"stream"`
+	Name   string `json:"name"`
+	// Requested counts items of this stream asked for by executions;
+	// Transferred every item actually acquired from it (on-demand misses
+	// and batched prefetches alike); HitRate the fraction of requests
+	// served without a same-call transfer (prefetched items count
+	// against it, so it measures cross-query sharing).
+	Requested   int64   `json:"requested"`
+	Transferred int64   `json:"transferred"`
+	HitRate     float64 `json:"hit_rate"`
+	// Spent is the acquisition cost paid for the stream.
+	Spent float64 `json:"spent"`
+	// DuplicatePullsAvoided is this stream's share of the tick batcher's
+	// coalesced duplicate pulls (see Metrics.DuplicatePullsAvoided).
+	DuplicatePullsAvoided int64 `json:"duplicate_pulls_avoided"`
 }
 
 // Metrics returns a fleet-wide snapshot.
@@ -557,23 +721,42 @@ func (s *Service) Metrics() Metrics {
 		// Batched acquisitions are paid by the fleet on the queries'
 		// behalf: include them so PaidCost totals are comparable whether
 		// batching is on or off.
-		PaidCost:              s.paidCost + s.batchCost,
-		ExpectedCost:          s.expCost,
-		AdaptiveExecutions:    s.adaptiveExecs,
-		BatchedCost:           s.batchCost,
-		BatchedItems:          s.batchItems,
-		DuplicatePullsAvoided: s.dupAvoided,
-		PredicatesEvaluated:   s.evaluated,
-		PlanCacheHits:         s.planHits,
-		CacheRequested:        cs.Requested,
-		CacheTransferred:      cs.Transferred,
-		CacheHitRate:          cs.HitRate(),
+		PaidCost:                s.paidCost + s.batchCost,
+		ExpectedCost:            s.expCost,
+		AdaptiveExecutions:      s.adaptiveExecs,
+		BatchedCost:             s.batchCost,
+		BatchedItems:            s.batchItems,
+		DuplicatePullsAvoided:   s.dupAvoided,
+		PredicatesEvaluated:     s.evaluated,
+		PlanCacheHits:           s.planHits,
+		FleetPlans:              s.fleetPlans,
+		FleetPlanReuses:         s.fleetReuses,
+		FleetPlannedExecutions:  s.fleetExecs,
+		FleetExpectedCost:       s.fleetExpected,
+		IndependentExpectedCost: s.indepExpected,
+		CacheRequested:          cs.Requested,
+		CacheTransferred:        cs.Transferred,
+		CacheHitRate:            cs.HitRate(),
 	}
 	if m.ExpectedCost > 0 {
 		m.RealizedOverExpected = m.PaidCost / m.ExpectedCost
 	}
 	if s.planHits+s.planMisses > 0 {
 		m.PlanCacheHitRate = float64(s.planHits) / float64(s.planHits+s.planMisses)
+	}
+	if m.IndependentExpectedCost > 0 {
+		m.FleetModelledSaving = 1 - m.FleetExpectedCost/m.IndependentExpectedCost
+	}
+	for _, ss := range s.cache.PerStream() {
+		m.PerStream = append(m.PerStream, StreamMetrics{
+			Stream:                ss.Stream,
+			Name:                  ss.Name,
+			Requested:             ss.Requested,
+			Transferred:           ss.Transferred,
+			HitRate:               ss.HitRate,
+			Spent:                 ss.Spent,
+			DuplicatePullsAvoided: s.dupAvoidedK[ss.Stream],
+		})
 	}
 	for _, r := range s.queries {
 		m.PerQuery = append(m.PerQuery, r.m.withRatio())
