@@ -48,6 +48,43 @@ func adaptiveServer(t *testing.T) *httptest.Server {
 	return srv
 }
 
+// driftServer serves the regime-shifting scenario: probabilities and
+// per-item costs of streams r0..r3 flip at the configured tick,
+// mirroring `paotrserve -scenario drift -shift-tick n`.
+func driftServer(shiftTick int64) func(t *testing.T) *httptest.Server {
+	return func(t *testing.T) *httptest.Server {
+		t.Helper()
+		svc, err := newServiceWith(serviceConfig{
+			seed: 17, workers: 4, replan: 0.02,
+			executor: "linear", batch: true, fleetPlan: true,
+			scenario: "drift", shiftTick: shiftTick,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := httptest.NewServer(newServer(svc, -1))
+		t.Cleanup(srv.Close)
+		return srv
+	}
+}
+
+// cumulativeServer runs the never-forgetting baseline estimator,
+// mirroring `paotrserve -estimator cumulative`.
+func cumulativeServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	svc, err := newServiceWith(serviceConfig{
+		seed: 1, workers: 4, replan: 0.02,
+		executor: "linear", batch: true, fleetPlan: true,
+		estimator: "cumulative",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(newServer(svc, -1))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
 // thirteenLeafQuery exceeds the 12-leaf DP bound of the strategy package.
 func thirteenLeafQuery() string {
 	terms := make([]string, 13)
@@ -290,6 +327,71 @@ func e2eCases() []e2eCase {
 					mustDecode(t, body, &res)
 					if len(res) != 1 || !res[0].FleetPlanned {
 						t.Errorf("execution = %+v, want fleet_planned", res)
+					}
+				}},
+		}},
+
+		{caseID: "E00401", name: "drift scenario trips detectors and forces replans", server: driftServer(40), steps: []e2eStep{
+			// Register over the regime streams, tick through the shift at
+			// 40, and observe the adaptation loop close via /metrics.
+			{"POST", "/queries", `{"id":"or","query":"r0 < 0.5 OR r1 < 0.5 OR r2 < 0.5 OR r3 < 0.5"}`, http.StatusCreated, nil},
+			{"POST", "/queries", `{"id":"and","query":"r3 < 0.5 AND r0 < 0.5"}`, http.StatusCreated, nil},
+			{"POST", "/tick", `{"steps":160}`, http.StatusOK, nil},
+			{"GET", "/metrics", "", http.StatusOK,
+				func(t *testing.T, body []byte) {
+					var m service.Metrics
+					mustDecode(t, body, &m)
+					if m.Estimator != "windowed" || m.EstimatorWindow == 0 {
+						t.Errorf("estimator state missing: %+v", m)
+					}
+					if m.PredicateDetectorTrips == 0 {
+						t.Errorf("no predicate detector trips across the shift: %+v", m)
+					}
+					if m.ReplansForced == 0 {
+						t.Errorf("detector trips forced no replans: %+v", m)
+					}
+					for _, ps := range m.PerStream {
+						if ps.Name == "r0" && ps.CostDetectorTrips == 0 {
+							t.Errorf("r0 cost shift (1→6 J/item) undetected: %+v", ps)
+						}
+						if ps.Name == "r0" && ps.LearnedCostPerItem < 3 {
+							t.Errorf("r0 learned cost %.2f, want re-learned toward 6", ps.LearnedCostPerItem)
+						}
+					}
+				}},
+		}},
+		{caseID: "E00402", name: "stationary run stays quiet", server: driftServer(0), steps: []e2eStep{
+			// shift-tick 0 never shifts: same streams, one regime — the
+			// detectors must not trip and no replans may be forced.
+			{"POST", "/queries", `{"id":"or","query":"r0 < 0.5 OR r1 < 0.5 OR r2 < 0.5 OR r3 < 0.5"}`, http.StatusCreated, nil},
+			{"POST", "/tick", `{"steps":160}`, http.StatusOK, nil},
+			{"GET", "/metrics", "", http.StatusOK,
+				func(t *testing.T, body []byte) {
+					var m service.Metrics
+					mustDecode(t, body, &m)
+					if m.PredicateDetectorTrips != 0 || m.CostDetectorTrips != 0 || m.ReplansForced != 0 {
+						t.Errorf("stationary run reported adaptive activity: %+v", m)
+					}
+					if m.AvgCIWidth <= 0 || m.AvgCIWidth > 0.6 {
+						t.Errorf("avg CI width %.2f after 160 ticks, want tightened evidence", m.AvgCIWidth)
+					}
+				}},
+		}},
+		{caseID: "E00403", name: "cumulative estimator baseline selectable", server: cumulativeServer, steps: []e2eStep{
+			registerHR,
+			{"POST", "/tick", `{"steps":10}`, http.StatusOK, nil},
+			{"GET", "/metrics", "", http.StatusOK,
+				func(t *testing.T, body []byte) {
+					var m service.Metrics
+					mustDecode(t, body, &m)
+					if m.Estimator != "cumulative" || m.EstimatorWindow != 0 {
+						t.Errorf("estimator = %q/%d, want cumulative baseline", m.Estimator, m.EstimatorWindow)
+					}
+					if m.PredicateDetectorTrips != 0 || m.ReplansForced != 0 {
+						t.Errorf("cumulative baseline reported detector activity: %+v", m)
+					}
+					if m.TrackedPredicates == 0 {
+						t.Errorf("trace store tracked no predicates: %+v", m)
 					}
 				}},
 		}},

@@ -28,6 +28,17 @@
 // fixed schedule, "adaptive" walks an optimal decision tree when the
 // query is within the 12-leaf DP bound and the modelled gap clears
 // -adaptive-gap (falling back to linear otherwise).
+//
+// The -estimator flag selects probability estimation: "windowed" (the
+// default) learns leaf probabilities and per-item costs online over a
+// sliding window (-window) with Page-Hinkley change detectors
+// (-ph-delta, -ph-lambda) that force targeted replans on regime shifts;
+// "cumulative" is the never-forgetting baseline. /metrics reports
+// estimator state (detector trips, forced replans, CI width, learned
+// per-stream costs). The -scenario flag swaps the sensor fleet:
+// "wearables" (default) or "drift", a regime-shifting synthetic corpus
+// whose probabilities and costs flip at -shift-tick (for drift e2e
+// testing; streams r0..r3).
 package main
 
 import (
@@ -41,6 +52,8 @@ import (
 	"os"
 	"strconv"
 
+	"paotr/internal/adapt"
+	"paotr/internal/corpus"
 	"paotr/internal/engine"
 	"paotr/internal/service"
 	"paotr/internal/stream"
@@ -64,6 +77,18 @@ func main() {
 			"plan all due linear queries jointly each tick, discounting items sibling queries will pull (see Metrics.FleetExpectedCost)")
 		stripes = flag.Int("cache-stripes", 0,
 			"acquisition-cache lock stripes (0 = one per stream; 1 = single global lock baseline)")
+		estimator = flag.String("estimator", "windowed",
+			"probability estimation: windowed (online adaptive) or cumulative (never-forgetting baseline)")
+		window = flag.Int("window", 0,
+			"sliding-window size of the windowed estimator (0 = default 64)")
+		phDelta = flag.Float64("ph-delta", 0,
+			"Page-Hinkley tolerance: probability shifts below this are absorbed (0 = default 0.1)")
+		phLambda = flag.Float64("ph-lambda", 0,
+			"Page-Hinkley trip threshold: cumulative deviation required to force replans (0 = default 12)")
+		scenario = flag.String("scenario", "wearables",
+			"sensor fleet: wearables, or drift (regime-shifting corpus, streams r0..r3)")
+		shiftTick = flag.Int64("shift-tick", 150,
+			"tick at which the drift scenario flips probabilities and costs (-scenario drift only; <= 0 never)")
 	)
 	flag.Parse()
 
@@ -71,6 +96,8 @@ func main() {
 		seed: *seed, workers: *workers, replan: *replan,
 		executor: *executor, gap: *adaptiveGap,
 		batch: !*noBatch, fleetPlan: *fleetPlan, stripes: *stripes,
+		estimator: *estimator, window: *window, phDelta: *phDelta, phLambda: *phLambda,
+		scenario: *scenario, shiftTick: *shiftTick,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "paotrserve: %v\n", err)
@@ -83,7 +110,11 @@ func main() {
 		}
 		return
 	}
-	log.Printf("paotrserve listening on %s (streams: %s)", *addr, "heart-rate, spo2, accelerometer, gps-speed, temperature")
+	streams := "heart-rate, spo2, accelerometer, gps-speed, temperature"
+	if *scenario == "drift" {
+		streams = "r0, r1, r2, r3 (regime shift at tick " + strconv.FormatInt(*shiftTick, 10) + ")"
+	}
+	log.Printf("paotrserve listening on %s (estimator: %s; streams: %s)", *addr, *estimator, streams)
 	log.Fatal(http.ListenAndServe(*addr, newServer(svc, *adaptiveGap)))
 }
 
@@ -109,6 +140,16 @@ type serviceConfig struct {
 	batch     bool
 	fleetPlan bool
 	stripes   int
+	// estimator is "windowed" (default when empty) or "cumulative";
+	// window/phDelta/phLambda tune the windowed estimator (0 = default).
+	estimator string
+	window    int
+	phDelta   float64
+	phLambda  float64
+	// scenario is "wearables" (default when empty) or "drift"; shiftTick
+	// is the drift scenario's regime-flip tick.
+	scenario  string
+	shiftTick int64
 }
 
 // newService builds the service over the standard simulated sensor fleet
@@ -125,8 +166,8 @@ func newService(seed uint64, workers int, replanThreshold float64) *service.Serv
 	return svc
 }
 
-// newServiceWith builds the service over the standard simulated sensor
-// fleet from an explicit configuration.
+// newServiceWith builds the service over the configured sensor fleet
+// from an explicit configuration.
 func newServiceWith(cfg serviceConfig) (*service.Service, error) {
 	x, err := executorByName(cfg.executor, cfg.gap)
 	if err != nil {
@@ -142,7 +183,26 @@ func newServiceWith(cfg serviceConfig) (*service.Service, error) {
 	if cfg.workers > 0 {
 		opts = append(opts, service.WithWorkers(cfg.workers))
 	}
-	return service.New(stream.Wearables(cfg.seed), opts...), nil
+	switch cfg.estimator {
+	case "", "windowed":
+		opts = append(opts, service.WithAdaptConfig(adapt.Config{
+			Window: cfg.window, PHDelta: cfg.phDelta, PHLambda: cfg.phLambda,
+		}))
+	case "cumulative":
+		opts = append(opts, service.WithCumulativeEstimator())
+	default:
+		return nil, fmt.Errorf("unknown estimator %q (want \"windowed\" or \"cumulative\")", cfg.estimator)
+	}
+	var reg *stream.Registry
+	switch cfg.scenario {
+	case "", "wearables":
+		reg = stream.Wearables(cfg.seed)
+	case "drift":
+		reg = corpus.RegimeRegistry(corpus.RegimeConfig{Seed: cfg.seed, ShiftStep: cfg.shiftTick})
+	default:
+		return nil, fmt.Errorf("unknown scenario %q (want \"wearables\" or \"drift\")", cfg.scenario)
+	}
+	return service.New(reg, opts...), nil
 }
 
 // server is the HTTP front-end over one service. gap is the adaptive
@@ -365,6 +425,12 @@ func runDemo(w io.Writer, svc *service.Service, steps int, gap float64) error {
 			m.FleetPlans, m.FleetPlanReuses, m.FleetPlannedExecutions,
 			m.FleetExpectedCost, m.IndependentExpectedCost, 100*m.FleetModelledSaving)
 	}
+	fmt.Fprintf(w, "estimator:             %s (%d predicates tracked", m.Estimator, m.TrackedPredicates)
+	if m.Estimator == "windowed" {
+		fmt.Fprintf(w, ", window %d, avg CI width %.2f, %d/%d detector trips, %d forced replans",
+			m.EstimatorWindow, m.AvgCIWidth, m.PredicateDetectorTrips, m.CostDetectorTrips, m.ReplansForced)
+	}
+	fmt.Fprintf(w, ")\n")
 	fmt.Fprintf(w, "\n%-14s %10s %10s %8s %8s %8s\n", "stream", "requested", "pulled", "hit-rate", "spent J", "dup-avoid")
 	for _, ps := range m.PerStream {
 		fmt.Fprintf(w, "%-14s %10d %10d %7.1f%% %8.2f %9d\n",

@@ -375,7 +375,6 @@ func (c *Cache) Missing(k, d int) int {
 // the readers that follow). Caller holds stream k's locks.
 func (c *Cache) pullLocked(k, d int, countRequested bool) float64 {
 	st := c.reg.At(k)
-	per := st.Cost.PerItem()
 	cost := 0.0
 	if countRequested {
 		c.requested[k] += int64(d)
@@ -388,7 +387,10 @@ func (c *Cache) pullLocked(k, d int, countRequested bool) float64 {
 		}
 		c.items[k] = append(c.items[k], st.Source.At(seq))
 		added = true
-		cost += per
+		// Items are priced at their production step, so streams with a
+		// dynamic cost regime charge the price in force when the item was
+		// produced.
+		cost += st.PerItemAt(seq)
 		c.pulls[k]++
 		c.transferred[k]++
 	}

@@ -1,0 +1,50 @@
+package adapt
+
+// pageHinkley is a two-sided Page-Hinkley change detector: it accumulates
+// the deviations of a scalar observation stream from its running mean and
+// trips when the cumulative deviation rises more than Lambda above its
+// historical minimum — the classical sequential test for a sustained shift
+// in the mean of a non-stationary stream. Delta is the per-observation
+// tolerance (shifts smaller than Delta are absorbed), Lambda the trip
+// threshold, and minObs a warm-up floor so a detector never trips on the
+// first handful of observations.
+//
+// The zero Delta/Lambda values are not meaningful; construct with newPH.
+type pageHinkley struct {
+	delta  float64
+	lambda float64
+	minObs int64
+
+	n    int64
+	mean float64
+	// mUp/minUp accumulate upward deviations (mean increased), mDn/minDn
+	// downward ones.
+	mUp, minUp float64
+	mDn, minDn float64
+}
+
+func newPH(delta, lambda float64, minObs int) pageHinkley {
+	return pageHinkley{delta: delta, lambda: lambda, minObs: int64(minObs)}
+}
+
+// observe feeds one observation and reports the running mean before reset
+// and whether the detector tripped. A trip resets the detector state so
+// the next regime is tracked from scratch.
+func (ph *pageHinkley) observe(x float64) (mean float64, tripped bool) {
+	ph.n++
+	ph.mean += (x - ph.mean) / float64(ph.n)
+	ph.mUp += x - ph.mean - ph.delta
+	if ph.mUp < ph.minUp {
+		ph.minUp = ph.mUp
+	}
+	ph.mDn += ph.mean - x - ph.delta
+	if ph.mDn < ph.minDn {
+		ph.minDn = ph.mDn
+	}
+	if ph.n >= ph.minObs && (ph.mUp-ph.minUp > ph.lambda || ph.mDn-ph.minDn > ph.lambda) {
+		m := ph.mean
+		*ph = pageHinkley{delta: ph.delta, lambda: ph.lambda, minObs: ph.minObs}
+		return m, true
+	}
+	return ph.mean, false
+}

@@ -1,0 +1,163 @@
+package corpus
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"paotr/internal/stream"
+)
+
+// RegimeConfig describes a two-regime synthetic scenario for exercising
+// online adaptation: every stream's predicate success probability AND
+// per-item acquisition cost flip from regime A to regime B at a
+// configurable production step. Before the shift the scenario is
+// stationary, so a one-regime run (ShiftStep <= 0, or a run shorter than
+// ShiftStep) doubles as the stationary baseline.
+//
+// Streams are named "r0".."rN-1" and produce uniform values shaped so
+// that the predicate "rK < Tau" is TRUE with exactly the configured
+// probability — the controlled workload for validating estimators
+// against ground truth.
+type RegimeConfig struct {
+	// Streams is the number of streams (default 4).
+	Streams int
+	// ShiftStep is the production step at which regime B starts;
+	// <= 0 never shifts (a stationary scenario).
+	ShiftStep int64
+	// Seed drives the deterministic value streams.
+	Seed uint64
+	// Tau is the predicate threshold (default 0.5).
+	Tau float64
+	// ProbsA/ProbsB are the per-stream P(value < Tau) in each regime
+	// (defaults: A = 0.7, 0.3, 0.2, 0.1...; B = 0.02, 0.05, 0.1, 0.8...).
+	ProbsA, ProbsB []float64
+	// CostsA/CostsB are the per-item acquisition costs in each regime
+	// (defaults: A = 1, 2, 4, 8...; B = 6, 2, 4, 2...). CostsA is also
+	// the static planner-visible baseline; only cost-learning planners
+	// see regime B's prices before paying them.
+	CostsA, CostsB []float64
+}
+
+// defaultRegime fills the documented defaults for up to any stream
+// count (the per-stream defaults repeat beyond index 3).
+func (c RegimeConfig) norm() RegimeConfig {
+	if c.Streams <= 0 {
+		c.Streams = 4
+	}
+	if c.Tau <= 0 || c.Tau >= 1 {
+		c.Tau = 0.5
+	}
+	pad := func(vals []float64, defaults [4]float64) []float64 {
+		out := append([]float64(nil), vals...)
+		for len(out) < c.Streams {
+			out = append(out, defaults[len(out)%4])
+		}
+		return out[:c.Streams]
+	}
+	c.ProbsA = pad(c.ProbsA, [4]float64{0.7, 0.3, 0.2, 0.1})
+	c.ProbsB = pad(c.ProbsB, [4]float64{0.02, 0.05, 0.1, 0.8})
+	c.CostsA = pad(c.CostsA, [4]float64{1, 2, 4, 8})
+	c.CostsB = pad(c.CostsB, [4]float64{6, 2, 4, 2})
+	return c
+}
+
+// regimeSource produces uniform-derived values with P(value < tau) = pA
+// before the shift step and pB from it on, deterministic in (seed, step).
+type regimeSource struct {
+	name   string
+	seed   uint64
+	tau    float64
+	pA, pB float64
+	shift  int64 // <= 0: never shifts
+}
+
+func (s regimeSource) Name() string { return s.name }
+
+func (s regimeSource) At(step int64) stream.Item {
+	p := s.pA
+	if s.shift > 0 && step >= s.shift {
+		p = s.pB
+	}
+	rng := rand.New(rand.NewPCG(s.seed, uint64(step)*0x9e3779b97f4a7c15+1))
+	u := rng.Float64()
+	// Map u so that P(value < tau) = p exactly: the sub-tau mass gets
+	// the first p of the uniform, the rest spreads over [tau, 1).
+	// (u < 1 always, so p >= 1 lands in the first branch.)
+	var v float64
+	if u < p {
+		v = s.tau * u / p
+	} else {
+		v = s.tau + (1-s.tau)*(u-p)/(1-p)
+	}
+	return stream.Item{Seq: step, Value: v}
+}
+
+// regimeCost prices items at costA before the shift step and costB from
+// it on.
+type regimeCost struct {
+	costA, costB float64
+	shift        int64
+}
+
+func (c regimeCost) PerItemAt(step int64) float64 {
+	if c.shift > 0 && step >= c.shift {
+		return c.costB
+	}
+	return c.costA
+}
+
+// RegimeRegistry builds the scenario's stream registry: streams
+// "r0".."rN-1" whose value distributions and per-item prices flip at
+// cfg.ShiftStep. The static cost models carry regime A's prices (what a
+// non-learning planner believes forever).
+func RegimeRegistry(cfg RegimeConfig) *stream.Registry {
+	cfg = cfg.norm()
+	reg := stream.NewRegistry()
+	for k := 0; k < cfg.Streams; k++ {
+		src := regimeSource{
+			name: fmt.Sprintf("r%d", k),
+			seed: cfg.Seed + uint64(k)*1_000_003,
+			tau:  cfg.Tau,
+			pA:   cfg.ProbsA[k], pB: cfg.ProbsB[k],
+			shift: cfg.ShiftStep,
+		}
+		var dyn stream.DynamicCost
+		if cfg.CostsA[k] != cfg.CostsB[k] {
+			dyn = regimeCost{costA: cfg.CostsA[k], costB: cfg.CostsB[k], shift: cfg.ShiftStep}
+		}
+		if err := reg.AddDynamic(src, stream.CostModel{BaseJoules: cfg.CostsA[k]}, dyn); err != nil {
+			panic(err) // unreachable: generated names are distinct
+		}
+	}
+	return reg
+}
+
+// RegimeQueries returns the scenario's query texts — deliberately
+// without probability annotations, so planning rests entirely on learned
+// estimates. The OR query is the headline: its cost-optimal leaf order
+// under regime A is close to worst-case under regime B, so a planner
+// holding stale estimates keeps paying for expensive never-true leaves.
+func RegimeQueries(cfg RegimeConfig) []string {
+	cfg = cfg.norm()
+	tau := cfg.Tau
+	qs := []string{
+		orQuery(cfg.Streams, tau),
+	}
+	if cfg.Streams >= 2 {
+		// AND short-circuits on FALSE: regime A's most-likely-false leaf
+		// becomes regime B's most-likely-true one, and vice versa.
+		qs = append(qs, fmt.Sprintf("r%d < %g AND r0 < %g", cfg.Streams-1, tau, tau))
+	}
+	return qs
+}
+
+func orQuery(n int, tau float64) string {
+	s := ""
+	for k := 0; k < n; k++ {
+		if k > 0 {
+			s += " OR "
+		}
+		s += fmt.Sprintf("r%d < %g", k, tau)
+	}
+	return s
+}

@@ -1,0 +1,77 @@
+package corpus
+
+import (
+	"math"
+	"testing"
+)
+
+// TestRegimeSourceHitsConfiguredProbabilities: the fraction of values
+// below Tau matches the configured probability in each regime.
+func TestRegimeSourceHitsConfiguredProbabilities(t *testing.T) {
+	cfg := RegimeConfig{Seed: 5, ShiftStep: 10_000}.norm()
+	reg := RegimeRegistry(cfg)
+	if reg.Len() != 4 {
+		t.Fatalf("registry has %d streams, want 4", reg.Len())
+	}
+	const n = 8000
+	for k := 0; k < reg.Len(); k++ {
+		src := reg.At(k).Source
+		countBelow := func(from, to int64) float64 {
+			below := 0
+			for step := from; step < to; step++ {
+				if src.At(step).Value < cfg.Tau {
+					below++
+				}
+			}
+			return float64(below) / float64(to-from)
+		}
+		tol := 3 * math.Sqrt(0.25/n)
+		if got := countBelow(0, n); math.Abs(got-cfg.ProbsA[k]) > tol {
+			t.Errorf("stream %d regime A: P(v<tau)=%.3f, want %.2f", k, got, cfg.ProbsA[k])
+		}
+		if got := countBelow(cfg.ShiftStep, cfg.ShiftStep+n); math.Abs(got-cfg.ProbsB[k]) > tol {
+			t.Errorf("stream %d regime B: P(v<tau)=%.3f, want %.2f", k, got, cfg.ProbsB[k])
+		}
+	}
+}
+
+// TestRegimeCostsFlipAtShift: per-item prices follow the regimes, and
+// the static planner-visible model keeps regime A's price.
+func TestRegimeCostsFlipAtShift(t *testing.T) {
+	cfg := RegimeConfig{Seed: 9, ShiftStep: 100}.norm()
+	reg := RegimeRegistry(cfg)
+	for k := 0; k < reg.Len(); k++ {
+		st := reg.At(k)
+		if got := st.PerItemAt(99); got != cfg.CostsA[k] {
+			t.Errorf("stream %d pre-shift per-item = %v, want %v", k, got, cfg.CostsA[k])
+		}
+		if got := st.PerItemAt(100); got != cfg.CostsB[k] {
+			t.Errorf("stream %d post-shift per-item = %v, want %v", k, got, cfg.CostsB[k])
+		}
+		if got := st.Cost.PerItem(); got != cfg.CostsA[k] {
+			t.Errorf("stream %d static model = %v, want regime A %v", k, got, cfg.CostsA[k])
+		}
+	}
+	// A stationary config never flips.
+	stat := RegimeRegistry(RegimeConfig{Seed: 9})
+	for k := 0; k < stat.Len(); k++ {
+		if got := stat.At(k).PerItemAt(1 << 40); got != cfg.CostsA[k] {
+			t.Errorf("stationary stream %d per-item = %v at large step, want %v", k, got, cfg.CostsA[k])
+		}
+	}
+}
+
+// TestRegimeQueriesParseable is covered end-to-end by the service tests;
+// here just check shape.
+func TestRegimeQueriesShape(t *testing.T) {
+	qs := RegimeQueries(RegimeConfig{})
+	if len(qs) != 2 {
+		t.Fatalf("queries = %v", qs)
+	}
+	if qs[0] != "r0 < 0.5 OR r1 < 0.5 OR r2 < 0.5 OR r3 < 0.5" {
+		t.Errorf("OR query = %q", qs[0])
+	}
+	if qs[1] != "r3 < 0.5 AND r0 < 0.5" {
+		t.Errorf("AND query = %q", qs[1])
+	}
+}

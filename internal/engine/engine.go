@@ -15,8 +15,10 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"paotr/internal/acquisition"
+	"paotr/internal/adapt"
 	"paotr/internal/andtree"
 	"paotr/internal/dnf"
 	"paotr/internal/parser"
@@ -61,12 +63,40 @@ type Engine struct {
 	traces   *trace.Store
 	plan     Planner     // set by WithPlanner; overrides warm planning
 	planWarm WarmPlanner // default planning path
+	// est is the probability estimator planners consult (default: the
+	// cumulative trace store itself; see WithEstimator). Realized
+	// outcomes are recorded into both the store and est.
+	est trace.Estimator
+	// costs, when set, overrides static per-item stream costs at plan
+	// time with learned ones (see WithCostSource).
+	costs CostSource
 	// replanEps is the plan-cache drift threshold: a cached schedule is
 	// reused while every leaf probability has moved by at most replanEps
 	// since it was planned and the warm cache state is unchanged.
 	// 0 (the default) reuses only on an exact fingerprint match; negative
 	// disables plan reuse entirely.
 	replanEps float64
+
+	// qmu guards queries, the compiled queries subscribed to targeted
+	// plan invalidation (detector events evict exactly the plans whose
+	// fingerprints reference the shifted predicate or stream). Queries
+	// are only retained when the estimator actually emits detector
+	// events (watchPlans), so plain engines keep Compile free of
+	// engine-side retention; long-lived multi-query owners release
+	// retained queries with Forget.
+	watchPlans bool
+	qmu        sync.Mutex
+	queries    map[*Query]struct{}
+	// replansForced counts plan-cache evictions driven by detector
+	// events.
+	replansForced atomic.Int64
+}
+
+// CostSource supplies learned per-item acquisition costs by registry
+// stream index; ok is false while no observation backs the stream (the
+// static registry cost then applies). adapt.Windowed implements it.
+type CostSource interface {
+	CostPerItem(k int) (float64, bool)
 }
 
 // Option configures an Engine.
@@ -82,6 +112,18 @@ func WithWarmPlanner(p WarmPlanner) Option { return func(e *Engine) { e.planWarm
 // WithTraceStore supplies a pre-populated trace store.
 func WithTraceStore(s *trace.Store) Option { return func(e *Engine) { e.traces = s } }
 
+// WithEstimator installs a probability estimator consulted at plan time
+// in place of the cumulative trace store (which keeps recording outcomes
+// for persistence and inspection either way). When the estimator also
+// implements adapt's Subscribe, the engine subscribes to its detector
+// events and evicts exactly the affected cached plans on a trip.
+func WithEstimator(est trace.Estimator) Option { return func(e *Engine) { e.est = est } }
+
+// WithCostSource makes plan-time stream costs come from learned per-item
+// observations instead of the static registry cost models (streams with
+// no observations keep the static cost).
+func WithCostSource(cs CostSource) Option { return func(e *Engine) { e.costs = cs } }
+
 // WithReplanThreshold sets the plan-cache drift threshold. A query's last
 // schedule is reused — skipping the planner — when the warm cache state is
 // identical to the one it was planned against and no leaf probability
@@ -92,15 +134,95 @@ func WithReplanThreshold(eps float64) Option { return func(e *Engine) { e.replan
 
 // New creates an engine over the registry.
 func New(reg *stream.Registry, opts ...Option) *Engine {
-	e := &Engine{reg: reg, traces: trace.NewStore(), planWarm: DefaultWarmPlanner}
+	e := &Engine{reg: reg, traces: trace.NewStore(), planWarm: DefaultWarmPlanner, queries: map[*Query]struct{}{}}
 	for _, o := range opts {
 		o(e)
+	}
+	if e.est == nil {
+		e.est = e.traces
+	}
+	if sub, ok := e.est.(interface{ Subscribe(func(adapt.Event)) }); ok {
+		e.watchPlans = true
+		sub.Subscribe(func(ev adapt.Event) {
+			switch ev.Kind {
+			case adapt.KindPredicate:
+				e.InvalidatePredicate(ev.Pred)
+			case adapt.KindStreamCost:
+				e.InvalidateStream(ev.Stream)
+			}
+		})
 	}
 	return e
 }
 
 // Traces exposes the engine's trace store.
 func (e *Engine) Traces() *trace.Store { return e.traces }
+
+// Estimator exposes the probability estimator planners consult.
+func (e *Engine) Estimator() trace.Estimator { return e.est }
+
+// record feeds one realized predicate outcome into the cumulative store
+// and, when a separate estimator is installed, into it as well.
+func (e *Engine) record(pred string, truth bool) {
+	e.traces.Record(pred, truth)
+	if e.est != nil && e.est != trace.Estimator(e.traces) {
+		e.est.Record(pred, truth)
+	}
+}
+
+// InvalidatePredicate drops the cached plans of every compiled query
+// referencing the predicate and returns how many plans were actually
+// evicted — the targeted reaction to a predicate-level detector trip,
+// instead of waiting for passive per-plan drift checks to notice.
+func (e *Engine) InvalidatePredicate(pred string) int {
+	e.qmu.Lock()
+	defer e.qmu.Unlock()
+	n := 0
+	for q := range e.queries {
+		for _, key := range q.predKeys {
+			if key == pred {
+				if q.InvalidatePlan() {
+					n++
+				}
+				break
+			}
+		}
+	}
+	e.replansForced.Add(int64(n))
+	return n
+}
+
+// InvalidateStream drops the cached plans of every compiled query with a
+// leaf on registry stream k and returns how many plans were actually
+// evicted — the reaction to a stream-cost detector trip (probability
+// fingerprints would not notice a pure cost shift).
+func (e *Engine) InvalidateStream(k int) int {
+	e.qmu.Lock()
+	defer e.qmu.Unlock()
+	n := 0
+	for q := range e.queries {
+		if d := q.skeleton.StreamMaxItems(); k >= 0 && k < len(d) && d[k] > 0 {
+			if q.InvalidatePlan() {
+				n++
+			}
+		}
+	}
+	e.replansForced.Add(int64(n))
+	return n
+}
+
+// ReplansForced returns how many plan-cache evictions detector events
+// have driven.
+func (e *Engine) ReplansForced() int64 { return e.replansForced.Load() }
+
+// Forget detaches a compiled query from targeted invalidation (a
+// multi-query service calls it on unregister, so the engine does not
+// accumulate dead queries).
+func (e *Engine) Forget(q *Query) {
+	e.qmu.Lock()
+	defer e.qmu.Unlock()
+	delete(e.queries, q)
+}
 
 // ReplanThreshold returns the plan-cache drift threshold (see
 // WithReplanThreshold), so schedulers layering their own plan caches on
@@ -170,6 +292,11 @@ func (e *Engine) Compile(text string) (*Query, error) {
 		q.Preds = append(q.Preds, p)
 		q.predKeys = append(q.predKeys, p.P.String())
 	}
+	if e.watchPlans {
+		e.qmu.Lock()
+		e.queries[q] = struct{}{}
+		e.qmu.Unlock()
+	}
 	return q, nil
 }
 
@@ -217,9 +344,10 @@ func childNodes(terms []parser.Expr, reg *stream.Registry) ([]*query.Node, error
 	return out, nil
 }
 
-// Tree returns the query's DNF tree with current probability estimates:
+// Tree returns the query's DNF tree with current probability estimates —
 // the annotated probability when the query provided one, otherwise the
-// trace-store estimate.
+// estimator's — and, when a cost source is installed, per-item stream
+// costs re-priced from learned acquisition observations.
 func (q *Query) Tree() *query.Tree {
 	t := q.skeleton.Clone()
 	for j := range t.Leaves {
@@ -228,8 +356,15 @@ func (q *Query) Tree() *query.Tree {
 			t.Leaves[j].Prob = p.Prob
 			continue
 		}
-		est, _ := q.engine.traces.Estimate(q.predKeys[j])
+		est, _ := q.engine.est.Estimate(q.predKeys[j])
 		t.Leaves[j].Prob = est
+	}
+	if cs := q.engine.costs; cs != nil {
+		for k := range t.Streams {
+			if c, ok := cs.CostPerItem(k); ok {
+				t.Streams[k].Cost = c
+			}
+		}
 	}
 	return t
 }
@@ -275,14 +410,17 @@ type Plan struct {
 	Reused bool
 
 	probs []float64  // fingerprint: per-leaf probabilities planned against
+	costs []float64  // fingerprint: per-stream per-item costs planned against
 	warm  sched.Warm // fingerprint: warm cache snapshot planned against
 }
 
 // Plan builds (or reuses) a schedule for the query against the cache's
-// current state. When the fingerprint — the per-leaf probability estimates
-// plus the warm-state snapshot — has not drifted beyond the engine's
-// replan threshold since the last plan, the cached schedule is reused and
-// only its expected cost is recomputed; otherwise the planner runs anew.
+// current state. When the fingerprint — the per-leaf probability
+// estimates, the per-stream per-item costs (which drift when a cost
+// source learns them; see WithCostSource) and the warm-state snapshot —
+// has not drifted beyond the engine's replan threshold since the last
+// plan, the cached schedule is reused and only its expected cost is
+// recomputed; otherwise the planner runs anew.
 func (q *Query) Plan(cache *acquisition.Cache) (*Plan, error) {
 	t := q.Tree()
 	var warm sched.Warm
@@ -294,18 +432,22 @@ func (q *Query) Plan(cache *acquisition.Cache) (*Plan, error) {
 	for j := range t.Leaves {
 		probs[j] = t.Leaves[j].Prob
 	}
+	costs := streamCosts(t)
 
 	q.mu.Lock()
 	prev := q.last
 	q.mu.Unlock()
 	if prev != nil && q.engine.replanEps >= 0 && warmEqual(prev.warm, warm) {
 		drift := maxDrift(prev.probs, probs)
+		if cd := maxRelCostDrift(prev.costs, costs); cd > drift {
+			drift = cd
+		}
 		if drift <= q.engine.replanEps {
 			// Keep the fingerprint of the plan that produced the schedule:
 			// drift is always measured against the probabilities the planner
 			// actually saw, so slow cumulative drift still forces a re-plan
 			// once it exceeds the threshold.
-			p := &Plan{Tree: t, Schedule: prev.Schedule, Reused: true, probs: prev.probs, warm: prev.warm}
+			p := &Plan{Tree: t, Schedule: prev.Schedule, Reused: true, probs: prev.probs, costs: prev.costs, warm: prev.warm}
 			switch {
 			case drift == 0:
 				// Exact fingerprint match: same probabilities and same warm
@@ -333,9 +475,19 @@ func (q *Query) Plan(cache *acquisition.Cache) (*Plan, error) {
 	if err := s.Validate(t); err != nil {
 		return nil, fmt.Errorf("engine: planner returned invalid schedule: %w", err)
 	}
-	p := &Plan{Tree: t, Schedule: s, ExpectedCost: expected, probs: probs, warm: warm}
+	p := &Plan{Tree: t, Schedule: s, ExpectedCost: expected, probs: probs, costs: costs, warm: warm}
 	q.storePlan(p)
 	return p, nil
+}
+
+// streamCosts extracts the tree's per-stream per-item costs (the cost
+// part of a plan fingerprint).
+func streamCosts(t *query.Tree) []float64 {
+	out := make([]float64, len(t.Streams))
+	for k := range t.Streams {
+		out[k] = t.Streams[k].Cost
+	}
+	return out
 }
 
 func (q *Query) storePlan(p *Plan) {
@@ -344,13 +496,16 @@ func (q *Query) storePlan(p *Plan) {
 	q.mu.Unlock()
 }
 
-// InvalidatePlan drops the cached plans (linear and adaptive), forcing the
-// next Plan or PlanAdaptive call to run the planner.
-func (q *Query) InvalidatePlan() {
+// InvalidatePlan drops the cached plans (linear and adaptive), forcing
+// the next Plan or PlanAdaptive call to run the planner. It reports
+// whether anything was actually dropped.
+func (q *Query) InvalidatePlan() bool {
 	q.mu.Lock()
+	defer q.mu.Unlock()
+	had := q.last != nil || q.lastAdaptive != nil
 	q.last = nil
 	q.lastAdaptive = nil
-	q.mu.Unlock()
+	return had
 }
 
 // warmEqual reports whether two warm snapshots describe the same cache
@@ -370,6 +525,28 @@ func warmEqual(a, b sched.Warm) bool {
 		}
 	}
 	return true
+}
+
+// maxRelCostDrift returns the largest relative per-stream cost change
+// |b/a - 1|, or +Inf when the vectors are incomparable (a cost falling
+// to or rising from zero is incomparable too).
+func maxRelCostDrift(a, b []float64) float64 {
+	if len(a) != len(b) {
+		return math.Inf(1)
+	}
+	d := 0.0
+	for k := range a {
+		switch {
+		case a[k] == b[k]:
+		case a[k] <= 0:
+			return math.Inf(1)
+		default:
+			if dk := math.Abs(b[k]-a[k]) / a[k]; dk > d {
+				d = dk
+			}
+		}
+	}
+	return d
 }
 
 // maxDrift returns the largest absolute per-leaf probability change, or
@@ -401,7 +578,7 @@ func (q *Query) evalLeaf(t *query.Tree, j int, cache *acquisition.Cache) (bool, 
 	if err != nil {
 		return false, cost, err
 	}
-	q.engine.traces.Record(q.predKeys[j], truth)
+	q.engine.record(q.predKeys[j], truth)
 	return truth, cost, nil
 }
 

@@ -24,6 +24,14 @@ const (
 // cheaper.
 const DefaultGapThreshold = 0.02
 
+// CIGateFactor scales the evidence gate of the adaptive executor: when
+// the engine's estimator exposes confidence intervals, the modelled gap
+// must additionally clear CIGateFactor times the widest interval over
+// the query's trace-estimated leaves. A low-evidence query (wide CI)
+// therefore stays on the linear schedule until the estimates firm up —
+// the modelled non-linear advantage is not trustworthy before that.
+const CIGateFactor = 0.5
+
 // Executor is a pluggable execution strategy for compiled queries. Prepare
 // plans (or reuses a cached plan for) one execution against the cache's
 // current state; the returned Prepared runs it. Splitting the two lets a
@@ -194,10 +202,16 @@ type AdaptivePlan struct {
 	// bound was exceeded. Gap() reports their relative difference.
 	LinearCost    float64
 	NonLinearCost float64
+	// CIWidth is the widest estimator confidence interval over the
+	// query's trace-estimated leaves at planning time (0 when every leaf
+	// probability is annotated or the estimator has no intervals). It
+	// widens the gap the decision tree must clear (see CIGateFactor).
+	CIWidth float64
 	// Reused reports whether the strategy came from the plan cache.
 	Reused bool
 
 	probs []float64  // fingerprint: per-leaf probabilities planned against
+	costs []float64  // fingerprint: per-stream per-item costs planned against
 	warm  sched.Warm // fingerprint: warm cache snapshot planned against
 }
 
@@ -243,19 +257,34 @@ func (q *Query) PlanAdaptive(cache *acquisition.Cache, gapThreshold float64) (*A
 	for j := range t.Leaves {
 		probs[j] = t.Leaves[j].Prob
 	}
+	costs := streamCosts(t)
 	warm := lin.warm
+	// Evidence gate: a decision tree is only preferred when the modelled
+	// gap also clears a share of the widest confidence interval over the
+	// trace-estimated leaf probabilities, so low-evidence queries stay
+	// linear. A negative threshold forces the tree and skips the gate.
+	ciw := q.ciWidth()
+	effGap := gapThreshold
+	if gapThreshold >= 0 {
+		effGap += CIGateFactor * ciw
+	}
 
 	q.mu.Lock()
 	prev := q.lastAdaptive
 	q.mu.Unlock()
 	if prev != nil && q.engine.replanEps >= 0 && warmEqual(prev.warm, warm) {
-		if drift := maxDrift(prev.probs, probs); drift <= q.engine.replanEps {
+		drift := maxDrift(prev.probs, probs)
+		if cd := maxRelCostDrift(prev.costs, costs); cd > drift {
+			drift = cd
+		}
+		if drift <= q.engine.replanEps {
 			// Keep the cached choice (tree or fallback) and its
-			// fingerprint; re-price the tree only when probabilities moved.
+			// fingerprint; re-price the tree only when probabilities or
+			// learned costs moved.
 			ap := &AdaptivePlan{
 				Tree: t, Root: prev.Root, Linear: lin,
 				LinearCost: lin.ExpectedCost, NonLinearCost: prev.NonLinearCost,
-				Reused: true, probs: prev.probs, warm: prev.warm,
+				CIWidth: ciw, Reused: true, probs: prev.probs, costs: prev.costs, warm: prev.warm,
 			}
 			if ap.Root != nil && drift > 0 {
 				ap.NonLinearCost = strategy.CostOfDecisionTreeWarm(t, ap.Root, warm)
@@ -264,7 +293,7 @@ func (q *Query) PlanAdaptive(cache *acquisition.Cache, gapThreshold float64) (*A
 				// (The symmetric case — a cached fallback whose tree became
 				// worthwhile — is only reconsidered on a re-plan, since
 				// detecting it would cost a full DP run per tick.)
-				if !preferTree(gapThreshold, lin.ExpectedCost, ap.NonLinearCost) {
+				if !preferTree(effGap, lin.ExpectedCost, ap.NonLinearCost) {
 					ap.Root = nil
 				}
 			}
@@ -282,9 +311,9 @@ func (q *Query) PlanAdaptive(cache *acquisition.Cache, gapThreshold float64) (*A
 	ap := &AdaptivePlan{
 		Tree: t, Linear: lin,
 		LinearCost: lin.ExpectedCost, NonLinearCost: nl,
-		probs: probs, warm: warm,
+		CIWidth: ciw, probs: probs, costs: costs, warm: warm,
 	}
-	if preferTree(gapThreshold, lin.ExpectedCost, nl) {
+	if preferTree(effGap, lin.ExpectedCost, nl) {
 		ap.Root = root
 		ap.ExpectedCost = nl
 	} else {
@@ -292,6 +321,26 @@ func (q *Query) PlanAdaptive(cache *acquisition.Cache, gapThreshold float64) (*A
 	}
 	q.storeAdaptivePlan(ap)
 	return ap, nil
+}
+
+// ciWidth returns the widest estimator confidence interval over the
+// query's trace-estimated leaves — 0 when every leaf is annotated or the
+// estimator exposes no intervals (e.g. the cumulative store).
+func (q *Query) ciWidth() float64 {
+	ci, ok := q.engine.est.(interface{ CIWidth(pred string) float64 })
+	if !ok {
+		return 0
+	}
+	w := 0.0
+	for j := range q.Preds {
+		if !math.IsNaN(q.Preds[j].Prob) {
+			continue
+		}
+		if cw := ci.CIWidth(q.predKeys[j]); cw > w {
+			w = cw
+		}
+	}
+	return w
 }
 
 // preferTree decides whether the decision tree's expected cost clears the

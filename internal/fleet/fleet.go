@@ -346,6 +346,7 @@ type Planner struct {
 // plannerEntry is one cached joint plan with its fingerprint.
 type plannerEntry struct {
 	probs [][]float64
+	costs [][]float64 // per-tree per-stream per-item costs
 	warm  sched.Warm
 	plan  *Plan
 }
@@ -359,10 +360,15 @@ func cacheKey(keys []string) string { return strings.Join(keys, "\x00") }
 // probabilities.
 func (pl *Planner) Plan(keys []string, trees []*query.Tree, warm sched.Warm) (plan *Plan, reused bool) {
 	probs := make([][]float64, len(trees))
+	costs := make([][]float64, len(trees))
 	for qi, t := range trees {
 		probs[qi] = make([]float64, len(t.Leaves))
 		for j := range t.Leaves {
 			probs[qi][j] = t.Leaves[j].Prob
+		}
+		costs[qi] = make([]float64, len(t.Streams))
+		for k := range t.Streams {
+			costs[qi][k] = t.Streams[k].Cost
 		}
 	}
 	key := cacheKey(keys)
@@ -370,7 +376,11 @@ func (pl *Planner) Plan(keys []string, trees []*query.Tree, warm sched.Warm) (pl
 	pl.mu.Lock()
 	defer pl.mu.Unlock()
 	if ent := pl.entries[key]; ent != nil && pl.Eps >= 0 && warmEqual(ent.warm, warm) {
-		if drift := maxDrift(ent.probs, probs); drift <= pl.Eps {
+		drift := maxDrift(ent.probs, probs)
+		if cd := maxRelCostDrift(ent.costs, costs); cd > drift {
+			drift = cd
+		}
+		if drift <= pl.Eps {
 			if drift == 0 {
 				return ent.plan, true
 			}
@@ -408,15 +418,18 @@ func (pl *Planner) Plan(keys []string, trees []*query.Tree, warm sched.Warm) (pl
 			break
 		}
 	}
-	pl.entries[key] = &plannerEntry{probs: probs, warm: warm, plan: p}
+	pl.entries[key] = &plannerEntry{probs: probs, costs: costs, warm: warm, plan: p}
 	return p, false
 }
 
-// Invalidate drops all cached plans.
-func (pl *Planner) Invalidate() {
+// Invalidate drops all cached plans and returns how many entries were
+// dropped.
+func (pl *Planner) Invalidate() int {
 	pl.mu.Lock()
 	defer pl.mu.Unlock()
+	n := len(pl.entries)
 	pl.entries = nil
+	return n
 }
 
 // warmEqual reports whether two warm snapshots describe the same cache
@@ -436,6 +449,33 @@ func warmEqual(a, b sched.Warm) bool {
 		}
 	}
 	return true
+}
+
+// maxRelCostDrift returns the largest relative per-stream cost change
+// |b/a - 1| across the fleet (learned costs drift; see the engine's
+// CostSource), or +Inf when the shapes differ or a cost crosses zero.
+func maxRelCostDrift(a, b [][]float64) float64 {
+	if len(a) != len(b) {
+		return math.Inf(1)
+	}
+	d := 0.0
+	for qi := range a {
+		if len(a[qi]) != len(b[qi]) {
+			return math.Inf(1)
+		}
+		for k := range a[qi] {
+			switch {
+			case a[qi][k] == b[qi][k]:
+			case a[qi][k] <= 0:
+				return math.Inf(1)
+			default:
+				if dk := math.Abs(b[qi][k]-a[qi][k]) / a[qi][k]; dk > d {
+					d = dk
+				}
+			}
+		}
+	}
+	return d
 }
 
 // maxDrift returns the largest absolute per-leaf probability change

@@ -18,8 +18,10 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"paotr/internal/acquisition"
+	"paotr/internal/adapt"
 	"paotr/internal/engine"
 	"paotr/internal/fleet"
 	"paotr/internal/query"
@@ -43,7 +45,19 @@ type Service struct {
 	batch     bool            // batched first-leaf acquisition in Tick
 	fleetPlan bool            // cross-query joint planning in Tick
 	planner   *fleet.Planner  // fleet-level plan cache
-	tick      int64
+	// ad is the online estimator (nil under WithCumulativeEstimator).
+	// After phase 3 of every tick, realized per-stream acquisition costs
+	// are fed back into it; its detector events invalidate the fleet plan
+	// cache here and per-query plan caches in the engine.
+	ad *adapt.Windowed
+	// prevSpent/prevTransferred snapshot per-stream cache accounting at
+	// the end of the previous tick, to derive per-tick cost observations.
+	prevSpent       []float64
+	prevTransferred []int64
+	// fleetInvalidated counts cached joint plans dropped by detector
+	// trips (atomic: trips fire from phase-3 worker goroutines).
+	fleetInvalidated atomic.Int64
+	tick             int64
 
 	executions    int64
 	planHits      int64
@@ -78,13 +92,16 @@ type registered struct {
 type Option func(*config)
 
 type config struct {
-	workers   int
-	history   int
-	engOpts   []engine.Option
-	exec      engine.Executor
-	batch     bool
-	fleetPlan bool
-	stripes   int
+	workers    int
+	history    int
+	engOpts    []engine.Option
+	exec       engine.Executor
+	batch      bool
+	fleetPlan  bool
+	stripes    int
+	cumulative bool
+	adaptCfg   adapt.Config
+	traceCap   int
 }
 
 // WithWorkers sets the tick worker-pool size (default GOMAXPROCS).
@@ -129,9 +146,29 @@ func WithFleetPlanning(on bool) Option { return func(c *config) { c.fleetPlan = 
 // pre-sharding behaviour, kept as a benchmark baseline.
 func WithCacheStripes(n int) Option { return func(c *config) { c.stripes = n } }
 
+// WithCumulativeEstimator reverts probability estimation to the
+// never-forgetting cumulative trace counter — the pre-adaptation
+// behaviour, kept as the baseline: no sliding windows, no learned
+// per-item costs, no change detectors, no forced replans.
+func WithCumulativeEstimator() Option { return func(c *config) { c.cumulative = true } }
+
+// WithAdaptConfig tunes the default windowed online estimator (window
+// size, EWMA steps, Page-Hinkley thresholds; see adapt.Config). Ignored
+// under WithCumulativeEstimator.
+func WithAdaptConfig(cfg adapt.Config) Option { return func(c *config) { c.adaptCfg = cfg } }
+
+// WithTraceCap bounds the number of distinct predicates the cumulative
+// trace store retains (default 8192; 0 removes the bound). Churning
+// tenant registration otherwise grows the store forever.
+func WithTraceCap(n int) Option { return func(c *config) { c.traceCap = n } }
+
 // New creates a service over the registry with an empty shared cache.
+// The windowed online estimator (see internal/adapt) is the default:
+// leaf probabilities and per-item costs are learned from a sliding
+// window of realized outcomes, and change detectors actively invalidate
+// affected plans. WithCumulativeEstimator restores the old baseline.
 func New(reg *stream.Registry, opts ...Option) *Service {
-	cfg := config{workers: runtime.GOMAXPROCS(0), history: 64, batch: true, fleetPlan: true}
+	cfg := config{workers: runtime.GOMAXPROCS(0), history: 64, batch: true, fleetPlan: true, traceCap: -1}
 	for _, o := range opts {
 		o(&cfg)
 	}
@@ -144,21 +181,49 @@ func New(reg *stream.Registry, opts ...Option) *Service {
 	if cfg.exec == nil {
 		cfg.exec = engine.LinearExecutor{}
 	}
-	eng := engine.New(reg, cfg.engOpts...)
-	return &Service{
-		reg:         reg,
-		eng:         eng,
-		cache:       acquisition.NewSharedStriped(reg, cfg.stripes),
-		queries:     map[string]*registered{},
-		workers:     cfg.workers,
-		history:     cfg.history,
-		exec:        cfg.exec,
-		batch:       cfg.batch,
-		fleetPlan:   cfg.fleetPlan,
-		planner:     &fleet.Planner{Eps: eng.ReplanThreshold()},
-		dupAvoidedK: make([]int64, reg.Len()),
+	var ad *adapt.Windowed
+	engOpts := cfg.engOpts
+	if !cfg.cumulative {
+		ad = adapt.NewWindowed(cfg.adaptCfg)
+		// Prepend so explicit WithEngineOptions overrides still win.
+		engOpts = append([]engine.Option{engine.WithEstimator(ad), engine.WithCostSource(ad)}, engOpts...)
 	}
+	eng := engine.New(reg, engOpts...)
+	if cfg.traceCap < 0 {
+		cfg.traceCap = 8192
+	}
+	eng.Traces().SetCap(cfg.traceCap)
+	s := &Service{
+		reg:             reg,
+		eng:             eng,
+		cache:           acquisition.NewSharedStriped(reg, cfg.stripes),
+		queries:         map[string]*registered{},
+		workers:         cfg.workers,
+		history:         cfg.history,
+		exec:            cfg.exec,
+		batch:           cfg.batch,
+		fleetPlan:       cfg.fleetPlan,
+		ad:              ad,
+		prevSpent:       make([]float64, reg.Len()),
+		prevTransferred: make([]int64, reg.Len()),
+		planner:         &fleet.Planner{Eps: eng.ReplanThreshold()},
+		dupAvoidedK:     make([]int64, reg.Len()),
+	}
+	if ad != nil {
+		// The engine already evicts affected per-query plans on detector
+		// trips; the joint plans layered above them must go too. (Fleet-
+		// planned queries never populate their per-query caches, so the
+		// joint entries dropped here are their forced replans.)
+		ad.Subscribe(func(adapt.Event) {
+			s.fleetInvalidated.Add(int64(s.planner.Invalidate()))
+		})
+	}
+	return s
 }
+
+// Adaptive exposes the online estimator (nil under
+// WithCumulativeEstimator), e.g. for estimator-state inspection.
+func (s *Service) Adaptive() *adapt.Windowed { return s.ad }
 
 // Engine exposes the shared engine (e.g. for trace-store inspection).
 func (s *Service) Engine() *engine.Engine { return s.eng }
@@ -224,9 +289,11 @@ func (s *Service) Register(id, text string, opts ...QueryOption) error {
 func (s *Service) Unregister(id string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if _, ok := s.queries[id]; !ok {
+	r, ok := s.queries[id]
+	if !ok {
 		return fmt.Errorf("service: unknown query id %q", id)
 	}
+	s.eng.Forget(r.q)
 	delete(s.queries, id)
 	for i, o := range s.order {
 		if o == id {
@@ -551,7 +618,30 @@ func (s *Service) Tick() TickResult {
 			r.hist = r.hist[len(r.hist)-s.history:]
 		}
 	}
+	s.observeCosts()
 	return out
+}
+
+// observeCosts feeds this tick's realized per-stream acquisition costs
+// into the online estimator: for every stream that transferred items
+// since the previous tick, the average per-item cost actually paid. This
+// is how the planner's C becomes a learned quantity — and how the
+// per-stream cost detectors see price-regime shifts. Caller holds the
+// service lock.
+func (s *Service) observeCosts() {
+	if s.ad == nil {
+		return
+	}
+	for _, ss := range s.cache.PerStream() {
+		k := ss.Stream
+		items := ss.Transferred - s.prevTransferred[k]
+		spent := ss.Spent - s.prevSpent[k]
+		s.prevTransferred[k] = ss.Transferred
+		s.prevSpent[k] = ss.Spent
+		if items > 0 {
+			s.ad.ObserveCost(k, spent/float64(items), int(items))
+		}
+	}
 }
 
 // Run executes n consecutive ticks and returns their results.
@@ -674,6 +764,29 @@ type Metrics struct {
 	FleetExpectedCost       float64 `json:"fleet_expected_cost"`
 	IndependentExpectedCost float64 `json:"independent_expected_cost"`
 	FleetModelledSaving     float64 `json:"fleet_modelled_saving"`
+	// Estimator names the probability-estimation mode: "windowed" (the
+	// online adaptive default; see internal/adapt) or "cumulative" (the
+	// never-forgetting baseline). EstimatorWindow is the sliding-window
+	// size (0 for cumulative).
+	Estimator       string `json:"estimator"`
+	EstimatorWindow int    `json:"estimator_window,omitempty"`
+	// PredicateDetectorTrips / CostDetectorTrips count Page-Hinkley
+	// regime-shift detections on predicate probabilities and per-stream
+	// acquisition costs; ReplansForced counts the plan-cache evictions
+	// those trips drove — per-query cached plans plus cached joint fleet
+	// plans (targeted invalidation instead of passive drift checks).
+	PredicateDetectorTrips int64 `json:"predicate_detector_trips"`
+	CostDetectorTrips      int64 `json:"cost_detector_trips"`
+	ReplansForced          int64 `json:"replans_forced"`
+	// AvgCIWidth is the mean confidence-interval width over tracked
+	// predicates — the fleet's evidence gauge (small = estimates are
+	// well-backed; 1 = no evidence).
+	AvgCIWidth float64 `json:"avg_ci_width,omitempty"`
+	// TrackedPredicates is the number of distinct predicates in the trace
+	// store; TraceEvictions counts predicates evicted to honour its cap
+	// (see WithTraceCap).
+	TrackedPredicates int   `json:"tracked_predicates"`
+	TraceEvictions    int64 `json:"trace_evictions"`
 	// CacheRequested / CacheTransferred / CacheHitRate report shared
 	// acquisition-cache traffic: the fraction of requested items served
 	// without paying.
@@ -707,6 +820,13 @@ type StreamMetrics struct {
 	// DuplicatePullsAvoided is this stream's share of the tick batcher's
 	// coalesced duplicate pulls (see Metrics.DuplicatePullsAvoided).
 	DuplicatePullsAvoided int64 `json:"duplicate_pulls_avoided"`
+	// LearnedCostPerItem is the online estimator's per-item cost EWMA for
+	// the stream (0 until an acquisition has been observed, or under the
+	// cumulative estimator) — the C planners actually price with.
+	LearnedCostPerItem float64 `json:"learned_cost_per_item,omitempty"`
+	// CostDetectorTrips counts price-regime shifts detected on the
+	// stream.
+	CostDetectorTrips int64 `json:"cost_detector_trips,omitempty"`
 }
 
 // Metrics returns a fleet-wide snapshot.
@@ -747,6 +867,20 @@ func (s *Service) Metrics() Metrics {
 	if m.IndependentExpectedCost > 0 {
 		m.FleetModelledSaving = 1 - m.FleetExpectedCost/m.IndependentExpectedCost
 	}
+	m.Estimator = "cumulative"
+	m.ReplansForced = s.eng.ReplansForced() + s.fleetInvalidated.Load()
+	m.TrackedPredicates = s.eng.Traces().Len()
+	m.TraceEvictions = s.eng.Traces().Evictions()
+	learned := map[int]adapt.StreamCostState{}
+	if s.ad != nil {
+		m.Estimator = s.ad.Name()
+		m.EstimatorWindow = s.ad.Window()
+		m.PredicateDetectorTrips, m.CostDetectorTrips = s.ad.Trips()
+		m.AvgCIWidth = s.ad.AvgCIWidth()
+		for _, cs := range s.ad.StreamCosts() {
+			learned[cs.Stream] = cs
+		}
+	}
 	for _, ss := range s.cache.PerStream() {
 		m.PerStream = append(m.PerStream, StreamMetrics{
 			Stream:                ss.Stream,
@@ -756,6 +890,8 @@ func (s *Service) Metrics() Metrics {
 			HitRate:               ss.HitRate,
 			Spent:                 ss.Spent,
 			DuplicatePullsAvoided: s.dupAvoidedK[ss.Stream],
+			LearnedCostPerItem:    learned[ss.Stream].PerItem,
+			CostDetectorTrips:     learned[ss.Stream].Trips,
 		})
 	}
 	for _, r := range s.queries {

@@ -61,10 +61,32 @@ var (
 	Cellular = CostModel{BytesPerItem: 8, JoulesPerByte: 0.35, BaseJoules: 2.0}
 )
 
-// Stream couples a source with a cost model.
+// DynamicCost prices items per production step, for scenarios whose
+// acquisition cost regime changes over time (e.g. a sensor falling back
+// from BLE to cellular). Implementations must be deterministic functions
+// of the step.
+type DynamicCost interface {
+	// PerItemAt returns the cost of acquiring the item produced at step.
+	PerItemAt(step int64) float64
+}
+
+// Stream couples a source with a cost model. When Dynamic is non-nil it
+// overrides the static model's per-item price at acquisition time; Cost
+// remains the planner-visible baseline (planners that learn realized
+// costs — see internal/adapt — converge to the dynamic price).
 type Stream struct {
-	Source Source
-	Cost   CostModel
+	Source  Source
+	Cost    CostModel
+	Dynamic DynamicCost
+}
+
+// PerItemAt returns the cost of acquiring the item produced at step:
+// the dynamic price when one is installed, the static model otherwise.
+func (s Stream) PerItemAt(step int64) float64 {
+	if s.Dynamic != nil {
+		return s.Dynamic.PerItemAt(step)
+	}
+	return s.Cost.PerItem()
 }
 
 // sine is a deterministic sinusoid with additive pseudo-random noise.
@@ -250,11 +272,17 @@ func NewRegistry() *Registry {
 
 // Add registers a stream; the source name must be unique.
 func (r *Registry) Add(src Source, cost CostModel) error {
+	return r.AddDynamic(src, cost, nil)
+}
+
+// AddDynamic registers a stream whose realized per-item price follows dyn
+// (cost stays the planner-visible static baseline). A nil dyn is Add.
+func (r *Registry) AddDynamic(src Source, cost CostModel, dyn DynamicCost) error {
 	if _, dup := r.byName[src.Name()]; dup {
 		return fmt.Errorf("stream: duplicate stream %q", src.Name())
 	}
 	r.byName[src.Name()] = len(r.streams)
-	r.streams = append(r.streams, Stream{Source: src, Cost: cost})
+	r.streams = append(r.streams, Stream{Source: src, Cost: cost, Dynamic: dyn})
 	return nil
 }
 

@@ -16,6 +16,21 @@ import (
 	"sync"
 )
 
+// Estimator is a pluggable success-probability estimator over predicate
+// evaluation outcomes. The engine records every realized outcome into its
+// estimator and reads planning estimates back out. Store is the
+// cumulative (never-forgetting) implementation; adapt.Windowed is the
+// sliding-window one that tracks non-stationary streams.
+type Estimator interface {
+	// Record adds one evaluation outcome for the predicate.
+	Record(pred string, success bool)
+	// Estimate returns the estimated success probability and the number
+	// of observations backing it.
+	Estimate(pred string) (p float64, n int)
+}
+
+var _ Estimator = (*Store)(nil)
+
 // Stats summarizes the recorded history of one predicate.
 type Stats struct {
 	// Evals is the number of recorded evaluations.
@@ -30,6 +45,13 @@ type Stats struct {
 type Store struct {
 	mu     sync.RWMutex
 	counts map[string]*Stats
+	// stamps holds a recency stamp per predicate (for capped eviction).
+	stamps map[string]int64
+	clock  int64
+	// cap bounds the number of distinct predicates retained (0 =
+	// unlimited); evictions counts predicates dropped to honour it.
+	cap       int
+	evictions int64
 	// PriorProb is the estimate returned for predicates with no history
 	// (default 0.5).
 	PriorProb float64
@@ -40,7 +62,73 @@ type Store struct {
 
 // NewStore creates an empty store with the default uniform prior.
 func NewStore() *Store {
-	return &Store{counts: map[string]*Stats{}, PriorProb: 0.5, PriorWeight: 2}
+	return &Store{counts: map[string]*Stats{}, stamps: map[string]int64{}, PriorProb: 0.5, PriorWeight: 2}
+}
+
+// SetCap bounds the number of distinct predicates the store retains
+// (0 removes the bound). When a Record pushes the store past the cap, the
+// least-recently-recorded predicates are evicted — under churning tenant
+// registration the per-predicate history otherwise grows forever.
+func (s *Store) SetCap(n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.cap = n
+	s.evictLocked()
+}
+
+// Cap returns the predicate-count bound (0 = unlimited).
+func (s *Store) Cap() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.cap
+}
+
+// Evictions returns how many predicates have been evicted to honour the
+// cap.
+func (s *Store) Evictions() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.evictions
+}
+
+// OldestKeys returns the least-recently-stamped keys to evict so that a
+// map of len(stamps) entries honours the cap, over-evicting by ~1/16 of
+// the cap so the scan amortizes over many insertions instead of running
+// once per new key at the bound. It returns nil while the cap is
+// honoured. The windowed estimator (internal/adapt) shares this policy
+// for its own per-predicate state.
+func OldestKeys(stamps map[string]int64, cap int) []string {
+	if cap <= 0 || len(stamps) <= cap {
+		return nil
+	}
+	type aged struct {
+		key   string
+		stamp int64
+	}
+	all := make([]aged, 0, len(stamps))
+	for key, stamp := range stamps {
+		all = append(all, aged{key, stamp})
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].stamp < all[j].stamp })
+	drop := len(stamps) - cap + cap/16
+	if drop > len(all) {
+		drop = len(all)
+	}
+	out := make([]string, drop)
+	for i, a := range all[:drop] {
+		out[i] = a.key
+	}
+	return out
+}
+
+// evictLocked drops least-recently-recorded predicates until the cap is
+// honoured (see OldestKeys). Caller holds mu exclusively.
+func (s *Store) evictLocked() {
+	for _, pred := range OldestKeys(s.stamps, s.cap) {
+		delete(s.counts, pred)
+		delete(s.stamps, pred)
+		s.evictions++
+	}
 }
 
 // Record adds one evaluation outcome for the predicate.
@@ -56,6 +144,9 @@ func (s *Store) Record(pred string, success bool) {
 	if success {
 		st.Successes++
 	}
+	s.clock++
+	s.stamps[pred] = s.clock
+	s.evictLocked()
 }
 
 // Estimate returns the smoothed success probability of the predicate and
@@ -129,6 +220,12 @@ func (s *Store) Load(r io.Reader) error {
 	if s.counts == nil {
 		s.counts = map[string]*Stats{}
 	}
+	s.stamps = make(map[string]int64, len(s.counts))
+	for k := range s.counts {
+		s.clock++
+		s.stamps[k] = s.clock
+	}
+	s.evictLocked()
 	return nil
 }
 

@@ -144,3 +144,40 @@ func TestConcurrentRecord(t *testing.T) {
 		t.Errorf("stats = %+v", st)
 	}
 }
+
+func TestCapEvictsLeastRecentlyRecorded(t *testing.T) {
+	s := NewStore()
+	s.SetCap(3)
+	for i := 0; i < 5; i++ {
+		for j := 0; j <= i; j++ {
+			s.Record(string(rune('a'+i)), true)
+		}
+	}
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d after cap-3 churn, want 3", s.Len())
+	}
+	if s.Evictions() != 2 {
+		t.Errorf("Evictions = %d, want 2", s.Evictions())
+	}
+	// The two oldest predicates ("a", "b") are gone; the rest survive.
+	if got := s.Predicates(); len(got) != 3 || got[0] != "c" || got[2] != "e" {
+		t.Errorf("surviving predicates = %v, want [c d e]", got)
+	}
+	// Recording an evicted predicate starts it fresh.
+	if st := s.StatsFor("a"); st.Evals != 0 {
+		t.Errorf("evicted predicate kept stats: %+v", st)
+	}
+	// Shrinking the cap evicts immediately.
+	s.SetCap(1)
+	if s.Len() != 1 || s.Evictions() != 4 {
+		t.Errorf("after SetCap(1): Len=%d Evictions=%d, want 1 and 4", s.Len(), s.Evictions())
+	}
+	// Cap 0 removes the bound.
+	s.SetCap(0)
+	for i := 0; i < 10; i++ {
+		s.Record(string(rune('p'+i)), false)
+	}
+	if s.Len() != 11 {
+		t.Errorf("uncapped Len = %d, want 11", s.Len())
+	}
+}
