@@ -1,0 +1,260 @@
+// Command benchgate is the CI benchmark-regression gate: it diffs the
+// freshly produced machine-readable benchmark artifacts (BENCH_*.json)
+// against baselines committed in the repository and fails the build when
+// an energy-efficiency metric regresses beyond the tolerance.
+//
+// The gated metrics are the J/tick numbers — every numeric JSON field
+// whose name ends in "j_per_tick", addressed by its path (array elements
+// that carry a "name" field are addressed by it, so reordering rows does
+// not break the diff). J/tick is deterministic for the seeded simulation
+// corpora, unlike wall-clock throughput, which makes it safe to gate on
+// across heterogeneous CI hosts; per_sec fields are deliberately not
+// gated.
+//
+// Usage:
+//
+//	benchgate -baseline ci/baselines -current . [-tolerance 0.10] [files...]
+//	benchgate -selftest -baseline ci/baselines
+//
+// Without explicit files the default artifact set is compared
+// (BENCH_fleet.json, BENCH_adapt.json, BENCH_shard.json). A file present
+// in the baseline directory but missing from the current one fails the
+// gate. -selftest is the dry run CI uses to prove the gate has teeth: it
+// synthesizes a current artifact set with every J/tick metric inflated
+// 12% over baseline and exits 0 only if the gate correctly rejects it.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// defaultArtifacts is the benchmark set produced by the CI workflow.
+var defaultArtifacts = []string{"BENCH_fleet.json", "BENCH_adapt.json", "BENCH_shard.json"}
+
+func main() {
+	var (
+		baseline = flag.String("baseline", "ci/baselines", "directory holding the committed baseline BENCH_*.json files")
+		current  = flag.String("current", ".", "directory holding the freshly produced BENCH_*.json files")
+		tol      = flag.Float64("tolerance", 0.10, "relative J/tick regression tolerated before failing")
+		selftest = flag.Bool("selftest", false, "dry run: synthesize a regression over the baselines and verify the gate rejects it")
+	)
+	flag.Parse()
+	files := flag.Args()
+	if len(files) == 0 {
+		files = defaultArtifacts
+	}
+	if *selftest {
+		if err := runSelftest(*baseline, files, *tol, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate selftest: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println("benchgate selftest: ok — synthetic regression was rejected")
+		return
+	}
+	regressions, err := runGate(*baseline, *current, files, *tol, os.Stdout)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(2)
+	}
+	if regressions > 0 {
+		fmt.Fprintf(os.Stderr, "benchgate: %d metric(s) regressed beyond %.0f%%\n", regressions, 100**tol)
+		os.Exit(1)
+	}
+	fmt.Printf("benchgate: all gated metrics within %.0f%% of baseline\n", 100**tol)
+}
+
+// metrics flattens a decoded JSON document into path -> value for every
+// numeric field whose key ends in "j_per_tick".
+func metrics(doc any) map[string]float64 {
+	out := map[string]float64{}
+	collect(doc, "", out)
+	return out
+}
+
+const gatedSuffix = "j_per_tick"
+
+func collect(v any, path string, out map[string]float64) {
+	switch t := v.(type) {
+	case map[string]any:
+		keys := make([]string, 0, len(t))
+		for k := range t {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			p := k
+			if path != "" {
+				p = path + "." + k
+			}
+			if f, ok := t[k].(float64); ok && strings.HasSuffix(k, gatedSuffix) {
+				out[p] = f
+				continue
+			}
+			collect(t[k], p, out)
+		}
+	case []any:
+		for i, e := range t {
+			label := fmt.Sprintf("%s[%d]", path, i)
+			if m, ok := e.(map[string]any); ok {
+				if name, ok := m["name"].(string); ok {
+					label = fmt.Sprintf("%s[%s]", path, name)
+				}
+			}
+			collect(e, label, out)
+		}
+	}
+}
+
+// loadMetrics reads one artifact and flattens its gated metrics.
+func loadMetrics(path string) (map[string]float64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc any
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return metrics(doc), nil
+}
+
+// gateFile compares one artifact's metrics and reports the number of
+// regressions beyond tol.
+func gateFile(name string, base, cur map[string]float64, tol float64, w io.Writer) int {
+	paths := make([]string, 0, len(base))
+	for p := range base {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	regressions := 0
+	for _, p := range paths {
+		b := base[p]
+		c, ok := cur[p]
+		if !ok {
+			fmt.Fprintf(w, "  MISSING  %s: %s (baseline %.4f) absent from current artifact\n", name, p, b)
+			regressions++
+			continue
+		}
+		if b <= 0 {
+			continue
+		}
+		delta := (c - b) / b
+		switch {
+		case delta > tol:
+			fmt.Fprintf(w, "  REGRESS  %s: %s %.4f -> %.4f (%+.1f%%)\n", name, p, b, c, 100*delta)
+			regressions++
+		case delta < -tol:
+			fmt.Fprintf(w, "  improve  %s: %s %.4f -> %.4f (%+.1f%%)\n", name, p, b, c, 100*delta)
+		default:
+			fmt.Fprintf(w, "  ok       %s: %s %.4f -> %.4f (%+.1f%%)\n", name, p, b, c, 100*delta)
+		}
+	}
+	return regressions
+}
+
+// runGate diffs every artifact and returns the total regression count.
+func runGate(baselineDir, currentDir string, files []string, tol float64, w io.Writer) (int, error) {
+	total := 0
+	gated := 0
+	for _, f := range files {
+		base, err := loadMetrics(filepath.Join(baselineDir, f))
+		if err != nil {
+			if os.IsNotExist(err) {
+				fmt.Fprintf(w, "  skip     %s: no committed baseline\n", f)
+				continue
+			}
+			return 0, err
+		}
+		cur, err := loadMetrics(filepath.Join(currentDir, f))
+		if err != nil {
+			if os.IsNotExist(err) {
+				return 0, fmt.Errorf("%s has a committed baseline but was not produced by this run", f)
+			}
+			return 0, err
+		}
+		if len(base) == 0 {
+			fmt.Fprintf(w, "  skip     %s: baseline has no gated metrics\n", f)
+			continue
+		}
+		gated++
+		total += gateFile(f, base, cur, tol, w)
+	}
+	if gated == 0 {
+		return 0, fmt.Errorf("no artifacts gated (checked %v)", files)
+	}
+	return total, nil
+}
+
+// runSelftest proves the gate rejects a synthetic regression: every
+// baseline J/tick metric inflated by 12% must trip a >10% gate.
+func runSelftest(baselineDir string, files []string, tol float64, w io.Writer) error {
+	dir, err := os.MkdirTemp("", "benchgate-selftest")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	inflated := 0
+	for _, f := range files {
+		data, err := os.ReadFile(filepath.Join(baselineDir, f))
+		if err != nil {
+			if os.IsNotExist(err) {
+				continue
+			}
+			return err
+		}
+		var doc any
+		if err := json.Unmarshal(data, &doc); err != nil {
+			return fmt.Errorf("%s: %w", f, err)
+		}
+		doc = inflate(doc, 1.12)
+		out, err := json.Marshal(doc)
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(filepath.Join(dir, f), out, 0o644); err != nil {
+			return err
+		}
+		inflated++
+	}
+	if inflated == 0 {
+		return fmt.Errorf("no baselines found under %s", baselineDir)
+	}
+	fmt.Fprintf(w, "selftest: gating %d artifact(s) with every %s inflated 12%%\n", inflated, gatedSuffix)
+	regressions, err := runGate(baselineDir, dir, files, tol, w)
+	if err != nil {
+		return err
+	}
+	if regressions == 0 {
+		return fmt.Errorf("gate accepted a 12%% synthetic regression — it has no teeth")
+	}
+	fmt.Fprintf(w, "selftest: gate rejected %d inflated metric(s)\n", regressions)
+	return nil
+}
+
+// inflate scales every gated metric in a decoded JSON document.
+func inflate(v any, factor float64) any {
+	switch t := v.(type) {
+	case map[string]any:
+		for k, e := range t {
+			if f, ok := e.(float64); ok && strings.HasSuffix(k, gatedSuffix) {
+				t[k] = f * factor
+				continue
+			}
+			t[k] = inflate(e, factor)
+		}
+		return t
+	case []any:
+		for i, e := range t {
+			t[i] = inflate(e, factor)
+		}
+		return t
+	}
+	return v
+}

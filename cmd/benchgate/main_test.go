@@ -1,0 +1,114 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeArtifacts fills a directory with one artifact file.
+func writeArtifact(t *testing.T, dir, name, content string) {
+	t.Helper()
+	if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+const baseArtifact = `{
+  "results": [
+    {"name": "planning/fleet", "j_per_tick": 16.75, "per_sec": 50000},
+    {"name": "planning/independent", "j_per_tick": 43.9, "per_sec": 29000}
+  ],
+  "nested": {"stale_j_per_tick": 11.47}
+}`
+
+// TestGatePassesWithinTolerance: identical and mildly improved metrics
+// pass; per_sec changes are ignored entirely.
+func TestGatePassesWithinTolerance(t *testing.T) {
+	baseDir, curDir := t.TempDir(), t.TempDir()
+	writeArtifact(t, baseDir, "BENCH_x.json", baseArtifact)
+	writeArtifact(t, curDir, "BENCH_x.json", `{
+	  "results": [
+	    {"name": "planning/fleet", "j_per_tick": 17.0, "per_sec": 1},
+	    {"name": "planning/independent", "j_per_tick": 40.0, "per_sec": 1}
+	  ],
+	  "nested": {"stale_j_per_tick": 11.47}
+	}`)
+	var out strings.Builder
+	n, err := runGate(baseDir, curDir, []string{"BENCH_x.json"}, 0.10, &out)
+	if err != nil || n != 0 {
+		t.Fatalf("regressions = %d, err = %v\n%s", n, err, out.String())
+	}
+}
+
+// TestGateFailsSyntheticTenPercentRegression is the dry run the CI step
+// performs: a >10% J/tick inflation must be rejected, and the offending
+// metric named by path.
+func TestGateFailsSyntheticTenPercentRegression(t *testing.T) {
+	baseDir, curDir := t.TempDir(), t.TempDir()
+	writeArtifact(t, baseDir, "BENCH_x.json", baseArtifact)
+	writeArtifact(t, curDir, "BENCH_x.json", `{
+	  "results": [
+	    {"name": "planning/fleet", "j_per_tick": 18.8, "per_sec": 50000},
+	    {"name": "planning/independent", "j_per_tick": 43.9, "per_sec": 29000}
+	  ],
+	  "nested": {"stale_j_per_tick": 11.47}
+	}`)
+	var out strings.Builder
+	n, err := runGate(baseDir, curDir, []string{"BENCH_x.json"}, 0.10, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("regressions = %d, want exactly 1\n%s", n, out.String())
+	}
+	if !strings.Contains(out.String(), "results[planning/fleet].j_per_tick") {
+		t.Errorf("regression not addressed by row name:\n%s", out.String())
+	}
+	// Reordered rows must still match by name, not index.
+	writeArtifact(t, curDir, "BENCH_x.json", `{
+	  "results": [
+	    {"name": "planning/independent", "j_per_tick": 43.9},
+	    {"name": "planning/fleet", "j_per_tick": 16.75}
+	  ],
+	  "nested": {"stale_j_per_tick": 11.47}
+	}`)
+	out.Reset()
+	if n, err := runGate(baseDir, curDir, []string{"BENCH_x.json"}, 0.10, &out); err != nil || n != 0 {
+		t.Fatalf("reordered rows: regressions = %d, err = %v\n%s", n, err, out.String())
+	}
+}
+
+// TestGateFailsOnMissingMetricOrArtifact: a produced artifact losing a
+// gated metric, or not being produced at all, is a failure — silent
+// metric removal must not pass the gate.
+func TestGateFailsOnMissingMetricOrArtifact(t *testing.T) {
+	baseDir, curDir := t.TempDir(), t.TempDir()
+	writeArtifact(t, baseDir, "BENCH_x.json", baseArtifact)
+	writeArtifact(t, curDir, "BENCH_x.json", `{"results": [{"name": "planning/fleet", "j_per_tick": 16.75}]}`)
+	var out strings.Builder
+	n, err := runGate(baseDir, curDir, []string{"BENCH_x.json"}, 0.10, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 { // independent row + nested stale metric both gone
+		t.Fatalf("regressions = %d, want 2 for two missing metrics\n%s", n, out.String())
+	}
+	if _, err := runGate(baseDir, t.TempDir(), []string{"BENCH_x.json"}, 0.10, &out); err == nil {
+		t.Fatal("missing current artifact accepted")
+	}
+}
+
+// TestSelftestAgainstRealBaselines runs the -selftest path against the
+// committed repository baselines, proving the dry run works end to end.
+func TestSelftestAgainstRealBaselines(t *testing.T) {
+	base := filepath.Join("..", "..", "ci", "baselines")
+	if _, err := os.Stat(base); err != nil {
+		t.Skipf("no committed baselines at %s", base)
+	}
+	var out strings.Builder
+	if err := runSelftest(base, defaultArtifacts, 0.10, &out); err != nil {
+		t.Fatalf("selftest against committed baselines: %v\n%s", err, out.String())
+	}
+}

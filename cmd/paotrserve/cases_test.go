@@ -10,7 +10,9 @@ import (
 	"strings"
 	"testing"
 
+	"paotr/internal/engine"
 	"paotr/internal/service"
+	"paotr/internal/stream"
 )
 
 // e2eStep is one HTTP interaction of a catalogued case.
@@ -80,6 +82,36 @@ func cumulativeServer(t *testing.T) *httptest.Server {
 	if err != nil {
 		t.Fatal(err)
 	}
+	srv := httptest.NewServer(newServer(svc, -1))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// shardedServer serves the 4-shard runtime over the wearables fleet,
+// mirroring `paotrserve -shards 4`.
+func shardedServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	svc, err := newServiceWith(serviceConfig{
+		seed: 1, workers: 4, replan: 0.02,
+		executor: "linear", batch: true, fleetPlan: true,
+		shards: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(newServer(svc, -1))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// oneShardServer serves the sharded runtime with a single shard,
+// mirroring `paotrserve -shards 1` through the NewSharded path (the
+// degenerate configuration that must match the plain service).
+func oneShardServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	svc := service.NewSharded(stream.Wearables(1), 1,
+		service.WithWorkers(4),
+		service.WithEngineOptions(engine.WithReplanThreshold(0.02)))
 	srv := httptest.NewServer(newServer(svc, -1))
 	t.Cleanup(srv.Close)
 	return srv
@@ -392,6 +424,111 @@ func e2eCases() []e2eCase {
 					}
 					if m.TrackedPredicates == 0 {
 						t.Errorf("trace store tracked no predicates: %+v", m)
+					}
+				}},
+		}},
+
+		{caseID: "E00501", name: "sharded register, tick and per-shard results", server: shardedServer, steps: []e2eStep{
+			{"POST", "/queries", `{"id":"a/tachy","query":"AVG(heart-rate,5) > 100 AND accelerometer < 12"}`, http.StatusCreated, nil},
+			{"POST", "/queries", `{"id":"b/workout","query":"accelerometer > 15 AND heart-rate > 100"}`, http.StatusCreated, nil},
+			{"POST", "/queries", `{"id":"b/hypoxia","query":"spo2 < 92 OR heart-rate > 110"}`, http.StatusCreated, nil},
+			{"POST", "/queries", `{"id":"c/heat","query":"AVG(temperature,6) > 24 AND heart-rate > 90"}`, http.StatusCreated, nil},
+			{"POST", "/tick", `{"steps":5}`, http.StatusOK,
+				func(t *testing.T, body []byte) {
+					var ticks []service.TickResult
+					mustDecode(t, body, &ticks)
+					if len(ticks) != 5 || len(ticks[4].Executions) != 4 {
+						t.Fatalf("ticks = %+v", ticks)
+					}
+					shards := map[int]bool{}
+					for _, e := range ticks[4].Executions {
+						if e.Err != "" {
+							t.Errorf("execution error: %+v", e)
+						}
+						shards[e.Shard] = true
+					}
+					if len(shards) < 2 {
+						t.Errorf("4 queries all executed on %d shard(s); want a real split", len(shards))
+					}
+				}},
+			{"GET", "/results/a/tachy?n=3", "", http.StatusOK,
+				func(t *testing.T, body []byte) {
+					var res []service.Execution
+					mustDecode(t, body, &res)
+					if len(res) != 3 {
+						t.Errorf("results = %+v", res)
+					}
+				}},
+		}},
+		{caseID: "E00502", name: "sharded metrics expose per-shard and sharing-lost state", server: shardedServer, steps: []e2eStep{
+			{"POST", "/queries", `{"id":"t0","query":"AVG(heart-rate,5) > 100 OR spo2 < 92"}`, http.StatusCreated, nil},
+			{"POST", "/queries", `{"id":"t1","query":"AVG(heart-rate,5) > 95 OR accelerometer > 15"}`, http.StatusCreated, nil},
+			{"POST", "/queries", `{"id":"t2","query":"heart-rate > 110 OR gps-speed > 1.5"}`, http.StatusCreated, nil},
+			{"POST", "/tick", `{"steps":20}`, http.StatusOK, nil},
+			{"GET", "/metrics", "", http.StatusOK,
+				func(t *testing.T, body []byte) {
+					var m service.Metrics
+					mustDecode(t, body, &m)
+					if m.Shards != 4 || len(m.PerShard) != 4 {
+						t.Fatalf("shards = %d, per_shard = %d entries", m.Shards, len(m.PerShard))
+					}
+					var execs int64
+					for _, ps := range m.PerShard {
+						execs += ps.Executions
+					}
+					if execs != m.Executions || m.Executions != 60 {
+						t.Errorf("per-shard executions %d vs fleet %d (want 60)", execs, m.Executions)
+					}
+					if m.ShardJointExpectedCost <= 0 || m.SingleJointExpectedCost <= 0 {
+						t.Errorf("sharing-loss model absent: %+v", m)
+					}
+					if m.ShardJointExpectedCost < m.SingleJointExpectedCost-1e-9 || m.SharingLostPct < 0 {
+						t.Errorf("sharing-loss inverted: shard %v vs single %v (%v%%)",
+							m.ShardJointExpectedCost, m.SingleJointExpectedCost, m.SharingLostPct)
+					}
+					// Overlapping heart-rate queries split across shards
+					// must re-pull items some other shard already paid for.
+					if m.CrossShardDuplicateTransfers == 0 {
+						t.Error("no cross-shard duplicate transfers on an overlapping fleet")
+					}
+				}},
+		}},
+		{caseID: "E00503", name: "one-shard server matches the plain service", server: oneShardServer, steps: []e2eStep{
+			{"POST", "/queries", `{"id":"hr","query":"AVG(heart-rate,5) > 100 OR spo2 < 92"}`, http.StatusCreated, nil},
+			{"POST", "/tick", `{"steps":15}`, http.StatusOK,
+				func(t *testing.T, body []byte) {
+					// Replay the same fleet on a plain unsharded service over
+					// identically seeded streams: the serialized tick results
+					// must match byte for byte.
+					plain := service.New(stream.Wearables(1),
+						service.WithWorkers(4),
+						service.WithEngineOptions(engine.WithReplanThreshold(0.02)))
+					if err := plain.Register("hr", "AVG(heart-rate,5) > 100 OR spo2 < 92"); err != nil {
+						t.Fatal(err)
+					}
+					want, err := json.Marshal(plain.Run(15))
+					if err != nil {
+						t.Fatal(err)
+					}
+					var sharded []service.TickResult
+					mustDecode(t, body, &sharded)
+					got, err := json.Marshal(sharded)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if string(got) != string(want) {
+						t.Errorf("one-shard results diverge from the plain service:\n got %.200s\nwant %.200s", got, want)
+					}
+				}},
+			{"GET", "/metrics", "", http.StatusOK,
+				func(t *testing.T, body []byte) {
+					var m service.Metrics
+					mustDecode(t, body, &m)
+					if m.Shards != 1 {
+						t.Errorf("shards = %d, want 1", m.Shards)
+					}
+					if m.CrossShardDuplicateTransfers != 0 || m.SharingLostPct != 0 {
+						t.Errorf("one shard reported sharing loss: %+v", m)
 					}
 				}},
 		}},

@@ -39,6 +39,18 @@
 // "wearables" (default) or "drift", a regime-shifting synthetic corpus
 // whose probabilities and costs flip at -shift-tick (for drift e2e
 // testing; streams r0..r3).
+//
+// The -shards flag scales the service horizontally: queries are placed
+// onto N shard workers by stream affinity (see internal/shard), each
+// worker owns its own acquisition cache, fleet planner and estimator,
+// and ticks run concurrently across shards. /metrics then adds
+// per-shard summaries, the modelled sharing lost to partitioning and
+// the realized cross-shard duplicate traffic; execution results carry
+// the shard that ran them. -repartition n enables live re-partitioning:
+// after at least n ticks, a tick that observed drift-detector trips
+// re-runs the partitioner and moves queries (their learned estimator
+// evidence migrates along). -shards 1 (the default) is byte-identical
+// to the unsharded service.
 package main
 
 import (
@@ -89,6 +101,10 @@ func main() {
 			"sensor fleet: wearables, or drift (regime-shifting corpus, streams r0..r3)")
 		shiftTick = flag.Int64("shift-tick", 150,
 			"tick at which the drift scenario flips probabilities and costs (-scenario drift only; <= 0 never)")
+		shards = flag.Int("shards", 1,
+			"shard workers: queries are placed by stream affinity, each shard owns its own cache/planner/estimator (1 = the unsharded service)")
+		repartition = flag.Int("repartition", 0,
+			"minimum ticks between drift-driven repartitions of the sharded fleet (0 = never re-partition live; needs -shards > 1)")
 	)
 	flag.Parse()
 
@@ -98,6 +114,7 @@ func main() {
 		batch: !*noBatch, fleetPlan: *fleetPlan, stripes: *stripes,
 		estimator: *estimator, window: *window, phDelta: *phDelta, phLambda: *phLambda,
 		scenario: *scenario, shiftTick: *shiftTick,
+		shards: *shards, repartition: *repartition,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "paotrserve: %v\n", err)
@@ -150,11 +167,15 @@ type serviceConfig struct {
 	// is the drift scenario's regime-flip tick.
 	scenario  string
 	shiftTick int64
+	// shards > 1 runs the sharded runtime; repartition is the minimum
+	// tick gap between drift-driven repartitions (0 = off).
+	shards      int
+	repartition int
 }
 
 // newService builds the service over the standard simulated sensor fleet
 // with the linear default executor (the test configuration).
-func newService(seed uint64, workers int, replanThreshold float64) *service.Service {
+func newService(seed uint64, workers int, replanThreshold float64) service.Runtime {
 	svc, err := newServiceWith(serviceConfig{
 		seed: seed, workers: workers, replan: replanThreshold,
 		executor: "linear", gap: engine.DefaultGapThreshold,
@@ -166,9 +187,10 @@ func newService(seed uint64, workers int, replanThreshold float64) *service.Serv
 	return svc
 }
 
-// newServiceWith builds the service over the configured sensor fleet
-// from an explicit configuration.
-func newServiceWith(cfg serviceConfig) (*service.Service, error) {
+// newServiceWith builds the serving runtime over the configured sensor
+// fleet from an explicit configuration: the plain service, or the
+// sharded runtime when cfg.shards > 1.
+func newServiceWith(cfg serviceConfig) (service.Runtime, error) {
 	x, err := executorByName(cfg.executor, cfg.gap)
 	if err != nil {
 		return nil, err
@@ -202,19 +224,26 @@ func newServiceWith(cfg serviceConfig) (*service.Service, error) {
 	default:
 		return nil, fmt.Errorf("unknown scenario %q (want \"wearables\" or \"drift\")", cfg.scenario)
 	}
+	if cfg.shards > 1 {
+		if cfg.repartition > 0 {
+			opts = append(opts, service.WithRepartitionEvery(cfg.repartition))
+		}
+		return service.NewSharded(reg, cfg.shards, opts...), nil
+	}
 	return service.New(reg, opts...), nil
 }
 
-// server is the HTTP front-end over one service. gap is the adaptive
-// executor's gap threshold, applied to per-query "executor" choices.
+// server is the HTTP front-end over one serving runtime (plain or
+// sharded). gap is the adaptive executor's gap threshold, applied to
+// per-query "executor" choices.
 type server struct {
-	svc *service.Service
+	svc service.Runtime
 	gap float64
 	mux *http.ServeMux
 }
 
 // newServer wires the endpoint handlers.
-func newServer(svc *service.Service, gap float64) *server {
+func newServer(svc service.Runtime, gap float64) *server {
 	s := &server{svc: svc, gap: gap, mux: http.NewServeMux()}
 	s.mux.HandleFunc("POST /queries", s.handleRegister)
 	s.mux.HandleFunc("GET /queries", s.handleListQueries)
@@ -387,7 +416,7 @@ var demoQueries = []registerRequest{
 
 // runDemo registers the demo fleet, runs it for the given number of
 // ticks, and prints per-query and fleet-wide metrics.
-func runDemo(w io.Writer, svc *service.Service, steps int, gap float64) error {
+func runDemo(w io.Writer, svc service.Runtime, steps int, gap float64) error {
 	for _, q := range demoQueries {
 		opts, err := queryOptions(q, gap)
 		if err != nil {
@@ -424,6 +453,15 @@ func runDemo(w io.Writer, svc *service.Service, steps int, gap float64) error {
 		fmt.Fprintf(w, "fleet planning:        %d joint plans (%d reused), %d executions, modelled %.2f J vs %.2f J independent (%.1f%% saving)\n",
 			m.FleetPlans, m.FleetPlanReuses, m.FleetPlannedExecutions,
 			m.FleetExpectedCost, m.IndependentExpectedCost, 100*m.FleetModelledSaving)
+	}
+	if m.Shards > 1 {
+		fmt.Fprintf(w, "sharding:              %d shards; modelled sharing lost %.1f%% (%.1f J joint at K shards vs %.1f J at one); %d cross-shard duplicate transfers (%.2f J); %d repartitions, %d queries moved\n",
+			m.Shards, m.SharingLostPct, m.ShardJointExpectedCost, m.SingleJointExpectedCost,
+			m.CrossShardDuplicateTransfers, m.CrossShardDuplicateSpend, m.Repartitions, m.QueriesMoved)
+		for _, ps := range m.PerShard {
+			fmt.Fprintf(w, "  shard %d:             %d queries (load %.1f J), %d executions, %.2f J paid, %.1f%% cache hit\n",
+				ps.Shard, ps.Queries, ps.ExpectedLoad, ps.Executions, ps.PaidCost, 100*ps.CacheHitRate)
+		}
 	}
 	fmt.Fprintf(w, "estimator:             %s (%d predicates tracked", m.Estimator, m.TrackedPredicates)
 	if m.Estimator == "windowed" {

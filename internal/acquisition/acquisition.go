@@ -73,6 +73,9 @@ type Cache struct {
 	pulls       []int
 	requested   []int64
 	transferred []int64
+	// ledger, when set, additionally accounts every transfer to a
+	// fleet-wide Ledger shared with other caches (see SetLedger).
+	ledger *Ledger
 }
 
 // NewCache creates a cache over the registry; maxWindow[k] is the fixed
@@ -131,6 +134,16 @@ func newStriped(reg *stream.Registry, maxWindow []int, stripes int) *Cache {
 
 // Stripes returns the number of lock stripes guarding per-stream data.
 func (c *Cache) Stripes() int { return len(c.shards) }
+
+// SetLedger attaches a fleet-wide transfer ledger: every item this cache
+// transfers from now on is also recorded there, so duplicated traffic
+// across caches (shard workers with private caches pulling the same
+// item) becomes measurable. Attach before the cache sees traffic.
+func (c *Cache) SetLedger(l *Ledger) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ledger = l
+}
 
 // lockStream takes the structural read lock plus stream k's stripe lock.
 // The returned function releases both.
@@ -325,6 +338,9 @@ func (c *Cache) Advance(steps int64) {
 	defer c.mu.Unlock()
 	c.now += steps
 	c.evictLocked()
+	if c.ledger != nil {
+		c.ledger.advance(c.now)
+	}
 }
 
 // cached returns the cached item of stream k produced at step seq.
@@ -390,9 +406,13 @@ func (c *Cache) pullLocked(k, d int, countRequested bool) float64 {
 		// Items are priced at their production step, so streams with a
 		// dynamic cost regime charge the price in force when the item was
 		// produced.
-		cost += st.PerItemAt(seq)
+		itemCost := st.PerItemAt(seq)
+		cost += itemCost
 		c.pulls[k]++
 		c.transferred[k]++
+		if c.ledger != nil {
+			c.ledger.record(k, seq, itemCost, d)
+		}
 	}
 	if added {
 		sort.Slice(c.items[k], func(a, b int) bool { return c.items[k][a].Seq > c.items[k][b].Seq })

@@ -1,0 +1,103 @@
+// The fleet ledger measures the sharing a partitioned fleet loses in
+// realized traffic. Shard workers own private caches, so an item two
+// shards both need is transferred (and paid for) twice — the ledger
+// counts, per (stream, production step) item, every transfer beyond the
+// first across all attached caches. That is the realized counterpart of
+// the partitioner's modelled sharing loss (see internal/shard).
+package acquisition
+
+import "sync"
+
+// Ledger aggregates item transfers across several caches over the same
+// registry. Attach it to each shard's cache with SetLedger; the zero
+// counters then accumulate the duplicated traffic partitioning causes.
+// All methods are safe for concurrent use.
+type Ledger struct {
+	mu sync.Mutex
+	// seen[k][seq] counts caches that transferred item seq of stream k.
+	seen []map[int64]int
+	// keep[k] is the largest window depth ever pulled on stream k;
+	// entries older than twice that are pruned on Advance (nothing will
+	// pull them again — pulls only reach back one horizon).
+	keep []int
+	now  int64
+
+	transfers    int64
+	spend        float64
+	dupTransfers int64
+	dupSpend     float64
+}
+
+// NewLedger creates a ledger for registries with n streams.
+func NewLedger(n int) *Ledger {
+	l := &Ledger{seen: make([]map[int64]int, n), keep: make([]int, n)}
+	for k := range l.seen {
+		l.seen[k] = map[int64]int{}
+	}
+	return l
+}
+
+// record accounts one transferred item: the d is the window depth of the
+// pull (bounds how far back future pulls can reach, for pruning).
+func (l *Ledger) record(k int, seq int64, cost float64, d int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if k < 0 || k >= len(l.seen) {
+		return
+	}
+	if d > l.keep[k] {
+		l.keep[k] = d
+	}
+	l.transfers++
+	l.spend += cost
+	l.seen[k][seq]++
+	if l.seen[k][seq] > 1 {
+		l.dupTransfers++
+		l.dupSpend += cost
+	}
+}
+
+// advance moves the ledger clock forward and prunes items too old for
+// any future pull to touch.
+func (l *Ledger) advance(now int64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if now <= l.now {
+		return
+	}
+	l.now = now
+	for k, m := range l.seen {
+		horizon := int64(2 * l.keep[k])
+		for seq := range m {
+			if now-seq > horizon {
+				delete(m, seq)
+			}
+		}
+	}
+}
+
+// LedgerStats summarizes cross-cache duplicated traffic.
+type LedgerStats struct {
+	// Transfers and Spend total the item transfers and acquisition cost
+	// recorded across all attached caches.
+	Transfers int64   `json:"transfers"`
+	Spend     float64 `json:"spend"`
+	// DuplicateTransfers counts transfers of an item some other attached
+	// cache had already transferred; DuplicateSpend is the cost those
+	// re-acquisitions paid. Under one shared cache both are zero — they
+	// are the realized price of partitioning.
+	DuplicateTransfers int64   `json:"duplicate_transfers"`
+	DuplicateSpend     float64 `json:"duplicate_spend"`
+}
+
+// Stats returns a snapshot of the ledger's counters.
+func (l *Ledger) Stats() LedgerStats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return LedgerStats{
+		Transfers:          l.transfers,
+		Spend:              l.spend,
+		DuplicateTransfers: l.dupTransfers,
+		DuplicateSpend:     l.dupSpend,
+	}
+}

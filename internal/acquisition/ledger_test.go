@@ -1,0 +1,117 @@
+package acquisition
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"paotr/internal/stream"
+)
+
+func ledgerRegistry(tb testing.TB, streams int) *stream.Registry {
+	tb.Helper()
+	reg := stream.NewRegistry()
+	for i := 0; i < streams; i++ {
+		if err := reg.Add(stream.Uniform(fmt.Sprintf("s%d", i), uint64(i+1)), stream.CostModel{BaseJoules: 2}); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	return reg
+}
+
+// TestLedgerCountsCrossCacheDuplicates: two caches pulling the same
+// window pay twice, and the ledger sees every transfer beyond the first
+// as a duplicate; a third pull of already-cached items transfers
+// nothing and adds nothing.
+func TestLedgerCountsCrossCacheDuplicates(t *testing.T) {
+	reg := ledgerRegistry(t, 2)
+	l := NewLedger(reg.Len())
+	a := NewShared(reg)
+	b := NewShared(reg)
+	a.SetLedger(l)
+	b.SetLedger(l)
+	for _, c := range []*Cache{a, b} {
+		if err := c.Retain("q", []int{4, 4}); err != nil {
+			t.Fatal(err)
+		}
+		c.Advance(1)
+	}
+	a.Pull(0, 4)
+	if s := l.Stats(); s.Transfers != 4 || s.DuplicateTransfers != 0 {
+		t.Fatalf("after one cache pulled: %+v", s)
+	}
+	b.Pull(0, 4)
+	s := l.Stats()
+	if s.Transfers != 8 || s.DuplicateTransfers != 4 {
+		t.Fatalf("after both caches pulled the same window: %+v", s)
+	}
+	if s.DuplicateSpend != 8 { // 4 items at 2 J each, paid a second time
+		t.Fatalf("duplicate spend %v, want 8", s.DuplicateSpend)
+	}
+	// Cached items do not re-transfer, so nothing new is recorded.
+	a.Pull(0, 4)
+	if s2 := l.Stats(); s2.Transfers != 8 {
+		t.Fatalf("re-pulling cached items recorded transfers: %+v", s2)
+	}
+	// Disjoint streams never duplicate.
+	a.Pull(1, 2)
+	if s2 := l.Stats(); s2.DuplicateTransfers != 4 {
+		t.Fatalf("disjoint-stream pull changed duplicates: %+v", s2)
+	}
+}
+
+// TestLedgerPrunes: advancing far beyond the pulled windows must shrink
+// the seen-item maps (the counters are cumulative and survive).
+func TestLedgerPrunes(t *testing.T) {
+	reg := ledgerRegistry(t, 1)
+	l := NewLedger(1)
+	c := NewShared(reg)
+	c.SetLedger(l)
+	if err := c.Retain("q", []int{3}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		c.Advance(1)
+		c.Pull(0, 3)
+	}
+	l.mu.Lock()
+	kept := len(l.seen[0])
+	l.mu.Unlock()
+	if kept > 7 { // 2 * max window depth (3), plus the newest
+		t.Fatalf("ledger retains %d seqs after 50 steps of window-3 pulls", kept)
+	}
+	if s := l.Stats(); s.Transfers == 0 || s.DuplicateTransfers != 0 {
+		t.Fatalf("single-cache traffic misaccounted: %+v", s)
+	}
+}
+
+// TestLedgerConcurrent exercises the ledger from many caches at once
+// (meaningful under -race).
+func TestLedgerConcurrent(t *testing.T) {
+	reg := ledgerRegistry(t, 4)
+	l := NewLedger(reg.Len())
+	caches := make([]*Cache, 4)
+	for i := range caches {
+		caches[i] = NewShared(reg)
+		caches[i].SetLedger(l)
+		if err := caches[i].Retain("q", []int{4, 4, 4, 4}); err != nil {
+			t.Fatal(err)
+		}
+		caches[i].Advance(1)
+	}
+	var wg sync.WaitGroup
+	for i, c := range caches {
+		wg.Add(1)
+		go func(i int, c *Cache) {
+			defer wg.Done()
+			for step := 0; step < 100; step++ {
+				c.Pull(i%4, 4)
+				c.Advance(1)
+			}
+		}(i, c)
+	}
+	wg.Wait()
+	if s := l.Stats(); s.Transfers == 0 {
+		t.Fatal("no transfers recorded")
+	}
+}

@@ -378,6 +378,86 @@ func (w *Windowed) Interval(pred string) (lo, hi float64) {
 	return math.Max(0, p-half), math.Min(1, p+half)
 }
 
+// PredicateSnapshot carries one predicate's windowed evidence between
+// estimators — the migration currency of a sharded runtime, where a
+// query moved to another shard would otherwise re-learn its leaf
+// probabilities from the prior.
+type PredicateSnapshot struct {
+	// Pred is the trace-store key of the predicate.
+	Pred string
+	// Outcomes is the window's contents, oldest first.
+	Outcomes []bool
+	// Evals is the lifetime evaluation count.
+	Evals int64
+}
+
+// ExportPredicates snapshots the windowed state of the named predicates
+// (untracked predicates are skipped).
+func (w *Windowed) ExportPredicates(preds []string) []PredicateSnapshot {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	out := make([]PredicateSnapshot, 0, len(preds))
+	for _, pred := range preds {
+		st := w.preds[pred]
+		if st == nil {
+			continue
+		}
+		snap := PredicateSnapshot{Pred: pred, Evals: st.evals, Outcomes: make([]bool, 0, st.fill)}
+		start := st.head - st.fill
+		if start < 0 {
+			start += len(st.win)
+		}
+		for i := 0; i < st.fill; i++ {
+			snap.Outcomes = append(snap.Outcomes, st.win[(start+i)%len(st.win)])
+		}
+		out = append(out, snap)
+	}
+	return out
+}
+
+// ImportPredicates seeds this estimator with exported predicate windows.
+// Predicates it already tracks are left untouched — the destination may
+// share them with queries it already owns, and its own evidence wins.
+// Imported windows refill the sliding window and both EWMA tracks; the
+// change detector starts fresh (a detector's drift statistics are only
+// meaningful against the data stream it observed).
+func (w *Windowed) ImportPredicates(snaps []PredicateSnapshot) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for _, snap := range snaps {
+		if _, dup := w.preds[snap.Pred]; dup {
+			continue
+		}
+		st := &predState{
+			win:  make([]bool, w.cfg.Window),
+			fast: w.cfg.PriorProb,
+			slow: w.cfg.PriorProb,
+			ph:   newPH(w.cfg.PHDelta, w.cfg.PHLambda, w.cfg.PHMinObs),
+		}
+		outcomes := snap.Outcomes
+		if len(outcomes) > len(st.win) {
+			outcomes = outcomes[len(outcomes)-len(st.win):]
+		}
+		for _, success := range outcomes {
+			st.win[st.head] = success
+			st.head = (st.head + 1) % len(st.win)
+			st.fill++
+			x := 0.0
+			if success {
+				st.succ++
+				x = 1
+			}
+			st.fast += w.cfg.FastAlpha * (x - st.fast)
+			st.slow += w.cfg.SlowAlpha * (x - st.slow)
+		}
+		st.evals = snap.Evals
+		w.clock++
+		st.stamp = w.clock
+		w.preds[snap.Pred] = st
+		w.evictLocked()
+	}
+}
+
 // Tracks returns the EWMA fast and slow probability tracks of the
 // predicate (both the prior for an unseen predicate).
 func (w *Windowed) Tracks(pred string) (fast, slow float64) {

@@ -1,0 +1,63 @@
+package adapt
+
+import (
+	"math"
+	"testing"
+)
+
+// TestExportImportPredicates: a migrated predicate must estimate the
+// same probability on the destination as on the source, with the same
+// window fill, and must not overwrite evidence the destination already
+// holds.
+func TestExportImportPredicates(t *testing.T) {
+	src := NewWindowed(Config{Window: 32})
+	for i := 0; i < 40; i++ {
+		src.Record("p", i%4 != 0) // ~0.75 over the window
+		src.Record("q", i%2 == 0)
+	}
+	snaps := src.ExportPredicates([]string{"p", "missing"})
+	if len(snaps) != 1 || snaps[0].Pred != "p" {
+		t.Fatalf("export = %+v, want exactly the tracked predicate", snaps)
+	}
+	wantP, wantN := src.Estimate("p")
+
+	dst := NewWindowed(Config{Window: 32})
+	for i := 0; i < 10; i++ {
+		dst.Record("q", false) // destination's own evidence for q
+	}
+	dst.ImportPredicates(snaps)
+	dst.ImportPredicates(src.ExportPredicates([]string{"q"}))
+
+	gotP, gotN := dst.Estimate("p")
+	if math.Abs(gotP-wantP) > 1e-12 || gotN != wantN {
+		t.Errorf("migrated estimate = (%v, %d), want (%v, %d)", gotP, gotN, wantP, wantN)
+	}
+	if p, _ := dst.Estimate("q"); p > 0.3 {
+		t.Errorf("import overwrote destination evidence for q: estimate %v", p)
+	}
+	// The migrated window keeps sliding normally.
+	for i := 0; i < 32; i++ {
+		dst.Record("p", false)
+	}
+	if p, _ := dst.Estimate("p"); p > 0.1 {
+		t.Errorf("migrated window stuck: estimate %v after 32 FALSE outcomes", p)
+	}
+}
+
+// TestImportTruncatesOversizedWindow: a snapshot from a larger-window
+// estimator keeps only the newest outcomes that fit.
+func TestImportTruncatesOversizedWindow(t *testing.T) {
+	src := NewWindowed(Config{Window: 64})
+	for i := 0; i < 64; i++ {
+		src.Record("p", i >= 32) // old half FALSE, new half TRUE
+	}
+	dst := NewWindowed(Config{Window: 16})
+	dst.ImportPredicates(src.ExportPredicates([]string{"p"}))
+	p, n := dst.Estimate("p")
+	if n != 16 {
+		t.Fatalf("window fill %d, want 16", n)
+	}
+	if p < 0.9 {
+		t.Errorf("truncation kept old outcomes: estimate %v, want ~1 (newest half was TRUE)", p)
+	}
+}

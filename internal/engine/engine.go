@@ -369,6 +369,13 @@ func (q *Query) Tree() *query.Tree {
 	return t
 }
 
+// PredKeys returns the trace-store keys of the query's leaf predicates,
+// in leaf order. These are the keys the engine records outcomes under —
+// what a runtime needs to migrate a query's learned estimator state when
+// moving it between engines (see adapt.Windowed.ExportPredicates). The
+// result is a copy.
+func (q *Query) PredKeys() []string { return append([]string(nil), q.predKeys...) }
+
 // Result reports one query execution.
 type Result struct {
 	// Value is the query's truth value.

@@ -263,6 +263,17 @@ func PlanJoint(trees []*query.Tree, warm sched.Warm) *Plan {
 	return plan
 }
 
+// PriceJoint prices fixed per-query schedules under the joint objective:
+// every item's cost is paid at most once however many queries probably
+// acquire it. It is the cost model a fleet-level layer needs to compare
+// plans it did not build itself — e.g. a shard partitioner pricing the
+// per-shard schedules as if they ran against one shared cache, to
+// measure the sharing lost to partitioning.
+func PriceJoint(trees []*query.Tree, schedules []sched.Schedule, warm sched.Warm) float64 {
+	_, total := priceJoint(trees, schedules, warm)
+	return total
+}
+
 // priceJoint evaluates fixed per-query schedules under the joint
 // objective: every item's cost is shared across the queries that
 // probably acquire it. The total is independent of the interleaving of

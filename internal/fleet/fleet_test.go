@@ -61,6 +61,38 @@ func randomWarm(rng *rand.Rand, trees []*query.Tree) sched.Warm {
 	return w
 }
 
+// TestPriceJointMatchesPlanAccounting: pricing fixed schedules under the
+// joint objective must be interleaving-independent and agree with the
+// planner's own accounting — re-pricing a joint plan's schedules yields
+// its Expected, and a partitioned fleet (each group priced separately)
+// never beats the fleet-wide pricing of the same schedules.
+func TestPriceJointMatchesPlanAccounting(t *testing.T) {
+	rng := rand.New(rand.NewPCG(77, 0))
+	for trial := 0; trial < 40; trial++ {
+		trees := randomFleet(rng, 2+rng.IntN(4), 2+rng.IntN(3))
+		warm := randomWarm(rng, trees)
+		plan := PlanJoint(trees, warm)
+		schedules := make([]sched.Schedule, len(trees))
+		for qi := range trees {
+			schedules[qi] = plan.Queries[qi].Schedule
+		}
+		if got := PriceJoint(trees, schedules, warm); math.Abs(got-plan.Expected) > 1e-9 {
+			t.Fatalf("trial %d: repriced joint plan = %v, planner says %v", trial, got, plan.Expected)
+		}
+		// Split the fleet in two and price each half alone: dropping the
+		// cross-group discounts can only raise the total.
+		mid := len(trees) / 2
+		if mid == 0 || mid == len(trees) {
+			continue
+		}
+		split := PriceJoint(trees[:mid], schedules[:mid], warm) +
+			PriceJoint(trees[mid:], schedules[mid:], warm)
+		if full := PriceJoint(trees, schedules, warm); split < full-1e-9 {
+			t.Fatalf("trial %d: partitioned pricing %v beats fleet-wide pricing %v", trial, split, full)
+		}
+	}
+}
+
 // TestSingleQueryDegenerate: on a one-query fleet the joint planner must
 // reproduce the engine's per-query planning exactly — the warm Algorithm
 // 1 schedule for AND-trees, the warm AND-ordered increasing-C/p dynamic

@@ -37,7 +37,7 @@ func overlapRegistry(tb testing.TB, tenants int, seed uint64) *stream.Registry {
 // overlapFleet registers one query per tenant: an OR of a shared-stream
 // branch and a private-stream branch with annotated probabilities, so
 // planning is deterministic and the shared/private tie is controlled.
-func overlapFleet(tb testing.TB, svc *Service, tenants int) {
+func overlapFleet(tb testing.TB, svc Runtime, tenants int) {
 	tb.Helper()
 	for i := 0; i < tenants; i++ {
 		text := fmt.Sprintf(

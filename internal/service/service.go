@@ -57,7 +57,11 @@ type Service struct {
 	// fleetInvalidated counts cached joint plans dropped by detector
 	// trips (atomic: trips fire from phase-3 worker goroutines).
 	fleetInvalidated atomic.Int64
-	tick             int64
+	// shardIdx is this service's worker index under the sharded runtime
+	// (0 otherwise); executions are stamped with it at creation so query
+	// histories carry their shard.
+	shardIdx int
+	tick     int64
 
 	executions    int64
 	planHits      int64
@@ -102,6 +106,11 @@ type config struct {
 	cumulative bool
 	adaptCfg   adapt.Config
 	traceCap   int
+	ledger     *acquisition.Ledger
+	// repartEvery and balance configure the sharded runtime (see
+	// NewSharded); a plain Service ignores them.
+	repartEvery int64
+	balance     float64
 }
 
 // WithWorkers sets the tick worker-pool size (default GOMAXPROCS).
@@ -157,6 +166,32 @@ func WithCumulativeEstimator() Option { return func(c *config) { c.cumulative = 
 // under WithCumulativeEstimator.
 func WithAdaptConfig(cfg adapt.Config) Option { return func(c *config) { c.adaptCfg = cfg } }
 
+// WithSharedLedger attaches a fleet-wide acquisition ledger to the
+// service's cache: every transferred item is also recorded there, so
+// several caches sharing one ledger can measure their duplicated
+// traffic. The sharded runtime attaches one ledger across all shard
+// caches (see acquisition.Ledger); plain services rarely need this.
+func WithSharedLedger(l *acquisition.Ledger) Option {
+	return func(c *config) { c.ledger = l }
+}
+
+// WithRepartitionEvery sets, for the sharded runtime, the minimum number
+// of ticks between drift-driven repartitions: after at least n ticks, a
+// tick that observes new detector trips re-runs the partitioner and
+// moves queries whose learned costs shifted (0, the default, disables
+// live re-partitioning; see NewSharded). A plain Service ignores it.
+func WithRepartitionEvery(n int) Option {
+	return func(c *config) { c.repartEvery = int64(n) }
+}
+
+// WithShardBalance sets the sharded partitioner's load-balance weight:
+// a query joins a shard when the expected spend it would share there
+// exceeds this factor times the overload it would cause beyond the mean
+// shard load (default 1; see shard.Config). A plain Service ignores it.
+func WithShardBalance(f float64) Option {
+	return func(c *config) { c.balance = f }
+}
+
 // WithTraceCap bounds the number of distinct predicates the cumulative
 // trace store retains (default 8192; 0 removes the bound). Churning
 // tenant registration otherwise grows the store forever.
@@ -209,6 +244,9 @@ func New(reg *stream.Registry, opts ...Option) *Service {
 		planner:         &fleet.Planner{Eps: eng.ReplanThreshold()},
 		dupAvoidedK:     make([]int64, reg.Len()),
 	}
+	if cfg.ledger != nil {
+		s.cache.SetLedger(cfg.ledger)
+	}
 	if ad != nil {
 		// The engine already evicts affected per-query plans on detector
 		// trips; the joint plans layered above them must go too. (Fleet-
@@ -219,6 +257,20 @@ func New(reg *stream.Registry, opts ...Option) *Service {
 		})
 	}
 	return s
+}
+
+// treeAndKeys snapshots a registered query's probability-annotated tree
+// (estimator-backed probabilities, learned per-item costs) and its
+// predicate trace keys — what the sharded runtime profiles placements
+// and migrates estimator state with.
+func (s *Service) treeAndKeys(id string) (*query.Tree, []string, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.queries[id]
+	if !ok {
+		return nil, nil, false
+	}
+	return r.q.Tree(), r.q.PredKeys(), true
 }
 
 // Adaptive exposes the online estimator (nil under
@@ -341,6 +393,10 @@ type Execution struct {
 	// WithFleetPlanning). ExpectedCost is then the query's share of the
 	// joint expected cost, which discounts items sibling queries pull.
 	FleetPlanned bool `json:"fleet_planned,omitempty"`
+	// Shard is the shard worker that ran the execution, stamped at
+	// creation so Results histories carry it too (always 0 — omitted —
+	// on a plain or one-shard service).
+	Shard int `json:"shard,omitempty"`
 	// Err is the execution error, if any.
 	Err string `json:"err,omitempty"`
 }
@@ -505,7 +561,7 @@ func (s *Service) Tick() TickResult {
 		r := due[i]
 		prep, err := s.executorFor(r).Prepare(r.q, s.cache)
 		if err != nil {
-			out.Executions[i] = Execution{ID: r.id, Tick: s.tick, Err: err.Error()}
+			out.Executions[i] = Execution{ID: r.id, Tick: s.tick, Shard: s.shardIdx, Err: err.Error()}
 			return
 		}
 		preps[i] = prep
@@ -571,6 +627,7 @@ func (s *Service) Tick() TickResult {
 		e := Execution{
 			ID:           r.id,
 			Tick:         s.tick,
+			Shard:        s.shardIdx,
 			Value:        res.Value,
 			Cost:         res.Cost,
 			ExpectedCost: res.ExpectedCost,
@@ -798,6 +855,65 @@ type Metrics struct {
 	PerStream []StreamMetrics `json:"per_stream"`
 	// PerQuery holds the per-query aggregates, sorted by id.
 	PerQuery []QueryMetrics `json:"per_query"`
+
+	// Shards is the number of shard workers (0 on a plain unsharded
+	// Service, >= 1 under the sharded runtime; see NewSharded). The
+	// remaining fields are populated only when Shards > 1.
+	Shards int `json:"shards,omitempty"`
+	// Repartitions counts partitioner runs (registrations place
+	// incrementally; this counts full re-partitions) and QueriesMoved
+	// the queries they moved between shards.
+	Repartitions int64 `json:"repartitions,omitempty"`
+	QueriesMoved int64 `json:"queries_moved,omitempty"`
+	// ShardJointExpectedCost sums the per-shard joint plan costs of the
+	// current placement (sharing only inside each shard);
+	// SingleJointExpectedCost is the K=1 joint cost of the same fleet.
+	// SharingLostPct is their relative gap — the modelled sharing lost
+	// to partitioning (see shard.SharingLoss).
+	ShardJointExpectedCost  float64 `json:"shard_joint_expected_cost,omitempty"`
+	SingleJointExpectedCost float64 `json:"single_joint_expected_cost,omitempty"`
+	SharingLostPct          float64 `json:"sharing_lost_pct,omitempty"`
+	// CrossShardDuplicateTransfers / CrossShardDuplicateSpend are the
+	// realized counterparts: items transferred by a shard cache that
+	// another shard's cache had already paid for, and what those
+	// re-acquisitions cost (see acquisition.Ledger).
+	CrossShardDuplicateTransfers int64   `json:"cross_shard_duplicate_transfers,omitempty"`
+	CrossShardDuplicateSpend     float64 `json:"cross_shard_duplicate_spend,omitempty"`
+	// PerShard breaks the fleet down by shard worker.
+	PerShard []ShardSummary `json:"per_shard,omitempty"`
+}
+
+// ShardSummary is one shard worker's slice of the sharded runtime's
+// metrics.
+type ShardSummary struct {
+	// Shard is the worker index.
+	Shard int `json:"shard"`
+	// Queries is the number of queries currently placed on the shard;
+	// ExpectedLoad their summed expected independent-plan cost (the
+	// partitioner's balance currency).
+	Queries      int     `json:"queries"`
+	ExpectedLoad float64 `json:"expected_load"`
+	// Executions, PaidCost, CacheTransferred and CacheHitRate are the
+	// shard's share of the fleet aggregates.
+	Executions       int64   `json:"executions"`
+	PaidCost         float64 `json:"paid_cost"`
+	CacheTransferred int64   `json:"cache_transferred"`
+	CacheHitRate     float64 `json:"cache_hit_rate"`
+}
+
+// Runtime is the serving surface shared by the single-process Service
+// and the sharded runtime (see NewSharded): everything a front-end needs
+// to register queries, advance time and read results and metrics,
+// independent of how execution is partitioned.
+type Runtime interface {
+	Register(id, text string, opts ...QueryOption) error
+	Unregister(id string) error
+	QueryIDs() []string
+	Tick() TickResult
+	Run(n int) []TickResult
+	Results(id string, n int) ([]Execution, error)
+	QueryMetrics(id string) (QueryMetrics, error)
+	Metrics() Metrics
 }
 
 // StreamMetrics reports one stream's share of the shared acquisition
@@ -897,6 +1013,11 @@ func (s *Service) Metrics() Metrics {
 	for _, r := range s.queries {
 		m.PerQuery = append(m.PerQuery, r.m.withRatio())
 	}
-	sort.Slice(m.PerQuery, func(i, j int) bool { return m.PerQuery[i].ID < m.PerQuery[j].ID })
+	sortQueryMetrics(m.PerQuery)
 	return m
+}
+
+// sortQueryMetrics orders per-query aggregates by id.
+func sortQueryMetrics(qs []QueryMetrics) {
+	sort.Slice(qs, func(i, j int) bool { return qs[i].ID < qs[j].ID })
 }

@@ -1,0 +1,516 @@
+// Sharded is the horizontal scale-out of the scheduling service: K
+// shard workers, each a full Service owning its own striped acquisition
+// cache, fleet planner and windowed estimator, ticking asynchronously
+// while a stream-affinity partitioner (internal/shard) decides which
+// worker owns which query.
+//
+// Sharding trades sharing for parallelism: the paper's premium comes
+// from items acquired once and reused by every query (Proposition 2),
+// and a private per-shard cache only shares within its shard. The
+// partitioner therefore co-locates queries by expected stream overlap,
+// and the runtime measures what partitioning costs — the modelled
+// per-shard joint cost against the K=1 joint cost, and the realized
+// cross-shard duplicate transfers via a fleet-wide acquisition ledger.
+//
+// Plan caches are naturally scoped per shard: every worker has its own
+// engine, so detector trips in one shard evict only that shard's plans,
+// and a query moved between shards re-plans in its new home (its
+// windowed estimator evidence migrates with it; see
+// adapt.Windowed.ExportPredicates).
+//
+// With one shard the runtime degenerates to the plain Service — every
+// call delegates to the single worker, so plans, results and costs are
+// byte-identical to an unsharded service built with the same options.
+package service
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"paotr/internal/acquisition"
+	"paotr/internal/adapt"
+	"paotr/internal/engine"
+	"paotr/internal/shard"
+	"paotr/internal/stream"
+)
+
+// shardedQuery remembers what Register was called with, so a
+// repartition can re-register the query on its new shard.
+type shardedQuery struct {
+	text string
+	opts []QueryOption
+}
+
+// Sharded runs K shard workers over one stream registry. All methods
+// are safe for concurrent use. It implements Runtime.
+type Sharded struct {
+	mu     sync.Mutex
+	reg    *stream.Registry
+	shards []*Service
+	ledger *acquisition.Ledger // nil with one shard
+	k      int
+	// balance and repartEvery come from WithShardBalance /
+	// WithRepartitionEvery.
+	balance     float64
+	repartEvery int64
+
+	assign   map[string]int
+	regOrder []string
+	regInfo  map[string]*shardedQuery
+
+	tick          int64
+	lastRepart    int64
+	tripsAtRepart int64
+	trips         atomic.Int64 // detector trips across all shards
+
+	repartitions int64
+	moved        int64
+	// loss/loads describe the current placement; lossDirty defers the
+	// (joint-planning-heavy) re-pricing to the next Metrics call or
+	// repartition instead of paying it on every Register/Unregister.
+	loss      shard.Loss
+	loads     []float64
+	lossDirty bool
+}
+
+var _ Runtime = (*Sharded)(nil)
+var _ Runtime = (*Service)(nil)
+
+// NewSharded creates a sharded runtime with k shard workers, each a
+// Service built over the shared registry with the same options. k <= 1
+// yields a single worker the runtime transparently delegates to. Live
+// re-partitioning on estimator drift is off unless WithRepartitionEvery
+// is given.
+func NewSharded(reg *stream.Registry, k int, opts ...Option) *Sharded {
+	if k < 1 {
+		k = 1
+	}
+	// Re-parse the options for the sharded-runtime knobs; the per-shard
+	// services parse them again themselves.
+	cfg := config{balance: 0}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	sh := &Sharded{
+		reg:         reg,
+		k:           k,
+		balance:     cfg.balance,
+		repartEvery: cfg.repartEvery,
+		assign:      map[string]int{},
+		regInfo:     map[string]*shardedQuery{},
+		loads:       make([]float64, k),
+	}
+	if k > 1 {
+		sh.ledger = acquisition.NewLedger(reg.Len())
+		opts = append(append([]Option(nil), opts...), WithSharedLedger(sh.ledger))
+	}
+	sh.shards = make([]*Service, k)
+	for i := range sh.shards {
+		svc := New(reg, opts...)
+		svc.shardIdx = i
+		sh.shards[i] = svc
+		if svc.ad != nil {
+			svc.ad.Subscribe(func(adapt.Event) { sh.trips.Add(1) })
+		}
+	}
+	return sh
+}
+
+// Shards returns the number of shard workers.
+func (sh *Sharded) Shards() int { return sh.k }
+
+// Shard exposes shard worker i (e.g. for estimator inspection in tests).
+func (sh *Sharded) Shard(i int) *Service { return sh.shards[i] }
+
+// shardConfig is the partitioner configuration of this runtime.
+func (sh *Sharded) shardConfig() shard.Config {
+	return shard.Config{Shards: sh.k, Balance: sh.balance}
+}
+
+// profilesLocked profiles every registered query from its owning shard's
+// learned estimators, in registration order. Caller holds sh.mu.
+func (sh *Sharded) profilesLocked() []shard.Query {
+	out := make([]shard.Query, 0, len(sh.regOrder))
+	for _, id := range sh.regOrder {
+		t, _, ok := sh.shards[sh.assign[id]].treeAndKeys(id)
+		if !ok {
+			continue
+		}
+		out = append(out, shard.Profile(id, t))
+	}
+	return out
+}
+
+// recomputeLossLocked re-prices the current placement: per-shard joint
+// costs against the K=1 joint baseline, and per-shard expected loads.
+// Caller holds sh.mu.
+func (sh *Sharded) recomputeLossLocked(profiles []shard.Query) {
+	if profiles == nil {
+		profiles = sh.profilesLocked()
+	}
+	sh.loss = shard.SharingLoss(profiles, sh.assign, sh.k)
+	loads := make([]float64, sh.k)
+	for _, p := range profiles {
+		loads[sh.assign[p.ID]] += p.Load
+	}
+	sh.loads = loads
+	sh.lossDirty = false
+}
+
+// refreshLossLocked re-prices the placement if it changed since the
+// last pricing. Caller holds sh.mu.
+func (sh *Sharded) refreshLossLocked() {
+	if sh.lossDirty {
+		sh.recomputeLossLocked(nil)
+	}
+}
+
+// Register places the query on a shard by stream affinity (see
+// shard.PlaceOne) and registers it there. Existing queries stay put —
+// full repartitions happen on Repartition or on estimator drift.
+func (sh *Sharded) Register(id, text string, opts ...QueryOption) error {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, dup := sh.assign[id]; dup {
+		return fmt.Errorf("%w: %q", ErrDuplicateID, id)
+	}
+	target := 0
+	if sh.k > 1 {
+		// Profile the new query on a neutral engine — prior probabilities
+		// and static stream costs — so no shard's learned evidence for
+		// predicates it happens to share leaks into the profile. Standing
+		// queries are profiled with their own shards' learned estimates;
+		// the new query has no evidence of its own yet, and the prior is
+		// its honest price.
+		q, err := engine.New(sh.reg).Compile(text)
+		if err != nil {
+			return fmt.Errorf("service: compiling %q: %w", id, err)
+		}
+		prof := shard.Profile(id, q.Tree())
+		target = shard.PlaceOne(prof, sh.profilesLocked(), sh.assign, sh.shardConfig())
+	}
+	if err := sh.shards[target].Register(id, text, opts...); err != nil {
+		return err
+	}
+	sh.assign[id] = target
+	sh.regOrder = append(sh.regOrder, id)
+	sh.regInfo[id] = &shardedQuery{text: text, opts: opts}
+	sh.lossDirty = true
+	return nil
+}
+
+// Unregister removes the query from its owning shard.
+func (sh *Sharded) Unregister(id string) error {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	owner, ok := sh.assign[id]
+	if !ok {
+		return fmt.Errorf("service: unknown query id %q", id)
+	}
+	if err := sh.shards[owner].Unregister(id); err != nil {
+		return err
+	}
+	delete(sh.assign, id)
+	delete(sh.regInfo, id)
+	for i, o := range sh.regOrder {
+		if o == id {
+			sh.regOrder = append(sh.regOrder[:i], sh.regOrder[i+1:]...)
+			break
+		}
+	}
+	sh.lossDirty = true
+	return nil
+}
+
+// QueryIDs lists registered query ids in registration order.
+func (sh *Sharded) QueryIDs() []string {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return append([]string(nil), sh.regOrder...)
+}
+
+// Assignment returns the current query -> shard placement.
+func (sh *Sharded) Assignment() map[string]int {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	out := make(map[string]int, len(sh.assign))
+	for id, s := range sh.assign {
+		out[id] = s
+	}
+	return out
+}
+
+// Repartition re-runs the partitioner over the whole fleet with the
+// current learned estimators and moves queries whose shard changed. A
+// moved query's windowed predicate evidence migrates to its new shard's
+// estimator; its plan caches stay behind (per-shard engines scope them)
+// and rebuild on the next tick. Returns how many queries moved.
+func (sh *Sharded) Repartition() int {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.repartitionLocked()
+}
+
+func (sh *Sharded) repartitionLocked() int {
+	sh.repartitions++
+	// A repartition consumes the drift evidence seen so far: the drift
+	// trigger only fires again after new trips (whether this run was
+	// manual or trip-driven).
+	sh.lastRepart = sh.tick
+	sh.tripsAtRepart = sh.trips.Load()
+	if sh.k == 1 {
+		return 0
+	}
+	profiles := sh.profilesLocked()
+	next := shard.Partition(profiles, sh.shardConfig())
+	moved := 0
+	for _, p := range profiles {
+		from, to := sh.assign[p.ID], next.Shard[p.ID]
+		if from == to {
+			continue
+		}
+		sh.moveLocked(p.ID, from, to)
+		sh.assign[p.ID] = to
+		moved++
+	}
+	sh.moved += int64(moved)
+	sh.recomputeLossLocked(profiles)
+	return moved
+}
+
+// moveLocked transfers one query between shards: estimator evidence is
+// exported from the source shard, the query is re-registered on the
+// destination, and the evidence imported so the new shard's planner
+// prices it with learned probabilities instead of the prior. Caller
+// holds sh.mu.
+func (sh *Sharded) moveLocked(id string, from, to int) {
+	src, dst := sh.shards[from], sh.shards[to]
+	info := sh.regInfo[id]
+	var snaps []adapt.PredicateSnapshot
+	if _, keys, ok := src.treeAndKeys(id); ok && src.ad != nil && dst.ad != nil {
+		snaps = src.ad.ExportPredicates(keys)
+	}
+	// Unregister cannot fail (the id is registered) and Register cannot
+	// fail either (the same text compiled when the query first arrived,
+	// and the id was just freed).
+	_ = src.Unregister(id)
+	if dst.ad != nil && len(snaps) > 0 {
+		dst.ad.ImportPredicates(snaps)
+	}
+	_ = dst.Register(id, info.text, info.opts...)
+}
+
+// maybeRepartitionLocked runs the drift trigger: when enabled and due,
+// a tick that observes detector trips since the last repartition re-runs
+// the partitioner — shifted probabilities and learned per-stream costs
+// change both the affinity weights and the loads. Caller holds sh.mu.
+func (sh *Sharded) maybeRepartitionLocked() {
+	if sh.repartEvery <= 0 || sh.k == 1 {
+		return
+	}
+	if sh.tick-sh.lastRepart < sh.repartEvery {
+		return
+	}
+	if sh.trips.Load() == sh.tripsAtRepart {
+		return
+	}
+	sh.repartitionLocked()
+}
+
+// Tick advances every shard worker by one step. Shards tick
+// concurrently — each against its own cache, planner and estimator — and
+// the merged result reports every due query's execution in registration
+// order, tagged with the shard that ran it. With one shard this is
+// exactly Service.Tick.
+func (sh *Sharded) Tick() TickResult {
+	if sh.k == 1 {
+		return sh.shards[0].Tick()
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.tick++
+	sh.maybeRepartitionLocked()
+	results := make([]TickResult, sh.k)
+	var wg sync.WaitGroup
+	for i := range sh.shards {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = sh.shards[i].Tick()
+		}(i)
+	}
+	wg.Wait()
+	// Executions arrive already stamped with their shard and the shared
+	// tick (every worker ticks once per Sharded.Tick).
+	byID := make(map[string]Execution)
+	for _, tr := range results {
+		for _, e := range tr.Executions {
+			byID[e.ID] = e
+		}
+	}
+	out := TickResult{Tick: sh.tick, Executions: make([]Execution, 0, len(byID))}
+	for _, id := range sh.regOrder {
+		if e, ok := byID[id]; ok {
+			out.Executions = append(out.Executions, e)
+		}
+	}
+	return out
+}
+
+// Run executes n consecutive ticks and returns their results.
+func (sh *Sharded) Run(n int) []TickResult {
+	out := make([]TickResult, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, sh.Tick())
+	}
+	return out
+}
+
+// Results returns the most recent executions of a query, oldest first.
+// A query moved by a repartition restarts its history on its new shard.
+func (sh *Sharded) Results(id string, n int) ([]Execution, error) {
+	sh.mu.Lock()
+	owner, ok := sh.assign[id]
+	sh.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("service: unknown query id %q", id)
+	}
+	return sh.shards[owner].Results(id, n)
+}
+
+// QueryMetrics returns the per-query aggregates from the owning shard.
+func (sh *Sharded) QueryMetrics(id string) (QueryMetrics, error) {
+	sh.mu.Lock()
+	owner, ok := sh.assign[id]
+	sh.mu.Unlock()
+	if !ok {
+		return QueryMetrics{}, fmt.Errorf("service: unknown query id %q", id)
+	}
+	return sh.shards[owner].QueryMetrics(id)
+}
+
+// Metrics aggregates the whole fleet across shards: counters sum,
+// per-stream traffic sums by registry index, rates are recomputed from
+// the summed counters, and the sharded runtime adds its own picture —
+// per-shard summaries, the modelled sharing lost to partitioning, and
+// the realized cross-shard duplicate traffic from the fleet ledger.
+func (sh *Sharded) Metrics() Metrics {
+	if sh.k == 1 {
+		m := sh.shards[0].Metrics()
+		m.Shards = 1
+		return m
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.refreshLossLocked()
+	per := make([]Metrics, sh.k)
+	for i, svc := range sh.shards {
+		per[i] = svc.Metrics()
+	}
+	m := Metrics{
+		Ticks:   sh.tick,
+		Queries: len(sh.regOrder),
+		Shards:  sh.k,
+
+		Repartitions:            sh.repartitions,
+		QueriesMoved:            sh.moved,
+		ShardJointExpectedCost:  sh.loss.JointK,
+		SingleJointExpectedCost: sh.loss.JointOne,
+		SharingLostPct:          sh.loss.LostPct,
+	}
+	perStream := make([]StreamMetrics, sh.reg.Len())
+	var ciWeight float64
+	for i, pm := range per {
+		m.Executions += pm.Executions
+		m.PaidCost += pm.PaidCost
+		m.ExpectedCost += pm.ExpectedCost
+		m.AdaptiveExecutions += pm.AdaptiveExecutions
+		m.BatchedCost += pm.BatchedCost
+		m.BatchedItems += pm.BatchedItems
+		m.DuplicatePullsAvoided += pm.DuplicatePullsAvoided
+		m.PredicatesEvaluated += pm.PredicatesEvaluated
+		m.PlanCacheHits += pm.PlanCacheHits
+		m.FleetPlans += pm.FleetPlans
+		m.FleetPlanReuses += pm.FleetPlanReuses
+		m.FleetPlannedExecutions += pm.FleetPlannedExecutions
+		m.FleetExpectedCost += pm.FleetExpectedCost
+		m.IndependentExpectedCost += pm.IndependentExpectedCost
+		m.PredicateDetectorTrips += pm.PredicateDetectorTrips
+		m.CostDetectorTrips += pm.CostDetectorTrips
+		m.ReplansForced += pm.ReplansForced
+		m.TrackedPredicates += pm.TrackedPredicates
+		m.TraceEvictions += pm.TraceEvictions
+		m.AvgCIWidth += pm.AvgCIWidth * float64(pm.TrackedPredicates)
+		ciWeight += float64(pm.TrackedPredicates)
+		m.CacheRequested += pm.CacheRequested
+		m.CacheTransferred += pm.CacheTransferred
+		m.Estimator = pm.Estimator
+		m.EstimatorWindow = pm.EstimatorWindow
+		for _, ps := range pm.PerStream {
+			tot := &perStream[ps.Stream]
+			tot.Stream = ps.Stream
+			tot.Name = ps.Name
+			tot.Requested += ps.Requested
+			tot.Transferred += ps.Transferred
+			tot.Spent += ps.Spent
+			tot.DuplicatePullsAvoided += ps.DuplicatePullsAvoided
+			tot.CostDetectorTrips += ps.CostDetectorTrips
+			// Transfer-weighted mean of the shards' learned costs: the
+			// shards learn independently from their own pulls.
+			tot.LearnedCostPerItem += ps.LearnedCostPerItem * float64(ps.Transferred)
+		}
+		m.PerQuery = append(m.PerQuery, pm.PerQuery...)
+		load := 0.0
+		if i < len(sh.loads) {
+			load = sh.loads[i]
+		}
+		m.PerShard = append(m.PerShard, ShardSummary{
+			Shard:            i,
+			Queries:          pm.Queries,
+			ExpectedLoad:     load,
+			Executions:       pm.Executions,
+			PaidCost:         pm.PaidCost,
+			CacheTransferred: pm.CacheTransferred,
+			CacheHitRate:     pm.CacheHitRate,
+		})
+	}
+	for k := range perStream {
+		ps := &perStream[k]
+		ps.Stream = k
+		if ps.Name == "" {
+			ps.Name = sh.reg.At(k).Source.Name()
+		}
+		if ps.Requested > 0 {
+			ps.HitRate = 1 - float64(ps.Transferred)/float64(ps.Requested)
+		}
+		if ps.Transferred > 0 {
+			ps.LearnedCostPerItem /= float64(ps.Transferred)
+		}
+	}
+	m.PerStream = perStream
+	sortQueryMetrics(m.PerQuery)
+	if m.ExpectedCost > 0 {
+		m.RealizedOverExpected = m.PaidCost / m.ExpectedCost
+	}
+	// Every execution is either a plan-cache hit or a miss, so the hit
+	// rate is hits over executions.
+	if m.Executions > 0 {
+		m.PlanCacheHitRate = float64(m.PlanCacheHits) / float64(m.Executions)
+	}
+	if m.IndependentExpectedCost > 0 {
+		m.FleetModelledSaving = 1 - m.FleetExpectedCost/m.IndependentExpectedCost
+	}
+	if m.CacheRequested > 0 {
+		m.CacheHitRate = 1 - float64(m.CacheTransferred)/float64(m.CacheRequested)
+	}
+	if ciWeight > 0 {
+		m.AvgCIWidth /= ciWeight
+	}
+	if sh.ledger != nil {
+		ls := sh.ledger.Stats()
+		m.CrossShardDuplicateTransfers = ls.DuplicateTransfers
+		m.CrossShardDuplicateSpend = ls.DuplicateSpend
+	}
+	return m
+}

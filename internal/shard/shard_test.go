@@ -1,0 +1,221 @@
+package shard
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"testing"
+
+	"paotr/internal/fleet"
+	"paotr/internal/query"
+)
+
+// randomFleet builds n random DNF trees over one shared stream space of
+// s streams — the shape the partitioner sees in production, where every
+// tree indexes the same registry.
+func randomFleet(rng *rand.Rand, n, s int) []Query {
+	streams := make([]query.Stream, s)
+	for k := range streams {
+		streams[k] = query.Stream{Name: fmt.Sprintf("s%d", k), Cost: 1 + 9*rng.Float64()}
+	}
+	out := make([]Query, n)
+	for i := range out {
+		ands := 1 + rng.IntN(3)
+		t := &query.Tree{Streams: streams}
+		for a := 0; a < ands; a++ {
+			leaves := 1 + rng.IntN(3)
+			for l := 0; l < leaves; l++ {
+				t.Leaves = append(t.Leaves, query.Leaf{
+					Stream: query.StreamID(rng.IntN(s)),
+					Items:  1 + rng.IntN(5),
+					Prob:   0.1 + 0.8*rng.Float64(),
+					And:    a,
+					Label:  fmt.Sprintf("q%d.a%d.l%d", i, a, l),
+				})
+			}
+		}
+		if err := t.Validate(); err != nil {
+			panic(err)
+		}
+		out[i] = Profile(fmt.Sprintf("q%d", i), t)
+	}
+	return out
+}
+
+// TestProfileLoadMatchesIndependentPlan: the profile's Load must equal
+// the expected cost of the query's independent plan, and the per-stream
+// weights must sum to it (the Proposition 2 acquisition probabilities
+// are a partition of the schedule's expected spend).
+func TestProfileLoadMatchesIndependentPlan(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 0))
+	for trial := 0; trial < 50; trial++ {
+		qs := randomFleet(rng, 1, 4)
+		q := qs[0]
+		sum := 0.0
+		for _, w := range q.Weights {
+			sum += w
+		}
+		if diff := q.Load - sum; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("trial %d: load %v != weight sum %v", trial, q.Load, sum)
+		}
+	}
+}
+
+// TestPartitionSingleShardIsUnsharded: with one shard the partitioner
+// assigns everything to shard 0 and the sharing loss degenerates
+// exactly — the per-"shard" joint cost IS the K=1 joint cost.
+func TestPartitionSingleShardIsUnsharded(t *testing.T) {
+	rng := rand.New(rand.NewPCG(11, 0))
+	for trial := 0; trial < 20; trial++ {
+		qs := randomFleet(rng, 2+rng.IntN(6), 3+rng.IntN(4))
+		a := Partition(qs, Config{Shards: 1})
+		for _, q := range qs {
+			if a.Shard[q.ID] != 0 {
+				t.Fatalf("trial %d: query %s on shard %d with K=1", trial, q.ID, a.Shard[q.ID])
+			}
+		}
+		loss := SharingLoss(qs, a.Shard, 1)
+		if loss.JointK != loss.JointOne {
+			t.Fatalf("trial %d: K=1 loss not degenerate: jointK %v != jointOne %v",
+				trial, loss.JointK, loss.JointOne)
+		}
+		if loss.LostPct != 0 {
+			t.Fatalf("trial %d: K=1 lost %v%%, want exactly 0", trial, loss.LostPct)
+		}
+		trees := make([]*query.Tree, len(qs))
+		for i, q := range qs {
+			trees[i] = q.Tree
+		}
+		if full := fleet.PlanJoint(trees, nil); loss.JointK > full.Expected+1e-12 {
+			t.Fatalf("trial %d: K=1 jointK %v exceeds the fleet planner's %v",
+				trial, loss.JointK, full.Expected)
+		}
+	}
+}
+
+// TestShardedCostBounds is the partitioner's core invariant, over 100
+// random fleets: the summed per-shard joint cost is sandwiched between
+// the K=1 joint cost (splitting a fleet can only lose cross-query
+// discounts, so K shards cost at least as much as one) and the
+// independent-planning cost (within a shard the joint planner never
+// models more than per-query planning would).
+func TestShardedCostBounds(t *testing.T) {
+	rng := rand.New(rand.NewPCG(23, 0))
+	for trial := 0; trial < 100; trial++ {
+		n := 3 + rng.IntN(6)
+		qs := randomFleet(rng, n, 3+rng.IntN(5))
+		k := 2 + rng.IntN(3)
+		a := Partition(qs, Config{Shards: k})
+		loss := SharingLoss(qs, a.Shard, k)
+
+		indep := 0.0
+		for _, q := range qs {
+			indep += q.Load
+		}
+		const eps = 1e-9
+		if loss.JointOne > loss.JointK+eps {
+			t.Errorf("trial %d (n=%d k=%d): K=1 joint %v exceeds K-shard joint %v",
+				trial, n, k, loss.JointOne, loss.JointK)
+		}
+		if loss.JointK > indep+eps {
+			t.Errorf("trial %d (n=%d k=%d): K-shard joint %v exceeds independent %v",
+				trial, n, k, loss.JointK, indep)
+		}
+		if loss.LostPct < 0 {
+			t.Errorf("trial %d: negative sharing loss %v%%", trial, loss.LostPct)
+		}
+	}
+}
+
+// TestPartitionBalances: on a no-overlap fleet (every query on its own
+// streams) affinity is useless and the partitioner must fall back to
+// load balancing — no shard ends up empty while another holds the whole
+// fleet.
+func TestPartitionBalances(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 0))
+	streams := make([]query.Stream, 16)
+	for k := range streams {
+		streams[k] = query.Stream{Name: fmt.Sprintf("s%d", k), Cost: 2}
+	}
+	qs := make([]Query, 8)
+	for i := range qs {
+		t1 := &query.Tree{Streams: streams, Leaves: []query.Leaf{
+			{Stream: query.StreamID(2 * i), Items: 1 + rng.IntN(4), Prob: 0.5, And: 0, Label: fmt.Sprintf("q%d.0", i)},
+			{Stream: query.StreamID(2*i + 1), Items: 1 + rng.IntN(4), Prob: 0.5, And: 0, Label: fmt.Sprintf("q%d.1", i)},
+		}}
+		qs[i] = Profile(fmt.Sprintf("q%d", i), t1)
+	}
+	a := Partition(qs, Config{Shards: 4})
+	perShard := make([]int, 4)
+	for _, s := range a.Shard {
+		perShard[s]++
+	}
+	for s, n := range perShard {
+		if n == 0 {
+			t.Errorf("shard %d empty on a balanced no-overlap fleet: %v", s, perShard)
+		}
+		if n > 4 {
+			t.Errorf("shard %d holds %d of 8 disjoint queries: %v", s, n, perShard)
+		}
+	}
+	if loss := SharingLoss(qs, a.Shard, 4); loss.LostPct > 1e-9 {
+		t.Errorf("disjoint fleet lost %v%% sharing to partitioning, want 0", loss.LostPct)
+	}
+}
+
+// TestPartitionCoLocatesOverlap: queries sharing an expensive stream
+// must land on the same shard when the balance cap allows it, and the
+// placement must lose less sharing than a round-robin placement.
+func TestPartitionCoLocatesOverlap(t *testing.T) {
+	streams := []query.Stream{
+		{Name: "shared", Cost: 10},
+		{Name: "p0", Cost: 1}, {Name: "p1", Cost: 1},
+		{Name: "p2", Cost: 1}, {Name: "p3", Cost: 1},
+	}
+	mk := func(i int, private query.StreamID) Query {
+		t1 := &query.Tree{Streams: streams, Leaves: []query.Leaf{
+			{Stream: 0, Items: 4, Prob: 0.5, And: 0, Label: fmt.Sprintf("q%d.shared", i)},
+			{Stream: private, Items: 2, Prob: 0.5, And: 1, Label: fmt.Sprintf("q%d.private", i)},
+		}}
+		return Profile(fmt.Sprintf("q%d", i), t1)
+	}
+	// Two pairs: q0/q1 share stream "shared" heavily (both open on it);
+	// q2/q3 are private-only.
+	qs := []Query{mk(0, 1), mk(1, 2)}
+	for i := 2; i < 4; i++ {
+		t1 := &query.Tree{Streams: streams, Leaves: []query.Leaf{
+			{Stream: query.StreamID(i + 1), Items: 3, Prob: 0.5, And: 0, Label: fmt.Sprintf("q%d.a", i)},
+		}}
+		qs = append(qs, Profile(fmt.Sprintf("q%d", i), t1))
+	}
+	a := Partition(qs, Config{Shards: 2})
+	if a.Shard["q0"] != a.Shard["q1"] {
+		t.Errorf("overlapping queries split across shards: %v", a.Shard)
+	}
+	affine := SharingLoss(qs, a.Shard, 2)
+	roundRobin := map[string]int{"q0": 0, "q1": 1, "q2": 0, "q3": 1}
+	naive := SharingLoss(qs, roundRobin, 2)
+	if affine.JointK > naive.JointK+1e-9 {
+		t.Errorf("affinity placement models %v J, round-robin %v J — placement should not lose more",
+			affine.JointK, naive.JointK)
+	}
+	if naive.LostPct <= 0 {
+		t.Errorf("round-robin split of an overlapping fleet lost %v%%, expected > 0", naive.LostPct)
+	}
+}
+
+// TestPlaceOneAgreesWithPartitionState: incrementally placing a query
+// into an existing assignment must be deterministic and in range.
+func TestPlaceOneInRangeAndDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewPCG(31, 0))
+	qs := randomFleet(rng, 6, 5)
+	a := Partition(qs[:5], Config{Shards: 3})
+	first := PlaceOne(qs[5], qs[:5], a.Shard, Config{Shards: 3})
+	for i := 0; i < 10; i++ {
+		if got := PlaceOne(qs[5], qs[:5], a.Shard, Config{Shards: 3}); got != first {
+			t.Fatalf("PlaceOne not deterministic: %d then %d", first, got)
+		}
+	}
+	if first < 0 || first >= 3 {
+		t.Fatalf("PlaceOne out of range: %d", first)
+	}
+}

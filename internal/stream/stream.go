@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand/v2"
+	"sync"
 )
 
 // Item is one sensor reading.
@@ -108,13 +109,17 @@ func (s sine) At(step int64) Item {
 }
 
 // randomWalk is a bounded random walk, deterministic in (seed, step).
-// Each At recomputes the walk prefix lazily with caching.
+// Each At recomputes the walk prefix lazily with caching. The memo is
+// mutex-guarded: a registry may back several acquisition caches at once
+// (shard workers each own a private cache over the shared registry), so
+// At must be safe for concurrent use.
 type randomWalk struct {
 	name       string
 	start      float64
 	stepSize   float64
 	lo, hi     float64
 	seed       uint64
+	mu         sync.Mutex
 	cache      []float64
 	cacheValid bool
 }
@@ -122,6 +127,8 @@ type randomWalk struct {
 func (r *randomWalk) Name() string { return r.name }
 
 func (r *randomWalk) At(step int64) Item {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	// The walk starts at step 0; earlier steps return the start value
 	// (streams have always existed in the paper's model).
 	if step < 0 {
