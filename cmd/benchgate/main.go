@@ -3,13 +3,14 @@
 // against baselines committed in the repository and fails the build when
 // an energy-efficiency metric regresses beyond the tolerance.
 //
-// The gated metrics are the J/tick numbers — every numeric JSON field
-// whose name ends in "j_per_tick", addressed by its path (array elements
-// that carry a "name" field are addressed by it, so reordering rows does
-// not break the diff). J/tick is deterministic for the seeded simulation
-// corpora, unlike wall-clock throughput, which makes it safe to gate on
-// across heterogeneous CI hosts; per_sec fields are deliberately not
-// gated.
+// The gated metrics are the deterministic efficiency numbers — every
+// numeric JSON field whose name ends in "j_per_tick" or
+// "allocs_per_tick", addressed by its path (array elements that carry a
+// "name" field are addressed by it, so reordering rows does not break
+// the diff). J/tick and allocations/tick are deterministic for the
+// seeded simulation corpora, unlike wall-clock throughput, which makes
+// them safe to gate on across heterogeneous CI hosts; per_sec and
+// plan-time fields are deliberately not gated.
 //
 // Usage:
 //
@@ -36,7 +37,7 @@ import (
 )
 
 // defaultArtifacts is the benchmark set produced by the CI workflow.
-var defaultArtifacts = []string{"BENCH_fleet.json", "BENCH_adapt.json", "BENCH_shard.json"}
+var defaultArtifacts = []string{"BENCH_fleet.json", "BENCH_adapt.json", "BENCH_shard.json", "BENCH_plan.json"}
 
 func main() {
 	var (
@@ -71,14 +72,25 @@ func main() {
 }
 
 // metrics flattens a decoded JSON document into path -> value for every
-// numeric field whose key ends in "j_per_tick".
+// numeric field whose key ends in a gated suffix.
 func metrics(doc any) map[string]float64 {
 	out := map[string]float64{}
 	collect(doc, "", out)
 	return out
 }
 
-const gatedSuffix = "j_per_tick"
+// gatedSuffixes are the key suffixes of the deterministic metrics the
+// gate diffs; wall-clock fields stay ungated.
+var gatedSuffixes = []string{"j_per_tick", "allocs_per_tick"}
+
+func gatedKey(k string) bool {
+	for _, s := range gatedSuffixes {
+		if strings.HasSuffix(k, s) {
+			return true
+		}
+	}
+	return false
+}
 
 func collect(v any, path string, out map[string]float64) {
 	switch t := v.(type) {
@@ -93,7 +105,7 @@ func collect(v any, path string, out map[string]float64) {
 			if path != "" {
 				p = path + "." + k
 			}
-			if f, ok := t[k].(float64); ok && strings.HasSuffix(k, gatedSuffix) {
+			if f, ok := t[k].(float64); ok && gatedKey(k) {
 				out[p] = f
 				continue
 			}
@@ -226,7 +238,7 @@ func runSelftest(baselineDir string, files []string, tol float64, w io.Writer) e
 	if inflated == 0 {
 		return fmt.Errorf("no baselines found under %s", baselineDir)
 	}
-	fmt.Fprintf(w, "selftest: gating %d artifact(s) with every %s inflated 12%%\n", inflated, gatedSuffix)
+	fmt.Fprintf(w, "selftest: gating %d artifact(s) with every %s inflated 12%%\n", inflated, strings.Join(gatedSuffixes, "/"))
 	regressions, err := runGate(baselineDir, dir, files, tol, w)
 	if err != nil {
 		return err
@@ -243,7 +255,7 @@ func inflate(v any, factor float64) any {
 	switch t := v.(type) {
 	case map[string]any:
 		for k, e := range t {
-			if f, ok := e.(float64); ok && strings.HasSuffix(k, gatedSuffix) {
+			if f, ok := e.(float64); ok && gatedKey(k) {
 				t[k] = f * factor
 				continue
 			}

@@ -117,6 +117,62 @@ func oneShardServer(t *testing.T) *httptest.Server {
 	return srv
 }
 
+// driftChurnServer mirrors `paotrserve -scenario drift -shift-tick 40
+// -replan-threshold 0.1`: the tolerant drift threshold keeps settled
+// estimates within the planner's patch eligibility, so post-shift churn
+// exercises incremental replanning rather than full replans.
+func driftChurnServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	svc, err := newServiceWith(serviceConfig{
+		seed: 17, workers: 4, replan: 0.1,
+		executor: "linear", batch: true, fleetPlan: true,
+		scenario: "drift", shiftTick: 40,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(newServer(svc, -1))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// registrationStormCase is E00601: a four-digit registration storm
+// followed by ticks — the fleet scale the sub-quadratic joint planner
+// exists for. The metrics read checks the planner-health fields land on
+// the wire (plan_ns, plan_incremental) and that the storm actually went
+// through joint planning.
+func registrationStormCase() e2eCase {
+	const storm = 1000
+	steps := make([]e2eStep, 0, storm+2)
+	for i := 0; i < storm; i++ {
+		q := fmt.Sprintf(`{"id":"storm%d","query":"AVG(heart-rate,%d) > %d OR AVG(spo2,%d) < %d"}`,
+			i, i%6+2, 80+i%40, i%4+2, 88+i%8)
+		steps = append(steps, e2eStep{"POST", "/queries", q, http.StatusCreated, nil})
+	}
+	steps = append(steps,
+		e2eStep{"POST", "/tick", `{"steps":2}`, http.StatusOK, nil},
+		e2eStep{"GET", "/metrics", "", http.StatusOK, func(t *testing.T, body []byte) {
+			for _, field := range []string{`"plan_ns"`, `"plan_incremental"`} {
+				if !strings.Contains(string(body), field) {
+					t.Errorf("/metrics missing %s", field)
+				}
+			}
+			var m service.Metrics
+			mustDecode(t, body, &m)
+			if m.Queries != storm || m.Ticks != 2 {
+				t.Errorf("queries = %d, ticks = %d, want %d and 2", m.Queries, m.Ticks, storm)
+			}
+			if m.FleetPlans == 0 || m.FleetPlannedExecutions == 0 {
+				t.Errorf("storm fleet did no joint planning: plans %d, executions %d",
+					m.FleetPlans, m.FleetPlannedExecutions)
+			}
+			if m.PlanNanos <= 0 {
+				t.Errorf("plan_ns not accounted: %d", m.PlanNanos)
+			}
+		}})
+	return e2eCase{caseID: "E00601", name: "1k-query registration storm plans jointly", steps: steps}
+}
+
 // thirteenLeafQuery exceeds the 12-leaf DP bound of the strategy package.
 func thirteenLeafQuery() string {
 	terms := make([]string, 13)
@@ -128,6 +184,9 @@ func thirteenLeafQuery() string {
 
 func e2eCases() []e2eCase {
 	registerHR := e2eStep{"POST", "/queries", `{"id":"hr","query":"heart-rate > 100"}`, http.StatusCreated, nil}
+	// preChurn carries E00602's incremental-plan count across its two
+	// metrics reads: the post-churn tick must patch, not full-replan.
+	var preChurn int64
 	return []e2eCase{
 		{caseID: "E00001", name: "register linear query", steps: []e2eStep{
 			{"POST", "/queries", `{"id":"q","query":"AVG(heart-rate,5) > 100"}`, http.StatusCreated,
@@ -548,6 +607,45 @@ func e2eCases() []e2eCase {
 					}
 					if len(m.PerQuery) != 1 || m.PerQuery[0].RealizedOverExpected <= 0 {
 						t.Errorf("per-query ratio missing: %+v", m.PerQuery)
+					}
+				}},
+		}},
+
+		registrationStormCase(),
+		{caseID: "E00602", name: "incremental replan after drift and churn", server: driftChurnServer, steps: []e2eStep{
+			// Plan a stable fleet through the regime shift at tick 40, then
+			// unregister one query: the next tick must absorb the churn by
+			// patching the cached joint plan — survivors keep their
+			// schedules — rather than replanning the whole fleet.
+			{"POST", "/queries", `{"id":"or1","query":"r0 < 0.5 OR r1 < 0.5"}`, http.StatusCreated, nil},
+			{"POST", "/queries", `{"id":"or2","query":"r1 < 0.5 OR r2 < 0.5"}`, http.StatusCreated, nil},
+			{"POST", "/queries", `{"id":"or3","query":"r2 < 0.5 OR r3 < 0.5"}`, http.StatusCreated, nil},
+			{"POST", "/queries", `{"id":"and4","query":"r3 < 0.5 AND r0 < 0.5"}`, http.StatusCreated, nil},
+			{"POST", "/tick", `{"steps":120}`, http.StatusOK, nil},
+			{"GET", "/metrics", "", http.StatusOK,
+				func(t *testing.T, body []byte) {
+					var m service.Metrics
+					mustDecode(t, body, &m)
+					if m.ReplansForced == 0 {
+						t.Errorf("regime shift forced no replans: %+v", m)
+					}
+					preChurn = m.FleetPlanIncremental
+				}},
+			{"DELETE", "/queries/or2", "", http.StatusOK, nil},
+			{"POST", "/tick", `{"steps":1}`, http.StatusOK, nil},
+			{"GET", "/metrics", "", http.StatusOK,
+				func(t *testing.T, body []byte) {
+					var m service.Metrics
+					mustDecode(t, body, &m)
+					if m.Queries != 3 {
+						t.Errorf("queries = %d after churn, want 3", m.Queries)
+					}
+					if m.FleetPlanIncremental <= preChurn {
+						t.Errorf("post-churn tick full-replanned the fleet: plan_incremental %d -> %d",
+							preChurn, m.FleetPlanIncremental)
+					}
+					if m.PlanNanos <= 0 {
+						t.Errorf("plan_ns not accounted: %d", m.PlanNanos)
 					}
 				}},
 		}},

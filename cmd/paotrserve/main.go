@@ -51,6 +51,12 @@
 // re-runs the partitioner and moves queries (their learned estimator
 // evidence migrates along). -shards 1 (the default) is byte-identical
 // to the unsharded service.
+//
+// The -pprof flag exposes net/http/pprof under /debug/pprof/, for
+// CPU/heap profiling of a live fleet. /metrics reports joint planning
+// health alongside: plan_ns (cumulative wall time spent in the joint
+// planner) and plan_incremental (plans produced by patching a cached
+// joint plan instead of replanning the whole fleet).
 package main
 
 import (
@@ -61,6 +67,7 @@ import (
 	"io"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"strconv"
 
@@ -105,6 +112,8 @@ func main() {
 			"shard workers: queries are placed by stream affinity, each shard owns its own cache/planner/estimator (1 = the unsharded service)")
 		repartition = flag.Int("repartition", 0,
 			"minimum ticks between drift-driven repartitions of the sharded fleet (0 = never re-partition live; needs -shards > 1)")
+		pprofOn = flag.Bool("pprof", false,
+			"expose net/http/pprof under /debug/pprof/ (CPU/heap profiling of a live fleet, e.g. plan-time or per-tick allocation hunts)")
 	)
 	flag.Parse()
 
@@ -131,8 +140,13 @@ func main() {
 	if *scenario == "drift" {
 		streams = "r0, r1, r2, r3 (regime shift at tick " + strconv.FormatInt(*shiftTick, 10) + ")"
 	}
+	srv := newServer(svc, *adaptiveGap)
+	if *pprofOn {
+		srv.enablePprof()
+		log.Printf("pprof enabled under /debug/pprof/")
+	}
 	log.Printf("paotrserve listening on %s (estimator: %s; streams: %s)", *addr, *estimator, streams)
-	log.Fatal(http.ListenAndServe(*addr, newServer(svc, *adaptiveGap)))
+	log.Fatal(http.ListenAndServe(*addr, srv))
 }
 
 // executorByName resolves an execution-strategy name from the API or CLI.
@@ -260,6 +274,18 @@ func newServer(svc service.Runtime, gap float64) *server {
 }
 
 func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// enablePprof mounts the net/http/pprof handlers on the server mux (the
+// -pprof flag): profiles are how plan-time and per-tick allocation
+// regressions get diagnosed against a live fleet instead of a synthetic
+// benchmark corpus.
+func (s *server) enablePprof() {
+	s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+}
 
 // queryOptions converts a register request into service options, using
 // gap as the threshold for per-query adaptive executors.

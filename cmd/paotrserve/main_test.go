@@ -126,6 +126,29 @@ func TestTenantStyleIDs(t *testing.T) {
 	}
 }
 
+// TestPprofEndpoint: enablePprof (the -pprof flag) mounts the profiling
+// index on the server mux; without it the path stays unrouted.
+func TestPprofEndpoint(t *testing.T) {
+	s := newServer(newService(1, 1, 0.02), engine.DefaultGapThreshold)
+	s.enablePprof()
+	srv := httptest.NewServer(s)
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof index status = %d", resp.StatusCode)
+	}
+	plain := testServer(t)
+	if resp, err := http.Get(plain.URL + "/debug/pprof/"); err != nil {
+		t.Fatal(err)
+	} else if resp.Body.Close(); resp.StatusCode == http.StatusOK {
+		t.Fatal("pprof served without -pprof")
+	}
+}
+
 func TestTickValidation(t *testing.T) {
 	srv := testServer(t)
 	if resp := doJSON(t, "POST", srv.URL+"/tick", `{"steps":0}`, nil); resp.StatusCode != http.StatusBadRequest {

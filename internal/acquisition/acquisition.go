@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"paotr/internal/stream"
 )
@@ -36,6 +37,15 @@ import (
 type shard struct {
 	mu sync.Mutex
 	_  [56]byte // pad to a 64-byte cache line so stripe locks do not false-share
+}
+
+// streamView is an immutable snapshot of the contiguous most-recent
+// cached prefix of one stream: vals[t-1] is the value of the t-th most
+// recent item as of time step now. Once published it is never mutated;
+// Acquire serves warm hits straight from it without taking any lock.
+type streamView struct {
+	now  int64
+	vals []float64
 }
 
 // Cache holds the most recent items pulled from each stream of a registry
@@ -65,13 +75,21 @@ type Cache struct {
 	// dropped (the paper's "no longer relevant" rule).
 	maxWindow []int
 	now       int64
+	// nowA mirrors now for lock-free freshness checks: the warm-hit fast
+	// path compares a view's stamp against it without taking mu.
+	nowA atomic.Int64
+	// views[k], when non-nil, is the published warm prefix of stream k.
+	// Views are written under stream k's locks (and invalidated under the
+	// structural write lock); they are read with a bare atomic load.
+	views []atomic.Pointer[streamView]
 	// Per-stream accounting, guarded like items: spent[k] is the cost
 	// paid for stream k, pulls[k] the items transferred from it, and
 	// requested/transferred count per-stream traffic (their ratio is the
 	// per-stream cache hit rate). Fleet-wide totals are sums over k.
+	// requested is atomic because the lock-free fast path bumps it.
 	spent       []float64
 	pulls       []int
-	requested   []int64
+	requested   []atomic.Int64
 	transferred []int64
 	// ledger, when set, additionally accounts every transfer to a
 	// fleet-wide Ledger shared with other caches (see SetLedger).
@@ -121,9 +139,10 @@ func newStriped(reg *stream.Registry, maxWindow []int, stripes int) *Cache {
 		base:        append([]int(nil), maxWindow...),
 		claims:      map[string][]int{},
 		maxWindow:   append([]int(nil), maxWindow...),
+		views:       make([]atomic.Pointer[streamView], n),
 		spent:       make([]float64, n),
 		pulls:       make([]int, n),
-		requested:   make([]int64, n),
+		requested:   make([]atomic.Int64, n),
 		transferred: make([]int64, n),
 	}
 	for k := range c.stripeOf {
@@ -195,9 +214,14 @@ func (c *Cache) recomputeHorizons() {
 	c.evictLocked()
 }
 
-// evictLocked drops items older than the retention horizon. Caller holds
-// mu exclusively (so no stripe locks are needed).
+// evictLocked drops items older than the retention horizon and retires
+// every published warm view (ages shifted or horizons shrank, so a view
+// could otherwise serve items the cache no longer holds as free). Caller
+// holds mu exclusively (so no stripe locks are needed).
 func (c *Cache) evictLocked() {
+	for k := range c.views {
+		c.views[k].Store(nil)
+	}
 	for k := range c.items {
 		kept := c.items[k][:0]
 		for _, it := range c.items[k] {
@@ -268,7 +292,7 @@ func (c *Cache) Stats() Stats {
 	defer c.mu.Unlock()
 	out := Stats{Now: c.now}
 	for k := range c.spent {
-		out.Requested += c.requested[k]
+		out.Requested += c.requested[k].Load()
 		out.Transferred += c.transferred[k]
 		out.Spent += c.spent[k]
 	}
@@ -306,7 +330,7 @@ func (c *Cache) streamStatsLocked(k int) StreamStats {
 	s := StreamStats{
 		Stream:      k,
 		Name:        c.reg.At(k).Source.Name(),
-		Requested:   c.requested[k],
+		Requested:   c.requested[k].Load(),
 		Transferred: c.transferred[k],
 		Spent:       c.spent[k],
 	}
@@ -337,6 +361,7 @@ func (c *Cache) Advance(steps int64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.now += steps
+	c.nowA.Store(c.now)
 	c.evictLocked()
 	if c.ledger != nil {
 		c.ledger.advance(c.now)
@@ -393,7 +418,7 @@ func (c *Cache) pullLocked(k, d int, countRequested bool) float64 {
 	st := c.reg.At(k)
 	cost := 0.0
 	if countRequested {
-		c.requested[k] += int64(d)
+		c.requested[k].Add(int64(d))
 	}
 	added := false
 	for t := 1; t <= d; t++ {
@@ -470,11 +495,28 @@ func (c *Cache) valuesLocked(k, d int) ([]float64, error) {
 // Pull and read happen under one stream lock, so concurrent executions
 // sharing the cache cannot interleave between paying for items and
 // reading them.
+//
+// Warm hits take a lock-free fast path: when a published view of the
+// stream covers the request at the current time step, the values are
+// served straight from the immutable view — no locks, no allocation, no
+// cost. The returned slice is shared and must be treated as read-only.
 func (c *Cache) Acquire(k, d int) ([]float64, float64, error) {
+	if v := c.views[k].Load(); v != nil && d <= len(v.vals) && v.now == c.nowA.Load() {
+		c.requested[k].Add(int64(d))
+		return v.vals[:d], 0, nil
+	}
 	unlock := c.lockStream(k)
 	defer unlock()
 	cost := c.pullLocked(k, d, true)
 	vals, err := c.valuesLocked(k, d)
+	if err == nil {
+		// Publish the prefix for subsequent warm readers this step. Writes
+		// serialize under the stripe lock; Advance/evict invalidate under
+		// the structural write lock, which excludes us.
+		if v := c.views[k].Load(); v == nil || v.now != c.now || len(v.vals) < len(vals) {
+			c.views[k].Store(&streamView{now: c.now, vals: vals})
+		}
+	}
 	return vals, cost, err
 }
 
@@ -487,15 +529,32 @@ func (c *Cache) Acquire(k, d int) ([]float64, float64, error) {
 // land between rows — planners snapshot between execution phases, when
 // nothing pulls).
 func (c *Cache) Snapshot(windows []int) [][]bool {
+	return c.SnapshotInto(windows, nil)
+}
+
+// SnapshotInto is Snapshot writing into out, reusing its rows' capacity
+// so per-tick planners can snapshot without allocating. A nil (or too
+// small) out grows as needed; the possibly reallocated slice is returned.
+func (c *Cache) SnapshotInto(windows []int, out [][]bool) [][]bool {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
-	out := make([][]bool, len(c.items))
+	n := len(c.items)
+	if cap(out) < n {
+		grown := make([][]bool, n)
+		copy(grown, out)
+		out = grown
+	}
+	out = out[:n]
 	for k := range out {
 		d := 0
 		if k < len(windows) {
 			d = windows[k]
 		}
-		row := make([]bool, d)
+		row := out[k]
+		if cap(row) < d {
+			row = make([]bool, d)
+		}
+		row = row[:d]
 		sh := &c.shards[c.stripeOf[k]]
 		sh.mu.Lock()
 		for t := 1; t <= d; t++ {
@@ -515,7 +574,7 @@ func (c *Cache) ResetAccounting() {
 	for k := range c.pulls {
 		c.spent[k] = 0
 		c.pulls[k] = 0
-		c.requested[k] = 0
+		c.requested[k].Store(0)
 		c.transferred[k] = 0
 	}
 }

@@ -348,25 +348,35 @@ func childNodes(terms []parser.Expr, reg *stream.Registry) ([]*query.Node, error
 // the annotated probability when the query provided one, otherwise the
 // estimator's — and, when a cost source is installed, per-item stream
 // costs re-priced from learned acquisition observations.
-func (q *Query) Tree() *query.Tree {
-	t := q.skeleton.Clone()
-	for j := range t.Leaves {
+func (q *Query) Tree() *query.Tree { return q.TreeInto(nil) }
+
+// TreeInto is Tree with the clone amortized: dst — a tree previously
+// returned by Tree or TreeInto for this same query — is re-annotated in
+// place with the current probability estimates and learned costs and
+// returned. A nil dst clones the skeleton fresh. Callers reusing dst
+// across executions must be done with the previous tree before the next
+// call (the service's tick loop is; its phases are serialized).
+func (q *Query) TreeInto(dst *query.Tree) *query.Tree {
+	if dst == nil {
+		dst = q.skeleton.Clone()
+	}
+	for j := range dst.Leaves {
 		p := q.Preds[j]
 		if !math.IsNaN(p.Prob) {
-			t.Leaves[j].Prob = p.Prob
+			dst.Leaves[j].Prob = p.Prob
 			continue
 		}
 		est, _ := q.engine.est.Estimate(q.predKeys[j])
-		t.Leaves[j].Prob = est
+		dst.Leaves[j].Prob = est
 	}
 	if cs := q.engine.costs; cs != nil {
-		for k := range t.Streams {
+		for k := range dst.Streams {
 			if c, ok := cs.CostPerItem(k); ok {
-				t.Streams[k].Cost = c
+				dst.Streams[k].Cost = c
 			}
 		}
 	}
-	return t
+	return dst
 }
 
 // PredKeys returns the trace-store keys of the query's leaf predicates,

@@ -1,0 +1,106 @@
+package fleet
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"paotr/internal/query"
+	"paotr/internal/sched"
+)
+
+// samePlan asserts two joint plans are byte-identical: same schedules
+// leaf for leaf, bitwise-equal expected costs, same guardrail outcome.
+func samePlan(t *testing.T, trial int, want, got *Plan) {
+	t.Helper()
+	if len(want.Queries) != len(got.Queries) {
+		t.Fatalf("trial %d: %d query plans, want %d", trial, len(got.Queries), len(want.Queries))
+	}
+	for qi := range want.Queries {
+		w, g := want.Queries[qi], got.Queries[qi]
+		if len(w.Schedule) != len(g.Schedule) {
+			t.Fatalf("trial %d query %d: schedule %v, want %v", trial, qi, g.Schedule, w.Schedule)
+		}
+		for i := range w.Schedule {
+			if w.Schedule[i] != g.Schedule[i] {
+				t.Fatalf("trial %d query %d: schedule %v, want %v", trial, qi, g.Schedule, w.Schedule)
+			}
+		}
+		if w.Expected != g.Expected {
+			t.Fatalf("trial %d query %d: expected %v, want %v (bitwise)", trial, qi, g.Expected, w.Expected)
+		}
+	}
+	if want.Expected != got.Expected || want.IndependentExpected != got.IndependentExpected {
+		t.Fatalf("trial %d: totals (%v, %v), want (%v, %v)",
+			trial, got.Expected, got.IndependentExpected, want.Expected, want.IndependentExpected)
+	}
+	if want.GreedyJoint != got.GreedyJoint {
+		t.Fatalf("trial %d: GreedyJoint %v, want %v", trial, got.GreedyJoint, want.GreedyJoint)
+	}
+}
+
+// TestHeapPlannerMatchesReference is the byte-identity property test of
+// the tentpole: over hundreds of random overlapping fleets — cold and
+// warm, including zero-probability units that exercise the +Inf-key
+// fallback — the lazy-heap selection must reproduce the reference O(u²)
+// scan's schedules and costs exactly, not approximately.
+func TestHeapPlannerMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewPCG(61, 3))
+	for trial := 0; trial < 300; trial++ {
+		trees := randomFleet(rng, 1+rng.IntN(8), 1+rng.IntN(4))
+		// A slice of trials gets zero-probability leaves so whole units
+		// price to +Inf and the earliest-index fallback is exercised.
+		if trial%5 == 0 {
+			for _, tr := range trees {
+				for j := range tr.Leaves {
+					if rng.Float64() < 0.3 {
+						tr.Leaves[j].Prob = 0
+					}
+				}
+			}
+		}
+		var warm sched.Warm
+		if trial%2 == 1 {
+			warm = randomWarm(rng, trees)
+		}
+		want := PlanJointReference(trees, warm)
+		got := PlanJoint(trees, warm)
+		samePlan(t, trial, want, got)
+	}
+}
+
+// TestHeapPlannerDenseSharing stresses the repricing event index: many
+// queries over very few streams, so nearly every placement touches
+// nearly every other unit's discounts.
+func TestHeapPlannerDenseSharing(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 11))
+	for trial := 0; trial < 40; trial++ {
+		trees := randomFleet(rng, 6+rng.IntN(10), 1+rng.IntN(2))
+		warm := randomWarm(rng, trees)
+		samePlan(t, trial, PlanJointReference(trees, warm), PlanJoint(trees, warm))
+	}
+}
+
+// TestHeapPlannerDisjointStreams covers the opposite regime: queries on
+// disjoint stream spaces, where placements never interact and cached
+// heap keys stay live for the whole run.
+func TestHeapPlannerDisjointStreams(t *testing.T) {
+	rng := rand.New(rand.NewPCG(13, 17))
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + rng.IntN(6)
+		ss := make([]query.Stream, n)
+		for k := range ss {
+			ss[k] = query.Stream{Name: string(rune('A' + k)), Cost: 1 + rng.Float64()*9}
+		}
+		trees := make([]*query.Tree, n)
+		for qi := range trees {
+			tr := &query.Tree{Streams: ss}
+			for a := 0; a < 1+rng.IntN(2); a++ {
+				tr.Leaves = append(tr.Leaves, query.Leaf{
+					And: a, Stream: query.StreamID(qi), Items: 1 + rng.IntN(3), Prob: 0.05 + 0.9*rng.Float64(),
+				})
+			}
+			trees[qi] = tr
+		}
+		samePlan(t, trial, PlanJointReference(trees, nil), PlanJoint(trees, nil))
+	}
+}

@@ -1,0 +1,224 @@
+package fleet
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"paotr/internal/query"
+	"paotr/internal/sched"
+)
+
+func fleetKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = string(rune('a' + i))
+	}
+	return keys
+}
+
+// TestPlannerPatchOnRegister: adding a query to a planned due set patches
+// the cached plan — survivors keep their schedules verbatim, only the new
+// query's units are placed — instead of replanning the fleet.
+func TestPlannerPatchOnRegister(t *testing.T) {
+	rng := rand.New(rand.NewPCG(21, 0))
+	trees := randomFleet(rng, 4, 3)
+	warm := randomWarm(rng, trees)
+	pl := &Planner{Eps: 0.05}
+
+	base, _ := pl.Plan(fleetKeys(3), trees[:3], warm)
+	grown, reused := pl.Plan(fleetKeys(4), trees, warm)
+	if reused {
+		t.Fatal("grown due set reported as reused")
+	}
+	if !grown.Patched {
+		t.Fatal("grown due set was fully replanned, want incremental patch")
+	}
+	if pl.Patches() != 1 {
+		t.Fatalf("Patches() = %d, want 1", pl.Patches())
+	}
+	for qi := 0; qi < 3; qi++ {
+		a, b := base.Queries[qi].Schedule, grown.Queries[qi].Schedule
+		if len(a) != len(b) {
+			t.Fatalf("patch changed survivor %d schedule: %v vs %v", qi, a, b)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("patch changed survivor %d schedule: %v vs %v", qi, a, b)
+			}
+		}
+	}
+	if err := grown.Validate(trees); err != nil {
+		t.Fatal(err)
+	}
+	if grown.Expected > grown.IndependentExpected+1e-9 {
+		t.Fatalf("patched plan prices %v above independent %v", grown.Expected, grown.IndependentExpected)
+	}
+	// Once stored, the patched due set reuses like any other plan.
+	again, reused := pl.Plan(fleetKeys(4), trees, warm)
+	if !reused || again != grown {
+		t.Error("patched plan was not cached for reuse")
+	}
+}
+
+// TestPlannerPatchOnUnregister: shrinking the due set keeps the cached
+// schedules of every surviving query and just re-prices them jointly.
+func TestPlannerPatchOnUnregister(t *testing.T) {
+	rng := rand.New(rand.NewPCG(22, 0))
+	trees := randomFleet(rng, 4, 3)
+	warm := randomWarm(rng, trees)
+	pl := &Planner{Eps: 0.05}
+
+	base, _ := pl.Plan(fleetKeys(4), trees, warm)
+	shrunk, reused := pl.Plan(fleetKeys(3), trees[:3], warm)
+	if reused || !shrunk.Patched {
+		t.Fatalf("shrunk due set: reused=%v patched=%v, want patch", reused, shrunk.Patched)
+	}
+	for qi := 0; qi < 3; qi++ {
+		a, b := base.Queries[qi].Schedule, shrunk.Queries[qi].Schedule
+		if len(a) != len(b) {
+			t.Fatalf("patch changed survivor %d schedule: %v vs %v", qi, a, b)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("patch changed survivor %d schedule: %v vs %v", qi, a, b)
+			}
+		}
+	}
+	// The patched price must be the joint price of exactly those
+	// schedules — nothing was replanned.
+	schedules := make([]sched.Schedule, 3)
+	for qi := range schedules {
+		schedules[qi] = base.Queries[qi].Schedule
+	}
+	if want := PriceJoint(trees[:3], schedules, warm); shrunk.Expected != want {
+		t.Fatalf("patched price %v, want joint price of survivors %v", shrunk.Expected, want)
+	}
+}
+
+// TestPlannerPatchOnStale: MarkStale patches only the stale query — its
+// schedule is replanned against the survivors' joint state — without
+// touching the due-set key or the surviving schedules.
+func TestPlannerPatchOnStale(t *testing.T) {
+	rng := rand.New(rand.NewPCG(23, 0))
+	trees := randomFleet(rng, 4, 3)
+	warm := randomWarm(rng, trees)
+	keys := fleetKeys(4)
+	pl := &Planner{Eps: 0.05}
+
+	base, _ := pl.Plan(keys, trees, warm)
+	if pl.MarkStale("c") != 1 {
+		t.Fatal("MarkStale did not mark")
+	}
+	if pl.MarkStale("c") != 0 {
+		t.Fatal("MarkStale re-marked an already-stale id")
+	}
+	patched, reused := pl.Plan(keys, trees, warm)
+	if reused || !patched.Patched {
+		t.Fatalf("stale id: reused=%v patched=%v, want patch", reused, patched.Patched)
+	}
+	for qi := range keys {
+		if qi == 2 {
+			continue
+		}
+		a, b := base.Queries[qi].Schedule, patched.Queries[qi].Schedule
+		for i := range a {
+			if len(a) != len(b) || a[i] != b[i] {
+				t.Fatalf("patch changed survivor %d schedule: %v vs %v", qi, a, b)
+			}
+		}
+	}
+	if err := patched.Validate(trees); err != nil {
+		t.Fatal(err)
+	}
+	// The stale mark is consumed: the stored patch now reuses.
+	if _, reused := pl.Plan(keys, trees, warm); !reused {
+		t.Error("stale mark survived the patch that absorbed it")
+	}
+}
+
+// TestPlannerPatchFallback: when every query is stale nothing survives to
+// patch against, and the planner falls back to a full replan whose result
+// is byte-identical to a from-scratch PlanJoint.
+func TestPlannerPatchFallback(t *testing.T) {
+	rng := rand.New(rand.NewPCG(24, 0))
+	trees := randomFleet(rng, 4, 3)
+	warm := randomWarm(rng, trees)
+	keys := fleetKeys(4)
+	pl := &Planner{Eps: 0.05}
+
+	pl.Plan(keys, trees, warm)
+	pl.MarkStale(keys...)
+	full, reused := pl.Plan(keys, trees, warm)
+	if reused || full.Patched {
+		t.Fatalf("all-stale fleet: reused=%v patched=%v, want full replan", reused, full.Patched)
+	}
+	samePlan(t, 0, PlanJoint(trees, warm), full)
+
+	// Majority-stale is also a fallback: patching would replan most of
+	// the fleet anyway.
+	pl.MarkStale(keys[:3]...)
+	full2, _ := pl.Plan(keys, trees, warm)
+	if full2.Patched {
+		t.Fatal("majority-stale fleet was patched, want full replan")
+	}
+	samePlan(t, 1, PlanJoint(trees, warm), full2)
+}
+
+// TestPlannerPatchPricesNearScratch is the patch-quality property test:
+// over hundreds of random register/unregister/stale events, the patched
+// plan must stay a valid plan whose joint price is within Eps (relative
+// to the independent-planning bound) of a from-scratch PlanJoint — and
+// whenever the planner declines to patch, its output must be exactly the
+// from-scratch plan.
+func TestPlannerPatchPricesNearScratch(t *testing.T) {
+	rng := rand.New(rand.NewPCG(25, 0))
+	patches := 0
+	for trial := 0; trial < 250; trial++ {
+		n := 3 + rng.IntN(6)
+		trees := randomFleet(rng, n+1, 2+rng.IntN(3))
+		var warm sched.Warm
+		if trial%2 == 0 {
+			warm = randomWarm(rng, trees)
+		}
+		pl := &Planner{Eps: 0.05}
+		keys := fleetKeys(n + 1)
+		pl.Plan(keys[:n], trees[:n], warm)
+
+		var curKeys []string
+		var curTrees []*query.Tree
+		switch trial % 3 {
+		case 0: // register
+			curKeys, curTrees = keys, trees
+		case 1: // unregister
+			curKeys, curTrees = keys[:n-1], trees[:n-1]
+		default: // drift trip on one query
+			curKeys, curTrees = keys[:n], trees[:n]
+			pl.MarkStale(keys[rng.IntN(n)])
+		}
+		got, reused := pl.Plan(curKeys, curTrees, warm)
+		if reused {
+			t.Fatalf("trial %d: event plan reported as reused", trial)
+		}
+		if err := got.Validate(curTrees); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		scratch := PlanJoint(curTrees, warm)
+		if !got.Patched {
+			samePlan(t, trial, scratch, got)
+			continue
+		}
+		patches++
+		if got.Expected > got.IndependentExpected+1e-9 {
+			t.Fatalf("trial %d: patched price %v above independent %v", trial, got.Expected, got.IndependentExpected)
+		}
+		bound := 0.05 * math.Max(scratch.IndependentExpected, 1)
+		if diff := math.Abs(got.Expected - scratch.Expected); diff > bound {
+			t.Fatalf("trial %d: patched price %v vs scratch %v (diff %v > %v)",
+				trial, got.Expected, scratch.Expected, diff, bound)
+		}
+	}
+	if patches < 150 {
+		t.Fatalf("only %d/250 events were patched: patching is not the happy path", patches)
+	}
+}

@@ -44,17 +44,28 @@ func NewPrefix(t *query.Tree) *Prefix { return NewPrefixWarm(t, nil) }
 // NewPrefixWarm creates a prefix evaluator that treats the items cached in
 // w as free (see CostWarm).
 func NewPrefixWarm(t *query.Tree, w Warm) *Prefix {
+	p := &Prefix{}
+	p.ReinitWarm(t, w)
+	return p
+}
+
+// ReinitWarm re-initializes p as an empty prefix evaluator for tree t —
+// equivalent to NewPrefixWarm(t, w) but reusing p's buffers when their
+// capacity allows, so pooled planning state that rebuilds evaluators
+// every tick stays allocation-free once warmed.
+func (p *Prefix) ReinitWarm(t *query.Tree, w Warm) {
 	n := t.NumAnds()
-	p := &Prefix{
-		t:      t,
-		warm:   w,
-		words:  (n + 63) / 64,
-		pi:     make([]float64, n),
-		cnt:    make([]int, n),
-		size:   make([]int, n),
-		andAll: make([]float64, n),
-		maxD:   t.StreamMaxItems(),
-	}
+	p.t = t
+	p.warm = w
+	p.words = (n + 63) / 64
+	p.order = p.order[:0]
+	p.done = p.done[:0]
+	p.history = p.history[:0]
+	p.cost = 0
+	p.pi = floatsGrown(p.pi, n)
+	p.cnt = intsGrown(p.cnt, n)
+	p.size = intsGrown(p.size, n)
+	p.andAll = floatsGrown(p.andAll, n)
 	for a := range p.pi {
 		p.pi[a] = 1
 		p.andAll[a] = 1
@@ -65,17 +76,80 @@ func NewPrefixWarm(t *query.Tree, w Warm) *Prefix {
 	for _, l := range t.Leaves {
 		p.andAll[l.And] *= l.Prob
 	}
-	p.acq = make([][]float64, t.NumStreams())
-	p.has = make([][]uint64, t.NumStreams())
+	ns := t.NumStreams()
+	p.maxD = intsGrown(p.maxD, ns)
+	for _, l := range t.Leaves {
+		if l.Items > p.maxD[l.Stream] {
+			p.maxD[l.Stream] = l.Items
+		}
+	}
+	p.acq = floatRowsGrown(p.acq, ns)
+	p.has = wordRowsGrown(p.has, ns)
 	for k := range p.acq {
-		p.acq[k] = make([]float64, p.maxD[k])
+		p.acq[k] = floatsGrown(p.acq[k], p.maxD[k])
 		for d := range p.acq[k] {
 			p.acq[k][d] = 1
 		}
-		p.has[k] = make([]uint64, p.maxD[k]*p.words)
+		hn := p.maxD[k] * p.words
+		p.has[k] = wordsGrown(p.has[k], hn)
 	}
-	return p
 }
+
+func floatsGrown(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
+func intsGrown(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
+func wordsGrown(s []uint64, n int) []uint64 {
+	if cap(s) < n {
+		return make([]uint64, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
+func floatRowsGrown(s [][]float64, n int) [][]float64 {
+	if cap(s) < n {
+		grown := make([][]float64, n)
+		copy(grown, s)
+		return grown
+	}
+	return s[:n]
+}
+
+func wordRowsGrown(s [][]uint64, n int) [][]uint64 {
+	if cap(s) < n {
+		grown := make([][]uint64, n)
+		copy(grown, s)
+		return grown
+	}
+	return s[:n]
+}
+
+// MaxItems returns, per stream, the largest window any leaf of the tree
+// reads — the per-stream item horizon the evaluator prices over (see
+// query.Tree.StreamMaxItems). Callers must not mutate the slice.
+func (p *Prefix) MaxItems() []int { return p.maxD }
 
 func (p *Prefix) hasBit(k query.StreamID, d, a int) bool {
 	return p.has[k][d*p.words+a/64]&(1<<uint(a%64)) != 0
@@ -119,7 +193,16 @@ func (p *Prefix) AppendVisit(j int, visit func(k query.StreamID, d int, pr float
 	l := p.t.Leaves[j]
 	i, k := l.And, l.Stream
 	c := p.t.Streams[k].Cost
-	rec := undoRec{leaf: j}
+	var rec undoRec
+	if n := len(p.history); n < cap(p.history) {
+		// Reclaim the undo slices of a popped record sitting in the
+		// stack's spare capacity: Append/Pop pricing cycles would
+		// otherwise allocate two fresh slices per evaluation.
+		spare := p.history[:n+1][n]
+		rec.changedTs = spare.changedTs[:0]
+		rec.oldAcq = spare.oldAcq[:0]
+	}
+	rec.leaf = j
 	delta := 0.0
 	for d := 0; d < l.Items; d++ {
 		if p.warm.Has(k, d+1) {

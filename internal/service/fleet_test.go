@@ -358,7 +358,7 @@ func mutexWaitSeconds(t *testing.T) float64 {
 // the measurement so the goroutines actually contend.
 func measureCacheThroughput(t *testing.T, name string, stripes int) fleetBenchResult {
 	t.Helper()
-	const streams, workers, opsPerWorker = 16, 8, 20000
+	const streams, workers, opsPerWorker = 16, 8, 100000
 	reg := stream.NewRegistry()
 	for i := 0; i < streams; i++ {
 		if err := reg.Add(stream.Uniform(fmt.Sprintf("s%d", i), uint64(i+1)), stream.CostModel{BaseJoules: 1}); err != nil {
@@ -376,31 +376,36 @@ func measureCacheThroughput(t *testing.T, name string, stripes int) fleetBenchRe
 	c.Advance(1)
 	prev := runtime.GOMAXPROCS(workers)
 	defer runtime.GOMAXPROCS(prev)
-	wait0 := mutexWaitSeconds(t)
-	var wg sync.WaitGroup
-	t0 := time.Now()
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			k := w % streams
-			for i := 0; i < opsPerWorker; i++ {
-				if _, _, err := c.Acquire(k, 8); err != nil {
-					t.Error(err)
-				}
-			}
-		}(w)
-	}
-	wg.Wait()
-	dt := time.Since(t0)
+	// Best-of-rounds: the lock-free fast path drains the whole op budget
+	// in milliseconds, so a single round is at the mercy of scheduler
+	// noise on a shared host.
+	const rounds = 3
 	ops := workers * opsPerWorker
-	return fleetBenchResult{
-		Name:             name,
-		Unit:             "acquire",
-		Ops:              ops,
-		PerSec:           float64(ops) / dt.Seconds(),
-		MutexWaitNsPerOp: (mutexWaitSeconds(t) - wait0) * 1e9 / float64(ops),
+	best := fleetBenchResult{Name: name, Unit: "acquire", Ops: ops}
+	for r := 0; r < rounds; r++ {
+		wait0 := mutexWaitSeconds(t)
+		var wg sync.WaitGroup
+		t0 := time.Now()
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				k := w % streams
+				for i := 0; i < opsPerWorker; i++ {
+					if _, _, err := c.Acquire(k, 8); err != nil {
+						t.Error(err)
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		perSec := float64(ops) / time.Since(t0).Seconds()
+		if perSec > best.PerSec {
+			best.PerSec = perSec
+			best.MutexWaitNsPerOp = (mutexWaitSeconds(t) - wait0) * 1e9 / float64(ops)
+		}
 	}
+	return best
 }
 
 // TestWriteFleetBenchJSON emits BENCH_fleet.json when PAOTR_BENCH_JSON
@@ -439,8 +444,17 @@ func TestWriteFleetBenchJSON(t *testing.T) {
 	file := fleetBenchFile{GoMaxProcs: runtime.GOMAXPROCS(0)}
 	indep := measure("planning/independent", mkOverlap(false))
 	fleetRes := measure("planning/fleet", mkOverlap(true))
-	global := measureCacheThroughput(t, "cache/global-lock", 1)
-	sharded := measureCacheThroughput(t, "cache/sharded", 0)
+	// Interleave the two cache configurations: host-load drift between
+	// back-to-back measurements would otherwise bias the ratio.
+	var global, sharded fleetBenchResult
+	for r := 0; r < 3; r++ {
+		if g := measureCacheThroughput(t, "cache/global-lock", 1); g.PerSec > global.PerSec {
+			global = g
+		}
+		if s := measureCacheThroughput(t, "cache/sharded", 0); s.PerSec > sharded.PerSec {
+			sharded = s
+		}
+	}
 	file.Results = []fleetBenchResult{indep, fleetRes, global, sharded}
 	if indep.JPerTick > 0 {
 		file.FleetSavingPct = 100 * (1 - fleetRes.JPerTick/indep.JPerTick)
@@ -454,8 +468,11 @@ func TestWriteFleetBenchJSON(t *testing.T) {
 	if fleetRes.JPerTick > indep.JPerTick*1.01 {
 		t.Errorf("fleet planning J/tick %.2f exceeds independent %.2f", fleetRes.JPerTick, indep.JPerTick)
 	}
-	if file.ShardedSpeedup < 1 {
-		t.Logf("warning: sharded cache slower than global lock on this host (%.2fx)", file.ShardedSpeedup)
+	if file.ShardedSpeedup < 0.95 {
+		// The lock-free view fast path must close the striping gap: warm
+		// repeat acquires bypass the stripe mutexes entirely, so the
+		// sharded cache may no longer lose to the single global lock.
+		t.Errorf("sharded cache %.2fx the global-lock throughput, want >= 0.95x", file.ShardedSpeedup)
 	}
 
 	data, err := json.MarshalIndent(file, "", "  ")

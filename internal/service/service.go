@@ -15,10 +15,12 @@ package service
 import (
 	"errors"
 	"fmt"
+	"math"
 	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"paotr/internal/acquisition"
 	"paotr/internal/adapt"
@@ -54,9 +56,19 @@ type Service struct {
 	// the end of the previous tick, to derive per-tick cost observations.
 	prevSpent       []float64
 	prevTransferred []int64
-	// fleetInvalidated counts cached joint plans dropped by detector
-	// trips (atomic: trips fire from phase-3 worker goroutines).
+	// fleetInvalidated counts the joint-plan staleness marks driven by
+	// detector trips — the forced fleet replans (or patches) those trips
+	// cause.
 	fleetInvalidated atomic.Int64
+	// pendingTrips buffers detector events until the next tick: trips
+	// fire from phase-3 worker goroutines while the service lock is held,
+	// so they cannot touch planner state directly. tripMu guards it.
+	tripMu       sync.Mutex
+	pendingTrips []adapt.Event
+	// scratch holds the per-tick buffers Tick reuses across calls so the
+	// steady-state hot path allocates little beyond the TickResult it
+	// returns. Guarded by mu like everything Tick touches.
+	scratch tickScratch
 	// shardIdx is this service's worker index under the sharded runtime
 	// (0 otherwise); executions are stamped with it at creation so query
 	// histories carry their shard.
@@ -76,9 +88,35 @@ type Service struct {
 	dupAvoidedK   []int64 // per-stream share of dupAvoided
 	fleetPlans    int64
 	fleetReuses   int64
+	fleetPatched  int64
 	fleetExecs    int64
 	fleetExpected float64
 	indepExpected float64
+	planNanos     int64
+}
+
+// tickScratch is the per-tick working set of Tick and planFleet: due
+// list, prepared plans, the joint planner's inputs and outputs, and the
+// batcher's per-stream windows. Everything is truncated and refilled
+// each tick, so after warm-up the buffers stop growing.
+type tickScratch struct {
+	due      []*registered
+	preps    []engine.Prepared
+	fleetSet []bool
+	fleetOf  []int // due index -> joint-plan index, -1 outside the plan
+	idx      []int
+	keys     []string
+	trees    []*query.Tree
+	need     []int
+	warm     [][]bool
+	plans    []engine.Plan
+	// Batcher state: per-stream opening windows of due plans, the items
+	// needed per stream, which streams were touched this tick, and the
+	// cached-items snapshot duplicates are counted against.
+	winds        [][]int
+	batchNeed    []int
+	batchTouched []bool
+	batchSnap    [][]bool
 }
 
 // registered is one query under service management.
@@ -90,6 +128,14 @@ type registered struct {
 	exec  engine.Executor // nil: use the service default
 	hist  []Execution
 	m     QueryMetrics
+	// tree is the per-query scratch tree the fleet planner re-annotates
+	// in place every tick (see engine.Query.TreeInto).
+	tree *query.Tree
+	// estPreds holds the trace keys of the query's estimator-driven
+	// predicates and usedStream marks the streams its leaves read; both
+	// map detector trips to the queries they affect (see drainTrips).
+	estPreds   map[string]struct{}
+	usedStream []bool
 }
 
 // Option configures a Service.
@@ -249,11 +295,16 @@ func New(reg *stream.Registry, opts ...Option) *Service {
 	}
 	if ad != nil {
 		// The engine already evicts affected per-query plans on detector
-		// trips; the joint plans layered above them must go too. (Fleet-
-		// planned queries never populate their per-query caches, so the
-		// joint entries dropped here are their forced replans.)
-		ad.Subscribe(func(adapt.Event) {
-			s.fleetInvalidated.Add(int64(s.planner.Invalidate()))
+		// trips; the joint plans layered above them must react too. Trips
+		// fire from phase-3 worker goroutines while the service lock is
+		// held, so the event is only buffered here; the next tick drains
+		// the buffer and marks exactly the affected queries stale, which
+		// patches (or, for broad shifts, replans) the cached joint plan
+		// instead of dropping every entry (see drainTrips).
+		ad.Subscribe(func(ev adapt.Event) {
+			s.tripMu.Lock()
+			s.pendingTrips = append(s.pendingTrips, ev)
+			s.tripMu.Unlock()
 		})
 	}
 	return s
@@ -328,11 +379,27 @@ func (s *Service) Register(id, text string, opts ...QueryOption) error {
 		o(r)
 	}
 	r.m = QueryMetrics{ID: id, Query: text, Every: r.every, Executor: s.executorFor(r).Name()}
+	// Precompute the trip-mapping sets: which estimator-driven predicate
+	// keys and which streams this query depends on (see drainTrips).
+	keys := q.PredKeys()
+	r.estPreds = make(map[string]struct{})
+	for j, p := range q.Preds {
+		if math.IsNaN(p.Prob) {
+			r.estPreds[keys[j]] = struct{}{}
+		}
+	}
+	wins := q.Windows()
+	r.usedStream = make([]bool, len(wins))
+	for k, w := range wins {
+		r.usedStream[k] = w > 0
+	}
 	s.queries[id] = r
 	s.order = append(s.order, id)
 	// Joint plans are keyed by due-set ids: a reused id must not inherit
-	// a plan built for the query that previously held it.
-	s.planner.Invalidate()
+	// a plan built for the query that previously held it. Marking the id
+	// stale replans just this query into the cached joint plan instead of
+	// dropping the whole plan cache.
+	s.planner.MarkStale(id)
 	return nil
 }
 
@@ -354,8 +421,46 @@ func (s *Service) Unregister(id string) error {
 		}
 	}
 	s.cache.Release(id)
-	s.planner.Invalidate()
+	// No planner invalidation: the shrunken due set misses the plan-cache
+	// key, and the planner patches the cached joint plan by dropping just
+	// this query's schedule (see fleet.Planner).
 	return nil
+}
+
+// drainTrips consumes the detector events buffered since the last tick
+// and marks the affected queries' joint-plan entries stale: a predicate
+// trip touches the queries whose estimator-driven predicates include the
+// tripped key, a stream-cost trip the queries with a leaf on the stream.
+// The next joint plan then patches exactly those queries (a shift broad
+// enough to stale most of the fleet falls back to a full replan). Caller
+// holds the service lock.
+func (s *Service) drainTrips() {
+	s.tripMu.Lock()
+	trips := s.pendingTrips
+	s.pendingTrips = nil
+	s.tripMu.Unlock()
+	if len(trips) == 0 {
+		return
+	}
+	marked := 0
+	for _, ev := range trips {
+		for _, id := range s.order {
+			r := s.queries[id]
+			hit := false
+			switch ev.Kind {
+			case adapt.KindPredicate:
+				_, hit = r.estPreds[ev.Pred]
+			case adapt.KindStreamCost:
+				hit = ev.Stream >= 0 && ev.Stream < len(r.usedStream) && r.usedStream[ev.Stream]
+			default:
+				hit = true
+			}
+			if hit {
+				marked += s.planner.MarkStale(id)
+			}
+		}
+	}
+	s.fleetInvalidated.Add(int64(marked))
 }
 
 // QueryIDs lists registered query ids in registration order.
@@ -452,38 +557,54 @@ func (s *Service) fanOut(n int, f func(int)) {
 // planFleet jointly plans the due queries running the linear executor
 // (see WithFleetPlanning): their probability-annotated trees are handed
 // to the fleet planner as one workload against the shared warm cache
-// state, and the resulting per-query schedules are bound into preps.
-// fleetSet marks the due indices covered by the joint plan. Returns nil
-// when fleet planning is off or does not apply. Caller holds the service
-// lock.
-func (s *Service) planFleet(due []*registered, preps []engine.Prepared, fleetSet []bool) *fleet.Plan {
+// state, and the resulting per-query schedules are bound into the
+// scratch plan slice executed directly in phase 3. fleetSet marks the
+// due indices covered by the joint plan; fleetOf maps them to their
+// plan. Returns nil when fleet planning is off or does not apply. All
+// planner inputs live in the tick scratch — trees are re-annotated in
+// place and the planner deep-copies what it caches — so a steady-state
+// plan allocates nothing here. Caller holds the service lock.
+func (s *Service) planFleet(due []*registered, fleetSet []bool) *fleet.Plan {
 	if !s.fleetPlan {
 		return nil
 	}
-	idx := make([]int, 0, len(due))
+	sc := &s.scratch
+	sc.idx = sc.idx[:0]
 	for i, r := range due {
 		if _, ok := s.executorFor(r).(engine.LinearExecutor); ok {
-			idx = append(idx, i)
+			sc.idx = append(sc.idx, i)
 		}
 	}
-	if len(idx) == 0 {
+	if len(sc.idx) == 0 {
 		return nil
 	}
-	keys := make([]string, len(idx))
-	trees := make([]*query.Tree, len(idx))
-	need := make([]int, s.reg.Len())
-	for fi, i := range idx {
-		keys[fi] = due[i].id
-		trees[fi] = due[i].q.Tree()
-		for k, d := range trees[fi].StreamMaxItems() {
-			if d > need[k] {
-				need[k] = d
+	idx := sc.idx
+	sc.keys = sc.keys[:0]
+	sc.trees = sc.trees[:0]
+	if cap(sc.need) < s.reg.Len() {
+		sc.need = make([]int, s.reg.Len())
+	}
+	sc.need = sc.need[:s.reg.Len()]
+	for k := range sc.need {
+		sc.need[k] = 0
+	}
+	for _, i := range idx {
+		r := due[i]
+		r.tree = r.q.TreeInto(r.tree)
+		sc.keys = append(sc.keys, r.id)
+		sc.trees = append(sc.trees, r.tree)
+		for _, lf := range r.tree.Leaves {
+			if k := int(lf.Stream); lf.Items > sc.need[k] {
+				sc.need[k] = lf.Items
 			}
 		}
 	}
-	warm := sched.Warm(s.cache.Snapshot(need))
-	fplan, reused := s.planner.Plan(keys, trees, warm)
-	if err := fplan.Validate(trees); err != nil {
+	sc.warm = s.cache.SnapshotInto(sc.need, sc.warm)
+	start := time.Now()
+	fplan, reused := s.planner.Plan(sc.keys, sc.trees, sched.Warm(sc.warm))
+	err := fplan.Validate(sc.trees)
+	s.planNanos += time.Since(start).Nanoseconds()
+	if err != nil {
 		// Defensive: an invalid joint plan falls back to per-query
 		// planning (phase 1b picks the queries up).
 		s.planner.Invalidate()
@@ -492,19 +613,26 @@ func (s *Service) planFleet(due []*registered, preps []engine.Prepared, fleetSet
 	s.fleetPlans++
 	if reused {
 		s.fleetReuses++
+	} else if fplan.Patched {
+		s.fleetPatched++
 	}
 	s.fleetExecs += int64(len(idx))
 	s.fleetExpected += fplan.Expected
 	s.indepExpected += fplan.IndependentExpected
+	if cap(sc.plans) < len(idx) {
+		sc.plans = make([]engine.Plan, len(idx))
+	}
+	sc.plans = sc.plans[:len(idx)]
 	for fi, i := range idx {
 		qp := fplan.Queries[fi]
-		preps[i] = engine.NewPrepared(due[i].q, &engine.Plan{
-			Tree:         trees[fi],
+		sc.plans[fi] = engine.Plan{
+			Tree:         sc.trees[fi],
 			Schedule:     qp.Schedule,
 			ExpectedCost: qp.Expected,
 			Reused:       reused,
-		})
+		}
 		fleetSet[i] = true
+		sc.fleetOf[i] = fi
 	}
 	return fplan
 }
@@ -534,28 +662,42 @@ func (s *Service) Tick() TickResult {
 	defer s.mu.Unlock()
 	s.tick++
 	s.cache.Advance(1)
+	s.drainTrips()
 
-	due := make([]*registered, 0, len(s.order))
+	sc := &s.scratch
+	sc.due = sc.due[:0]
 	for _, id := range s.order {
 		r := s.queries[id]
 		if s.tick%int64(r.every) == 0 {
-			due = append(due, r)
+			sc.due = append(sc.due, r)
 		}
 	}
+	due := sc.due
 	out := TickResult{Tick: s.tick, Executions: make([]Execution, len(due))}
 	if len(due) == 0 {
 		return out
 	}
 
 	// Phase 1a: joint planning of the linear-executor queries.
-	preps := make([]engine.Prepared, len(due))
-	fleetSet := make([]bool, len(due))
-	fplan := s.planFleet(due, preps, fleetSet)
+	if cap(sc.preps) < len(due) {
+		sc.preps = make([]engine.Prepared, len(due))
+		sc.fleetSet = make([]bool, len(due))
+		sc.fleetOf = make([]int, len(due))
+	}
+	preps := sc.preps[:len(due)]
+	fleetSet := sc.fleetSet[:len(due)]
+	fleetOf := sc.fleetOf[:len(due)]
+	for i := range preps {
+		preps[i] = nil
+		fleetSet[i] = false
+		fleetOf[i] = -1
+	}
+	fplan := s.planFleet(due, fleetSet)
 
 	// Phase 1b: everything not covered by the joint plan prepares
 	// through its own executor.
 	s.fanOut(len(due), func(i int) {
-		if preps[i] != nil {
+		if fleetSet[i] {
 			return
 		}
 		r := due[i]
@@ -569,11 +711,22 @@ func (s *Service) Tick() TickResult {
 
 	// Phase 2: batched acquisition of the deduplicated opening windows.
 	if s.batch {
-		windows := make(map[int][]int) // stream -> opening windows of due plans
-		need := make([]int, s.reg.Len())
+		n := s.reg.Len()
+		if cap(sc.winds) < n {
+			sc.winds = make([][]int, n)
+			sc.batchNeed = make([]int, n)
+			sc.batchTouched = make([]bool, n)
+		}
+		winds, need, touched := sc.winds[:n], sc.batchNeed[:n], sc.batchTouched[:n]
+		for k := range winds {
+			winds[k] = winds[k][:0]
+			need[k] = 0
+			touched[k] = false
+		}
 		if fplan != nil {
 			for _, pf := range fplan.Manifest {
-				windows[pf.Stream] = append(windows[pf.Stream], pf.Windows...)
+				winds[pf.Stream] = append(winds[pf.Stream], pf.Windows...)
+				touched[pf.Stream] = true
 				if pf.Items > need[pf.Stream] {
 					need[pf.Stream] = pf.Items
 				}
@@ -587,7 +740,8 @@ func (s *Service) Tick() TickResult {
 			if !ok {
 				continue
 			}
-			windows[k] = append(windows[k], d)
+			winds[k] = append(winds[k], d)
+			touched[k] = true
 			if d > need[k] {
 				need[k] = d
 			}
@@ -596,8 +750,13 @@ func (s *Service) Tick() TickResult {
 		// transferred: a cached item costs nothing to re-request, but a
 		// missing item wanted by n queries would be raced for by n workers
 		// and is now pulled exactly once.
-		cached := s.cache.Snapshot(need)
-		for k, ds := range windows {
+		sc.batchSnap = s.cache.SnapshotInto(need, sc.batchSnap)
+		cached := sc.batchSnap
+		for k := range winds {
+			if !touched[k] {
+				continue
+			}
+			ds := winds[k]
 			for t := 1; t <= need[k]; t++ {
 				if cached[k][t-1] {
 					continue
@@ -617,13 +776,19 @@ func (s *Service) Tick() TickResult {
 		}
 	}
 
-	// Phase 3: execute.
+	// Phase 3: execute. Fleet-planned queries run their scratch plan
+	// directly — no per-query Prepared wrapper on the hot path.
 	s.fanOut(len(due), func(i int) {
-		if preps[i] == nil {
+		r := due[i]
+		var res engine.Result
+		var err error
+		if fi := fleetOf[i]; fi >= 0 {
+			res, err = r.q.ExecutePlan(&sc.plans[fi], s.cache)
+		} else if preps[i] != nil {
+			res, err = preps[i].Execute(s.cache)
+		} else {
 			return // planning failed; the error is already recorded
 		}
-		r := due[i]
-		res, err := preps[i].Execute(s.cache)
 		e := Execution{
 			ID:           r.id,
 			Tick:         s.tick,
@@ -689,8 +854,8 @@ func (s *Service) observeCosts() {
 	if s.ad == nil {
 		return
 	}
-	for _, ss := range s.cache.PerStream() {
-		k := ss.Stream
+	for k := 0; k < s.reg.Len(); k++ {
+		ss := s.cache.StreamStats(k)
 		items := ss.Transferred - s.prevTransferred[k]
 		spent := ss.Spent - s.prevSpent[k]
 		s.prevTransferred[k] = ss.Transferred
@@ -813,6 +978,12 @@ type Metrics struct {
 	FleetPlans             int64 `json:"fleet_plans"`
 	FleetPlanReuses        int64 `json:"fleet_plan_reuses"`
 	FleetPlannedExecutions int64 `json:"fleet_planned_executions"`
+	// FleetPlanIncremental counts the fleet plans produced by patching
+	// the previous joint plan — register/unregister/drift events absorbed
+	// without replanning the whole fleet (see fleet.Planner). PlanNanos
+	// is the cumulative wall-clock time spent in joint planning.
+	FleetPlanIncremental int64 `json:"plan_incremental"`
+	PlanNanos            int64 `json:"plan_ns"`
 	// FleetExpectedCost sums the joint planner's modelled fleet costs
 	// (every shared item priced once); IndependentExpectedCost sums what
 	// per-query planning would have modelled for the same workloads.
@@ -968,6 +1139,8 @@ func (s *Service) Metrics() Metrics {
 		FleetPlans:              s.fleetPlans,
 		FleetPlanReuses:         s.fleetReuses,
 		FleetPlannedExecutions:  s.fleetExecs,
+		FleetPlanIncremental:    s.fleetPatched,
+		PlanNanos:               s.planNanos,
 		FleetExpectedCost:       s.fleetExpected,
 		IndependentExpectedCost: s.indepExpected,
 		CacheRequested:          cs.Requested,

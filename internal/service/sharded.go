@@ -434,6 +434,8 @@ func (sh *Sharded) Metrics() Metrics {
 		m.FleetPlans += pm.FleetPlans
 		m.FleetPlanReuses += pm.FleetPlanReuses
 		m.FleetPlannedExecutions += pm.FleetPlannedExecutions
+		m.FleetPlanIncremental += pm.FleetPlanIncremental
+		m.PlanNanos += pm.PlanNanos
 		m.FleetExpectedCost += pm.FleetExpectedCost
 		m.IndependentExpectedCost += pm.IndependentExpectedCost
 		m.PredicateDetectorTrips += pm.PredicateDetectorTrips
