@@ -18,11 +18,15 @@
 //	benchgate -selftest -baseline ci/baselines
 //
 // Without explicit files the default artifact set is compared
-// (BENCH_fleet.json, BENCH_adapt.json, BENCH_shard.json). A file present
-// in the baseline directory but missing from the current one fails the
-// gate. -selftest is the dry run CI uses to prove the gate has teeth: it
+// (BENCH_fleet.json, BENCH_adapt.json, BENCH_shard.json, BENCH_plan.json,
+// BENCH_relay.json). A file present in the baseline directory but missing
+// from the current one fails the gate, and a gated metric that is zero,
+// negative or non-finite on either side is rejected as malformed (a
+// corrupted baseline must not silently disable the comparison).
+// -selftest is the dry run CI uses to prove the gate has teeth: it
 // synthesizes a current artifact set with every J/tick metric inflated
-// 12% over baseline and exits 0 only if the gate correctly rejects it.
+// 12% over baseline and exits 0 only if the gate correctly rejects it,
+// then checks that a zeroed baseline row errors out as malformed.
 package main
 
 import (
@@ -30,6 +34,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"path/filepath"
 	"sort"
@@ -37,7 +42,7 @@ import (
 )
 
 // defaultArtifacts is the benchmark set produced by the CI workflow.
-var defaultArtifacts = []string{"BENCH_fleet.json", "BENCH_adapt.json", "BENCH_shard.json", "BENCH_plan.json"}
+var defaultArtifacts = []string{"BENCH_fleet.json", "BENCH_adapt.json", "BENCH_shard.json", "BENCH_plan.json", "BENCH_relay.json"}
 
 func main() {
 	var (
@@ -137,6 +142,25 @@ func loadMetrics(path string) (map[string]float64, error) {
 	return metrics(doc), nil
 }
 
+// validateMetrics rejects malformed gated metrics. A zero, negative,
+// NaN or infinite baseline makes the relative diff vacuous (the gate
+// used to skip such rows silently, letting a corrupted baseline disable
+// the check), so they fail the gate loudly instead.
+func validateMetrics(name string, m map[string]float64) error {
+	paths := make([]string, 0, len(m))
+	for p := range m {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		v := m[p]
+		if math.IsNaN(v) || math.IsInf(v, 0) || v <= 0 {
+			return fmt.Errorf("%s: gated metric %s = %v is malformed (must be finite and > 0)", name, p, v)
+		}
+	}
+	return nil
+}
+
 // gateFile compares one artifact's metrics and reports the number of
 // regressions beyond tol.
 func gateFile(name string, base, cur map[string]float64, tol float64, w io.Writer) int {
@@ -152,9 +176,6 @@ func gateFile(name string, base, cur map[string]float64, tol float64, w io.Write
 		if !ok {
 			fmt.Fprintf(w, "  MISSING  %s: %s (baseline %.4f) absent from current artifact\n", name, p, b)
 			regressions++
-			continue
-		}
-		if b <= 0 {
 			continue
 		}
 		delta := (c - b) / b
@@ -195,6 +216,12 @@ func runGate(baselineDir, currentDir string, files []string, tol float64, w io.W
 			fmt.Fprintf(w, "  skip     %s: baseline has no gated metrics\n", f)
 			continue
 		}
+		if err := validateMetrics("baseline "+f, base); err != nil {
+			return 0, err
+		}
+		if err := validateMetrics("current "+f, cur); err != nil {
+			return 0, err
+		}
 		gated++
 		total += gateFile(f, base, cur, tol, w)
 	}
@@ -213,6 +240,7 @@ func runSelftest(baselineDir string, files []string, tol float64, w io.Writer) e
 	}
 	defer os.RemoveAll(dir)
 	inflated := 0
+	first := ""
 	for _, f := range files {
 		data, err := os.ReadFile(filepath.Join(baselineDir, f))
 		if err != nil {
@@ -233,6 +261,9 @@ func runSelftest(baselineDir string, files []string, tol float64, w io.Writer) e
 		if err := os.WriteFile(filepath.Join(dir, f), out, 0o644); err != nil {
 			return err
 		}
+		if first == "" {
+			first = f
+		}
 		inflated++
 	}
 	if inflated == 0 {
@@ -247,6 +278,35 @@ func runSelftest(baselineDir string, files []string, tol float64, w io.Writer) e
 		return fmt.Errorf("gate accepted a 12%% synthetic regression — it has no teeth")
 	}
 	fmt.Fprintf(w, "selftest: gate rejected %d inflated metric(s)\n", regressions)
+
+	// Second teeth check: a baseline with zeroed gated rows must error
+	// out as malformed rather than silently disabling the comparison.
+	zdir, err := os.MkdirTemp("", "benchgate-selftest-zero")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(zdir)
+	data, err := os.ReadFile(filepath.Join(baselineDir, first))
+	if err != nil {
+		return err
+	}
+	var doc any
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return fmt.Errorf("%s: %w", first, err)
+	}
+	out, err := json.Marshal(inflate(doc, 0))
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(zdir, first), out, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "selftest: gating %s against a zeroed baseline\n", first)
+	if _, err := runGate(zdir, baselineDir, []string{first}, tol, w); err == nil {
+		return fmt.Errorf("gate accepted a zeroed baseline for %s — malformed baselines make it vacuous", first)
+	} else {
+		fmt.Fprintf(w, "selftest: zeroed baseline rejected (%v)\n", err)
+	}
 	return nil
 }
 

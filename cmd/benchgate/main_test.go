@@ -100,6 +100,50 @@ func TestGateFailsOnMissingMetricOrArtifact(t *testing.T) {
 	}
 }
 
+// TestGateFailsOnMalformedBaseline: a zero or negative gated metric on
+// either side makes the relative diff vacuous or nonsense, so the gate
+// must error out loudly instead of skipping the row.
+func TestGateFailsOnMalformedBaseline(t *testing.T) {
+	good := `{"results": [{"name": "planning/fleet", "j_per_tick": 16.75}]}`
+	for _, tc := range []struct {
+		name            string
+		baseCur         [2]string
+		wantErrContains string
+	}{
+		{
+			name: "zero baseline",
+			baseCur: [2]string{
+				`{"results": [{"name": "planning/fleet", "j_per_tick": 0, "per_sec": 1}]}`, good},
+			wantErrContains: "baseline BENCH_x.json",
+		},
+		{
+			name: "negative baseline",
+			baseCur: [2]string{
+				`{"results": [{"name": "planning/fleet", "j_per_tick": -3.2}]}`, good},
+			wantErrContains: "baseline BENCH_x.json",
+		},
+		{
+			name:            "zero current",
+			baseCur:         [2]string{good, `{"results": [{"name": "planning/fleet", "j_per_tick": 0}]}`},
+			wantErrContains: "current BENCH_x.json",
+		},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			baseDir, curDir := t.TempDir(), t.TempDir()
+			writeArtifact(t, baseDir, "BENCH_x.json", tc.baseCur[0])
+			writeArtifact(t, curDir, "BENCH_x.json", tc.baseCur[1])
+			var out strings.Builder
+			_, err := runGate(baseDir, curDir, []string{"BENCH_x.json"}, 0.10, &out)
+			if err == nil {
+				t.Fatalf("malformed metric accepted\n%s", out.String())
+			}
+			if !strings.Contains(err.Error(), tc.wantErrContains) || !strings.Contains(err.Error(), "malformed") {
+				t.Errorf("error %q does not name the malformed side", err)
+			}
+		})
+	}
+}
+
 // TestSelftestAgainstRealBaselines runs the -selftest path against the
 // committed repository baselines, proving the dry run works end to end.
 func TestSelftestAgainstRealBaselines(t *testing.T) {

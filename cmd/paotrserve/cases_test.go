@@ -117,7 +117,99 @@ func oneShardServer(t *testing.T) *httptest.Server {
 	return srv
 }
 
-// driftChurnServer mirrors `paotrserve -scenario drift -shift-tick 40
+// relayShardedServer serves the 4-shard runtime with the fleet-global
+// L2 item relay at the given transfer fraction, mirroring
+// `paotrserve -shards 4 -relay-frac <frac>`.
+func relayShardedServer(frac float64) func(t *testing.T) *httptest.Server {
+	return func(t *testing.T) *httptest.Server {
+		t.Helper()
+		svc, err := newServiceWith(serviceConfig{
+			seed: 1, workers: 4, replan: 0.02,
+			executor: "linear", batch: true, fleetPlan: true,
+			shards: 4, relayFrac: frac,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := httptest.NewServer(newServer(svc, -1))
+		t.Cleanup(srv.Close)
+		return srv
+	}
+}
+
+// remoteRelayCase is E00702: two shard workers running as separate
+// HTTP processes behind a relay-enabled coordinator, mirroring
+// `paotrserve -worker` plus `paotrserve -join`. After ticking, a fresh
+// coordinator over the same running workers (a coordinator restart)
+// must adopt the standing queries and keep serving merged results.
+func remoteRelayCase() e2eCase {
+	cfg := serviceConfig{
+		seed: 1, workers: 2, replan: 0.02,
+		executor: "linear", batch: true, fleetPlan: true,
+		relayFrac: 0.1,
+	}
+	var endpoints []string
+	server := func(t *testing.T) *httptest.Server {
+		t.Helper()
+		endpoints = nil
+		for i := 0; i < 2; i++ {
+			h, err := newWorkerHandler(cfg, i)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ws := httptest.NewServer(h)
+			t.Cleanup(ws.Close)
+			endpoints = append(endpoints, ws.URL)
+		}
+		svc, err := newCoordinator(cfg, endpoints)
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := httptest.NewServer(newServer(svc, -1))
+		t.Cleanup(srv.Close)
+		return srv
+	}
+	return e2eCase{caseID: "E00702", name: "remote workers and coordinator restart", server: server, steps: []e2eStep{
+		{"POST", "/queries", `{"id":"t0","query":"AVG(heart-rate,5) > 100 OR spo2 < 92"}`, http.StatusCreated, nil},
+		{"POST", "/queries", `{"id":"t1","query":"AVG(heart-rate,5) > 95 OR accelerometer > 15"}`, http.StatusCreated, nil},
+		{"POST", "/queries", `{"id":"t2","query":"heart-rate > 110 OR gps-speed > 1.5"}`, http.StatusCreated, nil},
+		{"POST", "/tick", `{"steps":10}`, http.StatusOK, nil},
+		{"GET", "/metrics", "", http.StatusOK,
+			func(t *testing.T, body []byte) {
+				var m service.Metrics
+				mustDecode(t, body, &m)
+				if m.Shards != 2 || m.Executions != 30 {
+					t.Errorf("remote fleet: shards = %d, executions = %d, want 2 and 30", m.Shards, m.Executions)
+				}
+				if !m.RelayEnabled || m.RelayPurchases == 0 {
+					t.Errorf("remote relay inactive: enabled=%v purchases=%d", m.RelayEnabled, m.RelayPurchases)
+				}
+			}},
+		{"GET", "/healthz", "", http.StatusOK,
+			func(t *testing.T, body []byte) {
+				// Coordinator restart: a second coordinator over the same
+				// running workers adopts the standing queries and serves
+				// merged ticks without re-registration.
+				svc2, err := newCoordinator(cfg, endpoints)
+				if err != nil {
+					t.Fatalf("restarted coordinator: %v", err)
+				}
+				if ids := svc2.QueryIDs(); len(ids) != 3 {
+					t.Fatalf("restarted coordinator adopted %d queries, want 3: %v", len(ids), ids)
+				}
+				tr := svc2.Tick()
+				if len(tr.Executions) != 3 {
+					t.Errorf("restarted coordinator tick merged %d executions, want 3", len(tr.Executions))
+				}
+				for _, e := range tr.Executions {
+					if e.Err != "" {
+						t.Errorf("restarted coordinator execution %s: %s", e.ID, e.Err)
+					}
+				}
+			}},
+	}}
+}
+
 // -replan-threshold 0.1`: the tolerant drift threshold keeps settled
 // estimates within the planner's patch eligibility, so post-shift churn
 // exercises incremental replanning rather than full replans.
@@ -588,6 +680,97 @@ func e2eCases() []e2eCase {
 					}
 					if m.CrossShardDuplicateTransfers != 0 || m.SharingLostPct != 0 {
 						t.Errorf("one shard reported sharing loss: %+v", m)
+					}
+				}},
+		}},
+
+		{caseID: "E00701", name: "relay serves cross-shard L1 misses", server: relayShardedServer(0.1), steps: []e2eStep{
+			// The E00502 fleet with the relay on: overlapping heart-rate
+			// queries split across shards race within each tick, so the
+			// first shard to pull an item pays full price and the rest
+			// take it from the relay at the transfer fraction.
+			{"POST", "/queries", `{"id":"t0","query":"AVG(heart-rate,5) > 100 OR spo2 < 92"}`, http.StatusCreated, nil},
+			{"POST", "/queries", `{"id":"t1","query":"AVG(heart-rate,5) > 95 OR accelerometer > 15"}`, http.StatusCreated, nil},
+			{"POST", "/queries", `{"id":"t2","query":"heart-rate > 110 OR gps-speed > 1.5"}`, http.StatusCreated, nil},
+			{"POST", "/tick", `{"steps":20}`, http.StatusOK, nil},
+			{"GET", "/metrics", "", http.StatusOK,
+				func(t *testing.T, body []byte) {
+					var m service.Metrics
+					mustDecode(t, body, &m)
+					if !m.RelayEnabled || m.RelayTransferFrac != 0.1 {
+						t.Fatalf("relay not enabled at frac 0.1: %+v", m)
+					}
+					if m.RelayHits == 0 || m.RelayPurchases == 0 {
+						t.Errorf("no relay traffic: hits=%d purchases=%d", m.RelayHits, m.RelayPurchases)
+					}
+					if m.RelayTransferSpend <= 0 || m.RelaySavedSpend <= 0 {
+						t.Errorf("relay spend unaccounted: transfer=%v saved=%v",
+							m.RelayTransferSpend, m.RelaySavedSpend)
+					}
+					if m.SharingLostPct > 0 && m.SharingLostPctRelay >= m.SharingLostPct {
+						t.Errorf("relayed loss %.1f%% not below raw loss %.1f%%",
+							m.SharingLostPctRelay, m.SharingLostPct)
+					}
+				}},
+		}},
+		remoteRelayCase(),
+		{caseID: "E00703", name: "transfer-cost fraction prices relay traffic", server: relayShardedServer(0.5), steps: []e2eStep{
+			{"POST", "/queries", `{"id":"t0","query":"AVG(heart-rate,5) > 100 OR spo2 < 92"}`, http.StatusCreated, nil},
+			{"POST", "/queries", `{"id":"t1","query":"AVG(heart-rate,5) > 95 OR accelerometer > 15"}`, http.StatusCreated, nil},
+			{"POST", "/queries", `{"id":"t2","query":"heart-rate > 110 OR gps-speed > 1.5"}`, http.StatusCreated, nil},
+			{"POST", "/tick", `{"steps":20}`, http.StatusOK, nil},
+			{"GET", "/metrics", "", http.StatusOK,
+				func(t *testing.T, body []byte) {
+					var m service.Metrics
+					mustDecode(t, body, &m)
+					// Per-item relay pricing: every hit pays frac of the
+					// item's acquisition cost and saves the rest, so across
+					// any traffic transfer/(transfer+saved) == frac, and the
+					// modelled residual loss is frac of the raw loss.
+					checkFrac := func(m service.Metrics, frac float64) {
+						if m.RelayTransferFrac != frac {
+							t.Errorf("transfer frac %v, want %v", m.RelayTransferFrac, frac)
+						}
+						if total := m.RelayTransferSpend + m.RelaySavedSpend; total > 0 {
+							if ratio := m.RelayTransferSpend / total; ratio < frac-1e-6 || ratio > frac+1e-6 {
+								t.Errorf("frac %v: transfer/(transfer+saved) = %v", frac, ratio)
+							}
+						} else if m.RelayHits > 0 {
+							t.Errorf("frac %v: hits without spend accounting", frac)
+						}
+						if want := frac * m.SharingLostPct; m.SharingLostPctRelay < want-1e-6 || m.SharingLostPctRelay > want+1e-6 {
+							t.Errorf("frac %v: relayed loss %.3f%%, want frac x raw = %.3f%%",
+								frac, m.SharingLostPctRelay, want)
+						}
+					}
+					checkFrac(m, 0.5)
+					// Sweep the fraction across the same fleet in-process:
+					// the pricing identities must hold at every frac, and
+					// frac 1 must degenerate to no saving at all.
+					for _, frac := range []float64{0.1, 1} {
+						svc, err := newServiceWith(serviceConfig{
+							seed: 1, workers: 4, replan: 0.02,
+							executor: "linear", batch: true, fleetPlan: true,
+							shards: 4, relayFrac: frac,
+						})
+						if err != nil {
+							t.Fatal(err)
+						}
+						for _, q := range []struct{ id, text string }{
+							{"t0", "AVG(heart-rate,5) > 100 OR spo2 < 92"},
+							{"t1", "AVG(heart-rate,5) > 95 OR accelerometer > 15"},
+							{"t2", "heart-rate > 110 OR gps-speed > 1.5"},
+						} {
+							if err := svc.Register(q.id, q.text); err != nil {
+								t.Fatal(err)
+							}
+						}
+						svc.Run(20)
+						sm := svc.Metrics()
+						checkFrac(sm, frac)
+						if frac == 1 && sm.RelaySavedSpend != 0 {
+							t.Errorf("frac 1 saved %v J, want 0 (transfers cost full price)", sm.RelaySavedSpend)
+						}
 					}
 				}},
 		}},

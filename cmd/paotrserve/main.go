@@ -52,6 +52,22 @@
 // evidence migrates along). -shards 1 (the default) is byte-identical
 // to the unsharded service.
 //
+// The -relay-frac flag (with -shards > 1) enables the fleet-global L2
+// item relay: an item one shard already purchased is transferred to
+// other shards at that fraction of its acquisition cost instead of
+// re-acquired at stream cost, recovering most of the sharing lost to
+// partitioning. /metrics then adds relay_hits, relay_transfer_spend,
+// relay_saved_spend and sharing_lost_pct_relay (the residual modelled
+// loss after relay discounts). 0 (the default) disables the relay.
+//
+// -worker turns the process into a shard worker: it serves the
+// coordinator protocol under /worker/ instead of the public API
+// (-shard-index stamps its executions). -join "url1,url2,..." turns the
+// process into a coordinator over those already-running workers — the
+// public API is served locally, queries are placed across the workers by
+// stream affinity, and relay state syncs at tick boundaries. A restarted
+// coordinator adopts the standing queries its workers still hold.
+//
 // The -pprof flag exposes net/http/pprof under /debug/pprof/, for
 // CPU/heap profiling of a live fleet. /metrics reports joint planning
 // health alongside: plan_ns (cumulative wall time spent in the joint
@@ -70,7 +86,9 @@ import (
 	"net/http/pprof"
 	"os"
 	"strconv"
+	"strings"
 
+	"paotr/internal/acquisition"
 	"paotr/internal/adapt"
 	"paotr/internal/corpus"
 	"paotr/internal/engine"
@@ -112,19 +130,43 @@ func main() {
 			"shard workers: queries are placed by stream affinity, each shard owns its own cache/planner/estimator (1 = the unsharded service)")
 		repartition = flag.Int("repartition", 0,
 			"minimum ticks between drift-driven repartitions of the sharded fleet (0 = never re-partition live; needs -shards > 1)")
+		relayFrac = flag.Float64("relay-frac", 0,
+			"fleet-global L2 relay: per-item transfer cost as a fraction of acquisition cost for items another shard already purchased (0 = relay off; needs -shards > 1 or -join/-worker)")
+		workerMode = flag.Bool("worker", false,
+			"run as a shard worker: serve the coordinator protocol under /worker/ instead of the public API")
+		shardIndex = flag.Int("shard-index", 0,
+			"this worker's shard index, stamped on its executions (-worker only)")
+		join = flag.String("join", "",
+			"comma-separated worker base URLs to coordinate over (e.g. \"http://w0:8081,http://w1:8082\"); serves the public API over those workers")
 		pprofOn = flag.Bool("pprof", false,
 			"expose net/http/pprof under /debug/pprof/ (CPU/heap profiling of a live fleet, e.g. plan-time or per-tick allocation hunts)")
 	)
 	flag.Parse()
 
-	svc, err := newServiceWith(serviceConfig{
+	cfg := serviceConfig{
 		seed: *seed, workers: *workers, replan: *replan,
 		executor: *executor, gap: *adaptiveGap,
 		batch: !*noBatch, fleetPlan: *fleetPlan, stripes: *stripes,
 		estimator: *estimator, window: *window, phDelta: *phDelta, phLambda: *phLambda,
 		scenario: *scenario, shiftTick: *shiftTick,
-		shards: *shards, repartition: *repartition,
-	})
+		shards: *shards, repartition: *repartition, relayFrac: *relayFrac,
+	}
+	if *workerMode {
+		h, err := newWorkerHandler(cfg, *shardIndex)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "paotrserve: %v\n", err)
+			os.Exit(2)
+		}
+		log.Printf("paotrserve worker %d listening on %s (relay frac %.2f)", *shardIndex, *addr, *relayFrac)
+		log.Fatal(http.ListenAndServe(*addr, h))
+	}
+	var svc service.Runtime
+	var err error
+	if *join != "" {
+		svc, err = newCoordinator(cfg, strings.Split(*join, ","))
+	} else {
+		svc, err = newServiceWith(cfg)
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "paotrserve: %v\n", err)
 		os.Exit(2)
@@ -182,9 +224,11 @@ type serviceConfig struct {
 	scenario  string
 	shiftTick int64
 	// shards > 1 runs the sharded runtime; repartition is the minimum
-	// tick gap between drift-driven repartitions (0 = off).
+	// tick gap between drift-driven repartitions (0 = off); relayFrac > 0
+	// enables the fleet-global L2 item relay at that transfer fraction.
 	shards      int
 	repartition int
+	relayFrac   float64
 }
 
 // newService builds the service over the standard simulated sensor fleet
@@ -201,10 +245,9 @@ func newService(seed uint64, workers int, replanThreshold float64) service.Runti
 	return svc
 }
 
-// newServiceWith builds the serving runtime over the configured sensor
-// fleet from an explicit configuration: the plain service, or the
-// sharded runtime when cfg.shards > 1.
-func newServiceWith(cfg serviceConfig) (service.Runtime, error) {
+// serviceOptions builds the per-service options of a configuration
+// (everything except the sharded-runtime knobs).
+func serviceOptions(cfg serviceConfig) ([]service.Option, error) {
 	x, err := executorByName(cfg.executor, cfg.gap)
 	if err != nil {
 		return nil, err
@@ -229,22 +272,80 @@ func newServiceWith(cfg serviceConfig) (service.Runtime, error) {
 	default:
 		return nil, fmt.Errorf("unknown estimator %q (want \"windowed\" or \"cumulative\")", cfg.estimator)
 	}
-	var reg *stream.Registry
+	return opts, nil
+}
+
+// registryFor builds the configured sensor fleet.
+func registryFor(cfg serviceConfig) (*stream.Registry, error) {
 	switch cfg.scenario {
 	case "", "wearables":
-		reg = stream.Wearables(cfg.seed)
+		return stream.Wearables(cfg.seed), nil
 	case "drift":
-		reg = corpus.RegimeRegistry(corpus.RegimeConfig{Seed: cfg.seed, ShiftStep: cfg.shiftTick})
-	default:
-		return nil, fmt.Errorf("unknown scenario %q (want \"wearables\" or \"drift\")", cfg.scenario)
+		return corpus.RegimeRegistry(corpus.RegimeConfig{Seed: cfg.seed, ShiftStep: cfg.shiftTick}), nil
+	}
+	return nil, fmt.Errorf("unknown scenario %q (want \"wearables\" or \"drift\")", cfg.scenario)
+}
+
+// newServiceWith builds the serving runtime over the configured sensor
+// fleet from an explicit configuration: the plain service, or the
+// sharded runtime when cfg.shards > 1.
+func newServiceWith(cfg serviceConfig) (service.Runtime, error) {
+	opts, err := serviceOptions(cfg)
+	if err != nil {
+		return nil, err
+	}
+	reg, err := registryFor(cfg)
+	if err != nil {
+		return nil, err
 	}
 	if cfg.shards > 1 {
 		if cfg.repartition > 0 {
 			opts = append(opts, service.WithRepartitionEvery(cfg.repartition))
 		}
+		if cfg.relayFrac > 0 {
+			opts = append(opts, service.WithRelay(cfg.relayFrac))
+		}
 		return service.NewSharded(reg, cfg.shards, opts...), nil
 	}
 	return service.New(reg, opts...), nil
+}
+
+// newWorkerHandler builds a shard worker process: a plain service (plus
+// a relay mirror when cfg.relayFrac > 0) behind the /worker/ protocol.
+func newWorkerHandler(cfg serviceConfig, shardIdx int) (http.Handler, error) {
+	opts, err := serviceOptions(cfg)
+	if err != nil {
+		return nil, err
+	}
+	reg, err := registryFor(cfg)
+	if err != nil {
+		return nil, err
+	}
+	var mirror *acquisition.ItemRelay
+	if cfg.relayFrac > 0 {
+		mirror = acquisition.NewItemRelay(reg.Len(), cfg.relayFrac)
+		opts = append(opts, service.WithSharedRelay(mirror))
+	}
+	opts = append(opts, service.WithShardIndex(shardIdx))
+	return service.NewWorkerHandler(service.New(reg, opts...), mirror), nil
+}
+
+// newCoordinator builds the coordinator runtime over already-running
+// worker processes. The workers carry the per-service configuration;
+// only the sharded-runtime knobs apply here.
+func newCoordinator(cfg serviceConfig, endpoints []string) (service.Runtime, error) {
+	reg, err := registryFor(cfg)
+	if err != nil {
+		return nil, err
+	}
+	var opts []service.Option
+	if cfg.repartition > 0 {
+		opts = append(opts, service.WithRepartitionEvery(cfg.repartition))
+	}
+	if cfg.relayFrac > 0 {
+		opts = append(opts, service.WithRelay(cfg.relayFrac))
+	}
+	return service.NewShardedRemote(reg, endpoints, opts...)
 }
 
 // server is the HTTP front-end over one serving runtime (plain or

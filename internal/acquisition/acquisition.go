@@ -91,9 +91,21 @@ type Cache struct {
 	pulls       []int
 	requested   []atomic.Int64
 	transferred []int64
+	// relayHits[k] counts transfers of stream k served from the fleet
+	// relay instead of the stream; relaySaved[k] is the acquisition cost
+	// those hits avoided net of the transfer price (so spent[k] +
+	// relaySaved[k] is what the stream would have charged).
+	relayHits  []int64
+	relaySaved []float64
 	// ledger, when set, additionally accounts every transfer to a
-	// fleet-wide Ledger shared with other caches (see SetLedger).
-	ledger *Ledger
+	// fleet-wide Ledger shared with other caches (see SetLedger); ledgerH
+	// is this cache's clock handle there.
+	ledger  *Ledger
+	ledgerH int
+	// relay, when set, is the fleet-global L2 item index consulted on
+	// every L1 miss (see SetRelay); relayH is this cache's clock handle.
+	relay  *ItemRelay
+	relayH int
 }
 
 // NewCache creates a cache over the registry; maxWindow[k] is the fixed
@@ -144,6 +156,8 @@ func newStriped(reg *stream.Registry, maxWindow []int, stripes int) *Cache {
 		pulls:       make([]int, n),
 		requested:   make([]atomic.Int64, n),
 		transferred: make([]int64, n),
+		relayHits:   make([]int64, n),
+		relaySaved:  make([]float64, n),
 	}
 	for k := range c.stripeOf {
 		c.stripeOf[k] = k % stripes
@@ -162,6 +176,23 @@ func (c *Cache) SetLedger(l *Ledger) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.ledger = l
+	if l != nil {
+		c.ledgerH = l.attach()
+	}
+}
+
+// SetRelay attaches the fleet-global L2 item relay: from now on every L1
+// miss consults it before the stream, transferring already-purchased
+// items at the relay's transfer fraction of their acquisition cost
+// instead of re-acquiring. Attach before the cache sees traffic; a nil
+// relay (the default) leaves the pull path untouched.
+func (c *Cache) SetRelay(r *ItemRelay) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.relay = r
+	if r != nil {
+		c.relayH = r.attach()
+	}
 }
 
 // lockStream takes the structural read lock plus stream k's stripe lock.
@@ -317,6 +348,11 @@ type StreamStats struct {
 	// same-call transfer; prefetched items count against it, so it
 	// measures cross-query sharing rather than prefetcher traffic.
 	HitRate float64 `json:"hit_rate"`
+	// RelayHits counts transfers served from the fleet L2 relay instead
+	// of the stream; RelaySaved is the acquisition cost those hits
+	// avoided net of the transfer price. Zero without an attached relay.
+	RelayHits  int64   `json:"relay_hits,omitempty"`
+	RelaySaved float64 `json:"relay_saved,omitempty"`
 }
 
 // StreamStats returns the traffic counters of stream k.
@@ -333,6 +369,8 @@ func (c *Cache) streamStatsLocked(k int) StreamStats {
 		Requested:   c.requested[k].Load(),
 		Transferred: c.transferred[k],
 		Spent:       c.spent[k],
+		RelayHits:   c.relayHits[k],
+		RelaySaved:  c.relaySaved[k],
 	}
 	if s.Requested > 0 {
 		s.HitRate = 1 - float64(s.Transferred)/float64(s.Requested)
@@ -364,7 +402,10 @@ func (c *Cache) Advance(steps int64) {
 	c.nowA.Store(c.now)
 	c.evictLocked()
 	if c.ledger != nil {
-		c.ledger.advance(c.now)
+		c.ledger.advance(c.ledgerH, c.now)
+	}
+	if c.relay != nil {
+		c.relay.advance(c.relayH, c.now)
 	}
 }
 
@@ -426,12 +467,27 @@ func (c *Cache) pullLocked(k, d int, countRequested bool) float64 {
 		if _, ok := c.cached(k, seq); ok {
 			continue
 		}
-		c.items[k] = append(c.items[k], st.Source.At(seq))
+		var it stream.Item
+		var itemCost float64
+		if c.relay != nil {
+			// L2 path: a relay hit transfers the item another cache already
+			// purchased at a fraction of its acquisition cost; a miss
+			// acquires at full cost and publishes for the rest of the fleet.
+			item, tc, full, relayed := c.relay.acquire(k, seq, d, st)
+			it, itemCost = item, tc
+			if relayed {
+				c.relayHits[k]++
+				c.relaySaved[k] += full - tc
+			}
+		} else {
+			// Items are priced at their production step, so streams with a
+			// dynamic cost regime charge the price in force when the item
+			// was produced.
+			it = st.Source.At(seq)
+			itemCost = st.PerItemAt(seq)
+		}
+		c.items[k] = append(c.items[k], it)
 		added = true
-		// Items are priced at their production step, so streams with a
-		// dynamic cost regime charge the price in force when the item was
-		// produced.
-		itemCost := st.PerItemAt(seq)
 		cost += itemCost
 		c.pulls[k]++
 		c.transferred[k]++
@@ -576,5 +632,20 @@ func (c *Cache) ResetAccounting() {
 		c.pulls[k] = 0
 		c.requested[k].Store(0)
 		c.transferred[k] = 0
+		c.relayHits[k] = 0
+		c.relaySaved[k] = 0
 	}
+}
+
+// RelayTraffic totals the relay counters across streams: hits served from
+// the fleet L2 relay and the acquisition cost they avoided net of
+// transfer prices. Both are zero without an attached relay.
+func (c *Cache) RelayTraffic() (hits int64, saved float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for k := range c.relayHits {
+		hits += c.relayHits[k]
+		saved += c.relaySaved[k]
+	}
+	return hits, saved
 }

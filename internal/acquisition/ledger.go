@@ -8,19 +8,36 @@ package acquisition
 
 import "sync"
 
+// ledgerEntry tracks one item across attached caches: how many caches
+// transferred it and the largest single transfer cost seen. Duplicate
+// spend is accounted as the sum of all transfer costs minus the largest —
+// an order-independent total, so concurrent shard ticks racing to record
+// the same item (possibly at unequal costs, e.g. one full acquisition and
+// several relay transfers) always produce the same duplicate-spend sum no
+// matter which cache records first.
+type ledgerEntry struct {
+	count int
+	max   float64
+}
+
 // Ledger aggregates item transfers across several caches over the same
 // registry. Attach it to each shard's cache with SetLedger; the zero
 // counters then accumulate the duplicated traffic partitioning causes.
 // All methods are safe for concurrent use.
 type Ledger struct {
 	mu sync.Mutex
-	// seen[k][seq] counts caches that transferred item seq of stream k.
-	seen []map[int64]int
+	// seen[k][seq] tracks the caches that transferred item seq of stream k.
+	seen []map[int64]ledgerEntry
 	// keep[k] is the largest window depth ever pulled on stream k;
-	// entries older than twice that are pruned on Advance (nothing will
-	// pull them again — pulls only reach back one horizon).
+	// entries older than twice that below the slowest attached clock are
+	// pruned on advance (pulls only reach back one horizon).
 	keep []int
-	now  int64
+	// clocks[h] is the time step of attached cache h. Each cache advances
+	// only its own clock, so concurrent ticks interleaving out-of-order
+	// now values cannot move any clock backwards; pruning respects
+	// min(clocks), so no attached cache can ever record below the prune
+	// floor.
+	clocks []int64
 
 	transfers    int64
 	spend        float64
@@ -30,18 +47,36 @@ type Ledger struct {
 
 // NewLedger creates a ledger for registries with n streams.
 func NewLedger(n int) *Ledger {
-	l := &Ledger{seen: make([]map[int64]int, n), keep: make([]int, n)}
+	l := &Ledger{seen: make([]map[int64]ledgerEntry, n), keep: make([]int, n)}
 	for k := range l.seen {
-		l.seen[k] = map[int64]int{}
+		l.seen[k] = map[int64]ledgerEntry{}
 	}
 	return l
 }
 
-// record accounts one transferred item: the d is the window depth of the
+// attach registers one cache's clock and returns its handle for advance.
+func (l *Ledger) attach() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.clocks = append(l.clocks, 0)
+	return len(l.clocks) - 1
+}
+
+// record accounts one transferred item: d is the window depth of the
 // pull (bounds how far back future pulls can reach, for pruning).
 func (l *Ledger) record(k int, seq int64, cost float64, d int) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	l.recordLocked(k, seq, cost, d)
+}
+
+// Record is record for callers outside the cache — a coordinator folding
+// a remote worker's reported transfers into the fleet ledger.
+func (l *Ledger) Record(k int, seq int64, cost float64, d int) {
+	l.record(k, seq, cost, d)
+}
+
+func (l *Ledger) recordLocked(k int, seq int64, cost float64, d int) {
 	if k < 0 || k >= len(l.seen) {
 		return
 	}
@@ -50,26 +85,47 @@ func (l *Ledger) record(k int, seq int64, cost float64, d int) {
 	}
 	l.transfers++
 	l.spend += cost
-	l.seen[k][seq]++
-	if l.seen[k][seq] > 1 {
+	e := l.seen[k][seq]
+	e.count++
+	if e.count > 1 {
+		// Everything beyond the single most expensive transfer of this
+		// item is duplicate spend: charge the cheaper of the new cost and
+		// the running max, and keep the max. The total is sum - max
+		// regardless of arrival order.
 		l.dupTransfers++
-		l.dupSpend += cost
+		if cost < e.max {
+			l.dupSpend += cost
+		} else {
+			l.dupSpend += e.max
+			e.max = cost
+		}
+	} else {
+		e.max = cost
 	}
+	l.seen[k][seq] = e
 }
 
-// advance moves the ledger clock forward and prunes items too old for
-// any future pull to touch.
-func (l *Ledger) advance(now int64) {
+// advance moves attached cache h's clock to now and prunes items too old
+// for any attached cache to pull again. Each cache owns its clock, so
+// concurrent out-of-order advances from different shards are monotonic
+// per clock, and the prune floor is the slowest attached clock.
+func (l *Ledger) advance(h int, now int64) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	if now <= l.now {
+	if h < 0 || h >= len(l.clocks) || now <= l.clocks[h] {
 		return
 	}
-	l.now = now
+	l.clocks[h] = now
+	floor := l.clocks[0]
+	for _, c := range l.clocks[1:] {
+		if c < floor {
+			floor = c
+		}
+	}
 	for k, m := range l.seen {
 		horizon := int64(2 * l.keep[k])
 		for seq := range m {
-			if now-seq > horizon {
+			if floor-seq > horizon {
 				delete(m, seq)
 			}
 		}
@@ -84,8 +140,9 @@ type LedgerStats struct {
 	Spend     float64 `json:"spend"`
 	// DuplicateTransfers counts transfers of an item some other attached
 	// cache had already transferred; DuplicateSpend is the cost those
-	// re-acquisitions paid. Under one shared cache both are zero — they
-	// are the realized price of partitioning.
+	// re-acquisitions paid (per item: total transfer cost minus the single
+	// most expensive transfer). Under one shared cache both are zero —
+	// they are the realized price of partitioning.
 	DuplicateTransfers int64   `json:"duplicate_transfers"`
 	DuplicateSpend     float64 `json:"duplicate_spend"`
 }

@@ -85,6 +85,79 @@ func TestLedgerPrunes(t *testing.T) {
 	}
 }
 
+// TestLedgerClockMonotonic: each attached cache owns its clock, and a
+// stale advance (a now value at or below the clock) is a no-op — so
+// out-of-order advances can never move a clock backwards, and pruning
+// always respects the slowest attached cache.
+func TestLedgerClockMonotonic(t *testing.T) {
+	l := NewLedger(1)
+	h0 := l.attach()
+	h1 := l.attach()
+	l.record(0, 1, 2, 3)
+	l.record(0, 2, 2, 3)
+
+	// A fast cache advancing far ahead must not prune entries the slow
+	// cache (still at step 0) could pull again.
+	l.advance(h1, 100)
+	l.mu.Lock()
+	kept := len(l.seen[0])
+	l.mu.Unlock()
+	if kept != 2 {
+		t.Fatalf("fast clock pruned past the slow one: %d entries left, want 2", kept)
+	}
+
+	// Out-of-order advances on one handle: the clock keeps its maximum.
+	for _, now := range []int64{10, 5, 8, 10, 3} {
+		l.advance(h0, now)
+	}
+	l.mu.Lock()
+	c0 := l.clocks[h0]
+	l.mu.Unlock()
+	if c0 != 10 {
+		t.Fatalf("clock after out-of-order advances = %d, want 10", c0)
+	}
+
+	// Only once the slow clock passes the horizon do entries go away.
+	l.advance(h0, 100)
+	l.mu.Lock()
+	kept = len(l.seen[0])
+	l.mu.Unlock()
+	if kept != 0 {
+		t.Fatalf("entries survived both clocks advancing to 100: %d left", kept)
+	}
+}
+
+// TestLedgerClockMonotonicConcurrent hammers advance with shuffled now
+// values from concurrent writers, one handle each (the shard-tick
+// pattern under -race): every clock must land on its maximum.
+func TestLedgerClockMonotonicConcurrent(t *testing.T) {
+	l := NewLedger(1)
+	const writers = 8
+	handles := make([]int, writers)
+	for i := range handles {
+		handles[i] = l.attach()
+	}
+	var wg sync.WaitGroup
+	for i, h := range handles {
+		wg.Add(1)
+		go func(i, h int) {
+			defer wg.Done()
+			// A deterministic shuffle of 1..100, different per writer.
+			for step := 0; step < 100; step++ {
+				l.advance(h, int64((step*37+i)%100)+1)
+			}
+		}(i, h)
+	}
+	wg.Wait()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for i, h := range handles {
+		if l.clocks[h] != 100 {
+			t.Errorf("writer %d clock = %d, want 100", i, l.clocks[h])
+		}
+	}
+}
+
 // TestLedgerConcurrent exercises the ledger from many caches at once
 // (meaningful under -race).
 func TestLedgerConcurrent(t *testing.T) {

@@ -1,0 +1,241 @@
+// The item relay is the fleet-global L2 tier of the two-tier cache: shard
+// workers keep private L1 caches (Cache), and the relay holds every item
+// any shard has already purchased. On an L1 miss the cache consults the
+// relay before going to the stream: if another shard already paid the
+// acquisition cost, the item is transferred at a configurable fraction of
+// that cost instead of re-acquired. Any item is therefore purchased once
+// fleet-wide; what the PR 5 ledger measures as duplicate spend becomes
+// transfer spend at frac << 1 of the acquisition price.
+package acquisition
+
+import (
+	"sync"
+
+	"paotr/internal/stream"
+)
+
+// relayEntry is one published item: the value, the full acquisition cost
+// its purchaser paid, and the publish epoch (for delta export to remote
+// workers). imported marks entries seeded from another relay — a worker's
+// mirror must not re-export them as its own purchases.
+type relayEntry struct {
+	value    float64
+	cost     float64
+	pub      int64
+	imported bool
+}
+
+// ItemRelay is the fleet-global L2 item index shared by the caches of all
+// shard workers. The first cache fleet-wide to pull item (k, seq) pays
+// the full per-item acquisition cost and publishes the value; every later
+// cache pays frac of that cost and takes the value from the relay. Totals
+// are therefore order-independent under concurrent shard ticks: an item
+// needed by m shards costs full + (m-1)*frac*full no matter which shard
+// wins the purchase. All methods are safe for concurrent use.
+type ItemRelay struct {
+	mu   sync.Mutex
+	frac float64
+	// entries[k][seq] holds the published items of stream k.
+	entries []map[int64]relayEntry
+	// keep[k] is the largest window depth ever pulled on stream k;
+	// entries older than twice that below the slowest attached cache's
+	// clock are pruned (no attached cache can pull them again).
+	keep []int
+	// clocks[h] is the time step of attached cache h; pruning respects
+	// min(clocks) so a lagging cache never loses entries it could hit.
+	clocks []int64
+	// epoch counts publishes, stamping entries for delta export.
+	epoch int64
+
+	purchases     int64
+	hits          int64
+	transferSpend float64
+	savedSpend    float64
+}
+
+// NewItemRelay creates a relay for registries with n streams. frac is the
+// per-item transfer cost as a fraction of the item's acquisition cost,
+// clamped to [0, 1] (1 degenerates to no saving, 0 to free transfers).
+func NewItemRelay(n int, frac float64) *ItemRelay {
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	r := &ItemRelay{frac: frac, entries: make([]map[int64]relayEntry, n), keep: make([]int, n)}
+	for k := range r.entries {
+		r.entries[k] = map[int64]relayEntry{}
+	}
+	return r
+}
+
+// TransferFrac returns the configured transfer cost fraction.
+func (r *ItemRelay) TransferFrac() float64 { return r.frac }
+
+// Attach registers an external clock (e.g. the remote coordinator's tick
+// counter, which has no local cache attached to this relay) and returns
+// its handle for Advance. Caches attach themselves via SetRelay.
+func (r *ItemRelay) Attach() int { return r.attach() }
+
+// Advance moves external clock h to now, pruning like a cache's advance.
+func (r *ItemRelay) Advance(h int, now int64) { r.advance(h, now) }
+
+// attach registers one cache's clock and returns its handle for advance.
+func (r *ItemRelay) attach() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.clocks = append(r.clocks, 0)
+	return len(r.clocks) - 1
+}
+
+// advance moves attached cache h's clock to now and prunes entries no
+// attached cache can pull anymore (older than twice the deepest window
+// below the slowest clock).
+func (r *ItemRelay) advance(h int, now int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h < 0 || h >= len(r.clocks) || now <= r.clocks[h] {
+		return
+	}
+	r.clocks[h] = now
+	floor := r.clocks[0]
+	for _, c := range r.clocks[1:] {
+		if c < floor {
+			floor = c
+		}
+	}
+	for k, m := range r.entries {
+		horizon := int64(2 * r.keep[k])
+		for seq := range m {
+			if floor-seq > horizon {
+				delete(m, seq)
+			}
+		}
+	}
+}
+
+// acquire resolves one L1 miss through the relay: a hit transfers the
+// published value at frac of its acquisition cost (relayed true); a miss
+// acquires from the stream at full cost and publishes. d is the window
+// depth of the pull, bounding how far back future pulls reach (pruning).
+func (r *ItemRelay) acquire(k int, seq int64, d int, st stream.Stream) (it stream.Item, cost, full float64, relayed bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if d > r.keep[k] {
+		r.keep[k] = d
+	}
+	if e, ok := r.entries[k][seq]; ok {
+		tc := r.frac * e.cost
+		r.hits++
+		r.transferSpend += tc
+		r.savedSpend += e.cost - tc
+		return stream.Item{Seq: seq, Value: e.value}, tc, e.cost, true
+	}
+	it = st.Source.At(seq)
+	full = st.PerItemAt(seq)
+	r.epoch++
+	r.entries[k][seq] = relayEntry{value: it.Value, cost: full, pub: r.epoch}
+	r.purchases++
+	return it, full, full, false
+}
+
+// RelayStats summarizes fleet-global relay traffic.
+type RelayStats struct {
+	// Purchases counts items acquired at full stream cost (once per item
+	// fleet-wide); Hits counts transfers served from the relay instead of
+	// re-acquiring.
+	Purchases int64 `json:"purchases"`
+	Hits      int64 `json:"hits"`
+	// TransferSpend is the cost paid for relay transfers (frac of the
+	// acquisition cost each); SavedSpend is the acquisition cost those
+	// hits avoided, net of the transfer price.
+	TransferSpend float64 `json:"transfer_spend"`
+	SavedSpend    float64 `json:"saved_spend"`
+	// TransferFrac echoes the configured per-item transfer cost fraction.
+	TransferFrac float64 `json:"transfer_frac"`
+}
+
+// Stats returns a snapshot of the relay's counters.
+func (r *ItemRelay) Stats() RelayStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return RelayStats{
+		Purchases:     r.purchases,
+		Hits:          r.hits,
+		TransferSpend: r.transferSpend,
+		SavedSpend:    r.savedSpend,
+		TransferFrac:  r.frac,
+	}
+}
+
+// RelayItem is one published item in wire form, for syncing a remote
+// worker's relay mirror with the coordinator's global index. Depth
+// carries the exporting relay's window depth for the item's stream, so
+// the receiver's pruning horizon (keep) covers it.
+type RelayItem struct {
+	Stream int     `json:"stream"`
+	Seq    int64   `json:"seq"`
+	Value  float64 `json:"value"`
+	Cost   float64 `json:"cost"`
+	Depth  int     `json:"depth,omitempty"`
+}
+
+// Export returns the items this relay's own caches published after epoch
+// since (imported entries are excluded — they are some other relay's
+// purchases), together with the current epoch to pass as the next since.
+func (r *ItemRelay) Export(since int64) ([]RelayItem, int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []RelayItem
+	for k, m := range r.entries {
+		for seq, e := range m {
+			if !e.imported && e.pub > since {
+				out = append(out, RelayItem{Stream: k, Seq: seq, Value: e.value, Cost: e.cost, Depth: r.keep[k]})
+			}
+		}
+	}
+	return out, r.epoch
+}
+
+// Import seeds entries published elsewhere: subsequent local misses on
+// them pay transfer cost. Existing entries win (the item was purchased
+// here first); imported entries are never re-exported.
+func (r *ItemRelay) Import(items []RelayItem) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, it := range items {
+		if it.Stream < 0 || it.Stream >= len(r.entries) {
+			continue
+		}
+		if it.Depth > r.keep[it.Stream] {
+			r.keep[it.Stream] = it.Depth
+		}
+		if _, ok := r.entries[it.Stream][it.Seq]; ok {
+			continue
+		}
+		r.entries[it.Stream][it.Seq] = relayEntry{value: it.Value, cost: it.Cost, imported: true}
+	}
+}
+
+// Publish records purchases a remote worker's mirror made, into this
+// (coordinator-side) global index: unlike Import, published entries stay
+// exportable, so later deltas relay them on to every other worker. The
+// first publisher of an item wins; re-publishing is a no-op.
+func (r *ItemRelay) Publish(items []RelayItem) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, it := range items {
+		if it.Stream < 0 || it.Stream >= len(r.entries) {
+			continue
+		}
+		if it.Depth > r.keep[it.Stream] {
+			r.keep[it.Stream] = it.Depth
+		}
+		if _, ok := r.entries[it.Stream][it.Seq]; ok {
+			continue
+		}
+		r.epoch++
+		r.entries[it.Stream][it.Seq] = relayEntry{value: it.Value, cost: it.Cost, pub: r.epoch}
+	}
+}

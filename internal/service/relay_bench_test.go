@@ -1,0 +1,131 @@
+package service
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// relayBenchResult is one row of BENCH_relay.json.
+type relayBenchResult struct {
+	Name     string  `json:"name"`
+	Unit     string  `json:"unit"`
+	Ops      int     `json:"ops"`
+	JPerTick float64 `json:"j_per_tick"`
+	PerSec   float64 `json:"per_sec"`
+}
+
+// relayBenchFile is the machine-readable relay benchmark tracked
+// PR-over-PR (and gated by cmd/benchgate): the overlapping-tenant
+// corpus at 4 shards, with and without the fleet-global L2 item relay.
+type relayBenchFile struct {
+	GoMaxProcs   int     `json:"gomaxprocs"`
+	Tenants      int     `json:"tenants"`
+	Shards       int     `json:"shards"`
+	TransferFrac float64 `json:"transfer_frac"`
+	// Results holds the realized energy rows (relay/off and relay/on);
+	// their j_per_tick fields are the gated metrics.
+	Results []relayBenchResult `json:"results"`
+	// SharingLostPct is the modelled sharing loss of the relay-less
+	// 4-shard placement; SharingLostPctRelay is the residual loss once
+	// cross-shard re-acquisitions become transfers at TransferFrac —
+	// the number the tentpole acceptance bound (< 25%) is on.
+	SharingLostPct      float64 `json:"sharing_lost_pct"`
+	SharingLostPctRelay float64 `json:"sharing_lost_pct_relay"`
+	// RelayHits / RelayPurchases / TransferSpendPerTick summarize relay
+	// traffic in the relay/on run.
+	RelayHits            int64   `json:"relay_hits"`
+	RelayPurchases       int64   `json:"relay_purchases"`
+	TransferSpendPerTick float64 `json:"transfer_spend_per_tick"`
+	// RecoveredSavingPct is the realized J/tick gap the relay closed:
+	// 100 * (off - on) / off.
+	RecoveredSavingPct float64 `json:"recovered_saving_pct"`
+}
+
+// TestWriteRelayBenchJSON emits BENCH_relay.json when
+// PAOTR_BENCH_RELAY_JSON names an output path (the CI artifact gated by
+// cmd/benchgate). Skipped otherwise.
+func TestWriteRelayBenchJSON(t *testing.T) {
+	out := os.Getenv("PAOTR_BENCH_RELAY_JSON")
+	if out == "" {
+		t.Skip("set PAOTR_BENCH_RELAY_JSON=<path> to write the benchmark artifact")
+	}
+	const tenants, shards, ticks = 12, 4, 300
+	const frac = 0.1
+	run := func(name string, frac float64) (relayBenchResult, Metrics) {
+		reg := overlapRegistry(t, tenants, 99)
+		opts := []Option{WithWorkers(4)}
+		if frac > 0 {
+			opts = append(opts, WithRelay(frac))
+		}
+		sh := NewSharded(reg, shards, opts...)
+		overlapFleet(t, sh, tenants)
+		sh.Run(3) // steady state
+		start := sh.Metrics().PaidCost
+		t0 := time.Now()
+		sh.Run(ticks)
+		dt := time.Since(t0)
+		m := sh.Metrics()
+		return relayBenchResult{
+			Name:     name,
+			Unit:     "tick",
+			Ops:      ticks,
+			JPerTick: (m.PaidCost - start) / ticks,
+			PerSec:   float64(ticks) / dt.Seconds(),
+		}, m
+	}
+	off, offM := run("relay/off", 0)
+	on, onM := run("relay/on", frac)
+
+	file := relayBenchFile{
+		GoMaxProcs:          runtime.GOMAXPROCS(0),
+		Tenants:             tenants,
+		Shards:              shards,
+		TransferFrac:        frac,
+		Results:             []relayBenchResult{off, on},
+		SharingLostPct:      offM.SharingLostPct,
+		SharingLostPctRelay: onM.SharingLostPctRelay,
+		RelayHits:           onM.RelayHits,
+		RelayPurchases:      onM.RelayPurchases,
+	}
+	if onM.Ticks > 0 {
+		file.TransferSpendPerTick = onM.RelayTransferSpend / float64(onM.Ticks)
+	}
+	if off.JPerTick > 0 {
+		file.RecoveredSavingPct = 100 * (off.JPerTick - on.JPerTick) / off.JPerTick
+	}
+
+	// The tentpole acceptance bound: the relay must bring the modelled
+	// sharing loss of the 4-shard placement under 25%.
+	if file.SharingLostPctRelay >= 25 {
+		t.Errorf("sharing lost with relay = %.1f%%, acceptance bound is < 25%%", file.SharingLostPctRelay)
+	}
+	if file.SharingLostPctRelay >= file.SharingLostPct {
+		t.Errorf("relay loss %.1f%% not below raw loss %.1f%%", file.SharingLostPctRelay, file.SharingLostPct)
+	}
+	if on.JPerTick >= off.JPerTick {
+		t.Errorf("relay run pays %.2f J/tick vs %.2f without — no realized saving", on.JPerTick, off.JPerTick)
+	}
+	if file.RelayHits == 0 || file.TransferSpendPerTick <= 0 {
+		t.Errorf("relay traffic missing from metrics: hits=%d transfer=%.3f J/tick",
+			file.RelayHits, file.TransferSpendPerTick)
+	}
+
+	data, err := json.MarshalIndent(file, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dir := filepath.Dir(out); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s: sharing lost %.1f%% -> %.1f%% with relay (frac %.2f), %.1f -> %.1f J/tick (%.1f%% recovered)",
+		out, file.SharingLostPct, file.SharingLostPctRelay, frac, off.JPerTick, on.JPerTick, file.RecoveredSavingPct)
+}

@@ -52,10 +52,20 @@ type Service struct {
 	// are fed back into it; its detector events invalidate the fleet plan
 	// cache here and per-query plan caches in the engine.
 	ad *adapt.Windowed
-	// prevSpent/prevTransferred snapshot per-stream cache accounting at
-	// the end of the previous tick, to derive per-tick cost observations.
+	// prevSpent/prevTransferred/prevRelaySaved snapshot per-stream cache
+	// accounting at the end of the previous tick, to derive per-tick cost
+	// observations. Relay savings are added back so the estimator keeps
+	// learning the stream's acquisition price, not the transfer price —
+	// relay discounts enter planning deterministically via costScale
+	// instead of through racy realized-cost observations.
 	prevSpent       []float64
 	prevTransferred []int64
+	prevRelaySaved  []float64
+	// costScale, when non-nil, multiplies each stream's per-item cost in
+	// the joint planner's view of the fleet (see SetStreamCostScale): the
+	// sharded coordinator prices streams shared across shards at the
+	// relay-discounted blend of acquisition and transfer cost.
+	costScale []float64
 	// fleetInvalidated counts the joint-plan staleness marks driven by
 	// detector trips — the forced fleet replans (or patches) those trips
 	// cause.
@@ -117,6 +127,10 @@ type tickScratch struct {
 	batchNeed    []int
 	batchTouched []bool
 	batchSnap    [][]bool
+	// costSave holds the unscaled per-stream costs of each planned tree
+	// while costScale is applied for the joint planner (restored after
+	// planning, so scaling never compounds across ticks).
+	costSave [][]float64
 }
 
 // registered is one query under service management.
@@ -153,10 +167,13 @@ type config struct {
 	adaptCfg   adapt.Config
 	traceCap   int
 	ledger     *acquisition.Ledger
-	// repartEvery and balance configure the sharded runtime (see
-	// NewSharded); a plain Service ignores them.
+	relay      *acquisition.ItemRelay
+	// repartEvery, balance and relayFrac configure the sharded runtime
+	// (see NewSharded); a plain Service ignores them.
 	repartEvery int64
 	balance     float64
+	relayFrac   float64
+	shardIdx    int
 }
 
 // WithWorkers sets the tick worker-pool size (default GOMAXPROCS).
@@ -219,6 +236,37 @@ func WithAdaptConfig(cfg adapt.Config) Option { return func(c *config) { c.adapt
 // caches (see acquisition.Ledger); plain services rarely need this.
 func WithSharedLedger(l *acquisition.Ledger) Option {
 	return func(c *config) { c.ledger = l }
+}
+
+// WithSharedRelay attaches the fleet-global L2 item relay to the
+// service's cache: every L1 miss consults the relay before the stream,
+// transferring items another attached cache already purchased at the
+// relay's transfer fraction of their acquisition cost. The sharded
+// runtime attaches one relay across all shard caches (see
+// acquisition.ItemRelay and WithRelay); plain services rarely need this.
+func WithSharedRelay(r *acquisition.ItemRelay) Option {
+	return func(c *config) { c.relay = r }
+}
+
+// WithShardIndex stamps this service's executions with its worker index
+// under a sharded runtime (Execution.Shard). The in-process sharded
+// runtime sets it directly; a `paotrserve -worker` process passes its
+// index here so the coordinator's merged results attribute executions.
+func WithShardIndex(i int) Option {
+	return func(c *config) { c.shardIdx = i }
+}
+
+// WithRelay enables, for the sharded runtime, the fleet-global L2 item
+// relay: frac is the per-item transfer cost as a fraction of acquisition
+// cost (clamped to [0, 1]). On an L1 miss a shard worker's cache checks
+// the relay index and transfers an item another shard already purchased
+// at frac of its acquisition cost instead of re-acquiring it at stream
+// cost; the partitioner's placement objective and every worker's joint
+// planner price co-location with the matching discount. 0 (the default)
+// disables the relay, leaving the runtime byte-identical to the
+// relay-less service. A plain Service ignores it.
+func WithRelay(frac float64) Option {
+	return func(c *config) { c.relayFrac = frac }
 }
 
 // WithRepartitionEvery sets, for the sharded runtime, the minimum number
@@ -287,11 +335,16 @@ func New(reg *stream.Registry, opts ...Option) *Service {
 		ad:              ad,
 		prevSpent:       make([]float64, reg.Len()),
 		prevTransferred: make([]int64, reg.Len()),
+		prevRelaySaved:  make([]float64, reg.Len()),
 		planner:         &fleet.Planner{Eps: eng.ReplanThreshold()},
 		dupAvoidedK:     make([]int64, reg.Len()),
+		shardIdx:        cfg.shardIdx,
 	}
 	if cfg.ledger != nil {
 		s.cache.SetLedger(cfg.ledger)
+	}
+	if cfg.relay != nil {
+		s.cache.SetRelay(cfg.relay)
 	}
 	if ad != nil {
 		// The engine already evicts affected per-query plans on detector
@@ -322,6 +375,75 @@ func (s *Service) treeAndKeys(id string) (*query.Tree, []string, bool) {
 		return nil, nil, false
 	}
 	return r.q.Tree(), r.q.PredKeys(), true
+}
+
+// ProfileTree is the exported treeAndKeys: the probability-annotated
+// tree and predicate trace keys of one registered query, what a
+// coordinator profiles placements and migrates estimator state with.
+func (s *Service) ProfileTree(id string) (*query.Tree, []string, bool) {
+	return s.treeAndKeys(id)
+}
+
+// Trips totals the online estimator's detector trips (predicate and
+// stream-cost alike) — the drift signal a sharded coordinator polls to
+// decide when a repartition is worthwhile. 0 under the cumulative
+// estimator.
+func (s *Service) Trips() int64 {
+	if s.ad == nil {
+		return 0
+	}
+	p, c := s.ad.Trips()
+	return p + c
+}
+
+// ExportEvidence snapshots the estimator evidence of the given predicate
+// trace keys, for migrating a query's learned state to another worker.
+// Nil under the cumulative estimator.
+func (s *Service) ExportEvidence(keys []string) []adapt.PredicateSnapshot {
+	if s.ad == nil {
+		return nil
+	}
+	return s.ad.ExportPredicates(keys)
+}
+
+// ImportEvidence seeds estimator evidence exported from another worker;
+// predicates this estimator already tracks keep their own evidence.
+func (s *Service) ImportEvidence(snaps []adapt.PredicateSnapshot) {
+	if s.ad == nil || len(snaps) == 0 {
+		return
+	}
+	s.ad.ImportPredicates(snaps)
+}
+
+// SetStreamCostScale installs per-stream multipliers on the joint
+// planner's view of acquisition cost (nil clears them). The sharded
+// coordinator prices streams whose demand spans m shards at the
+// relay-discounted blend (1 + (m-1)*frac)/m of the acquisition cost —
+// the expected per-item price when one shard purchases and the rest
+// relay. Scaling affects planning (leaf order and expected costs) only;
+// realized costs are whatever the cache actually pays.
+func (s *Service) SetStreamCostScale(scale []float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	changed := len(scale) != len(s.costScale)
+	if !changed {
+		for k := range scale {
+			if scale[k] != s.costScale[k] {
+				changed = true
+				break
+			}
+		}
+	}
+	if !changed {
+		return
+	}
+	if scale == nil {
+		s.costScale = nil
+	} else {
+		s.costScale = append(s.costScale[:0:0], scale...)
+	}
+	// Cached joint plans were priced under the old scales; drop them.
+	s.planner.Invalidate()
 }
 
 // Adaptive exposes the online estimator (nil under
@@ -599,6 +721,33 @@ func (s *Service) planFleet(due []*registered, fleetSet []bool) *fleet.Plan {
 			}
 		}
 	}
+	// Relay-discounted C: scale each tree's per-stream costs for the
+	// joint planner's eyes only, saving the annotated values so the
+	// scaling never compounds across ticks (TreeInto re-annotates only
+	// streams the cost source has observations for).
+	if s.costScale != nil {
+		if cap(sc.costSave) < len(sc.trees) {
+			sc.costSave = append(sc.costSave, make([][]float64, len(sc.trees)-len(sc.costSave))...)
+		}
+		sc.costSave = sc.costSave[:len(sc.trees)]
+		for ti, t := range sc.trees {
+			save := sc.costSave[ti][:0]
+			for k := range t.Streams {
+				save = append(save, t.Streams[k].Cost)
+				if k < len(s.costScale) {
+					t.Streams[k].Cost *= s.costScale[k]
+				}
+			}
+			sc.costSave[ti] = save
+		}
+		defer func() {
+			for ti, t := range sc.trees {
+				for k := range t.Streams {
+					t.Streams[k].Cost = sc.costSave[ti][k]
+				}
+			}
+		}()
+	}
 	sc.warm = s.cache.SnapshotInto(sc.need, sc.warm)
 	start := time.Now()
 	fplan, reused := s.planner.Plan(sc.keys, sc.trees, sched.Warm(sc.warm))
@@ -857,9 +1006,14 @@ func (s *Service) observeCosts() {
 	for k := 0; k < s.reg.Len(); k++ {
 		ss := s.cache.StreamStats(k)
 		items := ss.Transferred - s.prevTransferred[k]
-		spent := ss.Spent - s.prevSpent[k]
+		// Relay savings are added back: the estimator learns the stream's
+		// acquisition price, not the (race-dependent) mix of full and
+		// transfer prices this shard happened to pay. Relay discounts
+		// reach the planner deterministically via SetStreamCostScale.
+		spent := ss.Spent - s.prevSpent[k] + (ss.RelaySaved - s.prevRelaySaved[k])
 		s.prevTransferred[k] = ss.Transferred
 		s.prevSpent[k] = ss.Spent
+		s.prevRelaySaved[k] = ss.RelaySaved
 		if items > 0 {
 			s.ad.ObserveCost(k, spent/float64(items), int(items))
 		}
@@ -1021,6 +1175,12 @@ type Metrics struct {
 	CacheRequested   int64   `json:"cache_requested"`
 	CacheTransferred int64   `json:"cache_transferred"`
 	CacheHitRate     float64 `json:"cache_hit_rate"`
+	// RelayHits counts L1 misses served from the fleet-global L2 relay
+	// instead of re-acquiring from the stream; RelaySavedSpend is the
+	// acquisition cost those hits avoided net of transfer prices (both
+	// zero without an attached relay; see acquisition.ItemRelay).
+	RelayHits       int64   `json:"relay_hits,omitempty"`
+	RelaySavedSpend float64 `json:"relay_saved_spend,omitempty"`
 	// PerStream breaks acquisition traffic down by stream, by registry
 	// index (see StreamMetrics).
 	PerStream []StreamMetrics `json:"per_stream"`
@@ -1047,9 +1207,26 @@ type Metrics struct {
 	// CrossShardDuplicateTransfers / CrossShardDuplicateSpend are the
 	// realized counterparts: items transferred by a shard cache that
 	// another shard's cache had already paid for, and what those
-	// re-acquisitions cost (see acquisition.Ledger).
+	// re-acquisitions cost (see acquisition.Ledger). With a relay the
+	// duplicates are still counted, but their spend is transfer cost.
 	CrossShardDuplicateTransfers int64   `json:"cross_shard_duplicate_transfers,omitempty"`
 	CrossShardDuplicateSpend     float64 `json:"cross_shard_duplicate_spend,omitempty"`
+	// RelayEnabled reports a fleet-global L2 relay across the shard
+	// caches; RelayTransferFrac its per-item transfer cost as a fraction
+	// of acquisition cost; RelayPurchases the items acquired at full
+	// stream cost (once fleet-wide); RelayTransferSpend the cost paid for
+	// relay transfers (see acquisition.ItemRelay).
+	RelayEnabled       bool    `json:"relay_enabled,omitempty"`
+	RelayTransferFrac  float64 `json:"relay_transfer_frac,omitempty"`
+	RelayPurchases     int64   `json:"relay_purchases,omitempty"`
+	RelayTransferSpend float64 `json:"relay_transfer_spend,omitempty"`
+	// RelayJointExpectedCost prices the current placement with the relay:
+	// cross-shard duplicated expected spend paid at RelayTransferFrac
+	// instead of in full; SharingLostPctRelay is the corresponding
+	// modelled sharing loss (RelayTransferFrac * SharingLostPct — what
+	// the relay does not recover; see shard.Loss.WithRelay).
+	RelayJointExpectedCost float64 `json:"relay_joint_expected_cost,omitempty"`
+	SharingLostPctRelay    float64 `json:"sharing_lost_pct_relay,omitempty"`
 	// PerShard breaks the fleet down by shard worker.
 	PerShard []ShardSummary `json:"per_shard,omitempty"`
 }
@@ -1114,6 +1291,11 @@ type StreamMetrics struct {
 	// CostDetectorTrips counts price-regime shifts detected on the
 	// stream.
 	CostDetectorTrips int64 `json:"cost_detector_trips,omitempty"`
+	// RelayHits counts this stream's transfers served from the fleet L2
+	// relay; RelaySavedSpend the acquisition cost they avoided net of
+	// transfer prices (zero without a relay).
+	RelayHits       int64   `json:"relay_hits,omitempty"`
+	RelaySavedSpend float64 `json:"relay_saved_spend,omitempty"`
 }
 
 // Metrics returns a fleet-wide snapshot.
@@ -1181,7 +1363,11 @@ func (s *Service) Metrics() Metrics {
 			DuplicatePullsAvoided: s.dupAvoidedK[ss.Stream],
 			LearnedCostPerItem:    learned[ss.Stream].PerItem,
 			CostDetectorTrips:     learned[ss.Stream].Trips,
+			RelayHits:             ss.RelayHits,
+			RelaySavedSpend:       ss.RelaySaved,
 		})
+		m.RelayHits += ss.RelayHits
+		m.RelaySavedSpend += ss.RelaySaved
 	}
 	for _, r := range s.queries {
 		m.PerQuery = append(m.PerQuery, r.m.withRatio())

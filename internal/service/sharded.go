@@ -1,8 +1,11 @@
-// Sharded is the horizontal scale-out of the scheduling service: K
-// shard workers, each a full Service owning its own striped acquisition
-// cache, fleet planner and windowed estimator, ticking asynchronously
-// while a stream-affinity partitioner (internal/shard) decides which
-// worker owns which query.
+// Sharded is the horizontal scale-out of the scheduling service: a
+// coordinator owning the shard partitioner, the fleet-global L2 item
+// relay and the aggregated metrics, over K shard workers — each a full
+// Service with its own striped L1 acquisition cache, fleet planner and
+// windowed estimator — ticking asynchronously. Workers are in-process by
+// default (NewSharded) or separate `paotrserve -worker` processes driven
+// over HTTP/JSON (NewShardedRemote; see remote.go): the coordinator sees
+// both through the Worker interface.
 //
 // Sharding trades sharing for parallelism: the paper's premium comes
 // from items acquired once and reused by every query (Proposition 2),
@@ -11,6 +14,17 @@
 // and the runtime measures what partitioning costs — the modelled
 // per-shard joint cost against the K=1 joint cost, and the realized
 // cross-shard duplicate transfers via a fleet-wide acquisition ledger.
+//
+// The fleet-global relay (WithRelay) recovers most of that loss: on an
+// L1 miss a worker's cache consults the relay index, and an item some
+// other shard already purchased is transferred at a configured fraction
+// of its acquisition cost instead of re-acquired (see
+// acquisition.ItemRelay). The partitioner's placement objective gains
+// the matching transfer-cost term (shard.Config.RelayFrac), and the
+// coordinator prices streams shared across shards at the
+// relay-discounted blend for every worker's joint planner
+// (Service.SetStreamCostScale). Without WithRelay nothing changes: the
+// runtime stays byte-identical to the relay-less service.
 //
 // Plan caches are naturally scoped per shard: every worker has its own
 // engine, so detector trips in one shard evict only that shard's plans,
@@ -26,7 +40,6 @@ package service
 import (
 	"fmt"
 	"sync"
-	"sync/atomic"
 
 	"paotr/internal/acquisition"
 	"paotr/internal/adapt"
@@ -45,11 +58,18 @@ type shardedQuery struct {
 // Sharded runs K shard workers over one stream registry. All methods
 // are safe for concurrent use. It implements Runtime.
 type Sharded struct {
-	mu     sync.Mutex
-	reg    *stream.Registry
-	shards []*Service
+	mu      sync.Mutex
+	reg     *stream.Registry
+	workers []Worker
+	// locals holds the in-process *Service behind each worker (nil
+	// entries for remote workers), for tests and direct inspection.
+	locals []*Service
 	ledger *acquisition.Ledger // nil with one shard
-	k      int
+	// relay is the fleet-global L2 item index (nil unless WithRelay with
+	// a positive fraction and k > 1); relayFrac its transfer fraction.
+	relay     *acquisition.ItemRelay
+	relayFrac float64
+	k         int
 	// balance and repartEvery come from WithShardBalance /
 	// WithRepartitionEvery.
 	balance     float64
@@ -62,7 +82,6 @@ type Sharded struct {
 	tick          int64
 	lastRepart    int64
 	tripsAtRepart int64
-	trips         atomic.Int64 // detector trips across all shards
 
 	repartitions int64
 	moved        int64
@@ -72,16 +91,20 @@ type Sharded struct {
 	loss      shard.Loss
 	loads     []float64
 	lossDirty bool
+	// scalesDirty defers recomputing the relay-discounted per-stream cost
+	// scales to the next tick after the query set changed.
+	scalesDirty bool
 }
 
 var _ Runtime = (*Sharded)(nil)
 var _ Runtime = (*Service)(nil)
 
-// NewSharded creates a sharded runtime with k shard workers, each a
-// Service built over the shared registry with the same options. k <= 1
-// yields a single worker the runtime transparently delegates to. Live
-// re-partitioning on estimator drift is off unless WithRepartitionEvery
-// is given.
+// NewSharded creates a sharded runtime with k in-process shard workers,
+// each a Service built over the shared registry with the same options.
+// k <= 1 yields a single worker the runtime transparently delegates to.
+// Live re-partitioning on estimator drift is off unless
+// WithRepartitionEvery is given; the fleet-global item relay is off
+// unless WithRelay is given.
 func NewSharded(reg *stream.Registry, k int, opts ...Option) *Sharded {
 	if k < 1 {
 		k = 1
@@ -92,6 +115,28 @@ func NewSharded(reg *stream.Registry, k int, opts ...Option) *Sharded {
 	for _, o := range opts {
 		o(&cfg)
 	}
+	sh := newShardedShell(reg, k, cfg)
+	if k > 1 {
+		sh.ledger = acquisition.NewLedger(reg.Len())
+		opts = append(append([]Option(nil), opts...), WithSharedLedger(sh.ledger))
+		if sh.relay != nil {
+			opts = append(opts, WithSharedRelay(sh.relay))
+		}
+	}
+	sh.workers = make([]Worker, k)
+	sh.locals = make([]*Service, k)
+	for i := range sh.workers {
+		svc := New(reg, opts...)
+		svc.shardIdx = i
+		sh.locals[i] = svc
+		sh.workers[i] = svc
+	}
+	return sh
+}
+
+// newShardedShell builds the coordinator state shared by the in-process
+// and remote constructors: everything but the workers.
+func newShardedShell(reg *stream.Registry, k int, cfg config) *Sharded {
 	sh := &Sharded{
 		reg:         reg,
 		k:           k,
@@ -101,18 +146,9 @@ func NewSharded(reg *stream.Registry, k int, opts ...Option) *Sharded {
 		regInfo:     map[string]*shardedQuery{},
 		loads:       make([]float64, k),
 	}
-	if k > 1 {
-		sh.ledger = acquisition.NewLedger(reg.Len())
-		opts = append(append([]Option(nil), opts...), WithSharedLedger(sh.ledger))
-	}
-	sh.shards = make([]*Service, k)
-	for i := range sh.shards {
-		svc := New(reg, opts...)
-		svc.shardIdx = i
-		sh.shards[i] = svc
-		if svc.ad != nil {
-			svc.ad.Subscribe(func(adapt.Event) { sh.trips.Add(1) })
-		}
+	if k > 1 && cfg.relayFrac > 0 {
+		sh.relay = acquisition.NewItemRelay(reg.Len(), cfg.relayFrac)
+		sh.relayFrac = sh.relay.TransferFrac()
 	}
 	return sh
 }
@@ -120,12 +156,26 @@ func NewSharded(reg *stream.Registry, k int, opts ...Option) *Sharded {
 // Shards returns the number of shard workers.
 func (sh *Sharded) Shards() int { return sh.k }
 
-// Shard exposes shard worker i (e.g. for estimator inspection in tests).
-func (sh *Sharded) Shard(i int) *Service { return sh.shards[i] }
+// Shard exposes in-process shard worker i (e.g. for estimator inspection
+// in tests); nil when worker i is remote.
+func (sh *Sharded) Shard(i int) *Service { return sh.locals[i] }
+
+// Relay exposes the fleet-global L2 item relay (nil unless enabled).
+func (sh *Sharded) Relay() *acquisition.ItemRelay { return sh.relay }
 
 // shardConfig is the partitioner configuration of this runtime.
 func (sh *Sharded) shardConfig() shard.Config {
-	return shard.Config{Shards: sh.k, Balance: sh.balance}
+	return shard.Config{Shards: sh.k, Balance: sh.balance, RelayFrac: sh.relayFrac}
+}
+
+// tripsNowLocked totals detector trips across workers — the drift
+// evidence the repartition trigger compares against. Caller holds sh.mu.
+func (sh *Sharded) tripsNowLocked() int64 {
+	var t int64
+	for _, w := range sh.workers {
+		t += w.Trips()
+	}
+	return t
 }
 
 // profilesLocked profiles every registered query from its owning shard's
@@ -133,7 +183,7 @@ func (sh *Sharded) shardConfig() shard.Config {
 func (sh *Sharded) profilesLocked() []shard.Query {
 	out := make([]shard.Query, 0, len(sh.regOrder))
 	for _, id := range sh.regOrder {
-		t, _, ok := sh.shards[sh.assign[id]].treeAndKeys(id)
+		t, _, ok := sh.workers[sh.assign[id]].ProfileTree(id)
 		if !ok {
 			continue
 		}
@@ -166,6 +216,45 @@ func (sh *Sharded) refreshLossLocked() {
 	}
 }
 
+// updateRelayScalesLocked recomputes the relay-discounted per-stream
+// cost scales and installs them on every worker's joint planner: a
+// stream whose expected demand spans m > 1 shards is priced at the blend
+// (1 + (m-1)*frac) / m of its acquisition cost — one shard purchases at
+// full price, the rest relay at frac. Streams used by at most one shard
+// keep scale 1. No-op without a relay. Caller holds sh.mu.
+func (sh *Sharded) updateRelayScalesLocked(profiles []shard.Query) {
+	if sh.relay == nil {
+		return
+	}
+	if profiles == nil {
+		profiles = sh.profilesLocked()
+	}
+	n := sh.reg.Len()
+	uses := make([]bool, n*sh.k)
+	sharers := make([]int, n)
+	for _, p := range profiles {
+		s := sh.assign[p.ID]
+		for k, w := range p.Weights {
+			if w > 0 && k < n && !uses[k*sh.k+s] {
+				uses[k*sh.k+s] = true
+				sharers[k]++
+			}
+		}
+	}
+	scale := make([]float64, n)
+	for k := range scale {
+		if m := sharers[k]; m > 1 {
+			scale[k] = (1 + float64(m-1)*sh.relayFrac) / float64(m)
+		} else {
+			scale[k] = 1
+		}
+	}
+	for _, w := range sh.workers {
+		w.SetStreamCostScale(scale)
+	}
+	sh.scalesDirty = false
+}
+
 // Register places the query on a shard by stream affinity (see
 // shard.PlaceOne) and registers it there. Existing queries stay put —
 // full repartitions happen on Repartition or on estimator drift.
@@ -190,13 +279,14 @@ func (sh *Sharded) Register(id, text string, opts ...QueryOption) error {
 		prof := shard.Profile(id, q.Tree())
 		target = shard.PlaceOne(prof, sh.profilesLocked(), sh.assign, sh.shardConfig())
 	}
-	if err := sh.shards[target].Register(id, text, opts...); err != nil {
+	if err := sh.workers[target].Register(id, text, opts...); err != nil {
 		return err
 	}
 	sh.assign[id] = target
 	sh.regOrder = append(sh.regOrder, id)
 	sh.regInfo[id] = &shardedQuery{text: text, opts: opts}
 	sh.lossDirty = true
+	sh.scalesDirty = true
 	return nil
 }
 
@@ -208,7 +298,7 @@ func (sh *Sharded) Unregister(id string) error {
 	if !ok {
 		return fmt.Errorf("service: unknown query id %q", id)
 	}
-	if err := sh.shards[owner].Unregister(id); err != nil {
+	if err := sh.workers[owner].Unregister(id); err != nil {
 		return err
 	}
 	delete(sh.assign, id)
@@ -220,6 +310,7 @@ func (sh *Sharded) Unregister(id string) error {
 		}
 	}
 	sh.lossDirty = true
+	sh.scalesDirty = true
 	return nil
 }
 
@@ -258,7 +349,7 @@ func (sh *Sharded) repartitionLocked() int {
 	// trigger only fires again after new trips (whether this run was
 	// manual or trip-driven).
 	sh.lastRepart = sh.tick
-	sh.tripsAtRepart = sh.trips.Load()
+	sh.tripsAtRepart = sh.tripsNowLocked()
 	if sh.k == 1 {
 		return 0
 	}
@@ -276,6 +367,7 @@ func (sh *Sharded) repartitionLocked() int {
 	}
 	sh.moved += int64(moved)
 	sh.recomputeLossLocked(profiles)
+	sh.updateRelayScalesLocked(profiles)
 	return moved
 }
 
@@ -285,18 +377,18 @@ func (sh *Sharded) repartitionLocked() int {
 // prices it with learned probabilities instead of the prior. Caller
 // holds sh.mu.
 func (sh *Sharded) moveLocked(id string, from, to int) {
-	src, dst := sh.shards[from], sh.shards[to]
+	src, dst := sh.workers[from], sh.workers[to]
 	info := sh.regInfo[id]
 	var snaps []adapt.PredicateSnapshot
-	if _, keys, ok := src.treeAndKeys(id); ok && src.ad != nil && dst.ad != nil {
-		snaps = src.ad.ExportPredicates(keys)
+	if _, keys, ok := src.ProfileTree(id); ok {
+		snaps = src.ExportEvidence(keys)
 	}
 	// Unregister cannot fail (the id is registered) and Register cannot
 	// fail either (the same text compiled when the query first arrived,
 	// and the id was just freed).
 	_ = src.Unregister(id)
-	if dst.ad != nil && len(snaps) > 0 {
-		dst.ad.ImportPredicates(snaps)
+	if len(snaps) > 0 {
+		dst.ImportEvidence(snaps)
 	}
 	_ = dst.Register(id, info.text, info.opts...)
 }
@@ -312,7 +404,7 @@ func (sh *Sharded) maybeRepartitionLocked() {
 	if sh.tick-sh.lastRepart < sh.repartEvery {
 		return
 	}
-	if sh.trips.Load() == sh.tripsAtRepart {
+	if sh.tripsNowLocked() == sh.tripsAtRepart {
 		return
 	}
 	sh.repartitionLocked()
@@ -325,19 +417,22 @@ func (sh *Sharded) maybeRepartitionLocked() {
 // exactly Service.Tick.
 func (sh *Sharded) Tick() TickResult {
 	if sh.k == 1 {
-		return sh.shards[0].Tick()
+		return sh.workers[0].Tick()
 	}
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	sh.tick++
 	sh.maybeRepartitionLocked()
+	if sh.scalesDirty {
+		sh.updateRelayScalesLocked(nil)
+	}
 	results := make([]TickResult, sh.k)
 	var wg sync.WaitGroup
-	for i := range sh.shards {
+	for i := range sh.workers {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			results[i] = sh.shards[i].Tick()
+			results[i] = sh.workers[i].Tick()
 		}(i)
 	}
 	wg.Wait()
@@ -376,7 +471,7 @@ func (sh *Sharded) Results(id string, n int) ([]Execution, error) {
 	if !ok {
 		return nil, fmt.Errorf("service: unknown query id %q", id)
 	}
-	return sh.shards[owner].Results(id, n)
+	return sh.workers[owner].Results(id, n)
 }
 
 // QueryMetrics returns the per-query aggregates from the owning shard.
@@ -387,17 +482,18 @@ func (sh *Sharded) QueryMetrics(id string) (QueryMetrics, error) {
 	if !ok {
 		return QueryMetrics{}, fmt.Errorf("service: unknown query id %q", id)
 	}
-	return sh.shards[owner].QueryMetrics(id)
+	return sh.workers[owner].QueryMetrics(id)
 }
 
 // Metrics aggregates the whole fleet across shards: counters sum,
 // per-stream traffic sums by registry index, rates are recomputed from
 // the summed counters, and the sharded runtime adds its own picture —
-// per-shard summaries, the modelled sharing lost to partitioning, and
-// the realized cross-shard duplicate traffic from the fleet ledger.
+// per-shard summaries, the modelled sharing lost to partitioning, the
+// realized cross-shard duplicate traffic from the fleet ledger, and the
+// relay's recovered-sharing counters when enabled.
 func (sh *Sharded) Metrics() Metrics {
 	if sh.k == 1 {
-		m := sh.shards[0].Metrics()
+		m := sh.workers[0].Metrics()
 		m.Shards = 1
 		return m
 	}
@@ -405,8 +501,8 @@ func (sh *Sharded) Metrics() Metrics {
 	defer sh.mu.Unlock()
 	sh.refreshLossLocked()
 	per := make([]Metrics, sh.k)
-	for i, svc := range sh.shards {
-		per[i] = svc.Metrics()
+	for i, w := range sh.workers {
+		per[i] = w.Metrics()
 	}
 	m := Metrics{
 		Ticks:   sh.tick,
@@ -447,6 +543,13 @@ func (sh *Sharded) Metrics() Metrics {
 		ciWeight += float64(pm.TrackedPredicates)
 		m.CacheRequested += pm.CacheRequested
 		m.CacheTransferred += pm.CacheTransferred
+		m.RelayHits += pm.RelayHits
+		m.RelaySavedSpend += pm.RelaySavedSpend
+		// Remote workers overlay their relay-mirror purchase counters on
+		// their metrics (see remote.go); in-process workers leave these
+		// zero and the coordinator's own relay supplies them below.
+		m.RelayPurchases += pm.RelayPurchases
+		m.RelayTransferSpend += pm.RelayTransferSpend
 		m.Estimator = pm.Estimator
 		m.EstimatorWindow = pm.EstimatorWindow
 		for _, ps := range pm.PerStream {
@@ -458,6 +561,8 @@ func (sh *Sharded) Metrics() Metrics {
 			tot.Spent += ps.Spent
 			tot.DuplicatePullsAvoided += ps.DuplicatePullsAvoided
 			tot.CostDetectorTrips += ps.CostDetectorTrips
+			tot.RelayHits += ps.RelayHits
+			tot.RelaySavedSpend += ps.RelaySavedSpend
 			// Transfer-weighted mean of the shards' learned costs: the
 			// shards learn independently from their own pulls.
 			tot.LearnedCostPerItem += ps.LearnedCostPerItem * float64(ps.Transferred)
@@ -513,6 +618,20 @@ func (sh *Sharded) Metrics() Metrics {
 		ls := sh.ledger.Stats()
 		m.CrossShardDuplicateTransfers = ls.DuplicateTransfers
 		m.CrossShardDuplicateSpend = ls.DuplicateSpend
+	}
+	if sh.relay != nil {
+		m.RelayEnabled = true
+		m.RelayTransferFrac = sh.relayFrac
+		rs := sh.relay.Stats()
+		if rs.Purchases > 0 || rs.Hits > 0 {
+			// In-process workers share this relay directly; remote workers
+			// already reported their mirrors' counters above.
+			m.RelayPurchases = rs.Purchases
+			m.RelayTransferSpend = rs.TransferSpend
+		}
+		rl := sh.loss.WithRelay(sh.relayFrac)
+		m.RelayJointExpectedCost = rl.RelayK
+		m.SharingLostPctRelay = rl.RelayLostPct
 	}
 	return m
 }

@@ -153,6 +153,36 @@ func TestShardStressMatchesSequential(t *testing.T) {
 		m.CrossShardDuplicateTransfers, m.CrossShardDuplicateSpend, m.SharingLostPct)
 }
 
+// TestShardStressDuplicateSpendDeterministic: the ledger's duplicate
+// accounting (per item, total transfer cost minus the single most
+// expensive transfer) is order-independent, so repeated runs of the
+// shard stress scenario must report identical duplicate-spend totals
+// even though shard ticks race to record each item. The overlapping
+// corpus's integer costs make every total exact in binary floating
+// point, so the comparison is exact equality, not a tolerance.
+func TestShardStressDuplicateSpendDeterministic(t *testing.T) {
+	const tenants, shards, ticks = 8, 4, 50
+	run := func() (int64, float64, float64) {
+		reg := overlapRegistry(t, tenants, 3)
+		sh := NewSharded(reg, shards, WithWorkers(2))
+		overlapFleet(t, sh, tenants)
+		sh.Run(ticks)
+		m := sh.Metrics()
+		return m.CrossShardDuplicateTransfers, m.CrossShardDuplicateSpend, m.PaidCost
+	}
+	dupN0, dupJ0, paid0 := run()
+	if dupN0 == 0 || dupJ0 <= 0 {
+		t.Fatalf("stress run recorded no duplicate traffic: %d transfers, %v J", dupN0, dupJ0)
+	}
+	for i := 0; i < 3; i++ {
+		dupN, dupJ, paid := run()
+		if dupN != dupN0 || dupJ != dupJ0 || paid != paid0 {
+			t.Fatalf("run %d ledger diverged: dup %d/%v J (want %d/%v J), paid %v J (want %v J)",
+				i, dupN, dupJ, dupN0, dupJ0, paid, paid0)
+		}
+	}
+}
+
 // TestShardedAffinityCoLocatesTenants: on the overlapping-tenant corpus
 // the partitioner must keep queries sharing the expensive stream
 // together where balance allows, and the modelled sharing loss must

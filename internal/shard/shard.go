@@ -96,6 +96,15 @@ type Config struct {
 	// overload it would cause beyond the mean shard load. Higher values
 	// flatten load at the price of sharing; <= 0 defaults to 1.
 	Balance float64
+	// RelayFrac is the fleet relay's per-item transfer cost as a fraction
+	// of acquisition cost (0 = no relay, clamped to [0, 1]). With a relay,
+	// an item a query needs from a *different* shard is no longer
+	// re-acquired at full price but transferred at RelayFrac of it, so the
+	// marginal value of co-locating overlapping queries shrinks to
+	// (1 - RelayFrac) of their shared spend — the transfer-cost term of
+	// the placement objective. At RelayFrac = 1 transfers cost as much as
+	// acquisitions and placement degenerates to pure load balancing.
+	RelayFrac float64
 }
 
 func (c Config) norm() Config {
@@ -104,6 +113,12 @@ func (c Config) norm() Config {
 	}
 	if c.Balance <= 0 {
 		c.Balance = 1
+	}
+	if c.RelayFrac < 0 {
+		c.RelayFrac = 0
+	}
+	if c.RelayFrac > 1 {
+		c.RelayFrac = 1
 	}
 	return c
 }
@@ -139,17 +154,20 @@ func affinity(q Query, shardW []float64) float64 {
 // would cause beyond the mean shard load. Affinity and overload are
 // both expected-cost quantities, so a query co-locates with its
 // overlapping siblings exactly when the spend it would share outweighs
-// the imbalance it creates. Ties fall to the least-loaded, then
-// lowest-index, shard — on a no-overlap fleet this is plain LPT load
-// balancing. Deterministic for a fixed input order.
-func place(q Query, shardW [][]float64, loads []float64, target, balance float64) int {
+// the imbalance it creates. With a fleet relay, items held by another
+// shard cost only relayFrac of acquisition, so the shareable spend — and
+// with it the pull toward co-location — shrinks to (1-relayFrac) of the
+// affinity. Ties fall to the least-loaded, then lowest-index, shard — on
+// a no-overlap fleet this is plain LPT load balancing. Deterministic for
+// a fixed input order.
+func place(q Query, shardW [][]float64, loads []float64, target, balance, relayFrac float64) int {
 	best, bestScore := 0, math.Inf(-1)
 	for s := range loads {
 		overload := loads[s] + q.Load - target
 		if overload < 0 {
 			overload = 0
 		}
-		score := affinity(q, shardW[s]) - balance*overload
+		score := (1-relayFrac)*affinity(q, shardW[s]) - balance*overload
 		if score > bestScore || (score == bestScore && loads[s] < loads[best]) {
 			best, bestScore = s, score
 		}
@@ -190,7 +208,7 @@ func Partition(qs []Query, cfg Config) Assignment {
 	}
 	for _, i := range order {
 		q := qs[i]
-		s := place(q, shardW, out.Loads, target, cfg.Balance)
+		s := place(q, shardW, out.Loads, target, cfg.Balance, cfg.RelayFrac)
 		out.Shard[q.ID] = s
 		out.Loads[s] += q.Load
 		for k, w := range q.Weights {
@@ -225,7 +243,7 @@ func PlaceOne(q Query, existing []Query, assign map[string]int, cfg Config) int 
 			}
 		}
 	}
-	return place(q, shardW, loads, total/float64(cfg.Shards), cfg.Balance)
+	return place(q, shardW, loads, total/float64(cfg.Shards), cfg.Balance, cfg.RelayFrac)
 }
 
 // Loss is the modelled cost of a placement versus planning the fleet as
@@ -243,6 +261,37 @@ type Loss struct {
 	// LostPct is the relative sharing lost to partitioning:
 	// (JointK - JointOne) / JointOne, in percent. 0 at K=1.
 	LostPct float64
+	// RelayK prices the same placement with a fleet relay at transfer
+	// fraction f: the duplicated spend JointK - JointOne is the expected
+	// cost of items re-acquired across shards, and a relay turns each such
+	// re-acquisition into a transfer at f of its price, so
+	// RelayK = JointOne + f*(JointK - JointOne). Zero when no relay
+	// pricing was applied (see WithRelay).
+	RelayK float64 `json:"relay_k,omitempty"`
+	// RelayLostPct is LostPct under relay pricing:
+	// (RelayK - JointOne) / JointOne = f * LostPct.
+	RelayLostPct float64 `json:"relay_lost_pct,omitempty"`
+	// RelayFrac echoes the transfer fraction RelayK was priced at.
+	RelayFrac float64 `json:"relay_frac,omitempty"`
+}
+
+// WithRelay prices the placement's sharing loss under a fleet relay with
+// per-item transfer cost frac (clamped to [0, 1]): cross-shard duplicate
+// spend is paid at frac of acquisition cost instead of in full. The
+// relay-priced loss interpolates linearly between the K=1 joint cost
+// (frac = 0, transfers free) and the partitioned cost (frac = 1, a
+// transfer as dear as an acquisition).
+func (l Loss) WithRelay(frac float64) Loss {
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	l.RelayFrac = frac
+	l.RelayK = l.JointOne + frac*(l.JointK-l.JointOne)
+	l.RelayLostPct = frac * l.LostPct
+	return l
 }
 
 // SharingLoss prices an assignment: per-shard joint plans summed,
