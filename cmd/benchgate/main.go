@@ -42,7 +42,7 @@ import (
 )
 
 // defaultArtifacts is the benchmark set produced by the CI workflow.
-var defaultArtifacts = []string{"BENCH_fleet.json", "BENCH_adapt.json", "BENCH_shard.json", "BENCH_plan.json", "BENCH_relay.json"}
+var defaultArtifacts = []string{"BENCH_fleet.json", "BENCH_adapt.json", "BENCH_shard.json", "BENCH_plan.json", "BENCH_relay.json", "BENCH_cse.json"}
 
 func main() {
 	var (
@@ -84,12 +84,27 @@ func metrics(doc any) map[string]float64 {
 	return out
 }
 
-// gatedSuffixes are the key suffixes of the deterministic metrics the
-// gate diffs; wall-clock fields stay ungated.
-var gatedSuffixes = []string{"j_per_tick", "allocs_per_tick"}
+// gatedSuffixes are the key suffixes of the deterministic lower-is-better
+// metrics the gate diffs; wall-clock fields stay ungated.
+// higherBetterSuffixes mark gated metrics where a DROP is the regression
+// (speedup ratios): the gate fails when the current value falls more
+// than the tolerance below baseline.
+var (
+	gatedSuffixes        = []string{"j_per_tick", "allocs_per_tick"}
+	higherBetterSuffixes = []string{"speedup_gated"}
+)
 
 func gatedKey(k string) bool {
-	for _, s := range gatedSuffixes {
+	for _, s := range append(gatedSuffixes, higherBetterSuffixes...) {
+		if strings.HasSuffix(k, s) {
+			return true
+		}
+	}
+	return false
+}
+
+func higherBetter(k string) bool {
+	for _, s := range higherBetterSuffixes {
 		if strings.HasSuffix(k, s) {
 			return true
 		}
@@ -179,11 +194,15 @@ func gateFile(name string, base, cur map[string]float64, tol float64, w io.Write
 			continue
 		}
 		delta := (c - b) / b
+		worse, better := delta > tol, delta < -tol
+		if higherBetter(p) {
+			worse, better = better, worse
+		}
 		switch {
-		case delta > tol:
+		case worse:
 			fmt.Fprintf(w, "  REGRESS  %s: %s %.4f -> %.4f (%+.1f%%)\n", name, p, b, c, 100*delta)
 			regressions++
-		case delta < -tol:
+		case better:
 			fmt.Fprintf(w, "  improve  %s: %s %.4f -> %.4f (%+.1f%%)\n", name, p, b, c, 100*delta)
 		default:
 			fmt.Fprintf(w, "  ok       %s: %s %.4f -> %.4f (%+.1f%%)\n", name, p, b, c, 100*delta)
@@ -310,13 +329,24 @@ func runSelftest(baselineDir string, files []string, tol float64, w io.Writer) e
 	return nil
 }
 
-// inflate scales every gated metric in a decoded JSON document.
+// inflate scales every gated metric in a decoded JSON document toward
+// regression: lower-is-better metrics are multiplied by factor,
+// higher-is-better metrics divided (both directions must trip the gate's
+// teeth; factor 0 zeroes either kind for the malformed-baseline check).
 func inflate(v any, factor float64) any {
 	switch t := v.(type) {
 	case map[string]any:
 		for k, e := range t {
 			if f, ok := e.(float64); ok && gatedKey(k) {
-				t[k] = f * factor
+				if higherBetter(k) {
+					if factor == 0 {
+						t[k] = 0.0
+					} else {
+						t[k] = f / factor
+					}
+				} else {
+					t[k] = f * factor
+				}
 				continue
 			}
 			t[k] = inflate(e, factor)

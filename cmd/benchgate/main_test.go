@@ -156,3 +156,44 @@ func TestSelftestAgainstRealBaselines(t *testing.T) {
 		t.Fatalf("selftest against committed baselines: %v\n%s", err, out.String())
 	}
 }
+
+// TestGateHigherBetterSpeedup: a *_speedup_gated metric regresses when it
+// DROPS beyond tolerance, passes when steady, and merely improves when it
+// rises — the mirror image of the J/tick direction.
+func TestGateHigherBetterSpeedup(t *testing.T) {
+	const cse = `{"cse_speedup_gated": 12.0, "speedup": 64.0, "factored_tick_ms": 2.4}`
+	baseDir := t.TempDir()
+	writeArtifact(t, baseDir, "BENCH_cse.json", cse)
+
+	for _, tc := range []struct {
+		name, current string
+		want          int
+	}{
+		{"drop regresses", `{"cse_speedup_gated": 9.0}`, 1},
+		{"steady passes", `{"cse_speedup_gated": 12.0}`, 0},
+		{"rise improves", `{"cse_speedup_gated": 20.0}`, 0},
+	} {
+		curDir := t.TempDir()
+		writeArtifact(t, curDir, "BENCH_cse.json", tc.current)
+		var out strings.Builder
+		n, err := runGate(baseDir, curDir, []string{"BENCH_cse.json"}, 0.10, &out)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if n != tc.want {
+			t.Errorf("%s: %d regressions, want %d\n%s", tc.name, n, tc.want, out.String())
+		}
+	}
+}
+
+// TestSelftestDeflatesHigherBetterMetrics: the synthetic-regression dry
+// run must push speedup metrics DOWN (divide), or the selftest would
+// wrongly report the gate as toothless on speedup-only artifacts.
+func TestSelftestDeflatesHigherBetterMetrics(t *testing.T) {
+	baseDir := t.TempDir()
+	writeArtifact(t, baseDir, "BENCH_cse.json", `{"cse_speedup_gated": 12.0}`)
+	var out strings.Builder
+	if err := runSelftest(baseDir, []string{"BENCH_cse.json"}, 0.10, &out); err != nil {
+		t.Fatalf("selftest on a speedup-only artifact: %v\n%s", err, out.String())
+	}
+}

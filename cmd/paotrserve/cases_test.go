@@ -40,7 +40,7 @@ func adaptiveServer(t *testing.T) *httptest.Server {
 	t.Helper()
 	svc, err := newServiceWith(serviceConfig{
 		seed: 1, workers: 4, replan: 0.02,
-		executor: "adaptive", gap: -1, batch: true, fleetPlan: true,
+		executor: "adaptive", gap: -1, batch: true, fleetPlan: true, shapeFactor: true,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -58,7 +58,7 @@ func driftServer(shiftTick int64) func(t *testing.T) *httptest.Server {
 		t.Helper()
 		svc, err := newServiceWith(serviceConfig{
 			seed: 17, workers: 4, replan: 0.02,
-			executor: "linear", batch: true, fleetPlan: true,
+			executor: "linear", batch: true, fleetPlan: true, shapeFactor: true,
 			scenario: "drift", shiftTick: shiftTick,
 		})
 		if err != nil {
@@ -76,7 +76,7 @@ func cumulativeServer(t *testing.T) *httptest.Server {
 	t.Helper()
 	svc, err := newServiceWith(serviceConfig{
 		seed: 1, workers: 4, replan: 0.02,
-		executor: "linear", batch: true, fleetPlan: true,
+		executor: "linear", batch: true, fleetPlan: true, shapeFactor: true,
 		estimator: "cumulative",
 	})
 	if err != nil {
@@ -93,7 +93,7 @@ func shardedServer(t *testing.T) *httptest.Server {
 	t.Helper()
 	svc, err := newServiceWith(serviceConfig{
 		seed: 1, workers: 4, replan: 0.02,
-		executor: "linear", batch: true, fleetPlan: true,
+		executor: "linear", batch: true, fleetPlan: true, shapeFactor: true,
 		shards: 4,
 	})
 	if err != nil {
@@ -125,7 +125,7 @@ func relayShardedServer(frac float64) func(t *testing.T) *httptest.Server {
 		t.Helper()
 		svc, err := newServiceWith(serviceConfig{
 			seed: 1, workers: 4, replan: 0.02,
-			executor: "linear", batch: true, fleetPlan: true,
+			executor: "linear", batch: true, fleetPlan: true, shapeFactor: true,
 			shards: 4, relayFrac: frac,
 		})
 		if err != nil {
@@ -145,7 +145,7 @@ func relayShardedServer(frac float64) func(t *testing.T) *httptest.Server {
 func remoteRelayCase() e2eCase {
 	cfg := serviceConfig{
 		seed: 1, workers: 2, replan: 0.02,
-		executor: "linear", batch: true, fleetPlan: true,
+		executor: "linear", batch: true, fleetPlan: true, shapeFactor: true,
 		relayFrac: 0.1,
 	}
 	var endpoints []string
@@ -217,7 +217,7 @@ func driftChurnServer(t *testing.T) *httptest.Server {
 	t.Helper()
 	svc, err := newServiceWith(serviceConfig{
 		seed: 17, workers: 4, replan: 0.1,
-		executor: "linear", batch: true, fleetPlan: true,
+		executor: "linear", batch: true, fleetPlan: true, shapeFactor: true,
 		scenario: "drift", shiftTick: 40,
 	})
 	if err != nil {
@@ -263,6 +263,40 @@ func registrationStormCase() e2eCase {
 			}
 		}})
 	return e2eCase{caseID: "E00601", name: "1k-query registration storm plans jointly", steps: steps}
+}
+
+// twinStormCase is E00801: ten thousand tenants registering twenty
+// distinct alert templates between them. Shape factoring interns the
+// storm into twenty equivalence classes — registration of an exact twin
+// never recompiles or replans — and each tick evaluates twenty shapes,
+// fanning the verdicts out to the other 9,980 subscribers for free.
+func twinStormCase() e2eCase {
+	const tenants, shapes = 10000, 20
+	steps := make([]e2eStep, 0, tenants+2)
+	for i := 0; i < tenants; i++ {
+		s := i % shapes
+		q := fmt.Sprintf(`{"id":"twin%d","query":"AVG(heart-rate,%d) > %d OR spo2 < %d"}`,
+			i, s%6+2, 80+s, 88+s%8)
+		steps = append(steps, e2eStep{"POST", "/queries", q, http.StatusCreated, nil})
+	}
+	steps = append(steps,
+		e2eStep{"POST", "/tick", `{"steps":2}`, http.StatusOK, nil},
+		e2eStep{"GET", "/metrics", "", http.StatusOK, func(t *testing.T, body []byte) {
+			var m service.Metrics
+			mustDecode(t, body, &m)
+			if m.Queries != tenants || m.DistinctShapes != shapes || m.ShapeSubscribers != tenants {
+				t.Errorf("census: %d queries in %d classes (%d subscribers), want %d in %d",
+					m.Queries, m.DistinctShapes, m.ShapeSubscribers, tenants, shapes)
+			}
+			if m.Executions != 2*tenants {
+				t.Errorf("executions = %d, want %d (every tenant, every tick)", m.Executions, 2*tenants)
+			}
+			if want := int64(2 * (tenants - shapes)); m.SharedExecutions != want {
+				t.Errorf("shared executions = %d, want %d (all but one leader per class per tick)",
+					m.SharedExecutions, want)
+			}
+		}})
+	return e2eCase{caseID: "E00801", name: "10k-twin registration storm factors into 20 classes", steps: steps}
 }
 
 // thirteenLeafQuery exceeds the 12-leaf DP bound of the strategy package.
@@ -750,7 +784,7 @@ func e2eCases() []e2eCase {
 					for _, frac := range []float64{0.1, 1} {
 						svc, err := newServiceWith(serviceConfig{
 							seed: 1, workers: 4, replan: 0.02,
-							executor: "linear", batch: true, fleetPlan: true,
+							executor: "linear", batch: true, fleetPlan: true, shapeFactor: true,
 							shards: 4, relayFrac: frac,
 						})
 						if err != nil {
@@ -829,6 +863,96 @@ func e2eCases() []e2eCase {
 					}
 					if m.PlanNanos <= 0 {
 						t.Errorf("plan_ns not accounted: %d", m.PlanNanos)
+					}
+				}},
+		}},
+
+		twinStormCase(),
+		{caseID: "E00802", name: "unregister of one subscriber leaves the class live", steps: []e2eStep{
+			// Three twins share one shape; a fourth query holds its own.
+			{"POST", "/queries", `{"id":"tw0","query":"AVG(heart-rate,5) > 100 OR spo2 < 92"}`, http.StatusCreated, nil},
+			{"POST", "/queries", `{"id":"tw1","query":"AVG(heart-rate,5) > 100 OR spo2 < 92"}`, http.StatusCreated, nil},
+			{"POST", "/queries", `{"id":"tw2","query":"AVG(heart-rate,5) > 100 OR spo2 < 92"}`, http.StatusCreated, nil},
+			{"POST", "/queries", `{"id":"solo","query":"accelerometer > 15"}`, http.StatusCreated, nil},
+			{"POST", "/tick", `{"steps":5}`, http.StatusOK, nil},
+			{"GET", "/metrics", "", http.StatusOK,
+				func(t *testing.T, body []byte) {
+					var m service.Metrics
+					mustDecode(t, body, &m)
+					if m.DistinctShapes != 2 || m.ShapeSubscribers != 4 {
+						t.Fatalf("census before churn: %d classes / %d subscribers, want 2 / 4",
+							m.DistinctShapes, m.ShapeSubscribers)
+					}
+					if m.SharedExecutions != 10 {
+						t.Errorf("shared executions = %d, want 10 (two non-leader twins x five ticks)", m.SharedExecutions)
+					}
+				}},
+			{"DELETE", "/queries/tw1", "", http.StatusOK, nil},
+			{"POST", "/tick", `{"steps":1}`, http.StatusOK, nil},
+			{"GET", "/metrics", "", http.StatusOK,
+				func(t *testing.T, body []byte) {
+					var m service.Metrics
+					mustDecode(t, body, &m)
+					// The class outlives the departed subscriber: the two
+					// remaining twins still share one shape.
+					if m.DistinctShapes != 2 || m.ShapeSubscribers != 3 {
+						t.Errorf("census after churn: %d classes / %d subscribers, want 2 / 3",
+							m.DistinctShapes, m.ShapeSubscribers)
+					}
+					if m.SharedExecutions != 11 {
+						t.Errorf("shared executions = %d, want 11", m.SharedExecutions)
+					}
+				}},
+			{"GET", "/results/tw2?n=1", "", http.StatusOK,
+				func(t *testing.T, body []byte) {
+					var res []service.Execution
+					mustDecode(t, body, &res)
+					if len(res) != 1 || res[0].Tick != 6 || !res[0].Shared || res[0].Cost != 0 {
+						t.Errorf("surviving twin's execution = %+v, want shared at tick 6 for free", res)
+					}
+				}},
+		}},
+		{caseID: "E00803", name: "metrics expose the shape-class census", steps: []e2eStep{
+			{"POST", "/queries", `{"id":"a/alert","query":"AVG(heart-rate,5) > 100 AND spo2 < 95"}`, http.StatusCreated, nil},
+			{"POST", "/queries", `{"id":"b/alert","query":"AVG(heart-rate,5) > 100 AND spo2 < 95"}`, http.StatusCreated, nil},
+			{"POST", "/queries", `{"id":"c/uniq","query":"gps-speed > 1.5"}`, http.StatusCreated, nil},
+			{"POST", "/tick", `{"steps":3}`, http.StatusOK, nil},
+			{"GET", "/metrics", "", http.StatusOK,
+				func(t *testing.T, body []byte) {
+					for _, field := range []string{`"shape_factoring"`, `"distinct_shapes"`, `"shape_subscribers"`, `"shared_executions"`} {
+						if !strings.Contains(string(body), field) {
+							t.Errorf("/metrics missing %s", field)
+						}
+					}
+					var m service.Metrics
+					mustDecode(t, body, &m)
+					if !m.ShapeFactoring || m.DistinctShapes != 2 || m.ShapeSubscribers != 3 || m.SharedExecutions != 3 {
+						t.Errorf("census = factoring %v, %d classes / %d subscribers / %d shared, want on, 2 / 3 / 3",
+							m.ShapeFactoring, m.DistinctShapes, m.ShapeSubscribers, m.SharedExecutions)
+					}
+					// `-shape-factoring=false` degenerates to one class per
+					// query: replay the fleet with factoring off in-process.
+					svc, err := newServiceWith(serviceConfig{
+						seed: 1, workers: 4, replan: 0.02,
+						executor: "linear", batch: true, fleetPlan: true,
+					})
+					if err != nil {
+						t.Fatal(err)
+					}
+					for _, q := range []struct{ id, text string }{
+						{"a/alert", "AVG(heart-rate,5) > 100 AND spo2 < 95"},
+						{"b/alert", "AVG(heart-rate,5) > 100 AND spo2 < 95"},
+						{"c/uniq", "gps-speed > 1.5"},
+					} {
+						if err := svc.Register(q.id, q.text); err != nil {
+							t.Fatal(err)
+						}
+					}
+					svc.Run(3)
+					um := svc.Metrics()
+					if um.ShapeFactoring || um.DistinctShapes != 3 || um.SharedExecutions != 0 {
+						t.Errorf("factoring off: %v, %d classes / %d shared, want off, 3 / 0",
+							um.ShapeFactoring, um.DistinctShapes, um.SharedExecutions)
 					}
 				}},
 		}},

@@ -29,6 +29,14 @@
 // query is within the 12-leaf DP bound and the modelled gap clears
 // -adaptive-gap (falling back to linear otherwise).
 //
+// The -shape-factoring flag (default on) interns same-shape queries
+// into equivalence classes: each tick one leader per class evaluates
+// the shared plan and its verdict fans out to every subscriber at zero
+// cost, so a fleet of N tenants over S distinct alert templates pays
+// for S evaluations, not N. /metrics reports the class census
+// (distinct_shapes, shape_subscribers) and shared_executions;
+// -shape-factoring=false degenerates to one class per query.
+//
 // The -estimator flag selects probability estimation: "windowed" (the
 // default) learns leaf probabilities and per-item costs online over a
 // sliding window (-window) with Page-Hinkley change detectors
@@ -112,6 +120,8 @@ func main() {
 		noBatch   = flag.Bool("no-batch", false, "disable tick-level batched acquisition")
 		fleetPlan = flag.Bool("fleet-plan", true,
 			"plan all due linear queries jointly each tick, discounting items sibling queries will pull (see Metrics.FleetExpectedCost)")
+		shapeFactoring = flag.Bool("shape-factoring", true,
+			"intern same-shape queries into equivalence classes and evaluate each distinct shape once per tick, fanning the verdict out to every subscriber (see Metrics.DistinctShapes)")
 		stripes = flag.Int("cache-stripes", 0,
 			"acquisition-cache lock stripes (0 = one per stream; 1 = single global lock baseline)")
 		estimator = flag.String("estimator", "windowed",
@@ -146,7 +156,7 @@ func main() {
 	cfg := serviceConfig{
 		seed: *seed, workers: *workers, replan: *replan,
 		executor: *executor, gap: *adaptiveGap,
-		batch: !*noBatch, fleetPlan: *fleetPlan, stripes: *stripes,
+		batch: !*noBatch, fleetPlan: *fleetPlan, shapeFactor: *shapeFactoring, stripes: *stripes,
 		estimator: *estimator, window: *window, phDelta: *phDelta, phLambda: *phLambda,
 		scenario: *scenario, shiftTick: *shiftTick,
 		shards: *shards, repartition: *repartition, relayFrac: *relayFrac,
@@ -212,7 +222,11 @@ type serviceConfig struct {
 	gap       float64
 	batch     bool
 	fleetPlan bool
-	stripes   int
+	// shapeFactor interns same-shape queries into equivalence classes so
+	// each distinct shape plans and evaluates once per tick (the
+	// -shape-factoring flag; see service.WithShapeFactoring).
+	shapeFactor bool
+	stripes     int
 	// estimator is "windowed" (default when empty) or "cumulative";
 	// window/phDelta/phLambda tune the windowed estimator (0 = default).
 	estimator string
@@ -237,7 +251,7 @@ func newService(seed uint64, workers int, replanThreshold float64) service.Runti
 	svc, err := newServiceWith(serviceConfig{
 		seed: seed, workers: workers, replan: replanThreshold,
 		executor: "linear", gap: engine.DefaultGapThreshold,
-		batch: true, fleetPlan: true,
+		batch: true, fleetPlan: true, shapeFactor: true,
 	})
 	if err != nil {
 		panic(err) // unreachable: "linear" always resolves
@@ -257,6 +271,7 @@ func serviceOptions(cfg serviceConfig) ([]service.Option, error) {
 		service.WithExecutor(x),
 		service.WithBatchedAcquisition(cfg.batch),
 		service.WithFleetPlanning(cfg.fleetPlan),
+		service.WithShapeFactoring(cfg.shapeFactor),
 		service.WithCacheStripes(cfg.stripes),
 	}
 	if cfg.workers > 0 {

@@ -217,7 +217,19 @@ func (c *Cache) Retain(id string, windows []int) error {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	_, replaces := c.claims[id]
 	c.claims[id] = append([]int(nil), windows...)
+	if !replaces {
+		// A fresh claim can only raise horizons: nothing falls out of
+		// retention, so skip the full O(claims) rebuild and eviction scan
+		// (a registration storm would otherwise pay it once per query).
+		for k, w := range windows {
+			if w > c.maxWindow[k] {
+				c.maxWindow[k] = w
+			}
+		}
+		return nil
+	}
 	c.recomputeHorizons()
 	return nil
 }

@@ -1,0 +1,82 @@
+package corpus
+
+import (
+	"testing"
+
+	"paotr/internal/engine"
+	"paotr/internal/stream"
+)
+
+func cseRegistry(t *testing.T, cfg CSEConfig) *stream.Registry {
+	t.Helper()
+	reg := stream.NewRegistry()
+	for i, name := range cfg.StreamNames() {
+		if err := reg.Add(stream.Uniform(name, uint64(i+1)), stream.CostModel{BaseJoules: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return reg
+}
+
+// Exact twins (Jitter 0) must compile to the same canonical shape within
+// a shape index and to pairwise distinct shapes across indices.
+func TestCSEFleetTwinsShareShape(t *testing.T) {
+	cfg := CSEConfig{Tenants: 40, Shapes: 8, Streams: 6, Seed: 7}
+	fleet := CSEFleet(cfg)
+	if len(fleet) != 40 {
+		t.Fatalf("got %d tenants, want 40", len(fleet))
+	}
+	eng := engine.New(cseRegistry(t, cfg))
+	keyOf := map[int]string{}
+	for _, q := range fleet {
+		cq, err := eng.Compile(q.Text)
+		if err != nil {
+			t.Fatalf("compiling %q: %v", q.Text, err)
+		}
+		k := cq.ShapeKey()
+		if want, ok := keyOf[q.Shape]; ok {
+			if k != want {
+				t.Fatalf("tenant %s of shape %d has a different canonical shape", q.ID, q.Shape)
+			}
+		} else {
+			keyOf[q.Shape] = k
+		}
+	}
+	seen := map[string]int{}
+	for si, k := range keyOf {
+		if o, dup := seen[k]; dup {
+			t.Fatalf("shapes %d and %d collapsed to one canonical shape", o, si)
+		}
+		seen[k] = si
+	}
+}
+
+// Jittered fleets are the negative control: every tenant's probabilities
+// differ, so no two queries may share a shape class.
+func TestCSEFleetJitterDistinct(t *testing.T) {
+	cfg := CSEConfig{Tenants: 30, Shapes: 5, Streams: 6, Jitter: 0.02, Seed: 11}
+	fleet := CSEFleet(cfg)
+	eng := engine.New(cseRegistry(t, cfg))
+	seen := map[string]string{}
+	for _, q := range fleet {
+		cq, err := eng.Compile(q.Text)
+		if err != nil {
+			t.Fatalf("compiling %q: %v", q.Text, err)
+		}
+		k := cq.ShapeKey()
+		if o, dup := seen[k]; dup {
+			t.Fatalf("jittered tenants %s and %s share a shape", o, q.ID)
+		}
+		seen[k] = q.ID
+	}
+}
+
+func TestCSEFleetDeterministic(t *testing.T) {
+	cfg := CSEConfig{Tenants: 20, Shapes: 4, Streams: 5, Jitter: 0.01, Seed: 3}
+	a, b := CSEFleet(cfg), CSEFleet(cfg)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("generation not deterministic at tenant %d:\n%v\n%v", i, a[i], b[i])
+		}
+	}
+}

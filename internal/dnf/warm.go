@@ -2,33 +2,67 @@ package dnf
 
 import (
 	"math"
+	"sync"
 
 	"paotr/internal/andtree"
 	"paotr/internal/query"
 	"paotr/internal/sched"
 )
 
+// planScratch pools the warm planner's per-call working set — the
+// single-AND sub-tree handed to Algorithm 1, the per-AND plans with
+// their leaf buffers, and the remaining-AND index — so the steady-state
+// replan path of the engine and fleet planners stops allocating here.
+type planScratch struct {
+	sub       query.Tree
+	plans     []AndPlan
+	remaining []int
+}
+
+var planScratchPool = sync.Pool{New: func() any { return new(planScratch) }}
+
 // PlanAndsWarm runs the warm-start Algorithm 1 on each AND node in
 // isolation, with the device cache state w: the per-AND costs reflect only
 // the items that would actually have to be pulled.
 func PlanAndsWarm(t *query.Tree, w sched.Warm) []AndPlan {
-	plans := make([]AndPlan, t.NumAnds())
+	var sub query.Tree
+	return planAndsWarmInto(t, w, &sub, nil)
+}
+
+// planAndsWarmInto is PlanAndsWarm against caller-owned storage: plans
+// and their per-AND Leaves buffers are reused when capacity allows, and
+// sub is the scratch single-AND tree Algorithm 1 orders in place.
+func planAndsWarmInto(t *query.Tree, w sched.Warm, sub *query.Tree, plans []AndPlan) []AndPlan {
+	nAnds := t.NumAnds()
+	if cap(plans) < nAnds {
+		plans = append(plans[:cap(plans)], make([]AndPlan, nAnds-cap(plans))...)
+	}
+	plans = plans[:nAnds]
+	sub.Streams = t.Streams
 	for i, and := range t.AndLeaves() {
-		sub := &query.Tree{Streams: t.Streams, Leaves: make([]query.Leaf, len(and))}
+		if cap(sub.Leaves) < len(and) {
+			sub.Leaves = make([]query.Leaf, len(and))
+		}
+		sub.Leaves = sub.Leaves[:len(and)]
 		for r, j := range and {
 			sub.Leaves[r] = t.Leaves[j]
 			sub.Leaves[r].And = 0
 		}
+		sub.InvalidateCache()
 		order := andtree.GreedyWarm(sub, w)
-		plan := AndPlan{
-			Leaves: make([]int, len(and)),
+		leaves := plans[i].Leaves
+		if cap(leaves) < len(and) {
+			leaves = make([]int, len(and))
+		}
+		leaves = leaves[:len(and)]
+		for r, local := range order {
+			leaves[r] = and[local]
+		}
+		plans[i] = AndPlan{
+			Leaves: leaves,
 			Cost:   sched.AndTreeCostWarm(sub, order, w),
 			Prob:   t.AndProb(i),
 		}
-		for r, local := range order {
-			plan.Leaves[r] = and[local]
-		}
-		plans[i] = plan
 	}
 	return plans
 }
@@ -40,9 +74,15 @@ func PlanAndsWarm(t *query.Tree, w sched.Warm) []AndPlan {
 // are mostly cached, and cold-cache planning would systematically
 // over-estimate leaf costs.
 func AndOrderedIncCOverPDynamicWarm(t *query.Tree, w sched.Warm) sched.Schedule {
-	plans := PlanAndsWarm(t, w)
+	sc := planScratchPool.Get().(*planScratch)
+	defer planScratchPool.Put(sc)
+	sc.plans = planAndsWarmInto(t, w, &sc.sub, sc.plans)
+	plans := sc.plans
 	prefix := sched.NewPrefixWarm(t, w)
-	remaining := make([]int, len(plans))
+	if cap(sc.remaining) < len(plans) {
+		sc.remaining = make([]int, len(plans))
+	}
+	remaining := sc.remaining[:len(plans)]
 	for i := range remaining {
 		remaining[i] = i
 	}

@@ -247,7 +247,15 @@ type Query struct {
 	// tree is rebuilt before each execution (probabilities may drift);
 	// structure (streams, windows, AND grouping) is fixed at compile time.
 	skeleton *query.Tree
-	engine   *Engine
+	// shape is the canonical shape of the skeleton — identical for every
+	// query that is equal up to AND/OR commutativity — and shapeHash its
+	// compact 64-bit id (see query.CanonicalShape). The shape splits query
+	// *identity* (who registered it, where results go) from query
+	// *structure* (what is planned and evaluated): a fleet runtime interns
+	// queries into shape equivalence classes by this key.
+	shape     string
+	shapeHash uint64
+	engine    *Engine
 
 	mu           sync.Mutex
 	last         *Plan         // plan cache: most recent plan, with its fingerprint
@@ -292,6 +300,18 @@ func (e *Engine) Compile(text string) (*Query, error) {
 		q.Preds = append(q.Preds, p)
 		q.predKeys = append(q.predKeys, p.P.String())
 	}
+	// Canonicalize the shape against the *annotation* vector, not the
+	// skeleton's placeholder probabilities: an annotated leaf is described
+	// by its fixed probability, an estimator-driven one (NaN annotation)
+	// by a marker — its runtime estimate is keyed by the predicate label,
+	// which is already part of the leaf descriptor, so two estimator-driven
+	// leaves of equal shape always see equal estimates.
+	annot := make([]float64, len(q.Preds))
+	for j, p := range q.Preds {
+		annot[j] = p.Prob
+	}
+	q.shape = tree.CanonicalShape(annot)
+	q.shapeHash = query.ShapeHash(q.shape)
 	if e.watchPlans {
 		e.qmu.Lock()
 		e.queries[q] = struct{}{}
@@ -299,6 +319,18 @@ func (e *Engine) Compile(text string) (*Query, error) {
 	}
 	return q, nil
 }
+
+// ShapeKey returns the query's canonical shape string: equal for every
+// query whose DNF tree is identical up to AND/OR commutativity (same
+// streams, windows, probabilities and predicate labels). Queries with
+// equal shape keys plan identically and yield identical verdicts at any
+// tick, so a fleet runtime may evaluate one representative and share the
+// result (see service.WithShapeFactoring).
+func (q *Query) ShapeKey() string { return q.shape }
+
+// ShapeHash returns the compact 64-bit id of the shape key (for display
+// and cache keying; class membership compares ShapeKey itself).
+func (q *Query) ShapeHash() uint64 { return q.shapeHash }
 
 // exprToNode converts a parsed expression to a query.Node, resolving
 // stream names against the registry. Probabilities are filled in at plan

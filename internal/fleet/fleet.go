@@ -102,6 +102,13 @@ type unit struct {
 	q      int   // index into the input trees
 	leaves []int // leaf indices into trees[q], in Algorithm 1 order
 	prob   float64
+	// weight is the query's subscriber count under shape factoring: a
+	// tree standing for w interned twin queries carries w. Weights break
+	// exact C/p key ties in favour of the widest-fanout shape (resolving
+	// more subscribers earlier) and never enter plan fingerprints — the
+	// cross-discounted objective is invariant to them because a factored
+	// shape executes once however many identities subscribe.
+	weight int32
 }
 
 // jointState prices unit placements under the joint objective: per-query
@@ -277,11 +284,20 @@ func (st *jointState) insertNZ(k, d int, q int32) {
 
 // appendUnitsOf appends the placement units of one query: its AND nodes
 // with their warm Algorithm 1 leaf orders and success probabilities.
-func appendUnitsOf(units []unit, qi int, t *query.Tree, warm sched.Warm) []unit {
+func appendUnitsOf(units []unit, qi int, t *query.Tree, w int32, warm sched.Warm) []unit {
 	for _, p := range dnf.PlanAndsWarm(t, warm) {
-		units = append(units, unit{q: qi, leaves: p.Leaves, prob: p.Prob})
+		units = append(units, unit{q: qi, leaves: p.Leaves, prob: p.Prob, weight: w})
 	}
 	return units
+}
+
+// weightOf reads a query's subscriber weight from an optional weights
+// vector (nil, or a missing entry, means 1).
+func weightOf(weights []int, qi int) int32 {
+	if qi < len(weights) && weights[qi] > 0 {
+		return int32(weights[qi])
+	}
+	return 1
 }
 
 // independentOrder plans one query in isolation, exactly as the engine's
@@ -302,7 +318,16 @@ func independentOrder(t *query.Tree, warm sched.Warm) sched.Schedule {
 // For a single tree the joint plan degenerates to the engine's default
 // warm planner: same schedule, same expected cost.
 func PlanJoint(trees []*query.Tree, warm sched.Warm) *Plan {
-	return planJoint(trees, warm, false)
+	return planJoint(trees, nil, warm, false)
+}
+
+// PlanJointWeighted is PlanJoint over shape equivalence classes: tree qi
+// stands for weights[qi] interned subscriber queries (nil weights mean
+// all 1, degenerating exactly to PlanJoint). Weights only break exact
+// selection-key ties — a factored shape executes once regardless of its
+// subscriber count, so the joint objective itself is weight-invariant.
+func PlanJointWeighted(trees []*query.Tree, weights []int, warm sched.Warm) *Plan {
+	return planJoint(trees, weights, warm, false)
 }
 
 // PlanJointReference plans with the seed O(u²) selection scan instead of
@@ -310,10 +335,16 @@ func PlanJoint(trees []*query.Tree, warm sched.Warm) *Plan {
 // planner's property tests and as the baseline BENCH_plan.json measures
 // the plan-time speedup against; production callers want PlanJoint.
 func PlanJointReference(trees []*query.Tree, warm sched.Warm) *Plan {
-	return planJoint(trees, warm, true)
+	return planJoint(trees, nil, warm, true)
 }
 
-func planJoint(trees []*query.Tree, warm sched.Warm, quadratic bool) *Plan {
+// PlanJointReferenceWeighted is the quadratic oracle for
+// PlanJointWeighted (same weighted tie-break, scan selection).
+func PlanJointReferenceWeighted(trees []*query.Tree, weights []int, warm sched.Warm) *Plan {
+	return planJoint(trees, weights, warm, true)
+}
+
+func planJoint(trees []*query.Tree, weights []int, warm sched.Warm, quadratic bool) *Plan {
 	plan := &Plan{Queries: make([]QueryPlan, len(trees)), GreedyJoint: true}
 	if len(trees) == 0 {
 		return plan
@@ -326,7 +357,7 @@ func planJoint(trees []*query.Tree, warm sched.Warm, quadratic bool) *Plan {
 	sc := greedyScratchPool.Get().(*greedyScratch)
 	units := sc.units[:0]
 	for qi, t := range trees {
-		units = appendUnitsOf(units, qi, t, warm)
+		units = appendUnitsOf(units, qi, t, weightOf(weights, qi), warm)
 	}
 	greedy := make([]sched.Schedule, len(trees))
 	greedyPerQuery := make([]float64, len(trees))
@@ -495,6 +526,17 @@ func cacheKey(keys []string) string { return strings.Join(keys, "\x00") }
 // where possible (see Planner doc); reused is false for patched plans,
 // which report Plan.Patched instead.
 func (pl *Planner) Plan(keys []string, trees []*query.Tree, warm sched.Warm) (plan *Plan, reused bool) {
+	return pl.PlanWeighted(keys, trees, nil, warm)
+}
+
+// PlanWeighted is Plan over shape equivalence classes: tree qi stands for
+// weights[qi] subscriber queries (nil: all 1). Weights are deliberately
+// NOT part of the plan fingerprint — a factored shape executes once
+// however many identities subscribe, so registering or unregistering a
+// twin of an already-planned shape is a pure cache hit with zero
+// planning work; weights only break exact selection ties when a plan is
+// actually (re)built.
+func (pl *Planner) PlanWeighted(keys []string, trees []*query.Tree, weights []int, warm sched.Warm) (plan *Plan, reused bool) {
 	key := cacheKey(keys)
 
 	pl.mu.Lock()
@@ -538,14 +580,14 @@ func (pl *Planner) Plan(keys []string, trees []*query.Tree, warm sched.Warm) (pl
 		}
 		// Cumulative drift past Eps: fall through to a full replan.
 	} else if (ent == nil || stale > 0) && pl.Eps >= 0 {
-		if p := pl.patchLocked(ent, keys, trees, warm); p != nil {
+		if p := pl.patchLocked(ent, keys, trees, weights, warm); p != nil {
 			pl.storeLocked(key, keys, trees, warm, p)
 			pl.patched++
 			return p, false
 		}
 	}
 
-	p := PlanJoint(trees, warm)
+	p := planJoint(trees, weights, warm, false)
 	pl.storeLocked(key, keys, trees, warm, p)
 	return p, false
 }
@@ -558,7 +600,7 @@ func (pl *Planner) Plan(keys []string, trees []*query.Tree, warm sched.Warm) (pl
 // Returns nil — falling back to a full replan — when nothing survives,
 // when more than half the fleet needs fresh placement anyway, or when
 // the patched plan prices worse than independent planning.
-func (pl *Planner) patchLocked(base *plannerEntry, keys []string, trees []*query.Tree, warm sched.Warm) *Plan {
+func (pl *Planner) patchLocked(base *plannerEntry, keys []string, trees []*query.Tree, weights []int, warm sched.Warm) *Plan {
 	pos := make(map[string]int, len(keys))
 	for qi, id := range keys {
 		pos[id] = qi
@@ -624,7 +666,7 @@ func (pl *Planner) patchLocked(base *plannerEntry, keys []string, trees []*query
 	units := sc.units[:0]
 	for qi := range trees {
 		if fromBase[qi] < 0 {
-			units = appendUnitsOf(units, qi, trees[qi], warm)
+			units = appendUnitsOf(units, qi, trees[qi], weightOf(weights, qi), warm)
 		}
 	}
 	placeGreedyHeap(st, units, sc, func(u unit, delta float64) {

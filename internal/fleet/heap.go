@@ -28,16 +28,22 @@ import (
 // heapEntry is one (possibly stale) priced unit in the selection heap.
 type heapEntry struct {
 	key float64 // cross-discounted delta / unit success probability
-	idx int32   // unit index, the reference scan's tie-break order
+	w   int32   // subscriber weight, the first tie-break (higher wins)
+	idx int32   // unit index, the reference scan's final tie-break order
 	ver uint32  // liveness stamp; stale entries are skipped on pop
 }
 
-// entryLess orders the heap by (key, unit index) — exactly the reference
-// scan's strict `key < bestKey` first-minimum rule, including the
-// all-keys-+Inf fallback to the earliest remaining unit.
+// entryLess orders the heap by (key, -weight, unit index) — exactly the
+// reference scan's strict `key < bestKey` first-minimum rule extended
+// with the subscriber-weight tie-break (equal keys resolve the widest
+// shape class first), including the all-keys-+Inf fallback. With all
+// weights equal it reduces to the unweighted (key, index) order.
 func entryLess(a, b heapEntry) bool {
 	if a.key != b.key {
 		return a.key < b.key
+	}
+	if a.w != b.w {
+		return a.w > b.w
 	}
 	return a.idx < b.idx
 }
@@ -183,7 +189,7 @@ func placeGreedyHeap(st *jointState, units []unit, sc *greedyScratch, place func
 	}
 	for i := range units {
 		keys[i] = price(i)
-		h.push(heapEntry{key: keys[i], idx: int32(i)})
+		h.push(heapEntry{key: keys[i], w: units[i].weight, idx: int32(i)})
 	}
 
 	round := 0
@@ -195,7 +201,7 @@ func placeGreedyHeap(st *jointState, units []unit, sc *greedyScratch, place func
 		stamp[j] = round
 		ver[j]++
 		keys[j] = price(j)
-		h.push(heapEntry{key: keys[j], idx: j32, ver: ver[j]})
+		h.push(heapEntry{key: keys[j], w: units[j].weight, idx: j32, ver: ver[j]})
 	}
 	for count := 0; count < n; count++ {
 		var i int
@@ -235,14 +241,20 @@ func placeGreedyQuad(st *jointState, units []unit, place func(u unit, delta floa
 	for len(remaining) > 0 {
 		bestIdx := -1
 		bestKey := math.Inf(1)
+		bestW := int32(math.MinInt32)
 		for idx, u := range remaining {
 			delta := st.appendUnit(u, false)
 			key := math.Inf(1)
 			if u.prob > 0 {
 				key = delta / u.prob
 			}
-			if key < bestKey {
+			// Same (key, -weight, index) order as the heap's entryLess:
+			// strict key minimum first, wider subscriber weight on exact
+			// ties, earliest unit last. With equal weights this is the seed
+			// scan's strict `key < bestKey` rule verbatim.
+			if key < bestKey || (key == bestKey && u.weight > bestW) {
 				bestKey = key
+				bestW = u.weight
 				bestIdx = idx
 			}
 		}

@@ -1,0 +1,98 @@
+package query
+
+import (
+	"hash/fnv"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Canonical shape hashing: two queries have the same *shape* when their
+// DNF trees are equal up to the order of AND terms under the OR root and
+// the order of leaves within each AND term — AND and OR are commutative,
+// so the planner, the executor and the verdict cannot distinguish such
+// trees. A multi-tenant fleet registers many copies of the same shape
+// under different identities; interning queries by canonical shape lets
+// the tick path plan and evaluate each distinct shape once and fan the
+// verdict out to every subscriber (see internal/service).
+//
+// The canonical form is a deterministic rendering: every leaf becomes a
+// descriptor of its stream (name, falling back to registry index, plus
+// the static per-item cost), window, probability and predicate label;
+// leaf descriptors are sorted within each AND term and AND terms are
+// sorted under the OR. The predicate label is part of the descriptor on
+// purpose: equal probabilities on different predicates give equal *cost
+// models* but different verdicts, and shape classes must be safe to share
+// verdicts across.
+
+// descSep separates the fields of one leaf descriptor, leafSep the leaves
+// of one AND term, andSep the AND terms. Control characters cannot occur
+// in parsed predicate labels or stream names, so the rendering cannot
+// collide across field boundaries.
+const (
+	descSep = "\x1f"
+	leafSep = "\x1e"
+	andSep  = "\x1d"
+)
+
+// estimatorDriven marks a leaf whose probability is learned online rather
+// than annotated: such leaves share a shape only with other estimator-
+// driven leaves of the same predicate (whose estimates then coincide by
+// construction, since estimates are keyed by predicate label).
+const estimatorDriven = "~"
+
+// CanonicalShape renders the tree's canonical shape string. probs, when
+// non-nil, overrides the per-leaf probability descriptor: NaN entries mark
+// estimator-driven leaves (the engine passes its annotation vector, where
+// NaN means "no [p=..] annotation"); a nil probs uses the tree's own leaf
+// probabilities verbatim.
+func (t *Tree) CanonicalShape(probs []float64) string {
+	ands := t.AndLeaves()
+	terms := make([]string, 0, len(ands))
+	var b strings.Builder
+	leaves := make([]string, 0, 8)
+	for _, and := range ands {
+		leaves = leaves[:0]
+		for _, j := range and {
+			l := t.Leaves[j]
+			b.Reset()
+			name := t.Streams[l.Stream].Name
+			if name == "" {
+				name = "#" + strconv.Itoa(int(l.Stream))
+			}
+			b.WriteString(name)
+			b.WriteString(descSep)
+			b.WriteString(strconv.FormatFloat(t.Streams[l.Stream].Cost, 'g', -1, 64))
+			b.WriteString(descSep)
+			b.WriteString(strconv.Itoa(l.Items))
+			b.WriteString(descSep)
+			p := l.Prob
+			if probs != nil {
+				p = probs[j]
+			}
+			if math.IsNaN(p) {
+				b.WriteString(estimatorDriven)
+			} else {
+				b.WriteString(strconv.FormatFloat(p, 'g', -1, 64))
+			}
+			b.WriteString(descSep)
+			b.WriteString(l.Label)
+			leaves = append(leaves, b.String())
+		}
+		sort.Strings(leaves)
+		terms = append(terms, strings.Join(leaves, leafSep))
+	}
+	sort.Strings(terms)
+	return strings.Join(terms, andSep)
+}
+
+// ShapeHash hashes a canonical shape string to a compact 64-bit id
+// (FNV-1a). Hashes are for display and cache keying; equivalence-class
+// membership compares the canonical strings themselves, so a collision
+// can never merge two distinct shapes.
+func ShapeHash(canon string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(canon))
+	return h.Sum64()
+}

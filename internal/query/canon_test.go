@@ -1,0 +1,108 @@
+package query
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func canonTree() *Tree {
+	return &Tree{
+		Streams: []Stream{{Name: "A", Cost: 2}, {Name: "B", Cost: 1}, {Name: "C", Cost: 5}},
+		Leaves: []Leaf{
+			{And: 0, Stream: 0, Items: 2, Prob: 0.3, Label: "a"},
+			{And: 0, Stream: 1, Items: 1, Prob: 0.7, Label: "b"},
+			{And: 1, Stream: 2, Items: 3, Prob: 0.5, Label: "c"},
+			{And: 1, Stream: 0, Items: 1, Prob: 0.9, Label: "a2"},
+		},
+	}
+}
+
+// The canonical shape must be invariant under permuting AND terms and
+// permuting leaves within an AND term — the commutativity the planner and
+// verdict cannot observe.
+func TestCanonicalShapeCommutative(t *testing.T) {
+	base := canonTree()
+	want := base.CanonicalShape(nil)
+
+	// Swap the two AND terms.
+	swapped := &Tree{
+		Streams: base.Streams,
+		Leaves: []Leaf{
+			{And: 0, Stream: 2, Items: 3, Prob: 0.5, Label: "c"},
+			{And: 0, Stream: 0, Items: 1, Prob: 0.9, Label: "a2"},
+			{And: 1, Stream: 0, Items: 2, Prob: 0.3, Label: "a"},
+			{And: 1, Stream: 1, Items: 1, Prob: 0.7, Label: "b"},
+		},
+	}
+	if got := swapped.CanonicalShape(nil); got != want {
+		t.Fatalf("AND-term permutation changed the canonical shape:\n%q\n%q", got, want)
+	}
+
+	// Shuffle leaves within terms, repeatedly.
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		shuf := base.Clone()
+		rng.Shuffle(len(shuf.Leaves), func(i, j int) {
+			shuf.Leaves[i], shuf.Leaves[j] = shuf.Leaves[j], shuf.Leaves[i]
+		})
+		if got := shuf.CanonicalShape(nil); got != want {
+			t.Fatalf("leaf shuffle %d changed the canonical shape", trial)
+		}
+	}
+}
+
+// Every descriptor field must be load-bearing: changing the stream, the
+// window, the probability, the cost or the predicate label must change
+// the shape.
+func TestCanonicalShapeDistinguishes(t *testing.T) {
+	base := canonTree()
+	want := base.CanonicalShape(nil)
+	mutate := []func(*Tree){
+		func(t *Tree) { t.Leaves[0].Stream = 1 },
+		func(t *Tree) { t.Leaves[0].Items = 3 },
+		func(t *Tree) { t.Leaves[0].Prob = 0.31 },
+		func(t *Tree) { t.Leaves[0].Label = "a'" },
+		func(t *Tree) { t.Streams[0].Cost = 3 },
+		func(t *Tree) { t.Leaves[3].And = 0 }, // regroup a leaf under another AND
+	}
+	for i, m := range mutate {
+		c := base.Clone()
+		m(c)
+		if got := c.CanonicalShape(nil); got == want {
+			t.Fatalf("mutation %d did not change the canonical shape", i)
+		}
+	}
+}
+
+// probs overrides the leaf probabilities; NaN marks an estimator-driven
+// leaf, distinct from any annotated value.
+func TestCanonicalShapeProbOverride(t *testing.T) {
+	base := canonTree()
+	annotated := base.CanonicalShape([]float64{0.3, 0.7, 0.5, 0.9})
+	if annotated != base.CanonicalShape(nil) {
+		t.Fatalf("explicit probs equal to the tree's must not change the shape")
+	}
+	est := base.CanonicalShape([]float64{math.NaN(), 0.7, 0.5, 0.9})
+	if est == annotated {
+		t.Fatalf("estimator-driven leaf must differ from the annotated shape")
+	}
+	// The estimator marker must be stable regardless of the placeholder
+	// probability the skeleton happens to carry.
+	c := base.Clone()
+	c.Leaves[0].Prob = 0.123
+	if got := c.CanonicalShape([]float64{math.NaN(), 0.7, 0.5, 0.9}); got != est {
+		t.Fatalf("estimator-driven descriptor leaked the placeholder probability")
+	}
+}
+
+func TestShapeHashStable(t *testing.T) {
+	base := canonTree()
+	c := base.CanonicalShape(nil)
+	if ShapeHash(c) != ShapeHash(c) {
+		t.Fatalf("hash not deterministic")
+	}
+	if ShapeHash(c) == ShapeHash(c+"x") {
+		t.Fatalf("trivially distinct strings collided")
+	}
+}

@@ -1,6 +1,10 @@
 package sched
 
-import "paotr/internal/query"
+import (
+	"sync"
+
+	"paotr/internal/query"
+)
 
 // Cost returns the expected cost of evaluating tree t under schedule s,
 // using the closed form of Section IV-A / Proposition 2 of the paper.
@@ -38,6 +42,38 @@ import "paotr/internal/query"
 // maximum window size, as in the paper.
 func Cost(t *query.Tree, s Schedule) float64 { return costImpl(t, s, nil) }
 
+// costScratch pools costImpl's working arrays — the closed form runs
+// once per AND candidate per replan, and on the service's steady tick
+// path its temporaries dominated planner allocations. The first table is
+// flattened to one backing slice indexed (off[k]+t-1)*nAnds + a.
+type costScratch struct {
+	pos        []int
+	prefixProb []float64
+	andInt     []int     // completedPos | andScheduled | andSize
+	andFloat   []float64 // andAllProb | andAcc
+	maxD       []int
+	off        []int
+	first      []int32
+}
+
+var costScratchPool = sync.Pool{New: func() any { return new(costScratch) }}
+
+func scratchInts(s *[]int, n int) []int {
+	if cap(*s) < n {
+		*s = make([]int, n)
+	}
+	*s = (*s)[:n]
+	return *s
+}
+
+func scratchFloats(s *[]float64, n int) []float64 {
+	if cap(*s) < n {
+		*s = make([]float64, n)
+	}
+	*s = (*s)[:n]
+	return *s
+}
+
 // costImpl implements Cost and CostWarm: items already cached in w
 // contribute zero cost for every leaf, and nothing else changes (the F1,
 // F2, F3 factors concern only uncached items).
@@ -47,10 +83,22 @@ func costImpl(t *query.Tree, s Schedule, w Warm) float64 {
 		return 0
 	}
 	nAnds := t.NumAnds()
-	maxD := t.StreamMaxItems()
+
+	sc := costScratchPool.Get().(*costScratch)
+	defer costScratchPool.Put(sc)
+
+	maxD := scratchInts(&sc.maxD, t.NumStreams())
+	for k := range maxD {
+		maxD[k] = 0
+	}
+	for _, l := range t.Leaves {
+		if l.Items > maxD[l.Stream] {
+			maxD[l.Stream] = l.Items
+		}
+	}
 
 	// pos[j] = position of leaf j in s, or -1 if unscheduled.
-	pos := make([]int, m)
+	pos := scratchInts(&sc.pos, m)
 	for j := range pos {
 		pos[j] = -1
 	}
@@ -61,27 +109,25 @@ func costImpl(t *query.Tree, s Schedule, w Warm) float64 {
 	// prefixProb[j] = product of p over same-AND leaves strictly before
 	// leaf j in the schedule: the probability that leaf j is evaluated,
 	// conditioned on its AND node being reached at all.
-	prefixProb := make([]float64, m)
+	prefixProb := scratchFloats(&sc.prefixProb, m)
 	// completedPos[a] = schedule position after which all leaves of AND a
 	// have been scheduled, or -1 if AND a is not fully scheduled.
-	completedPos := make([]int, nAnds)
 	// andAllProb[a] = product of all leaf probabilities of AND a.
-	andAllProb := make([]float64, nAnds)
-	andScheduled := make([]int, nAnds)
-	for a := range andAllProb {
-		andAllProb[a] = 1
+	// andAcc[a] = running product while scanning s.
+	andInt := scratchInts(&sc.andInt, 3*nAnds)
+	completedPos, andScheduled, andSize := andInt[:nAnds], andInt[nAnds:2*nAnds], andInt[2*nAnds:]
+	andFloat := scratchFloats(&sc.andFloat, 2*nAnds)
+	andAllProb, andAcc := andFloat[:nAnds], andFloat[nAnds:]
+	for a := 0; a < nAnds; a++ {
 		completedPos[a] = -1
+		andScheduled[a] = 0
+		andSize[a] = 0
+		andAllProb[a] = 1
+		andAcc[a] = 1
 	}
 	for _, l := range t.Leaves {
 		andAllProb[l.And] *= l.Prob
-	}
-	andSize := make([]int, nAnds)
-	for a, and := range t.AndLeaves() {
-		andSize[a] = len(and)
-	}
-	andAcc := make([]float64, nAnds) // running product while scanning s
-	for a := range andAcc {
-		andAcc[a] = 1
+		andSize[l.And]++
 	}
 	for i, j := range s {
 		l := t.Leaves[j]
@@ -93,24 +139,28 @@ func costImpl(t *query.Tree, s Schedule, w Warm) float64 {
 		}
 	}
 
-	// first[k][t-1][a] = leaf index of the first scheduled leaf (in
-	// schedule order) of AND a requiring the t-th item of stream k, or -1.
-	first := make([][][]int, t.NumStreams())
-	for k := range first {
-		first[k] = make([][]int, maxD[k])
-		for d := range first[k] {
-			row := make([]int, nAnds)
-			for a := range row {
-				row[a] = -1
-			}
-			first[k][d] = row
-		}
+	// first[(off[k]+t-1)*nAnds + a] = leaf index of the first scheduled
+	// leaf (in schedule order) of AND a requiring the t-th item of stream
+	// k, or -1.
+	off := scratchInts(&sc.off, len(maxD))
+	rows := 0
+	for k := range maxD {
+		off[k] = rows
+		rows += maxD[k]
+	}
+	if cap(sc.first) < rows*nAnds {
+		sc.first = make([]int32, rows*nAnds)
+	}
+	first := sc.first[:rows*nAnds]
+	for i := range first {
+		first[i] = -1
 	}
 	for _, j := range s { // schedule order => first occurrence wins
 		l := t.Leaves[j]
+		base := off[l.Stream]
 		for d := 0; d < l.Items; d++ {
-			if first[l.Stream][d][l.And] == -1 {
-				first[l.Stream][d][l.And] = j
+			if p := &first[(base+d)*nAnds+l.And]; *p == -1 {
+				*p = int32(j)
 			}
 		}
 	}
@@ -120,13 +170,14 @@ func costImpl(t *query.Tree, s Schedule, w Warm) float64 {
 		l := t.Leaves[j]
 		pj := pos[j]
 		c := t.Streams[l.Stream].Cost
+		base := off[l.Stream]
 		for d := 0; d < l.Items; d++ {
 			if w.Has(l.Stream, d+1) {
 				continue // item already in the device cache: free
 			}
-			lkt := first[l.Stream][d]
+			lkt := first[(base+d)*nAnds : (base+d+1)*nAnds]
 			// Case 1: an earlier leaf of the same AND requires the item.
-			if f := lkt[l.And]; f != j {
+			if f := lkt[l.And]; int(f) != j {
 				continue // f precedes j by first-occurrence construction
 			}
 			f1 := 1.0

@@ -234,7 +234,7 @@ func TestShardedRemoteWorkers(t *testing.T) {
 	sh.mu.Lock()
 	from := sh.assign["obs"]
 	to := (from + 1) % workers
-	sh.moveLocked("obs", from, to)
+	sh.moveLocked("obs", from, to, true)
 	sh.assign["obs"] = to
 	sh.lossDirty, sh.scalesDirty = true, true
 	sh.mu.Unlock()

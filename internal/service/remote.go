@@ -507,7 +507,7 @@ func NewShardedRemote(reg *stream.Registry, endpoints []string, opts ...Option) 
 	if len(endpoints) == 0 {
 		return nil, errors.New("service: no worker endpoints")
 	}
-	cfg := config{balance: 0}
+	cfg := config{balance: 0, shapeFactor: true}
 	for _, o := range opts {
 		o(&cfg)
 	}
@@ -533,6 +533,18 @@ func NewShardedRemote(reg *stream.Registry, endpoints []string, opts ...Option) 
 			sh.assign[wq.ID] = i
 			sh.regOrder = append(sh.regOrder, wq.ID)
 			sh.regInfo[wq.ID] = &shardedQuery{text: wq.Query, opts: qopts}
+			// Re-derive the shape class so later twins co-locate here. An
+			// adopted fleet may already hold a class split across workers
+			// (pre-factoring state); the next repartition reunites it.
+			ck := "id\x00" + wq.ID
+			if sh.shapeFactor {
+				if q, err := engine.New(reg).Compile(wq.Query); err == nil {
+					ck = coordClassKey(q, qopts)
+				}
+			}
+			sh.shapeOf[wq.ID] = ck
+			sh.classSize[ck]++
+			sh.classShard[ck] = i
 		}
 	}
 	if len(sh.regOrder) > 0 {

@@ -40,13 +40,29 @@ type Service struct {
 	eng       *engine.Engine
 	cache     *acquisition.Cache
 	queries   map[string]*registered
-	order     []string // registration order, for deterministic dispatch
+	order     []*registered // registration order, for deterministic dispatch
 	workers   int
 	history   int
 	exec      engine.Executor // default executor for queries without one
 	batch     bool            // batched first-leaf acquisition in Tick
 	fleetPlan bool            // cross-query joint planning in Tick
 	planner   *fleet.Planner  // fleet-level plan cache
+	// shapeFactor interns registered queries into shape equivalence
+	// classes (see WithShapeFactoring): classes holds them by canonical
+	// shape key, classList in creation order (the deterministic iteration
+	// drainTrips and Metrics use), and planKeys maps a class's fleet
+	// plan-cache key back to it for collision disambiguation. Off, every
+	// query is its own singleton class keyed by id — the exact pre-shape
+	// behaviour.
+	// textMemo shortcuts twin registration: (executor, text) of every
+	// live class's members maps to the class, so registering an exact
+	// twin skips compilation entirely and shares the class's compiled
+	// query (one engine-side query per shape, not per identity).
+	shapeFactor bool
+	classes     map[string]*shapeClass
+	classList   []*shapeClass
+	planKeys    map[string]*shapeClass
+	textMemo    map[string]*shapeClass
 	// ad is the online estimator (nil under WithCumulativeEstimator).
 	// After phase 3 of every tick, realized per-stream acquisition costs
 	// are fed back into it; its detector events invalidate the fleet plan
@@ -103,6 +119,51 @@ type Service struct {
 	fleetExpected float64
 	indepExpected float64
 	planNanos     int64
+	// sharedExecs counts executions served by fanning a shape leader's
+	// verdict out to a twin subscriber instead of re-evaluating the tree.
+	sharedExecs int64
+}
+
+// shapeClass is one shape equivalence class: every registered query whose
+// compiled tree is identical up to AND/OR commutativity (and whose
+// executor matches) shares one class. The tick path plans and evaluates
+// one due member — the leader, the first due subscriber in registration
+// order — and fans the verdict out to the rest (see Tick).
+type shapeClass struct {
+	// key is the interning key (executor name + canonical shape string;
+	// just the query id when shape factoring is off), hash the compact
+	// shape id for display.
+	key  string
+	hash uint64
+	// planKey is the class's stable id in the fleet plan cache. It
+	// depends only on the shape — never on which member happens to lead —
+	// so registering a twin, unregistering any subscriber but the last,
+	// or a leader change between ticks leaves cached joint plans
+	// untouched: a new twin is a pure plan-cache hit with zero planning
+	// work.
+	planKey string
+	// members holds the subscriber identities in registration order; the
+	// first *due* member at a tick leads.
+	members []*registered
+	// q is the interned compiled query — members registered via the
+	// text memo share it (only one member evaluates per tick, and a
+	// compiled query supports concurrent use anyway), so the engine and
+	// the garbage collector see one query per shape, not per identity.
+	// Members whose distinct text independently compiled into this class
+	// keep their own compile; texts lists the memo keys to drop when the
+	// class dies.
+	q     *engine.Query
+	texts []string
+	// estPreds holds the trace keys of the class's estimator-driven
+	// predicates and usedStream marks the streams its leaves read; both
+	// map detector trips to the one class-level plan they invalidate
+	// (see drainTrips) — O(distinct shapes) per trip, not O(fleet).
+	estPreds   map[string]struct{}
+	usedStream []bool
+	// mark/leadIdx are Tick-scoped: mark stamps the tick the class last
+	// elected a leader at, leadIdx its index in the tick's leader list.
+	mark    int64
+	leadIdx int
 }
 
 // tickScratch is the per-tick working set of Tick and planFleet: due
@@ -110,16 +171,25 @@ type Service struct {
 // batcher's per-stream windows. Everything is truncated and refilled
 // each tick, so after warm-up the buffers stop growing.
 type tickScratch struct {
-	due      []*registered
-	preps    []engine.Prepared
-	fleetSet []bool
-	fleetOf  []int // due index -> joint-plan index, -1 outside the plan
-	idx      []int
-	keys     []string
-	trees    []*query.Tree
-	need     []int
-	warm     [][]bool
-	plans    []engine.Plan
+	due []*registered
+	// Shape-factoring state: lead holds one leader per due shape class,
+	// leadDueIdx each leader's index in due, leadOf maps every due index
+	// to its class's leader index, and classDue counts the due
+	// subscribers behind each leader (the joint planner's weights).
+	lead       []*registered
+	leadDueIdx []int
+	leadOf     []int
+	classDue   []int
+	preps      []engine.Prepared
+	fleetSet   []bool
+	fleetOf    []int // leader index -> joint-plan index, -1 outside the plan
+	idx        []int
+	keys       []string
+	weights    []int
+	trees      []*query.Tree
+	need       []int
+	warm       [][]bool
+	plans      []engine.Plan
 	// Batcher state: per-stream opening windows of due plans, the items
 	// needed per stream, which streams were touched this tick, and the
 	// cached-items snapshot duplicates are counted against.
@@ -133,41 +203,47 @@ type tickScratch struct {
 	costSave [][]float64
 }
 
-// registered is one query under service management.
+// registered is one query identity under service management: the tenant
+// id, result history and metrics. Structure shared with equal-shaped
+// queries lives on the shape class (see shapeClass).
 type registered struct {
 	id    string
 	text  string
 	q     *engine.Query
 	every int
 	exec  engine.Executor // nil: use the service default
-	hist  []Execution
-	m     QueryMetrics
+	// hist is a fixed-capacity ring of the last executions: once full,
+	// histPos is the oldest entry (the next to overwrite). A ring —
+	// rather than append-and-reslice — keeps the steady tick path free
+	// of per-query backing-array churn.
+	hist    []Execution
+	histPos int
+	m       QueryMetrics
+	// cls is the shape equivalence class the query is interned into (a
+	// singleton when shape factoring is off).
+	cls *shapeClass
 	// tree is the per-query scratch tree the fleet planner re-annotates
 	// in place every tick (see engine.Query.TreeInto).
 	tree *query.Tree
-	// estPreds holds the trace keys of the query's estimator-driven
-	// predicates and usedStream marks the streams its leaves read; both
-	// map detector trips to the queries they affect (see drainTrips).
-	estPreds   map[string]struct{}
-	usedStream []bool
 }
 
 // Option configures a Service.
 type Option func(*config)
 
 type config struct {
-	workers    int
-	history    int
-	engOpts    []engine.Option
-	exec       engine.Executor
-	batch      bool
-	fleetPlan  bool
-	stripes    int
-	cumulative bool
-	adaptCfg   adapt.Config
-	traceCap   int
-	ledger     *acquisition.Ledger
-	relay      *acquisition.ItemRelay
+	workers     int
+	history     int
+	engOpts     []engine.Option
+	exec        engine.Executor
+	batch       bool
+	fleetPlan   bool
+	shapeFactor bool
+	stripes     int
+	cumulative  bool
+	adaptCfg    adapt.Config
+	traceCap    int
+	ledger      *acquisition.Ledger
+	relay       *acquisition.ItemRelay
 	// repartEvery, balance and relayFrac configure the sharded runtime
 	// (see NewSharded); a plain Service ignores them.
 	repartEvery int64
@@ -211,6 +287,24 @@ func WithBatchedAcquisition(on bool) Option { return func(c *config) { c.batch =
 // tick batcher. Queries with adaptive executors keep their decision-tree
 // path. Off, every query plans independently (the pre-fleet behaviour).
 func WithFleetPlanning(on bool) Option { return func(c *config) { c.fleetPlan = on } }
+
+// WithShapeFactoring toggles cross-tenant shape factoring (default on):
+// queries whose compiled trees are identical up to AND/OR commutativity
+// (same streams, windows, probabilities and predicate labels — see
+// engine.Query.ShapeKey) and whose executors match are interned into one
+// shape equivalence class. Each tick plans and evaluates every distinct
+// due shape exactly once — the first due subscriber in registration
+// order leads — and fans the verdict out to all subscriber identities,
+// so per-tick planning and execution cost is O(distinct shapes) instead
+// of O(fleet). Twins observe the leader's verdict, evaluated count and
+// modelled cost; their realized Cost is 0 (the evaluation was shared)
+// and their executions are flagged Shared. Estimator evidence is
+// recorded once per shape evaluation — shared across subscribers through
+// the common predicate trace keys — rather than once per twin, so
+// duplicated tenants no longer overweight the same physical observation.
+// Off, every query is planned and executed independently: the exact
+// pre-shape-factoring behaviour, byte-identical executions included.
+func WithShapeFactoring(on bool) Option { return func(c *config) { c.shapeFactor = on } }
 
 // WithCacheStripes sets the acquisition cache's lock stripe count
 // (default 0: one stripe per stream, so pulls on different streams never
@@ -297,7 +391,7 @@ func WithTraceCap(n int) Option { return func(c *config) { c.traceCap = n } }
 // window of realized outcomes, and change detectors actively invalidate
 // affected plans. WithCumulativeEstimator restores the old baseline.
 func New(reg *stream.Registry, opts ...Option) *Service {
-	cfg := config{workers: runtime.GOMAXPROCS(0), history: 64, batch: true, fleetPlan: true, traceCap: -1}
+	cfg := config{workers: runtime.GOMAXPROCS(0), history: 64, batch: true, fleetPlan: true, shapeFactor: true, traceCap: -1}
 	for _, o := range opts {
 		o(&cfg)
 	}
@@ -327,6 +421,10 @@ func New(reg *stream.Registry, opts ...Option) *Service {
 		eng:             eng,
 		cache:           acquisition.NewSharedStriped(reg, cfg.stripes),
 		queries:         map[string]*registered{},
+		shapeFactor:     cfg.shapeFactor,
+		classes:         map[string]*shapeClass{},
+		planKeys:        map[string]*shapeClass{},
+		textMemo:        map[string]*shapeClass{},
 		workers:         cfg.workers,
 		history:         cfg.history,
 		exec:            cfg.exec,
@@ -489,40 +587,114 @@ func (s *Service) Register(id, text string, opts ...QueryOption) error {
 	if _, dup := s.queries[id]; dup {
 		return fmt.Errorf("%w: %q", ErrDuplicateID, id)
 	}
-	q, err := s.eng.Compile(text)
-	if err != nil {
-		return fmt.Errorf("service: compiling %q: %w", id, err)
-	}
-	if err := s.cache.Retain(id, q.Windows()); err != nil {
-		return err
-	}
-	r := &registered{id: id, text: text, q: q, every: 1}
+	r := &registered{id: id, text: text, every: 1}
 	for _, o := range opts {
 		o(r)
 	}
-	r.m = QueryMetrics{ID: id, Query: text, Every: r.every, Executor: s.executorFor(r).Name()}
-	// Precompute the trip-mapping sets: which estimator-driven predicate
-	// keys and which streams this query depends on (see drainTrips).
-	keys := q.PredKeys()
-	r.estPreds = make(map[string]struct{})
-	for j, p := range q.Preds {
-		if math.IsNaN(p.Prob) {
-			r.estPreds[keys[j]] = struct{}{}
+	var ck, mk string
+	if s.shapeFactor {
+		// Exact-twin shortcut: a text already registered under the same
+		// executor interns into its class without compiling again, and
+		// shares the class's compiled query.
+		mk = s.executorFor(r).Name() + "\x00" + text
+		if c := s.textMemo[mk]; c != nil {
+			r.q = c.q
+			ck = c.key
 		}
 	}
-	wins := q.Windows()
-	r.usedStream = make([]bool, len(wins))
-	for k, w := range wins {
-		r.usedStream[k] = w > 0
+	if r.q == nil {
+		q, err := s.eng.Compile(text)
+		if err != nil {
+			return fmt.Errorf("service: compiling %q: %w", id, err)
+		}
+		r.q = q
+		ck = s.classKeyFor(r)
+	}
+	r.m = QueryMetrics{ID: id, Query: text, Every: r.every, Executor: s.executorFor(r).Name()}
+	if s.classes[ck] == nil {
+		// Retention claims are held per shape class, not per identity:
+		// twins share the leader's windows, so a 10k-twin registration
+		// storm grows the cache's horizons once, not 10k times.
+		if err := s.cache.Retain(ck, r.q.Windows()); err != nil {
+			return err
+		}
+	}
+	c := s.internLocked(r, ck)
+	if s.shapeFactor {
+		if _, seen := s.textMemo[mk]; !seen {
+			s.textMemo[mk] = c
+			c.texts = append(c.texts, mk)
+		}
 	}
 	s.queries[id] = r
-	s.order = append(s.order, id)
-	// Joint plans are keyed by due-set ids: a reused id must not inherit
-	// a plan built for the query that previously held it. Marking the id
-	// stale replans just this query into the cached joint plan instead of
-	// dropping the whole plan cache.
-	s.planner.MarkStale(id)
+	s.order = append(s.order, r)
 	return nil
+}
+
+// classKeyFor derives the shape-class key a query interns under.
+func (s *Service) classKeyFor(r *registered) string {
+	if s.shapeFactor {
+		// The executor is part of the class key: equal trees driven by
+		// different execution strategies report different evaluated counts
+		// and strategies, so they must not share executions.
+		return s.executorFor(r).Name() + "\x00" + r.q.ShapeKey()
+	}
+	// Factoring off: a singleton class per id, so the tick path below
+	// degenerates to exactly the per-query behaviour.
+	return "id\x00" + r.id
+}
+
+// internLocked adds the query to its shape equivalence class under the
+// precomputed class key, creating the class on first sight, and returns
+// the class. Caller holds the service lock.
+func (s *Service) internLocked(r *registered, ck string) *shapeClass {
+	q := r.q
+	c := s.classes[ck]
+	if c == nil {
+		c = &shapeClass{key: ck, hash: q.ShapeHash(), q: q}
+		if s.shapeFactor {
+			// A stable shape-derived plan key, disambiguated on the
+			// (vanishingly rare) 64-bit hash collision between two live
+			// distinct shapes.
+			c.planKey = fmt.Sprintf("shape:%016x", c.hash)
+			for n := 1; ; n++ {
+				if other, taken := s.planKeys[c.planKey]; !taken || other.key == ck {
+					break
+				}
+				c.planKey = fmt.Sprintf("shape:%016x#%d", c.hash, n)
+			}
+		} else {
+			c.planKey = r.id
+		}
+		// Precompute the trip-mapping sets once per class: which
+		// estimator-driven predicate keys and which streams the shape
+		// depends on (see drainTrips).
+		keys := q.PredKeys()
+		c.estPreds = make(map[string]struct{})
+		for j, p := range q.Preds {
+			if math.IsNaN(p.Prob) {
+				c.estPreds[keys[j]] = struct{}{}
+			}
+		}
+		wins := q.Windows()
+		c.usedStream = make([]bool, len(wins))
+		for k, w := range wins {
+			c.usedStream[k] = w > 0
+		}
+		s.classes[ck] = c
+		s.classList = append(s.classList, c)
+		s.planKeys[c.planKey] = c
+		// Joint plans are keyed by due-set plan keys: a reused key must not
+		// inherit a plan built for a class that previously held it. Marking
+		// it stale replans just this class into the cached joint plan
+		// instead of dropping the whole plan cache. A twin joining an
+		// existing class deliberately marks nothing: the planner's inputs
+		// are unchanged, so the next tick is a pure plan-cache hit.
+		s.planner.MarkStale(c.planKey)
+	}
+	c.members = append(c.members, r)
+	r.cls = c
+	return c
 }
 
 // Unregister removes a query and releases its retention claim; the
@@ -534,28 +706,64 @@ func (s *Service) Unregister(id string) error {
 	if !ok {
 		return fmt.Errorf("service: unknown query id %q", id)
 	}
-	s.eng.Forget(r.q)
+	if r.cls == nil || r.q != r.cls.q {
+		// A compile owned by this identity alone (a distinct text that
+		// interned into an existing class); the class-shared query is
+		// forgotten when the class dies below.
+		s.eng.Forget(r.q)
+	}
 	delete(s.queries, id)
 	for i, o := range s.order {
-		if o == id {
+		if o.id == id {
 			s.order = append(s.order[:i], s.order[i+1:]...)
 			break
 		}
 	}
-	s.cache.Release(id)
-	// No planner invalidation: the shrunken due set misses the plan-cache
+	if c := r.cls; c != nil {
+		for i, m := range c.members {
+			if m == r {
+				c.members = append(c.members[:i], c.members[i+1:]...)
+				break
+			}
+		}
+		if len(c.members) == 0 {
+			// Last subscriber gone: the class dies with it, releasing the
+			// class-held retention claim, the interned compiled query and
+			// the exact-twin memo entries (see Register).
+			delete(s.classes, c.key)
+			delete(s.planKeys, c.planKey)
+			for i, o := range s.classList {
+				if o == c {
+					s.classList = append(s.classList[:i], s.classList[i+1:]...)
+					break
+				}
+			}
+			s.cache.Release(c.key)
+			s.eng.Forget(c.q)
+			for _, mk := range c.texts {
+				delete(s.textMemo, mk)
+			}
+		}
+		// A surviving class keeps its plan key, cached joint plans and
+		// retention claim: unregistering one of several subscribers is
+		// free for the planner and the cache.
+	}
+	// No planner invalidation: a shrunken due set misses the plan-cache
 	// key, and the planner patches the cached joint plan by dropping just
-	// this query's schedule (see fleet.Planner).
+	// this class's schedule (see fleet.Planner).
 	return nil
 }
 
 // drainTrips consumes the detector events buffered since the last tick
-// and marks the affected queries' joint-plan entries stale: a predicate
-// trip touches the queries whose estimator-driven predicates include the
-// tripped key, a stream-cost trip the queries with a leaf on the stream.
-// The next joint plan then patches exactly those queries (a shift broad
-// enough to stale most of the fleet falls back to a full replan). Caller
-// holds the service lock.
+// and marks the affected shape classes' joint-plan entries stale: a
+// predicate trip touches the classes whose estimator-driven predicates
+// include the tripped key, a stream-cost trip the classes with a leaf on
+// the stream. One mark per class covers every subscriber — a trip on a
+// predicate shared by 10k twins stales exactly one plan entry, O(distinct
+// shapes) per trip instead of O(fleet), and the replan all subscribers
+// observe is the leader's. The next joint plan then patches exactly those
+// classes (a shift broad enough to stale most of the fleet falls back to
+// a full replan). Caller holds the service lock.
 func (s *Service) drainTrips() {
 	s.tripMu.Lock()
 	trips := s.pendingTrips
@@ -566,19 +774,18 @@ func (s *Service) drainTrips() {
 	}
 	marked := 0
 	for _, ev := range trips {
-		for _, id := range s.order {
-			r := s.queries[id]
+		for _, c := range s.classList {
 			hit := false
 			switch ev.Kind {
 			case adapt.KindPredicate:
-				_, hit = r.estPreds[ev.Pred]
+				_, hit = c.estPreds[ev.Pred]
 			case adapt.KindStreamCost:
-				hit = ev.Stream >= 0 && ev.Stream < len(r.usedStream) && r.usedStream[ev.Stream]
+				hit = ev.Stream >= 0 && ev.Stream < len(c.usedStream) && c.usedStream[ev.Stream]
 			default:
 				hit = true
 			}
 			if hit {
-				marked += s.planner.MarkStale(id)
+				marked += s.planner.MarkStale(c.planKey)
 			}
 		}
 	}
@@ -589,7 +796,11 @@ func (s *Service) drainTrips() {
 func (s *Service) QueryIDs() []string {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return append([]string(nil), s.order...)
+	ids := make([]string, len(s.order))
+	for i, r := range s.order {
+		ids[i] = r.id
+	}
+	return ids
 }
 
 // Execution records one query execution at one tick.
@@ -620,6 +831,12 @@ type Execution struct {
 	// WithFleetPlanning). ExpectedCost is then the query's share of the
 	// joint expected cost, which discounts items sibling queries pull.
 	FleetPlanned bool `json:"fleet_planned,omitempty"`
+	// Shared reports that the execution was served by fanning out a shape
+	// leader's result instead of re-evaluating the tree (see
+	// WithShapeFactoring): Value, Evaluated and ExpectedCost are the
+	// leader's, and Cost is 0 because the class paid once through the
+	// leader.
+	Shared bool `json:"shared,omitempty"`
 	// Shard is the shard worker that ran the execution, stamped at
 	// creation so Results histories carry it too (always 0 — omitted —
 	// on a plain or one-shard service).
@@ -676,23 +893,25 @@ func (s *Service) fanOut(n int, f func(int)) {
 	wg.Wait()
 }
 
-// planFleet jointly plans the due queries running the linear executor
-// (see WithFleetPlanning): their probability-annotated trees are handed
-// to the fleet planner as one workload against the shared warm cache
-// state, and the resulting per-query schedules are bound into the
-// scratch plan slice executed directly in phase 3. fleetSet marks the
-// due indices covered by the joint plan; fleetOf maps them to their
-// plan. Returns nil when fleet planning is off or does not apply. All
-// planner inputs live in the tick scratch — trees are re-annotated in
-// place and the planner deep-copies what it caches — so a steady-state
-// plan allocates nothing here. Caller holds the service lock.
-func (s *Service) planFleet(due []*registered, fleetSet []bool) *fleet.Plan {
+// planFleet jointly plans the due shape-class leaders running the linear
+// executor (see WithFleetPlanning): their probability-annotated trees are
+// handed to the fleet planner as one workload against the shared warm
+// cache state — keyed by the classes' stable plan keys and weighted by
+// their due subscriber counts — and the resulting per-class schedules are
+// bound into the scratch plan slice executed directly in phase 3.
+// fleetSet marks the leader indices covered by the joint plan; fleetOf
+// maps them to their plan. Returns nil when fleet planning is off or does
+// not apply. All planner inputs live in the tick scratch — trees are
+// re-annotated in place and the planner deep-copies what it caches — so a
+// steady-state plan allocates nothing here. Caller holds the service
+// lock.
+func (s *Service) planFleet(lead []*registered, fleetSet []bool) *fleet.Plan {
 	if !s.fleetPlan {
 		return nil
 	}
 	sc := &s.scratch
 	sc.idx = sc.idx[:0]
-	for i, r := range due {
+	for i, r := range lead {
 		if _, ok := s.executorFor(r).(engine.LinearExecutor); ok {
 			sc.idx = append(sc.idx, i)
 		}
@@ -702,6 +921,7 @@ func (s *Service) planFleet(due []*registered, fleetSet []bool) *fleet.Plan {
 	}
 	idx := sc.idx
 	sc.keys = sc.keys[:0]
+	sc.weights = sc.weights[:0]
 	sc.trees = sc.trees[:0]
 	if cap(sc.need) < s.reg.Len() {
 		sc.need = make([]int, s.reg.Len())
@@ -711,9 +931,10 @@ func (s *Service) planFleet(due []*registered, fleetSet []bool) *fleet.Plan {
 		sc.need[k] = 0
 	}
 	for _, i := range idx {
-		r := due[i]
+		r := lead[i]
 		r.tree = r.q.TreeInto(r.tree)
-		sc.keys = append(sc.keys, r.id)
+		sc.keys = append(sc.keys, r.cls.planKey)
+		sc.weights = append(sc.weights, sc.classDue[i])
 		sc.trees = append(sc.trees, r.tree)
 		for _, lf := range r.tree.Leaves {
 			if k := int(lf.Stream); lf.Items > sc.need[k] {
@@ -750,7 +971,7 @@ func (s *Service) planFleet(due []*registered, fleetSet []bool) *fleet.Plan {
 	}
 	sc.warm = s.cache.SnapshotInto(sc.need, sc.warm)
 	start := time.Now()
-	fplan, reused := s.planner.Plan(sc.keys, sc.trees, sched.Warm(sc.warm))
+	fplan, reused := s.planner.PlanWeighted(sc.keys, sc.trees, sc.weights, sched.Warm(sc.warm))
 	err := fplan.Validate(sc.trees)
 	s.planNanos += time.Since(start).Nanoseconds()
 	if err != nil {
@@ -815,8 +1036,7 @@ func (s *Service) Tick() TickResult {
 
 	sc := &s.scratch
 	sc.due = sc.due[:0]
-	for _, id := range s.order {
-		r := s.queries[id]
+	for _, r := range s.order {
 		if s.tick%int64(r.every) == 0 {
 			sc.due = append(sc.due, r)
 		}
@@ -827,32 +1047,58 @@ func (s *Service) Tick() TickResult {
 		return out
 	}
 
-	// Phase 1a: joint planning of the linear-executor queries.
-	if cap(sc.preps) < len(due) {
-		sc.preps = make([]engine.Prepared, len(due))
-		sc.fleetSet = make([]bool, len(due))
-		sc.fleetOf = make([]int, len(due))
+	// Leader election: the first due subscriber of each shape class leads,
+	// and later due twins point at it through leadOf. With shape factoring
+	// off every class is a singleton, so lead == due and every query leads
+	// itself — the exact pre-shape tick path. classDue counts the due
+	// subscribers behind each leader: the joint planner's weights.
+	sc.lead = sc.lead[:0]
+	sc.leadDueIdx = sc.leadDueIdx[:0]
+	sc.classDue = sc.classDue[:0]
+	if cap(sc.leadOf) < len(due) {
+		sc.leadOf = make([]int, len(due))
 	}
-	preps := sc.preps[:len(due)]
-	fleetSet := sc.fleetSet[:len(due)]
-	fleetOf := sc.fleetOf[:len(due)]
+	leadOf := sc.leadOf[:len(due)]
+	for i, r := range due {
+		c := r.cls
+		if c.mark != s.tick {
+			c.mark = s.tick
+			c.leadIdx = len(sc.lead)
+			sc.lead = append(sc.lead, r)
+			sc.leadDueIdx = append(sc.leadDueIdx, i)
+			sc.classDue = append(sc.classDue, 0)
+		}
+		leadOf[i] = c.leadIdx
+		sc.classDue[c.leadIdx]++
+	}
+	lead, leadDueIdx := sc.lead, sc.leadDueIdx
+
+	// Phase 1a: joint planning of the linear-executor leaders.
+	if cap(sc.preps) < len(lead) {
+		sc.preps = make([]engine.Prepared, len(lead))
+		sc.fleetSet = make([]bool, len(lead))
+		sc.fleetOf = make([]int, len(lead))
+	}
+	preps := sc.preps[:len(lead)]
+	fleetSet := sc.fleetSet[:len(lead)]
+	fleetOf := sc.fleetOf[:len(lead)]
 	for i := range preps {
 		preps[i] = nil
 		fleetSet[i] = false
 		fleetOf[i] = -1
 	}
-	fplan := s.planFleet(due, fleetSet)
+	fplan := s.planFleet(lead, fleetSet)
 
-	// Phase 1b: everything not covered by the joint plan prepares
+	// Phase 1b: every leader not covered by the joint plan prepares
 	// through its own executor.
-	s.fanOut(len(due), func(i int) {
+	s.fanOut(len(lead), func(i int) {
 		if fleetSet[i] {
 			return
 		}
-		r := due[i]
+		r := lead[i]
 		prep, err := s.executorFor(r).Prepare(r.q, s.cache)
 		if err != nil {
-			out.Executions[i] = Execution{ID: r.id, Tick: s.tick, Shard: s.shardIdx, Err: err.Error()}
+			out.Executions[leadDueIdx[i]] = Execution{ID: r.id, Tick: s.tick, Shard: s.shardIdx, Err: err.Error()}
 			return
 		}
 		preps[i] = prep
@@ -925,10 +1171,11 @@ func (s *Service) Tick() TickResult {
 		}
 	}
 
-	// Phase 3: execute. Fleet-planned queries run their scratch plan
-	// directly — no per-query Prepared wrapper on the hot path.
-	s.fanOut(len(due), func(i int) {
-		r := due[i]
+	// Phase 3: execute the leaders. Fleet-planned queries run their
+	// scratch plan directly — no per-query Prepared wrapper on the hot
+	// path.
+	s.fanOut(len(lead), func(i int) {
+		r := lead[i]
 		var res engine.Result
 		var err error
 		if fi := fleetOf[i]; fi >= 0 {
@@ -953,11 +1200,31 @@ func (s *Service) Tick() TickResult {
 		if err != nil {
 			e.Err = err.Error()
 		}
-		out.Executions[i] = e
+		out.Executions[leadDueIdx[i]] = e
 	})
 
+	// Fan the leaders' results out to their due twins: every shared
+	// subscriber observes the leader's verdict, evaluated count and
+	// modelled cost under its own identity. Realized Cost stays 0 — the
+	// class paid once, through the leader — and the execution is flagged
+	// Shared. Errors fan out too: a failing shape fails every subscriber.
+	if len(lead) < len(due) {
+		for i, r := range due {
+			li := leadOf[i]
+			if leadDueIdx[li] == i {
+				continue // the leader itself
+			}
+			e := &out.Executions[i]
+			*e = out.Executions[leadDueIdx[li]]
+			e.ID = r.id
+			e.Cost = 0
+			e.Shared = true
+			s.sharedExecs++
+		}
+	}
+
 	for i, r := range due {
-		e := out.Executions[i]
+		e := &out.Executions[i]
 		s.executions++
 		if e.PlanReused {
 			s.planHits++
@@ -984,9 +1251,16 @@ func (s *Service) Tick() TickResult {
 		if e.Err != "" {
 			r.m.Errors++
 		}
-		r.hist = append(r.hist, e)
-		if len(r.hist) > s.history {
-			r.hist = r.hist[len(r.hist)-s.history:]
+		if len(r.hist) < s.history {
+			if r.hist == nil {
+				r.hist = make([]Execution, 0, s.history)
+			}
+			r.hist = append(r.hist, *e)
+		} else {
+			r.hist[r.histPos] = *e
+			if r.histPos++; r.histPos == s.history {
+				r.histPos = 0
+			}
 		}
 	}
 	s.observeCosts()
@@ -1038,11 +1312,19 @@ func (s *Service) Results(id string, n int) ([]Execution, error) {
 	if !ok {
 		return nil, fmt.Errorf("service: unknown query id %q", id)
 	}
-	h := r.hist
+	// Unroll the ring into chronological order: oldest at histPos once
+	// the ring is full, at 0 while still filling.
+	h := make([]Execution, 0, len(r.hist))
+	if len(r.hist) == cap(r.hist) {
+		h = append(h, r.hist[r.histPos:]...)
+		h = append(h, r.hist[:r.histPos]...)
+	} else {
+		h = append(h, r.hist...)
+	}
 	if n > 0 && n < len(h) {
 		h = h[len(h)-n:]
 	}
-	return append([]Execution(nil), h...), nil
+	return h, nil
 }
 
 // QueryMetrics aggregates the executions of one query.
@@ -1146,6 +1428,17 @@ type Metrics struct {
 	FleetExpectedCost       float64 `json:"fleet_expected_cost"`
 	IndependentExpectedCost float64 `json:"independent_expected_cost"`
 	FleetModelledSaving     float64 `json:"fleet_modelled_saving"`
+	// ShapeFactoring reports whether cross-tenant shape factoring is on
+	// (see WithShapeFactoring). DistinctShapes counts the live shape
+	// equivalence classes (equal to Queries when factoring is off or no
+	// two queries share a shape) and ShapeSubscribers the registered
+	// identities interned into them; SharedExecutions counts executions
+	// served by fanning a leader's result out to a twin instead of
+	// re-evaluating the tree.
+	ShapeFactoring   bool  `json:"shape_factoring"`
+	DistinctShapes   int   `json:"distinct_shapes"`
+	ShapeSubscribers int   `json:"shape_subscribers"`
+	SharedExecutions int64 `json:"shared_executions"`
 	// Estimator names the probability-estimation mode: "windowed" (the
 	// online adaptive default; see internal/adapt) or "cumulative" (the
 	// never-forgetting baseline). EstimatorWindow is the sliding-window
@@ -1328,6 +1621,12 @@ func (s *Service) Metrics() Metrics {
 		CacheRequested:          cs.Requested,
 		CacheTransferred:        cs.Transferred,
 		CacheHitRate:            cs.HitRate(),
+		ShapeFactoring:          s.shapeFactor,
+		DistinctShapes:          len(s.classList),
+		SharedExecutions:        s.sharedExecs,
+	}
+	for _, c := range s.classList {
+		m.ShapeSubscribers += len(c.members)
 	}
 	if m.ExpectedCost > 0 {
 		m.RealizedOverExpected = m.PaidCost / m.ExpectedCost

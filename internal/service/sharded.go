@@ -78,6 +78,18 @@ type Sharded struct {
 	assign   map[string]int
 	regOrder []string
 	regInfo  map[string]*shardedQuery
+	// shapeOf maps each query id to its shape-class key and classShard
+	// each live class to the shard it lives on: shape twins are always
+	// co-located (a split class would execute once per holding shard,
+	// defeating the factoring), so a twin of a placed class skips the
+	// partitioner entirely and repartitions move classes as units.
+	// classSize counts each class's members. With shape factoring off
+	// every query keys its own singleton class and placement degenerates
+	// to the per-query behaviour.
+	shapeOf     map[string]string
+	classShard  map[string]int
+	classSize   map[string]int
+	shapeFactor bool
 
 	tick          int64
 	lastRepart    int64
@@ -111,7 +123,7 @@ func NewSharded(reg *stream.Registry, k int, opts ...Option) *Sharded {
 	}
 	// Re-parse the options for the sharded-runtime knobs; the per-shard
 	// services parse them again themselves.
-	cfg := config{balance: 0}
+	cfg := config{balance: 0, shapeFactor: true}
 	for _, o := range opts {
 		o(&cfg)
 	}
@@ -144,6 +156,10 @@ func newShardedShell(reg *stream.Registry, k int, cfg config) *Sharded {
 		repartEvery: cfg.repartEvery,
 		assign:      map[string]int{},
 		regInfo:     map[string]*shardedQuery{},
+		shapeOf:     map[string]string{},
+		classShard:  map[string]int{},
+		classSize:   map[string]int{},
+		shapeFactor: cfg.shapeFactor,
 		loads:       make([]float64, k),
 	}
 	if k > 1 && cfg.relayFrac > 0 {
@@ -255,9 +271,30 @@ func (sh *Sharded) updateRelayScalesLocked(profiles []shard.Query) {
 	sh.scalesDirty = false
 }
 
+// coordClassKey is the coordinator's shape-class key for a query: the
+// per-query executor override's name (or a default marker — every
+// in-process worker shares the same default executor) plus the compiled
+// tree's canonical shape. It mirrors the worker-side class key closely
+// enough that queries the coordinator co-locates intern into one class
+// on their shard.
+func coordClassKey(q *engine.Query, opts []QueryOption) string {
+	var probe registered
+	for _, o := range opts {
+		o(&probe)
+	}
+	x := "default"
+	if probe.exec != nil {
+		x = probe.exec.Name()
+	}
+	return x + "\x00" + q.ShapeKey()
+}
+
 // Register places the query on a shard by stream affinity (see
-// shard.PlaceOne) and registers it there. Existing queries stay put —
-// full repartitions happen on Repartition or on estimator drift.
+// shard.PlaceOne) and registers it there. A shape twin of an already
+// placed class joins its class's shard directly — twins are never split,
+// and the placement costs no partitioner work. Other existing queries
+// stay put — full repartitions happen on Repartition or on estimator
+// drift.
 func (sh *Sharded) Register(id, text string, opts ...QueryOption) error {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
@@ -265,6 +302,7 @@ func (sh *Sharded) Register(id, text string, opts ...QueryOption) error {
 		return fmt.Errorf("%w: %q", ErrDuplicateID, id)
 	}
 	target := 0
+	ck := "id\x00" + id
 	if sh.k > 1 {
 		// Profile the new query on a neutral engine — prior probabilities
 		// and static stream costs — so no shard's learned evidence for
@@ -276,8 +314,16 @@ func (sh *Sharded) Register(id, text string, opts ...QueryOption) error {
 		if err != nil {
 			return fmt.Errorf("service: compiling %q: %w", id, err)
 		}
-		prof := shard.Profile(id, q.Tree())
-		target = shard.PlaceOne(prof, sh.profilesLocked(), sh.assign, sh.shardConfig())
+		if sh.shapeFactor {
+			ck = coordClassKey(q, opts)
+		}
+		if owner, placed := sh.classShard[ck]; placed {
+			// A twin shape: co-locate with its class, no placement run.
+			target = owner
+		} else {
+			prof := shard.Profile(id, q.Tree())
+			target = shard.PlaceOne(prof, sh.profilesLocked(), sh.assign, sh.shardConfig())
+		}
 	}
 	if err := sh.workers[target].Register(id, text, opts...); err != nil {
 		return err
@@ -285,6 +331,9 @@ func (sh *Sharded) Register(id, text string, opts ...QueryOption) error {
 	sh.assign[id] = target
 	sh.regOrder = append(sh.regOrder, id)
 	sh.regInfo[id] = &shardedQuery{text: text, opts: opts}
+	sh.shapeOf[id] = ck
+	sh.classSize[ck]++
+	sh.classShard[ck] = target
 	sh.lossDirty = true
 	sh.scalesDirty = true
 	return nil
@@ -307,6 +356,14 @@ func (sh *Sharded) Unregister(id string) error {
 		if o == id {
 			sh.regOrder = append(sh.regOrder[:i], sh.regOrder[i+1:]...)
 			break
+		}
+	}
+	if ck, ok := sh.shapeOf[id]; ok {
+		delete(sh.shapeOf, id)
+		if sh.classSize[ck]--; sh.classSize[ck] <= 0 {
+			// Last subscriber gone: the class releases its shard claim.
+			delete(sh.classSize, ck)
+			delete(sh.classShard, ck)
 		}
 	}
 	sh.lossDirty = true
@@ -354,14 +411,44 @@ func (sh *Sharded) repartitionLocked() int {
 		return 0
 	}
 	profiles := sh.profilesLocked()
-	next := shard.Partition(profiles, sh.shardConfig())
-	moved := 0
+	// Collapse the fleet to one profile per shape class before
+	// partitioning: under factoring a class executes once per tick
+	// wherever it lives, so the representative's own load is the class's
+	// honest load, and placing classes instead of queries guarantees
+	// twins are never split. With factoring off every class is a
+	// singleton and this is the per-query partition.
+	repOf := map[string]string{}
+	classProfiles := make([]shard.Query, 0, len(profiles))
 	for _, p := range profiles {
-		from, to := sh.assign[p.ID], next.Shard[p.ID]
+		ck, ok := sh.shapeOf[p.ID]
+		if !ok {
+			ck = "id\x00" + p.ID
+			sh.shapeOf[p.ID] = ck
+			sh.classSize[ck]++
+		}
+		if _, seen := repOf[ck]; seen {
+			continue
+		}
+		repOf[ck] = p.ID
+		classProfiles = append(classProfiles, p)
+	}
+	next := shard.Partition(classProfiles, sh.shardConfig())
+	moved := 0
+	evidenceDone := map[string]bool{}
+	for _, p := range profiles {
+		ck := sh.shapeOf[p.ID]
+		to := next.Shard[repOf[ck]]
+		sh.classShard[ck] = to
+		from := sh.assign[p.ID]
 		if from == to {
 			continue
 		}
-		sh.moveLocked(p.ID, from, to)
+		// The class's estimator evidence migrates once — twins share the
+		// same predicate trace keys, so the first moved member carries it
+		// for the whole class.
+		withEvidence := !evidenceDone[ck]
+		evidenceDone[ck] = true
+		sh.moveLocked(p.ID, from, to, withEvidence)
 		sh.assign[p.ID] = to
 		moved++
 	}
@@ -374,14 +461,18 @@ func (sh *Sharded) repartitionLocked() int {
 // moveLocked transfers one query between shards: estimator evidence is
 // exported from the source shard, the query is re-registered on the
 // destination, and the evidence imported so the new shard's planner
-// prices it with learned probabilities instead of the prior. Caller
-// holds sh.mu.
-func (sh *Sharded) moveLocked(id string, from, to int) {
+// prices it with learned probabilities instead of the prior.
+// withEvidence false skips the export/import — a class move migrates
+// evidence through its first member only, since twins share the same
+// predicate trace keys. Caller holds sh.mu.
+func (sh *Sharded) moveLocked(id string, from, to int, withEvidence bool) {
 	src, dst := sh.workers[from], sh.workers[to]
 	info := sh.regInfo[id]
 	var snaps []adapt.PredicateSnapshot
-	if _, keys, ok := src.ProfileTree(id); ok {
-		snaps = src.ExportEvidence(keys)
+	if withEvidence {
+		if _, keys, ok := src.ProfileTree(id); ok {
+			snaps = src.ExportEvidence(keys)
+		}
 	}
 	// Unregister cannot fail (the id is registered) and Register cannot
 	// fail either (the same text compiled when the query first arrived,
@@ -543,6 +634,12 @@ func (sh *Sharded) Metrics() Metrics {
 		ciWeight += float64(pm.TrackedPredicates)
 		m.CacheRequested += pm.CacheRequested
 		m.CacheTransferred += pm.CacheTransferred
+		// Twins are never split across shards, so per-shard distinct
+		// shapes sum to the fleet's distinct shapes.
+		m.ShapeFactoring = m.ShapeFactoring || pm.ShapeFactoring
+		m.DistinctShapes += pm.DistinctShapes
+		m.ShapeSubscribers += pm.ShapeSubscribers
+		m.SharedExecutions += pm.SharedExecutions
 		m.RelayHits += pm.RelayHits
 		m.RelaySavedSpend += pm.RelaySavedSpend
 		// Remote workers overlay their relay-mirror purchase counters on

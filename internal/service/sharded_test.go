@@ -306,7 +306,7 @@ func TestShardedManualRepartitionMigratesEvidence(t *testing.T) {
 	sh.mu.Lock()
 	from := sh.assign[someID]
 	to := (from + 1) % sh.k
-	sh.moveLocked(someID, from, to)
+	sh.moveLocked(someID, from, to, true)
 	sh.assign[someID] = to
 	sh.mu.Unlock()
 	if _, n := sh.Shard(to).Adaptive().Estimate(pred); n == 0 {
