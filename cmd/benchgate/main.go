@@ -42,7 +42,7 @@ import (
 )
 
 // defaultArtifacts is the benchmark set produced by the CI workflow.
-var defaultArtifacts = []string{"BENCH_fleet.json", "BENCH_adapt.json", "BENCH_shard.json", "BENCH_plan.json", "BENCH_relay.json", "BENCH_cse.json"}
+var defaultArtifacts = []string{"BENCH_fleet.json", "BENCH_adapt.json", "BENCH_shard.json", "BENCH_plan.json", "BENCH_relay.json", "BENCH_cse.json", "BENCH_obs.json"}
 
 func main() {
 	var (

@@ -1,0 +1,76 @@
+// Command metricslint validates a Prometheus text-exposition (0.0.4)
+// payload — legal metric/label names, samples preceded by their # TYPE
+// line, no duplicate series, and histogram invariants (monotonic le,
+// non-decreasing cumulative buckets, +Inf == _count). CI runs it against
+// a live paotrserve's /metrics.prom so a malformed exposition fails the
+// build instead of a scrape.
+//
+// Usage:
+//
+//	metricslint -url http://localhost:8080/metrics.prom
+//	metricslint exposition.prom
+//	curl -s host/metrics.prom | metricslint
+//
+// Exit status 0 when the payload lints (a one-line summary is printed),
+// 1 on a violation, 2 on usage or I/O errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"time"
+
+	"paotr/internal/obs"
+)
+
+func main() {
+	url := flag.String("url", "", "scrape this URL instead of reading a file or stdin")
+	flag.Parse()
+	if *url != "" && flag.NArg() > 0 {
+		fmt.Fprintln(os.Stderr, "metricslint: -url and a file argument are mutually exclusive")
+		os.Exit(2)
+	}
+
+	var (
+		in   io.ReadCloser
+		name string
+	)
+	switch {
+	case *url != "":
+		client := &http.Client{Timeout: 30 * time.Second}
+		resp, err := client.Get(*url)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "metricslint: %v\n", err)
+			os.Exit(2)
+		}
+		if resp.StatusCode != http.StatusOK {
+			resp.Body.Close()
+			fmt.Fprintf(os.Stderr, "metricslint: GET %s: %s\n", *url, resp.Status)
+			os.Exit(2)
+		}
+		in, name = resp.Body, *url
+	case flag.NArg() == 1:
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "metricslint: %v\n", err)
+			os.Exit(2)
+		}
+		in, name = f, flag.Arg(0)
+	case flag.NArg() == 0:
+		in, name = os.Stdin, "stdin"
+	default:
+		fmt.Fprintln(os.Stderr, "usage: metricslint [-url URL | FILE]")
+		os.Exit(2)
+	}
+	defer in.Close()
+
+	rep, err := obs.LintProm(in)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "metricslint: %s: %v\n", name, err)
+		os.Exit(1)
+	}
+	fmt.Printf("metricslint: %s: OK (%d families, %d samples)\n", name, rep.Families, rep.Samples)
+}

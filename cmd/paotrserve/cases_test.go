@@ -313,7 +313,7 @@ func e2eCases() []e2eCase {
 	// preChurn carries E00602's incremental-plan count across its two
 	// metrics reads: the post-churn tick must patch, not full-replan.
 	var preChurn int64
-	return []e2eCase{
+	cases := []e2eCase{
 		{caseID: "E00001", name: "register linear query", steps: []e2eStep{
 			{"POST", "/queries", `{"id":"q","query":"AVG(heart-rate,5) > 100"}`, http.StatusCreated,
 				func(t *testing.T, body []byte) {
@@ -957,6 +957,7 @@ func e2eCases() []e2eCase {
 				}},
 		}},
 	}
+	return append(cases, obsCases()...)
 }
 
 func mustDecode(t *testing.T, body []byte, out any) {

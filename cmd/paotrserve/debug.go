@@ -1,0 +1,116 @@
+// Debug endpoints over the observability layer (internal/obs):
+//
+//	GET /debug/events?type=drift-trip&n=50   recent journal events
+//	GET /debug/ticks/{n}                     trace of sampled tick n
+//	GET /debug/ticks                         which ticks are sampled
+//
+// The journal is always on (bounded ring, negligible cost); tick traces
+// exist only for ticks the tracer sampled (-trace-sample, or
+// PUT /debug/trace-sample to change the period live).
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+
+	"paotr/internal/obs"
+)
+
+// maxDebugEvents bounds one /debug/events response.
+const maxDebugEvents = 1000
+
+// eventsResponse is the body of GET /debug/events.
+type eventsResponse struct {
+	// Events is the filtered tail of the journal ring, oldest first.
+	Events []obs.Event `json:"events"`
+	// CountsByType counts every event ever appended, per type — unlike
+	// the ring, these survive eviction.
+	CountsByType map[string]int64 `json:"counts_by_type"`
+	// Dropped is how many events the ring has evicted.
+	Dropped int64 `json:"dropped"`
+}
+
+func (s *server) handleDebugEvents(w http.ResponseWriter, r *http.Request) {
+	n := 100
+	if q := r.URL.Query().Get("n"); q != "" {
+		v, err := strconv.Atoi(q)
+		if err != nil || v < 1 || v > maxDebugEvents {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("n must be in [1, %d]", maxDebugEvents))
+			return
+		}
+		n = v
+	}
+	j := s.svc.Journal()
+	resp := eventsResponse{
+		Events:       j.Events(r.URL.Query().Get("type"), n),
+		CountsByType: j.CountByType(),
+		Dropped:      j.Dropped(),
+	}
+	if resp.Events == nil {
+		resp.Events = []obs.Event{}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// tickTraceResponse is the body of GET /debug/ticks/{n}.
+type tickTraceResponse struct {
+	Tick int64 `json:"tick"`
+	// Traces holds one trace per shard that sampled the tick (a single
+	// element for the unsharded service).
+	Traces []obs.TickTrace `json:"traces"`
+}
+
+func (s *server) handleDebugTick(w http.ResponseWriter, r *http.Request) {
+	tick, err := strconv.ParseInt(r.PathValue("n"), 10, 64)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("invalid tick %q", r.PathValue("n")))
+		return
+	}
+	traces := s.svc.TickTraces(tick)
+	if len(traces) == 0 {
+		writeError(w, http.StatusNotFound, fmt.Errorf("tick %d not sampled (trace sample period %d)", tick, s.svc.TraceSampling()))
+		return
+	}
+	writeJSON(w, http.StatusOK, tickTraceResponse{Tick: tick, Traces: traces})
+}
+
+// tickListResponse is the body of GET /debug/ticks.
+type tickListResponse struct {
+	// SamplePeriod is the tracer's current period (0 = disabled).
+	SamplePeriod int `json:"sample_period"`
+	// Ticks lists the sampled ticks still in the ring, oldest first.
+	Ticks []int64 `json:"ticks"`
+}
+
+func (s *server) handleDebugTicks(w http.ResponseWriter, r *http.Request) {
+	ticks := s.svc.TraceTicks()
+	if ticks == nil {
+		ticks = []int64{}
+	}
+	writeJSON(w, http.StatusOK, tickListResponse{
+		SamplePeriod: s.svc.TraceSampling(),
+		Ticks:        ticks,
+	})
+}
+
+// handleTraceSample serves PUT /debug/trace-sample {"period": 100}: it
+// changes the tracer's sampling period live (0 disables tracing and
+// restores the zero-allocation tick path).
+func (s *server) handleTraceSample(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Period int `json:"period"`
+	}
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<16)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	if req.Period < 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("period must be >= 0"))
+		return
+	}
+	s.svc.SetTraceSampling(req.Period)
+	writeJSON(w, http.StatusOK, map[string]int{"period": s.svc.TraceSampling()})
+}

@@ -1,0 +1,84 @@
+// Structured logging for paotrserve: the -log-json flag switches the
+// server's own log lines from the plain stdlib format to one-line JSON
+// records — level, RFC3339 timestamp, shard (worker mode), a stable
+// event tag and the human message — so fleet log pipelines can index
+// them without parsing free text. The plain default is byte-for-byte
+// what previous releases printed.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"sync"
+	"time"
+)
+
+// logRecord is one JSON log line.
+type logRecord struct {
+	Level string `json:"level"`
+	TS    string `json:"ts"`
+	// Shard is the worker's shard index (worker mode only).
+	Shard int `json:"shard,omitempty"`
+	// Event is a stable machine-readable tag ("listen", "serve", ...).
+	Event string `json:"event"`
+	Msg   string `json:"msg"`
+}
+
+// serveLogger writes the server's own log lines, either as stdlib plain
+// text (the default) or as one-line JSON records (-log-json).
+type serveLogger struct {
+	mu    sync.Mutex
+	json  bool
+	shard int
+	out   io.Writer
+	plain *log.Logger
+}
+
+// newServeLogger builds the process logger. Plain mode delegates to a
+// stdlib logger on w so the default output format stays unchanged.
+func newServeLogger(jsonOn bool, w io.Writer) *serveLogger {
+	return &serveLogger{json: jsonOn, out: w, plain: log.New(w, "", log.LstdFlags)}
+}
+
+// Infof logs one line at level info. event is the stable tag of the
+// JSON record; plain mode prints only the formatted message.
+func (l *serveLogger) Infof(event, format string, args ...any) {
+	l.emit("info", event, fmt.Sprintf(format, args...))
+}
+
+// Fatal logs the error at level fatal and exits with status 1, like
+// log.Fatal. A nil error still exits: it is only ever reached when a
+// Serve call returned.
+func (l *serveLogger) Fatal(event string, err error) {
+	msg := "server stopped"
+	if err != nil {
+		msg = err.Error()
+	}
+	l.emit("fatal", event, msg)
+	os.Exit(1)
+}
+
+func (l *serveLogger) emit(level, event, msg string) {
+	if !l.json {
+		l.plain.Print(msg)
+		return
+	}
+	rec := logRecord{
+		Level: level,
+		TS:    time.Now().UTC().Format(time.RFC3339Nano),
+		Shard: l.shard,
+		Event: event,
+		Msg:   msg,
+	}
+	b, err := json.Marshal(rec)
+	if err != nil {
+		l.plain.Print(msg)
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	_, _ = l.out.Write(append(b, '\n'))
+}

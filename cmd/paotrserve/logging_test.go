@@ -1,0 +1,49 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestServeLoggerJSON: -log-json records are one-line JSON with level,
+// RFC3339 timestamp, shard and a stable event tag.
+func TestServeLoggerJSON(t *testing.T) {
+	var b strings.Builder
+	lg := newServeLogger(true, &b)
+	lg.shard = 3
+	lg.Infof("listen", "worker %d listening on %s", 3, ":8081")
+	out := b.String()
+	if !strings.HasSuffix(out, "\n") || strings.Count(out, "\n") != 1 {
+		t.Fatalf("record is not one line: %q", out)
+	}
+	var rec logRecord
+	if err := json.Unmarshal([]byte(out), &rec); err != nil {
+		t.Fatalf("record is not JSON: %v: %q", err, out)
+	}
+	if rec.Level != "info" || rec.Event != "listen" || rec.Shard != 3 {
+		t.Errorf("record = %+v", rec)
+	}
+	if rec.Msg != "worker 3 listening on :8081" {
+		t.Errorf("msg = %q", rec.Msg)
+	}
+	if _, err := time.Parse(time.RFC3339Nano, rec.TS); err != nil {
+		t.Errorf("ts %q not RFC3339: %v", rec.TS, err)
+	}
+}
+
+// TestServeLoggerPlain: without -log-json the output is the stdlib
+// format — timestamp prefix, message verbatim, no JSON.
+func TestServeLoggerPlain(t *testing.T) {
+	var b strings.Builder
+	lg := newServeLogger(false, &b)
+	lg.Infof("listen", "paotrserve listening on %s", ":8080")
+	out := b.String()
+	if !strings.Contains(out, "paotrserve listening on :8080") {
+		t.Errorf("plain output missing message: %q", out)
+	}
+	if strings.Contains(out, `"level"`) {
+		t.Errorf("plain output contains JSON fields: %q", out)
+	}
+}

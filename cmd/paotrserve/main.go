@@ -89,7 +89,6 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"log"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -150,8 +149,13 @@ func main() {
 			"comma-separated worker base URLs to coordinate over (e.g. \"http://w0:8081,http://w1:8082\"); serves the public API over those workers")
 		pprofOn = flag.Bool("pprof", false,
 			"expose net/http/pprof under /debug/pprof/ (CPU/heap profiling of a live fleet, e.g. plan-time or per-tick allocation hunts)")
+		traceSample = flag.Int("trace-sample", 0,
+			"tick-tracer sampling period: every n-th tick records one structured trace served at /debug/ticks/{n} (0 = tracing off, the zero-allocation default)")
+		logJSON = flag.Bool("log-json", false,
+			"emit one-line JSON log records (level, ts, shard, event) instead of plain text")
 	)
 	flag.Parse()
+	lg := newServeLogger(*logJSON, os.Stderr)
 
 	cfg := serviceConfig{
 		seed: *seed, workers: *workers, replan: *replan,
@@ -160,15 +164,17 @@ func main() {
 		estimator: *estimator, window: *window, phDelta: *phDelta, phLambda: *phLambda,
 		scenario: *scenario, shiftTick: *shiftTick,
 		shards: *shards, repartition: *repartition, relayFrac: *relayFrac,
+		traceSample: *traceSample,
 	}
 	if *workerMode {
+		lg.shard = *shardIndex
 		h, err := newWorkerHandler(cfg, *shardIndex)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "paotrserve: %v\n", err)
 			os.Exit(2)
 		}
-		log.Printf("paotrserve worker %d listening on %s (relay frac %.2f)", *shardIndex, *addr, *relayFrac)
-		log.Fatal(http.ListenAndServe(*addr, h))
+		lg.Infof("listen", "paotrserve worker %d listening on %s (relay frac %.2f)", *shardIndex, *addr, *relayFrac)
+		lg.Fatal("serve", http.ListenAndServe(*addr, h))
 	}
 	var svc service.Runtime
 	var err error
@@ -195,10 +201,10 @@ func main() {
 	srv := newServer(svc, *adaptiveGap)
 	if *pprofOn {
 		srv.enablePprof()
-		log.Printf("pprof enabled under /debug/pprof/")
+		lg.Infof("pprof", "pprof enabled under /debug/pprof/")
 	}
-	log.Printf("paotrserve listening on %s (estimator: %s; streams: %s)", *addr, *estimator, streams)
-	log.Fatal(http.ListenAndServe(*addr, srv))
+	lg.Infof("listen", "paotrserve listening on %s (estimator: %s; streams: %s)", *addr, *estimator, streams)
+	lg.Fatal("serve", http.ListenAndServe(*addr, srv))
 }
 
 // executorByName resolves an execution-strategy name from the API or CLI.
@@ -243,6 +249,9 @@ type serviceConfig struct {
 	shards      int
 	repartition int
 	relayFrac   float64
+	// traceSample is the tick tracer's sampling period (0 = tracing off,
+	// the zero-allocation default; see service.WithTraceSampling).
+	traceSample int
 }
 
 // newService builds the service over the standard simulated sensor fleet
@@ -276,6 +285,9 @@ func serviceOptions(cfg serviceConfig) ([]service.Option, error) {
 	}
 	if cfg.workers > 0 {
 		opts = append(opts, service.WithWorkers(cfg.workers))
+	}
+	if cfg.traceSample > 0 {
+		opts = append(opts, service.WithTraceSampling(cfg.traceSample))
 	}
 	switch cfg.estimator {
 	case "", "windowed":
@@ -383,6 +395,11 @@ func newServer(svc service.Runtime, gap float64) *server {
 	s.mux.HandleFunc("POST /tick", s.handleTick)
 	s.mux.HandleFunc("GET /results/{id...}", s.handleResults)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /metrics.prom", s.handleMetricsProm)
+	s.mux.HandleFunc("GET /debug/events", s.handleDebugEvents)
+	s.mux.HandleFunc("GET /debug/ticks", s.handleDebugTicks)
+	s.mux.HandleFunc("GET /debug/ticks/{n}", s.handleDebugTick)
+	s.mux.HandleFunc("PUT /debug/trace-sample", s.handleTraceSample)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
@@ -401,6 +418,14 @@ func (s *server) enablePprof() {
 	s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
 	s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
 	s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	// Named runtime profiles are routed explicitly rather than relying
+	// on the subtree pattern above resolving them through pprof.Index:
+	// registering more-specific /debug/... routes (like /debug/ticks/{n})
+	// must never shadow a profile, and the explicit routes pin that
+	// (TestPprofNamedProfiles).
+	for _, name := range []string{"goroutine", "heap", "allocs", "threadcreate", "block", "mutex"} {
+		s.mux.Handle("GET /debug/pprof/"+name, pprof.Handler(name))
+	}
 }
 
 // queryOptions converts a register request into service options, using

@@ -51,6 +51,10 @@ type ItemRelay struct {
 	hits          int64
 	transferSpend float64
 	savedSpend    float64
+	// publishHook, when set, observes each first publish: the first
+	// cache fleet-wide to purchase an item reports its stream, sequence
+	// and full acquisition cost (see SetPublishHook).
+	publishHook func(stream int, seq int64, cost float64)
 }
 
 // NewItemRelay creates a relay for registries with n streams. frac is the
@@ -72,6 +76,18 @@ func NewItemRelay(n int, frac float64) *ItemRelay {
 
 // TransferFrac returns the configured transfer cost fraction.
 func (r *ItemRelay) TransferFrac() float64 { return r.frac }
+
+// SetPublishHook installs an observer of first publishes: whenever an
+// item is purchased at full acquisition cost and published to the relay
+// (once per unique item fleet-wide), the hook receives its stream,
+// sequence and cost. The hook is called with the relay's lock held and
+// must not call back into the relay; the sharded coordinator journals
+// the events (see internal/obs).
+func (r *ItemRelay) SetPublishHook(fn func(stream int, seq int64, cost float64)) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.publishHook = fn
+}
 
 // Attach registers an external clock (e.g. the remote coordinator's tick
 // counter, which has no local cache attached to this relay) and returns
@@ -137,6 +153,9 @@ func (r *ItemRelay) acquire(k int, seq int64, d int, st stream.Stream) (it strea
 	r.epoch++
 	r.entries[k][seq] = relayEntry{value: it.Value, cost: full, pub: r.epoch}
 	r.purchases++
+	if r.publishHook != nil {
+		r.publishHook(k, seq, full)
+	}
 	return it, full, full, false
 }
 

@@ -186,6 +186,9 @@ type Windowed struct {
 	subs      []func(Event)
 	clock     int64
 	evictions int64
+	// evictHook, when set, observes each MaxPredicates eviction batch
+	// (see SetEvictionHook).
+	evictHook func(evicted int)
 	predTrips int64
 	costTrips int64
 }
@@ -306,9 +309,14 @@ func (w *Windowed) evictLocked() {
 	for pred, st := range w.preds {
 		stamps[pred] = st.stamp
 	}
+	dropped := 0
 	for _, pred := range trace.OldestKeys(stamps, cap) {
 		delete(w.preds, pred)
 		w.evictions++
+		dropped++
+	}
+	if dropped > 0 && w.evictHook != nil {
+		w.evictHook(dropped)
 	}
 }
 
@@ -318,6 +326,16 @@ func (w *Windowed) Evictions() int64 {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	return w.evictions
+}
+
+// SetEvictionHook installs an observer of MaxPredicates evictions: each
+// eviction batch reports how many predicate states were dropped. The
+// hook is called with the estimator's lock held and must not call back
+// into it; a service journals the events (see internal/obs).
+func (w *Windowed) SetEvictionHook(fn func(evicted int)) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.evictHook = fn
 }
 
 // estimateLocked is the windowed Beta estimate: Laplace-style smoothing

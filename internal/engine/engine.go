@@ -88,8 +88,10 @@ type Engine struct {
 	qmu        sync.Mutex
 	queries    map[*Query]struct{}
 	// replansForced counts plan-cache evictions driven by detector
-	// events.
+	// events; invalHook, when set, additionally reports each forced
+	// invalidation (see SetInvalidationHook).
 	replansForced atomic.Int64
+	invalHook     func(kind, pred string, stream, dropped int)
 }
 
 // CostSource supplies learned per-item acquisition costs by registry
@@ -170,6 +172,19 @@ func (e *Engine) record(pred string, truth bool) {
 	}
 }
 
+// SetInvalidationHook installs an observer of forced plan invalidations:
+// after a detector trip evicts cached plans, the hook receives the trip
+// kind (adapt.KindPredicate or adapt.KindStreamCost), the tripped
+// predicate key or stream index, and how many plans were dropped. The
+// hook is called with the engine's query lock held and must not call
+// back into the engine; a multi-query service journals the events (see
+// internal/obs).
+func (e *Engine) SetInvalidationHook(fn func(kind, pred string, stream, dropped int)) {
+	e.qmu.Lock()
+	defer e.qmu.Unlock()
+	e.invalHook = fn
+}
+
 // InvalidatePredicate drops the cached plans of every compiled query
 // referencing the predicate and returns how many plans were actually
 // evicted — the targeted reaction to a predicate-level detector trip,
@@ -189,6 +204,9 @@ func (e *Engine) InvalidatePredicate(pred string) int {
 		}
 	}
 	e.replansForced.Add(int64(n))
+	if n > 0 && e.invalHook != nil {
+		e.invalHook(adapt.KindPredicate, pred, -1, n)
+	}
 	return n
 }
 
@@ -208,6 +226,9 @@ func (e *Engine) InvalidateStream(k int) int {
 		}
 	}
 	e.replansForced.Add(int64(n))
+	if n > 0 && e.invalHook != nil {
+		e.invalHook(adapt.KindStreamCost, "", k, n)
+	}
 	return n
 }
 

@@ -775,6 +775,14 @@ func (pl *Planner) Patches() int64 {
 	return pl.patched
 }
 
+// CachedPlans returns the number of joint plans currently cached,
+// exported as a gauge by the observability layer.
+func (pl *Planner) CachedPlans() int {
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	return len(pl.entries)
+}
+
 // Invalidate drops all cached plans and stale marks and returns how many
 // entries were dropped.
 func (pl *Planner) Invalidate() int {

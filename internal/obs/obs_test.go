@@ -1,0 +1,426 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestBucketOf pins the bucket boundary arithmetic: every bucket's
+// upper bound lands in that bucket, the next nanosecond in the next.
+func TestBucketOf(t *testing.T) {
+	if got := bucketOf(0); got != 0 {
+		t.Fatalf("bucketOf(0) = %d, want 0", got)
+	}
+	if got := bucketOf(1); got != 0 {
+		t.Fatalf("bucketOf(1) = %d, want 0", got)
+	}
+	for i := 0; i < NumBuckets; i++ {
+		bound := int64(BucketBound(i))
+		if got := bucketOf(bound); got != i {
+			t.Fatalf("bucketOf(%d) = %d, want %d", bound, got, i)
+		}
+		want := i + 1
+		if got := bucketOf(bound + 1); got != want {
+			t.Fatalf("bucketOf(%d) = %d, want %d", bound+1, got, want)
+		}
+	}
+	if got := bucketOf(math.MaxInt64); got != NumBuckets {
+		t.Fatalf("bucketOf(MaxInt64) = %d, want overflow bucket %d", got, NumBuckets)
+	}
+}
+
+// TestHistogramMergeByteIdentical is the property the sharded runtime
+// depends on: per-shard histograms merged together must serialize
+// byte-identically to a single histogram that observed every sample.
+func TestHistogramMergeByteIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	const shards = 4
+	var whole Histogram
+	var parts [shards]Histogram
+	for i := 0; i < 20000; i++ {
+		// Log-uniform samples from ~100ns to ~10s.
+		d := time.Duration(math.Exp(rng.Float64()*math.Log(1e10/1e2)) * 1e2)
+		whole.Observe(d)
+		parts[i%shards].Observe(d)
+	}
+	merged := parts[0].Snapshot()
+	for i := 1; i < shards; i++ {
+		merged.Merge(parts[i].Snapshot())
+	}
+	wantJSON, err := json.Marshal(whole.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotJSON, err := json.Marshal(merged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(wantJSON, gotJSON) {
+		t.Fatalf("merged shard snapshots differ from whole-fleet snapshot:\n got %s\nwant %s", gotJSON, wantJSON)
+	}
+}
+
+// TestQuantileWithinOneBucket checks the accuracy contract: every
+// quantile estimate must land in the same log-spaced bucket as the
+// exact order statistic.
+func TestQuantileWithinOneBucket(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 20; trial++ {
+		var h Histogram
+		n := 100 + rng.Intn(5000)
+		samples := make([]int64, n)
+		for i := range samples {
+			ns := int64(math.Exp(rng.Float64()*math.Log(1e9)) + 1)
+			samples[i] = ns
+			h.Observe(time.Duration(ns))
+		}
+		sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+		s := h.Snapshot()
+		for _, q := range []float64{0.5, 0.9, 0.99} {
+			rank := int(math.Ceil(q * float64(n)))
+			if rank < 1 {
+				rank = 1
+			}
+			exact := samples[rank-1]
+			est := s.Quantile(q)
+			// Ceil before re-bucketing: the interpolated estimate lies
+			// strictly inside (lo, hi] but can truncate onto lo.
+			if got, want := bucketOf(int64(math.Ceil(est))), bucketOf(exact); got != want {
+				t.Fatalf("trial %d q=%v: estimate %v in bucket %d, exact %d in bucket %d",
+					trial, q, est, got, exact, want)
+			}
+		}
+	}
+}
+
+// TestQuantileEmptyAndClamp covers the degenerate snapshot paths.
+func TestQuantileEmptyAndClamp(t *testing.T) {
+	var s HistSnapshot
+	if got := s.Quantile(0.5); got != 0 {
+		t.Fatalf("empty snapshot quantile = %v, want 0", got)
+	}
+	var h Histogram
+	h.Observe(50 * time.Microsecond)
+	s = h.Snapshot()
+	if got := s.Quantile(-1); got != s.Quantile(0) {
+		t.Fatalf("q=-1 (%v) should clamp to q=0 (%v)", got, s.Quantile(0))
+	}
+	if got := s.Quantile(2); got != s.Quantile(1) {
+		t.Fatalf("q=2 (%v) should clamp to q=1 (%v)", got, s.Quantile(1))
+	}
+}
+
+// TestMergeLatency checks the phase-keyed fleet merge, including a
+// phase missing on one side.
+func TestMergeLatency(t *testing.T) {
+	a := NewTickHists()
+	b := NewTickHists()
+	a.Observe(PhasePlan, time.Millisecond)
+	a.Observe(PhaseTotal, 2*time.Millisecond)
+	b.Observe(PhaseTotal, 4*time.Millisecond)
+	merged := MergeLatency(nil, a.Snapshot())
+	merged = MergeLatency(merged, b.Snapshot())
+	if got := merged["total"].Count; got != 2 {
+		t.Fatalf("merged total count = %d, want 2", got)
+	}
+	if got := merged["plan"].Count; got != 1 {
+		t.Fatalf("merged plan count = %d, want 1", got)
+	}
+	single := MergeLatency(nil, LatencySnapshot{"only": HistSnapshot{Counts: []int64{1}, Count: 1, SumNs: 10}})
+	if got := single["only"].Count; got != 1 {
+		t.Fatalf("copied-whole phase count = %d, want 1", got)
+	}
+}
+
+// TestJournalRingAndFilter exercises eviction, ordering, type filter
+// and limits.
+func TestJournalRingAndFilter(t *testing.T) {
+	j := NewJournal(4)
+	for i := 0; i < 6; i++ {
+		typ := EventDriftTrip
+		if i%2 == 1 {
+			typ = EventRepartition
+		}
+		j.Append(Event{Type: typ, Tick: int64(i)})
+	}
+	all := j.Events("", 0)
+	if len(all) != 4 {
+		t.Fatalf("retained %d events, want 4", len(all))
+	}
+	for i := 1; i < len(all); i++ {
+		if all[i].Seq <= all[i-1].Seq {
+			t.Fatalf("events out of order: %v", all)
+		}
+	}
+	if got := all[0].Tick; got != 2 {
+		t.Fatalf("oldest retained tick = %d, want 2", got)
+	}
+	trips := j.Events(EventDriftTrip, 0)
+	for _, e := range trips {
+		if e.Type != EventDriftTrip {
+			t.Fatalf("filter leaked %q", e.Type)
+		}
+	}
+	limited := j.Events("", 2)
+	if len(limited) != 2 || limited[1].Tick != 5 {
+		t.Fatalf("limit=2 returned %v", limited)
+	}
+	counts := j.CountByType()
+	if counts[EventDriftTrip] != 3 || counts[EventRepartition] != 3 {
+		t.Fatalf("cumulative counts survived eviction wrong: %v", counts)
+	}
+	if got := j.Dropped(); got != 2 {
+		t.Fatalf("dropped = %d, want 2", got)
+	}
+}
+
+// TestJournalConcurrent is the -race stress: concurrent appends and
+// reads over a small ring must stay consistent.
+func TestJournalConcurrent(t *testing.T) {
+	j := NewJournal(64)
+	var wg sync.WaitGroup
+	const writers = 8
+	const perWriter = 500
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				j.Append(Event{Type: EventRelayPublish, Shard: w, Stream: i})
+			}
+		}(w)
+	}
+	var readers sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < 4; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				evs := j.Events("", 0)
+				last := int64(0)
+				for _, e := range evs {
+					if e.Seq <= last {
+						t.Error("events out of order under concurrency")
+						return
+					}
+					last = e.Seq
+				}
+				j.CountByType()
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+	if got := j.CountByType()[EventRelayPublish]; got != writers*perWriter {
+		t.Fatalf("cumulative count = %d, want %d", got, writers*perWriter)
+	}
+}
+
+// TestTracerGateAndRing covers the sampling gate, multi-shard traces
+// for one tick, and ring eviction.
+func TestTracerGateAndRing(t *testing.T) {
+	tr := NewTracer(4)
+	if tr.Sample(0) {
+		t.Fatal("disabled tracer sampled a tick")
+	}
+	before := TracingEnabled()
+	tr.SetSample(2)
+	defer tr.SetSample(0)
+	if !TracingEnabled() {
+		t.Fatal("gate not raised by SetSample")
+	}
+	if !tr.Sample(4) || tr.Sample(5) {
+		t.Fatal("sampling period not honored")
+	}
+	for i := int64(0); i < 12; i += 2 {
+		tr.Record(TickTrace{Tick: i, Shard: 0})
+		tr.Record(TickTrace{Tick: i, Shard: 1})
+	}
+	if got := tr.ForTick(0); len(got) != 0 {
+		t.Fatalf("evicted tick still returned %d traces", len(got))
+	}
+	got := tr.ForTick(10)
+	if len(got) != 2 || got[0].Shard != 0 || got[1].Shard != 1 {
+		t.Fatalf("ForTick(10) = %+v, want both shards in order", got)
+	}
+	ticks := tr.Ticks()
+	if len(ticks) != 2 || ticks[0] != 8 || ticks[1] != 10 {
+		t.Fatalf("Ticks() = %v, want [8 10]", ticks)
+	}
+	tr.SetSample(0)
+	if TracingEnabled() != before {
+		t.Fatal("gate not restored after disable")
+	}
+	var nilT *Tracer
+	if nilT.Sample(0) || nilT.Sampling() != 0 {
+		t.Fatal("nil tracer must be inert")
+	}
+	nilT.Record(TickTrace{})
+	nilT.SetSample(3)
+}
+
+// TestTracerSampleNoAlloc pins the disabled-tracer hot path: Sample on
+// a disabled tracer must not allocate.
+func TestTracerSampleNoAlloc(t *testing.T) {
+	tr := NewTracer(8)
+	allocs := testing.AllocsPerRun(1000, func() {
+		if tr.Sample(7) {
+			t.Fatal("disabled tracer sampled")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled Sample allocates %v per call, want 0", allocs)
+	}
+	var h Histogram
+	allocs = testing.AllocsPerRun(1000, func() {
+		h.Observe(123 * time.Microsecond)
+	})
+	if allocs != 0 {
+		t.Fatalf("Histogram.Observe allocates %v per call, want 0", allocs)
+	}
+}
+
+// TestPromWriterSelfLint round-trips the encoder through the linter:
+// everything the writer emits must pass validation, including a
+// histogram family and escaped label values.
+func TestPromWriterSelfLint(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 100; i++ {
+		h.Observe(time.Duration(i) * 37 * time.Microsecond)
+	}
+	var buf bytes.Buffer
+	w := NewPromWriter(&buf)
+	w.Header("paotr_ticks_total", "Total ticks executed.", "counter")
+	w.Value("paotr_ticks_total", nil, 12345)
+	w.Header("paotr_queries", "Registered queries.", "gauge")
+	w.Value("paotr_queries", map[string]string{"shard": "0", "note": `quo"te\n`}, 7)
+	w.Header("paotr_tick_seconds", "Tick latency.", "histogram")
+	w.Histogram("paotr_tick_seconds", map[string]string{"phase": "total"}, h.Snapshot())
+	if err := w.Err(); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := LintProm(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("self-lint failed: %v\npayload:\n%s", err, buf.String())
+	}
+	if rep.Families != 3 {
+		t.Fatalf("families = %d, want 3", rep.Families)
+	}
+	if rep.Samples < NumBuckets+3 {
+		t.Fatalf("samples = %d, want at least %d", rep.Samples, NumBuckets+3)
+	}
+}
+
+// TestLintPromRejects feeds the linter known violations.
+func TestLintPromRejects(t *testing.T) {
+	cases := []struct {
+		name    string
+		payload string
+	}{
+		{"sample before TYPE", "paotr_x 1\n"},
+		{"bad name", "# TYPE paotr_y counter\n9bad_name 1\n"},
+		{"bad value", "# TYPE paotr_y counter\npaotr_y one\n"},
+		{"duplicate series", "# TYPE paotr_y counter\npaotr_y 1\npaotr_y 2\n"},
+		{"unknown type", "# TYPE paotr_y countttter\npaotr_y 1\n"},
+		{"bucket order", "# TYPE paotr_h histogram\n" +
+			`paotr_h_bucket{le="2"} 1` + "\n" +
+			`paotr_h_bucket{le="1"} 2` + "\n" +
+			`paotr_h_bucket{le="+Inf"} 2` + "\n" +
+			"paotr_h_sum 3\npaotr_h_count 2\n"},
+		{"bucket not cumulative", "# TYPE paotr_h histogram\n" +
+			`paotr_h_bucket{le="1"} 5` + "\n" +
+			`paotr_h_bucket{le="2"} 3` + "\n" +
+			`paotr_h_bucket{le="+Inf"} 5` + "\n" +
+			"paotr_h_sum 3\npaotr_h_count 5\n"},
+		{"inf != count", "# TYPE paotr_h histogram\n" +
+			`paotr_h_bucket{le="1"} 1` + "\n" +
+			`paotr_h_bucket{le="+Inf"} 2` + "\n" +
+			"paotr_h_sum 3\npaotr_h_count 5\n"},
+		{"missing inf", "# TYPE paotr_h histogram\n" +
+			`paotr_h_bucket{le="1"} 1` + "\n" +
+			"paotr_h_sum 3\npaotr_h_count 1\n"},
+		{"empty", ""},
+	}
+	for _, tc := range cases {
+		if _, err := LintProm(bytes.NewReader([]byte(tc.payload))); err == nil {
+			t.Errorf("%s: lint accepted invalid payload:\n%s", tc.name, tc.payload)
+		}
+	}
+}
+
+// TestPromFormatFloat pins the sample-value rendering.
+func TestPromFormatFloat(t *testing.T) {
+	cases := map[float64]string{
+		0:           "0",
+		12345:       "12345",
+		0.5:         "0.5",
+		math.Inf(1): "+Inf",
+	}
+	for v, want := range cases {
+		if got := formatFloat(v); got != want {
+			t.Errorf("formatFloat(%v) = %q, want %q", v, got, want)
+		}
+	}
+	if got := formatFloat(math.NaN()); got != "NaN" {
+		t.Errorf("formatFloat(NaN) = %q", got)
+	}
+}
+
+// TestJournalNilSafe: unwired components append into a nil journal.
+func TestJournalNilSafe(t *testing.T) {
+	var j *Journal
+	j.Append(Event{Type: EventDriftTrip})
+	if j.Events("", 0) != nil || j.CountByType() != nil || j.Dropped() != 0 {
+		t.Fatal("nil journal must be inert")
+	}
+}
+
+// TestHistogramSnapshotJSONShape pins the wire shape the HTTP layer
+// serves (counts array length, quantile fields present).
+func TestHistogramSnapshotJSONShape(t *testing.T) {
+	var h Histogram
+	h.Observe(time.Millisecond)
+	raw, err := json.Marshal(h.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatal(err)
+	}
+	counts, ok := m["counts"].([]any)
+	if !ok || len(counts) != NumBuckets+1 {
+		t.Fatalf("counts shape wrong: %v", m["counts"])
+	}
+	for _, k := range []string{"count", "sum_ns", "p50_ns", "p90_ns", "p99_ns"} {
+		if _, ok := m[k]; !ok {
+			t.Fatalf("snapshot JSON missing %q: %s", k, raw)
+		}
+	}
+}
+
+func ExamplePromWriter() {
+	var buf bytes.Buffer
+	w := NewPromWriter(&buf)
+	w.Header("paotr_ticks_total", "Total ticks executed.", "counter")
+	w.Value("paotr_ticks_total", nil, 3)
+	fmt.Print(buf.String())
+	// Output:
+	// # HELP paotr_ticks_total Total ticks executed.
+	// # TYPE paotr_ticks_total counter
+	// paotr_ticks_total 3
+}

@@ -1,0 +1,130 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// PromWriter encodes metrics in the Prometheus text exposition format
+// (version 0.0.4) onto an io.Writer — hand-rolled so the repo stays
+// dependency-free. Usage: one Header per metric family, then its
+// samples via Value/Histogram. Write errors are sticky; check Err once
+// at the end.
+type PromWriter struct {
+	w   io.Writer
+	err error
+}
+
+// NewPromWriter wraps w.
+func NewPromWriter(w io.Writer) *PromWriter { return &PromWriter{w: w} }
+
+// Err returns the first write error, if any.
+func (p *PromWriter) Err() error { return p.err }
+
+func (p *PromWriter) printf(format string, args ...any) {
+	if p.err != nil {
+		return
+	}
+	_, p.err = fmt.Fprintf(p.w, format, args...)
+}
+
+// Header emits the # HELP and # TYPE lines for a metric family. typ is
+// "counter", "gauge", or "histogram".
+func (p *PromWriter) Header(name, help, typ string) {
+	p.printf("# HELP %s %s\n# TYPE %s %s\n", name, escapeHelp(help), name, typ)
+}
+
+// Value emits one sample line. labels may be nil; keys are emitted in
+// sorted order so output is deterministic.
+func (p *PromWriter) Value(name string, labels map[string]string, v float64) {
+	p.printf("%s%s %s\n", name, formatLabels(labels), formatFloat(v))
+}
+
+// Histogram emits a full histogram family body from a snapshot:
+// cumulative le-labelled buckets (bounds converted from nanoseconds to
+// seconds, the Prometheus base unit), the +Inf bucket equal to _count,
+// then _sum and _count. extra labels are attached to every series.
+func (p *PromWriter) Histogram(name string, extra map[string]string, s HistSnapshot) {
+	var cum int64
+	labels := make(map[string]string, len(extra)+1)
+	for k, v := range extra {
+		labels[k] = v
+	}
+	for i, c := range s.Counts {
+		cum += c
+		bound := BucketBound(i)
+		if math.IsInf(bound, 1) {
+			continue // +Inf emitted below from the total count
+		}
+		labels["le"] = formatFloat(bound / 1e9)
+		p.Value(name+"_bucket", labels, float64(cum))
+	}
+	labels["le"] = "+Inf"
+	p.Value(name+"_bucket", labels, float64(s.Count))
+	p.Value(name+"_sum", extra, float64(s.SumNs)/1e9)
+	p.Value(name+"_count", extra, float64(s.Count))
+}
+
+// formatLabels renders a {k="v",...} label set (empty string for no
+// labels), keys sorted for deterministic output.
+func formatLabels(labels map[string]string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(labels[k]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// formatFloat renders a sample value: integers without an exponent,
+// everything else in Go's shortest round-trip form, with the
+// exposition-format spellings of the special values.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	case v == math.Trunc(v) && math.Abs(v) < 1e15:
+		return fmt.Sprintf("%d", int64(v))
+	default:
+		return fmt.Sprintf("%g", v)
+	}
+}
+
+// escapeLabel escapes a label value per the exposition format
+// (backslash, double-quote, newline).
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return s
+}
+
+// escapeHelp escapes a HELP text per the exposition format (backslash,
+// newline).
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return s
+}

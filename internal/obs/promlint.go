@@ -1,0 +1,297 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// LintReport summarizes a validated exposition payload.
+type LintReport struct {
+	Families int // metric families (# TYPE lines)
+	Samples  int // sample lines
+}
+
+var (
+	metricNameRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	labelNameRe  = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+)
+
+// histState tracks per-histogram cross-sample invariants while linting.
+type histState struct {
+	lastLe    float64
+	lastCum   float64
+	infCount  float64
+	hasInf    bool
+	count     float64
+	hasCount  bool
+	seriesKey string
+}
+
+// LintProm validates a Prometheus text-exposition (0.0.4) payload:
+// legal metric and label names, samples preceded by their family's
+// # TYPE line, parseable values, no duplicate series, and for
+// histograms monotonically non-decreasing cumulative buckets with the
+// +Inf bucket equal to _count. Returns a summary or the first
+// violation found.
+func LintProm(r io.Reader) (LintReport, error) {
+	var rep LintReport
+	types := make(map[string]string)     // family -> type
+	seen := make(map[string]bool)        // full series key -> emitted
+	hists := make(map[string]*histState) // family+labels(sans le) -> state
+	histOrder := make([]string, 0, 8)    // for the final count check
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+				return rep, fmt.Errorf("line %d: malformed comment %q", lineNo, line)
+			}
+			name := fields[2]
+			if !metricNameRe.MatchString(name) {
+				return rep, fmt.Errorf("line %d: invalid metric name %q", lineNo, name)
+			}
+			if fields[1] == "TYPE" {
+				if len(fields) != 4 {
+					return rep, fmt.Errorf("line %d: TYPE line missing type", lineNo)
+				}
+				typ := fields[3]
+				switch typ {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return rep, fmt.Errorf("line %d: unknown metric type %q", lineNo, typ)
+				}
+				if _, dup := types[name]; dup {
+					return rep, fmt.Errorf("line %d: duplicate TYPE for %q", lineNo, name)
+				}
+				types[name] = typ
+				rep.Families++
+			}
+			continue
+		}
+		name, labels, value, err := parseSample(line)
+		if err != nil {
+			return rep, fmt.Errorf("line %d: %v", lineNo, err)
+		}
+		family := histFamily(name, types)
+		if _, ok := types[family]; !ok {
+			return rep, fmt.Errorf("line %d: sample %q before its # TYPE line", lineNo, name)
+		}
+		seriesKey := name + canonicalLabels(labels, "")
+		if seen[seriesKey] {
+			return rep, fmt.Errorf("line %d: duplicate series %s", lineNo, seriesKey)
+		}
+		seen[seriesKey] = true
+		rep.Samples++
+
+		if types[family] == "histogram" {
+			key := family + canonicalLabels(labels, "le")
+			st := hists[key]
+			if st == nil {
+				st = &histState{lastLe: math.Inf(-1), seriesKey: key}
+				hists[key] = st
+				histOrder = append(histOrder, key)
+			}
+			switch {
+			case name == family+"_bucket":
+				leStr, ok := labels["le"]
+				if !ok {
+					return rep, fmt.Errorf("line %d: histogram bucket %s missing le label", lineNo, name)
+				}
+				le, err := parsePromFloat(leStr)
+				if err != nil {
+					return rep, fmt.Errorf("line %d: bad le %q: %v", lineNo, leStr, err)
+				}
+				if le <= st.lastLe {
+					return rep, fmt.Errorf("line %d: %s le=%q out of order", lineNo, name, leStr)
+				}
+				if value < st.lastCum {
+					return rep, fmt.Errorf("line %d: %s cumulative count decreased (%g < %g)", lineNo, name, value, st.lastCum)
+				}
+				st.lastLe, st.lastCum = le, value
+				if math.IsInf(le, 1) {
+					st.infCount, st.hasInf = value, true
+				}
+			case name == family+"_count":
+				st.count, st.hasCount = value, true
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return rep, err
+	}
+	for _, key := range histOrder {
+		st := hists[key]
+		if !st.hasInf {
+			return rep, fmt.Errorf("histogram %s has no +Inf bucket", key)
+		}
+		if !st.hasCount {
+			return rep, fmt.Errorf("histogram %s has no _count sample", key)
+		}
+		if st.infCount != st.count {
+			return rep, fmt.Errorf("histogram %s +Inf bucket (%g) != _count (%g)", key, st.infCount, st.count)
+		}
+	}
+	if rep.Families == 0 {
+		return rep, fmt.Errorf("no metric families found")
+	}
+	return rep, nil
+}
+
+// histFamily maps a sample name to its family: histogram component
+// suffixes (_bucket/_sum/_count) resolve to the declared histogram
+// family when one exists.
+func histFamily(name string, types map[string]string) string {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if base, ok := strings.CutSuffix(name, suf); ok && types[base] == "histogram" {
+			return base
+		}
+	}
+	return name
+}
+
+// parseSample splits one sample line into name, labels and value.
+func parseSample(line string) (string, map[string]string, float64, error) {
+	rest := line
+	brace := strings.IndexByte(rest, '{')
+	var name string
+	labels := map[string]string{}
+	if brace >= 0 {
+		name = rest[:brace]
+		end := strings.LastIndexByte(rest, '}')
+		if end < brace {
+			return "", nil, 0, fmt.Errorf("unterminated label set")
+		}
+		var err error
+		labels, err = parseLabels(rest[brace+1 : end])
+		if err != nil {
+			return "", nil, 0, err
+		}
+		rest = strings.TrimSpace(rest[end+1:])
+	} else {
+		sp := strings.IndexAny(rest, " \t")
+		if sp < 0 {
+			return "", nil, 0, fmt.Errorf("sample %q has no value", line)
+		}
+		name = rest[:sp]
+		rest = strings.TrimSpace(rest[sp:])
+	}
+	if !metricNameRe.MatchString(name) {
+		return "", nil, 0, fmt.Errorf("invalid metric name %q", name)
+	}
+	// A timestamp may follow the value; take the first field as value.
+	fields := strings.Fields(rest)
+	if len(fields) == 0 || len(fields) > 2 {
+		return "", nil, 0, fmt.Errorf("sample %q: expected value [timestamp]", line)
+	}
+	v, err := parsePromFloat(fields[0])
+	if err != nil {
+		return "", nil, 0, fmt.Errorf("bad value %q: %v", fields[0], err)
+	}
+	return name, labels, v, nil
+}
+
+// parseLabels parses the interior of a {..} label set.
+func parseLabels(s string) (map[string]string, error) {
+	labels := map[string]string{}
+	for len(s) > 0 {
+		eq := strings.IndexByte(s, '=')
+		if eq < 0 {
+			return nil, fmt.Errorf("label pair %q missing '='", s)
+		}
+		key := strings.TrimSpace(s[:eq])
+		if !labelNameRe.MatchString(key) {
+			return nil, fmt.Errorf("invalid label name %q", key)
+		}
+		s = s[eq+1:]
+		if len(s) == 0 || s[0] != '"' {
+			return nil, fmt.Errorf("label %q value not quoted", key)
+		}
+		s = s[1:]
+		var b strings.Builder
+		closed := false
+		for i := 0; i < len(s); i++ {
+			c := s[i]
+			if c == '\\' && i+1 < len(s) {
+				i++
+				switch s[i] {
+				case 'n':
+					b.WriteByte('\n')
+				default:
+					b.WriteByte(s[i])
+				}
+				continue
+			}
+			if c == '"' {
+				s = s[i+1:]
+				closed = true
+				break
+			}
+			b.WriteByte(c)
+		}
+		if !closed {
+			return nil, fmt.Errorf("label %q value unterminated", key)
+		}
+		if _, dup := labels[key]; dup {
+			return nil, fmt.Errorf("duplicate label %q", key)
+		}
+		labels[key] = b.String()
+		s = strings.TrimPrefix(strings.TrimSpace(s), ",")
+		s = strings.TrimSpace(s)
+	}
+	return labels, nil
+}
+
+// canonicalLabels renders labels (minus one excluded key) in sorted
+// order for use as a map key.
+func canonicalLabels(labels map[string]string, exclude string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		if k != exclude {
+			keys = append(keys, k)
+		}
+	}
+	if len(keys) == 0 {
+		return ""
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", k, labels[k])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// parsePromFloat parses a sample or le value, accepting the exposition
+// spellings +Inf/-Inf/NaN.
+func parsePromFloat(s string) (float64, error) {
+	switch s {
+	case "+Inf", "Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}

@@ -83,7 +83,9 @@ type planBenchFile struct {
 // allocBenchService builds the steady fleet the allocation and tick-rate
 // rows measure: 48 annotated queries over 12 streams, one worker, so the
 // per-tick numbers are deterministic modulo amortized buffer growth.
-func allocBenchService(tb testing.TB) *Service {
+// Extra options (e.g. the observability bench's histogram/tracing
+// configurations) are appended after the fixed ones.
+func allocBenchService(tb testing.TB, opts ...Option) *Service {
 	const streams = 12
 	reg := stream.NewRegistry()
 	for i := 0; i < streams; i++ {
@@ -91,7 +93,7 @@ func allocBenchService(tb testing.TB) *Service {
 			tb.Fatal(err)
 		}
 	}
-	svc := New(reg, WithWorkers(1))
+	svc := New(reg, append([]Option{WithWorkers(1)}, opts...)...)
 	for q := 0; q < 48; q++ {
 		base := q % streams
 		text := fmt.Sprintf(

@@ -88,7 +88,11 @@ func TestShardedRelayZeroFracIdentical(t *testing.T) {
 		overlapFleet(t, sh, tenants)
 		res := sh.Run(ticks)
 		met := sh.Metrics()
-		met.PlanNanos = 0 // wall-clock, never byte-stable
+		met.PlanNanos = 0     // wall-clock, never byte-stable
+		met.TickLatency = nil // wall-clock histograms, never byte-stable
+		for i := range met.PerShard {
+			met.PerShard[i].TickLatency = nil
+		}
 		m, err := json.Marshal(met)
 		if err != nil {
 			t.Fatal(err)

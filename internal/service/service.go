@@ -26,6 +26,7 @@ import (
 	"paotr/internal/adapt"
 	"paotr/internal/engine"
 	"paotr/internal/fleet"
+	"paotr/internal/obs"
 	"paotr/internal/query"
 	"paotr/internal/sched"
 	"paotr/internal/stream"
@@ -100,6 +101,21 @@ type Service struct {
 	// histories carry their shard.
 	shardIdx int
 	tick     int64
+	// tickNow mirrors tick for the async observability hooks: detector
+	// trips and plan invalidations fire from phase-3 worker goroutines
+	// while the service lock is held, so journal events read the tick
+	// through this atomic instead of racing s.tick.
+	tickNow atomic.Int64
+	// hists records the per-phase tick-latency histograms (allocation-free
+	// atomic counters; nil under WithTickHistograms(false), the A/B
+	// baseline for overhead measurement). tracer records sampled tick
+	// traces (disabled by default; see WithTraceSampling) and journal the
+	// rare structural events (drift trips, forced replans, evictions).
+	// Under the sharded runtime all three are shared across the in-process
+	// workers via options.
+	hists   *obs.TickHists
+	tracer  *obs.Tracer
+	journal *obs.Journal
 
 	executions    int64
 	planHits      int64
@@ -250,6 +266,14 @@ type config struct {
 	balance     float64
 	relayFrac   float64
 	shardIdx    int
+	// Observability wiring (see internal/obs): histsOff disables the
+	// tick-latency histograms, traceSample enables tick tracing at the
+	// given period, and journal/tracer install shared instances (the
+	// sharded runtime shares one of each across its in-process workers).
+	histsOff    bool
+	traceSample int
+	journal     *obs.Journal
+	tracer      *obs.Tracer
 }
 
 // WithWorkers sets the tick worker-pool size (default GOMAXPROCS).
@@ -385,6 +409,31 @@ func WithShardBalance(f float64) Option {
 // tenant registration otherwise grows the store forever.
 func WithTraceCap(n int) Option { return func(c *config) { c.traceCap = n } }
 
+// WithTickHistograms toggles the per-phase tick-latency histograms
+// (default on). The histograms are allocation-free atomic counters, so
+// the only reason to turn them off is A/B overhead measurement (see the
+// BENCH_obs writer).
+func WithTickHistograms(on bool) Option { return func(c *config) { c.histsOff = !on } }
+
+// WithTraceSampling enables the span-style tick tracer at construction:
+// every n-th tick records one structured trace (phase durations, due
+// classes, plan cache hits vs replans, expected vs realized cost per
+// executed class; see obs.TickTrace). n <= 0 leaves tracing disabled —
+// the default, costing one atomic load per tick and zero allocations.
+// SetTraceSampling changes the period at runtime.
+func WithTraceSampling(n int) Option { return func(c *config) { c.traceSample = n } }
+
+// WithJournal installs a shared event journal: the service appends its
+// drift trips, forced replans and estimator evictions there instead of
+// into a private journal. The sharded runtime shares one journal across
+// its in-process workers so /debug/events shows the fleet timeline.
+func WithJournal(j *obs.Journal) Option { return func(c *config) { c.journal = j } }
+
+// WithTracer installs a shared tick tracer (see WithJournal; the sharded
+// runtime shares one tracer so /debug/ticks/{n} returns every shard's
+// trace of a sampled tick).
+func WithTracer(t *obs.Tracer) Option { return func(c *config) { c.tracer = t } }
+
 // New creates a service over the registry with an empty shared cache.
 // The windowed online estimator (see internal/adapt) is the default:
 // leaf probabilities and per-item costs are learned from a sliding
@@ -437,7 +486,38 @@ func New(reg *stream.Registry, opts ...Option) *Service {
 		planner:         &fleet.Planner{Eps: eng.ReplanThreshold()},
 		dupAvoidedK:     make([]int64, reg.Len()),
 		shardIdx:        cfg.shardIdx,
+		journal:         cfg.journal,
+		tracer:          cfg.tracer,
 	}
+	if !cfg.histsOff {
+		s.hists = obs.NewTickHists()
+	}
+	if s.journal == nil {
+		s.journal = obs.NewJournal(0)
+	}
+	if s.tracer == nil {
+		s.tracer = obs.NewTracer(0)
+	}
+	if cfg.traceSample > 0 {
+		s.tracer.SetSample(cfg.traceSample)
+	}
+	// Rare structural events feed the journal: forced plan evictions from
+	// the engine (detector trips land there first) and estimator-state
+	// evictions under the trace cap. Both hooks fire while the emitting
+	// component's lock is held, so they only append — the journal is a
+	// leaf lock.
+	eng.SetInvalidationHook(func(kind, pred string, stream, dropped int) {
+		ev := obs.Event{Type: obs.EventForcedReplan, Tick: s.tickNow.Load(), Shard: s.shardIdx,
+			Pred: pred, Count: dropped, Detail: "query plans invalidated (" + kind + " trip)"}
+		if kind == adapt.KindStreamCost {
+			ev.Stream = stream
+		}
+		s.journal.Append(ev)
+	})
+	eng.Traces().SetEvictionHook(func(n int) {
+		s.journal.Append(obs.Event{Type: obs.EventEstimatorEviction, Tick: s.tickNow.Load(),
+			Shard: s.shardIdx, Count: n, Detail: "trace-store predicates evicted"})
+	})
 	if cfg.ledger != nil {
 		s.cache.SetLedger(cfg.ledger)
 	}
@@ -456,10 +536,41 @@ func New(reg *stream.Registry, opts ...Option) *Service {
 			s.tripMu.Lock()
 			s.pendingTrips = append(s.pendingTrips, ev)
 			s.tripMu.Unlock()
+			jev := obs.Event{Type: obs.EventDriftTrip, Tick: s.tickNow.Load(), Shard: s.shardIdx,
+				Pred: ev.Pred, Before: ev.Before, After: ev.After, Detail: ev.Kind}
+			if ev.Kind == adapt.KindStreamCost {
+				jev.Stream = ev.Stream
+			}
+			s.journal.Append(jev)
+		})
+		ad.SetEvictionHook(func(n int) {
+			s.journal.Append(obs.Event{Type: obs.EventEstimatorEviction, Tick: s.tickNow.Load(),
+				Shard: s.shardIdx, Count: n, Detail: "windowed predicate states evicted"})
 		})
 	}
 	return s
 }
+
+// Journal returns the service's event journal (shared across workers
+// under the sharded runtime).
+func (s *Service) Journal() *obs.Journal { return s.journal }
+
+// TickTraces returns every retained trace of the given tick (empty when
+// the tick was not sampled; see WithTraceSampling).
+func (s *Service) TickTraces(tick int64) []obs.TickTrace { return s.tracer.ForTick(tick) }
+
+// SetTraceSampling sets the tick tracer's sampling period at runtime:
+// every n-th tick records one structured trace; n <= 0 disables tracing
+// (the default), restoring the zero-allocation tick path.
+func (s *Service) SetTraceSampling(n int) { s.tracer.SetSample(n) }
+
+// TraceSampling returns the current tick-trace sampling period (0 =
+// disabled).
+func (s *Service) TraceSampling() int { return s.tracer.Sampling() }
+
+// TraceTicks lists the distinct sampled ticks still retained by the
+// tracer's ring, oldest first.
+func (s *Service) TraceTicks() []int64 { return s.tracer.Ticks() }
 
 // treeAndKeys snapshots a registered query's probability-annotated tree
 // (estimator-backed probabilities, learned per-item costs) and its
@@ -790,6 +901,10 @@ func (s *Service) drainTrips() {
 		}
 	}
 	s.fleetInvalidated.Add(int64(marked))
+	if marked > 0 {
+		s.journal.Append(obs.Event{Type: obs.EventForcedReplan, Tick: s.tick, Shard: s.shardIdx,
+			Count: marked, Detail: "joint-plan entries marked stale"})
+	}
 }
 
 // QueryIDs lists registered query ids in registration order.
@@ -1030,7 +1145,12 @@ func (s *Service) planFleet(lead []*registered, fleetSet []bool) *fleet.Plan {
 func (s *Service) Tick() TickResult {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	tickStart := time.Now()
 	s.tick++
+	s.tickNow.Store(s.tick)
+	// One package-gate atomic load when tracing is disabled anywhere in
+	// the process — the whole tracing branch costs nothing otherwise.
+	traced := s.tracer.Sample(s.tick)
 	s.cache.Advance(1)
 	s.drainTrips()
 
@@ -1044,6 +1164,7 @@ func (s *Service) Tick() TickResult {
 	due := sc.due
 	out := TickResult{Tick: s.tick, Executions: make([]Execution, len(due))}
 	if len(due) == 0 {
+		s.hists.Observe(obs.PhaseTotal, time.Since(tickStart))
 		return out
 	}
 
@@ -1072,6 +1193,7 @@ func (s *Service) Tick() TickResult {
 		sc.classDue[c.leadIdx]++
 	}
 	lead, leadDueIdx := sc.lead, sc.leadDueIdx
+	planStart := time.Now()
 
 	// Phase 1a: joint planning of the linear-executor leaders.
 	if cap(sc.preps) < len(lead) {
@@ -1103,6 +1225,8 @@ func (s *Service) Tick() TickResult {
 		}
 		preps[i] = prep
 	})
+	planDur := time.Since(planStart)
+	acquireStart := time.Now()
 
 	// Phase 2: batched acquisition of the deduplicated opening windows.
 	if s.batch {
@@ -1171,6 +1295,9 @@ func (s *Service) Tick() TickResult {
 		}
 	}
 
+	acquireDur := time.Since(acquireStart)
+	execStart := time.Now()
+
 	// Phase 3: execute the leaders. Fleet-planned queries run their
 	// scratch plan directly — no per-query Prepared wrapper on the hot
 	// path.
@@ -1202,6 +1329,8 @@ func (s *Service) Tick() TickResult {
 		}
 		out.Executions[leadDueIdx[i]] = e
 	})
+	execDur := time.Since(execStart)
+	fanStart := time.Now()
 
 	// Fan the leaders' results out to their due twins: every shared
 	// subscriber observes the leader's verdict, evaluated count and
@@ -1264,7 +1393,54 @@ func (s *Service) Tick() TickResult {
 		}
 	}
 	s.observeCosts()
+
+	// Per-phase latency: five allocation-free atomic bumps.
+	totalDur := time.Since(tickStart)
+	s.hists.Observe(obs.PhasePlan, planDur)
+	s.hists.Observe(obs.PhaseAcquire, acquireDur)
+	s.hists.Observe(obs.PhaseExecute, execDur)
+	s.hists.Observe(obs.PhaseFanOut, time.Since(fanStart))
+	s.hists.Observe(obs.PhaseTotal, totalDur)
+	if traced {
+		s.recordTrace(tickStart, planDur, acquireDur, execDur, time.Since(fanStart), totalDur, len(due), lead, leadDueIdx, out)
+	}
 	return out
+}
+
+// recordTrace builds and stores one sampled tick trace (see
+// WithTraceSampling). Only sampled ticks reach here, so its allocations
+// never touch the steady-state tick path. Caller holds the service lock.
+func (s *Service) recordTrace(start time.Time, plan, acquire, exec, fan, total time.Duration,
+	dueN int, lead []*registered, leadDueIdx []int, out TickResult) {
+	tr := obs.TickTrace{
+		Tick:        s.tick,
+		Shard:       s.shardIdx,
+		StartUnixNs: start.UnixNano(),
+		PlanNs:      int64(plan),
+		AcquireNs:   int64(acquire),
+		ExecuteNs:   int64(exec),
+		FanOutNs:    int64(fan),
+		TotalNs:     int64(total),
+		DueQueries:  dueN,
+		DueClasses:  len(lead),
+		Classes:     make([]obs.ClassTrace, len(lead)),
+	}
+	for i, r := range lead {
+		e := out.Executions[leadDueIdx[i]]
+		tr.Classes[i] = obs.ClassTrace{
+			Leader:       r.id,
+			Shape:        r.cls.planKey,
+			Subscribers:  s.scratch.classDue[i],
+			PlanReused:   e.PlanReused,
+			FleetPlanned: e.FleetPlanned,
+			Strategy:     e.Strategy,
+			ExpectedCost: e.ExpectedCost,
+			RealizedCost: e.Cost,
+			Evaluated:    e.Evaluated,
+			Err:          e.Err,
+		}
+	}
+	s.tracer.Record(tr)
 }
 
 // observeCosts feeds this tick's realized per-stream acquisition costs
@@ -1474,6 +1650,12 @@ type Metrics struct {
 	// zero without an attached relay; see acquisition.ItemRelay).
 	RelayHits       int64   `json:"relay_hits,omitempty"`
 	RelaySavedSpend float64 `json:"relay_saved_spend,omitempty"`
+	// TickLatency is the per-phase tick-latency picture (phase name ->
+	// histogram snapshot with p50/p90/p99 estimates; see internal/obs).
+	// On a plain service it is the service's own latency; the sharded
+	// runtime merges every worker's histograms bucket-by-bucket, so the
+	// quantiles are fleet-wide. Omitted under WithTickHistograms(false).
+	TickLatency obs.LatencySnapshot `json:"tick_latency,omitempty"`
 	// PerStream breaks acquisition traffic down by stream, by registry
 	// index (see StreamMetrics).
 	PerStream []StreamMetrics `json:"per_stream"`
@@ -1540,6 +1722,9 @@ type ShardSummary struct {
 	PaidCost         float64 `json:"paid_cost"`
 	CacheTransferred int64   `json:"cache_transferred"`
 	CacheHitRate     float64 `json:"cache_hit_rate"`
+	// TickLatency is the shard's total-phase tick-latency histogram (nil
+	// when the worker reports no latency data).
+	TickLatency *obs.HistSnapshot `json:"tick_latency,omitempty"`
 }
 
 // Runtime is the serving surface shared by the single-process Service
@@ -1555,6 +1740,15 @@ type Runtime interface {
 	Results(id string, n int) ([]Execution, error)
 	QueryMetrics(id string) (QueryMetrics, error)
 	Metrics() Metrics
+	// Journal exposes the runtime's event journal (drift trips, forced
+	// replans, repartitions, relay publishes, estimator evictions) and
+	// TickTraces the sampled tick traces; SetTraceSampling changes the
+	// tracer's period at runtime (n <= 0 disables). See internal/obs.
+	Journal() *obs.Journal
+	TickTraces(tick int64) []obs.TickTrace
+	TraceTicks() []int64
+	SetTraceSampling(n int)
+	TraceSampling() int
 }
 
 // StreamMetrics reports one stream's share of the shared acquisition
@@ -1672,6 +1866,7 @@ func (s *Service) Metrics() Metrics {
 		m.PerQuery = append(m.PerQuery, r.m.withRatio())
 	}
 	sortQueryMetrics(m.PerQuery)
+	m.TickLatency = s.hists.Snapshot()
 	return m
 }
 

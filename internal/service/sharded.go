@@ -40,10 +40,12 @@ package service
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"paotr/internal/acquisition"
 	"paotr/internal/adapt"
 	"paotr/internal/engine"
+	"paotr/internal/obs"
 	"paotr/internal/shard"
 	"paotr/internal/stream"
 )
@@ -94,6 +96,16 @@ type Sharded struct {
 	tick          int64
 	lastRepart    int64
 	tripsAtRepart int64
+	// tickNow mirrors tick for the relay publish hook, which fires from
+	// worker tick goroutines while sh.mu is held by Tick.
+	tickNow atomic.Int64
+	// journal and tracer are shared with every in-process worker (via
+	// WithJournal/WithTracer), so coordinator events — repartitions,
+	// relay first-publishes — interleave with the workers' drift trips
+	// on one timeline, and a sampled tick yields one trace per shard.
+	// Remote workers keep their own process-local journals.
+	journal *obs.Journal
+	tracer  *obs.Tracer
 
 	repartitions int64
 	moved        int64
@@ -128,9 +140,12 @@ func NewSharded(reg *stream.Registry, k int, opts ...Option) *Sharded {
 		o(&cfg)
 	}
 	sh := newShardedShell(reg, k, cfg)
+	// Workers share the coordinator's journal and tracer: one fleet
+	// timeline, one trace ring with one entry per shard per sampled tick.
+	opts = append(append([]Option(nil), opts...), WithJournal(sh.journal), WithTracer(sh.tracer))
 	if k > 1 {
 		sh.ledger = acquisition.NewLedger(reg.Len())
-		opts = append(append([]Option(nil), opts...), WithSharedLedger(sh.ledger))
+		opts = append(opts, WithSharedLedger(sh.ledger))
 		if sh.relay != nil {
 			opts = append(opts, WithSharedRelay(sh.relay))
 		}
@@ -138,8 +153,8 @@ func NewSharded(reg *stream.Registry, k int, opts ...Option) *Sharded {
 	sh.workers = make([]Worker, k)
 	sh.locals = make([]*Service, k)
 	for i := range sh.workers {
-		svc := New(reg, opts...)
-		svc.shardIdx = i
+		workerOpts := append(append([]Option(nil), opts...), WithShardIndex(i))
+		svc := New(reg, workerOpts...)
 		sh.locals[i] = svc
 		sh.workers[i] = svc
 	}
@@ -161,13 +176,51 @@ func newShardedShell(reg *stream.Registry, k int, cfg config) *Sharded {
 		classSize:   map[string]int{},
 		shapeFactor: cfg.shapeFactor,
 		loads:       make([]float64, k),
+		journal:     cfg.journal,
+		tracer:      cfg.tracer,
+	}
+	if sh.journal == nil {
+		sh.journal = obs.NewJournal(0)
+	}
+	if sh.tracer == nil {
+		sh.tracer = obs.NewTracer(0)
+	}
+	if cfg.traceSample > 0 {
+		sh.tracer.SetSample(cfg.traceSample)
 	}
 	if k > 1 && cfg.relayFrac > 0 {
 		sh.relay = acquisition.NewItemRelay(reg.Len(), cfg.relayFrac)
 		sh.relayFrac = sh.relay.TransferFrac()
+		// No per-event formatting: first publishes fire once per unique
+		// item fleet-wide, and the hook runs under the relay's lock.
+		sh.relay.SetPublishHook(func(stream int, seq int64, cost float64) {
+			sh.journal.Append(obs.Event{Type: obs.EventRelayPublish, Tick: sh.tickNow.Load(),
+				Stream: stream, Count: 1, Before: cost, Detail: "item first published at full cost"})
+		})
 	}
 	return sh
 }
+
+// Journal returns the fleet's shared event journal: coordinator events
+// (repartitions, relay first-publishes) interleaved with every
+// in-process worker's drift trips and forced replans.
+func (sh *Sharded) Journal() *obs.Journal { return sh.journal }
+
+// TickTraces returns every shard's retained trace of the given tick
+// (one per in-process worker when the tick was sampled; see
+// SetTraceSampling).
+func (sh *Sharded) TickTraces(tick int64) []obs.TickTrace { return sh.tracer.ForTick(tick) }
+
+// SetTraceSampling sets the shared tick tracer's sampling period for
+// every in-process worker (n <= 0 disables).
+func (sh *Sharded) SetTraceSampling(n int) { sh.tracer.SetSample(n) }
+
+// TraceSampling returns the current tick-trace sampling period.
+func (sh *Sharded) TraceSampling() int { return sh.tracer.Sampling() }
+
+// TraceTicks lists the distinct sampled ticks still retained by the
+// shared tracer's ring, oldest first.
+func (sh *Sharded) TraceTicks() []int64 { return sh.tracer.Ticks() }
 
 // Shards returns the number of shard workers.
 func (sh *Sharded) Shards() int { return sh.k }
@@ -455,6 +508,8 @@ func (sh *Sharded) repartitionLocked() int {
 	sh.moved += int64(moved)
 	sh.recomputeLossLocked(profiles)
 	sh.updateRelayScalesLocked(profiles)
+	sh.journal.Append(obs.Event{Type: obs.EventRepartition, Tick: sh.tick,
+		Count: moved, Detail: "partitioner re-run over the whole fleet"})
 	return moved
 }
 
@@ -513,6 +568,7 @@ func (sh *Sharded) Tick() TickResult {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	sh.tick++
+	sh.tickNow.Store(sh.tick)
 	sh.maybeRepartitionLocked()
 	if sh.scalesDirty {
 		sh.updateRelayScalesLocked(nil)
@@ -664,12 +720,16 @@ func (sh *Sharded) Metrics() Metrics {
 			// shards learn independently from their own pulls.
 			tot.LearnedCostPerItem += ps.LearnedCostPerItem * float64(ps.Transferred)
 		}
+		// Histograms merge exactly: bucket counts add, so the fleet-wide
+		// quantiles are computed over every shard's observations. Remote
+		// workers' snapshots arrive through their Metrics JSON.
+		m.TickLatency = obs.MergeLatency(m.TickLatency, pm.TickLatency)
 		m.PerQuery = append(m.PerQuery, pm.PerQuery...)
 		load := 0.0
 		if i < len(sh.loads) {
 			load = sh.loads[i]
 		}
-		m.PerShard = append(m.PerShard, ShardSummary{
+		sum := ShardSummary{
 			Shard:            i,
 			Queries:          pm.Queries,
 			ExpectedLoad:     load,
@@ -677,7 +737,11 @@ func (sh *Sharded) Metrics() Metrics {
 			PaidCost:         pm.PaidCost,
 			CacheTransferred: pm.CacheTransferred,
 			CacheHitRate:     pm.CacheHitRate,
-		})
+		}
+		if total, ok := pm.TickLatency[obs.PhaseNames[obs.PhaseTotal]]; ok {
+			sum.TickLatency = &total
+		}
+		m.PerShard = append(m.PerShard, sum)
 	}
 	for k := range perStream {
 		ps := &perStream[k]

@@ -52,6 +52,9 @@ type Store struct {
 	// unlimited); evictions counts predicates dropped to honour it.
 	cap       int
 	evictions int64
+	// evictHook, when set, observes each eviction batch (see
+	// SetEvictionHook).
+	evictHook func(evicted int)
 	// PriorProb is the estimate returned for predicates with no history
 	// (default 0.5).
 	PriorProb float64
@@ -91,6 +94,16 @@ func (s *Store) Evictions() int64 {
 	return s.evictions
 }
 
+// SetEvictionHook installs an observer of cap-driven evictions: each
+// eviction batch reports how many predicates were dropped. The hook is
+// called with the store's lock held and must not call back into the
+// store; a service journals the events (see internal/obs).
+func (s *Store) SetEvictionHook(fn func(evicted int)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.evictHook = fn
+}
+
 // OldestKeys returns the least-recently-stamped keys to evict so that a
 // map of len(stamps) entries honours the cap, over-evicting by ~1/16 of
 // the cap so the scan amortizes over many insertions instead of running
@@ -124,10 +137,15 @@ func OldestKeys(stamps map[string]int64, cap int) []string {
 // evictLocked drops least-recently-recorded predicates until the cap is
 // honoured (see OldestKeys). Caller holds mu exclusively.
 func (s *Store) evictLocked() {
+	dropped := 0
 	for _, pred := range OldestKeys(s.stamps, s.cap) {
 		delete(s.counts, pred)
 		delete(s.stamps, pred)
 		s.evictions++
+		dropped++
+	}
+	if dropped > 0 && s.evictHook != nil {
+		s.evictHook(dropped)
 	}
 }
 
