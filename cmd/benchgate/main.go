@@ -19,7 +19,8 @@
 //
 // Without explicit files the default artifact set is compared
 // (BENCH_fleet.json, BENCH_adapt.json, BENCH_shard.json, BENCH_plan.json,
-// BENCH_relay.json). A file present in the baseline directory but missing
+// BENCH_relay.json, BENCH_cse.json, BENCH_obs.json, BENCH_admit.json).
+// A file present in the baseline directory but missing
 // from the current one fails the gate, and a gated metric that is zero,
 // negative or non-finite on either side is rejected as malformed (a
 // corrupted baseline must not silently disable the comparison).
@@ -42,7 +43,7 @@ import (
 )
 
 // defaultArtifacts is the benchmark set produced by the CI workflow.
-var defaultArtifacts = []string{"BENCH_fleet.json", "BENCH_adapt.json", "BENCH_shard.json", "BENCH_plan.json", "BENCH_relay.json", "BENCH_cse.json", "BENCH_obs.json"}
+var defaultArtifacts = []string{"BENCH_fleet.json", "BENCH_adapt.json", "BENCH_shard.json", "BENCH_plan.json", "BENCH_relay.json", "BENCH_cse.json", "BENCH_obs.json", "BENCH_admit.json"}
 
 func main() {
 	var (

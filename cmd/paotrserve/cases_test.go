@@ -957,7 +957,8 @@ func e2eCases() []e2eCase {
 				}},
 		}},
 	}
-	return append(cases, obsCases()...)
+	cases = append(cases, obsCases()...)
+	return append(cases, admitCases()...)
 }
 
 func mustDecode(t *testing.T, body []byte, out any) {

@@ -76,6 +76,22 @@
 // stream affinity, and relay state syncs at tick boundaries. A restarted
 // coordinator adopts the standing queries its workers still hold.
 //
+// The -admit flag (default on) gates registrations behind admission
+// control: every POST /queries is priced at its marginal joint cost (a
+// read-only dry run of the joint planner), charged against a per-tenant
+// token-bucket budget (-admit-rate J/tick refill, -admit-burst J cap;
+// the tenant is the id prefix before the first '/'), and tiered by the
+// request's "tier" field (gold, silver, or bronze — the default). Under
+// SLO burn (the last -admit-window ticks' p99 total-tick latency above
+// -admit-slo-gold-ms) bronze registrations are shed and silver deferred
+// while gold still admits; shed and deferred registrations get 429 with
+// a Retry-After hint and the quoted cost in the body, and deferred ones
+// are retried automatically at tick boundaries until budgets refill.
+// /metrics reports the backpressure state under "admission";
+// /metrics.prom exports the paotr_admit_* families; every verdict lands
+// in the event journal (admit/defer/shed). -admit=false serves the
+// ungated runtime, byte-identical to the pre-admission service.
+//
 // The -pprof flag exposes net/http/pprof under /debug/pprof/, for
 // CPU/heap profiling of a live fleet. /metrics reports joint planning
 // health alongside: plan_ns (cumulative wall time spent in the joint
@@ -94,9 +110,11 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"paotr/internal/acquisition"
 	"paotr/internal/adapt"
+	"paotr/internal/admit"
 	"paotr/internal/corpus"
 	"paotr/internal/engine"
 	"paotr/internal/service"
@@ -149,6 +167,20 @@ func main() {
 			"comma-separated worker base URLs to coordinate over (e.g. \"http://w0:8081,http://w1:8082\"); serves the public API over those workers")
 		pprofOn = flag.Bool("pprof", false,
 			"expose net/http/pprof under /debug/pprof/ (CPU/heap profiling of a live fleet, e.g. plan-time or per-tick allocation hunts)")
+		admitOn = flag.Bool("admit", true,
+			"gate registrations behind admission control: marginal-cost pricing, per-tenant budgets, SLA tiers (false = serve ungated, byte-identical to the pre-admission service)")
+		admitRate = flag.Float64("admit-rate", 0,
+			"per-tenant budget refill in planned J/tick (0 = default 25)")
+		admitBurst = flag.Float64("admit-burst", 0,
+			"per-tenant budget burst cap in planned J (0 = default 500)")
+		admitWindow = flag.Int("admit-window", 0,
+			"SLO window in ticks over which the admission controller measures p99 tick latency (0 = default 64)")
+		admitSLOGoldMS = flag.Float64("admit-slo-gold-ms", 0,
+			"gold-tier p99 tick-latency objective in milliseconds; sustained breach marks the fleet overloaded (0 = default 250)")
+		admitSLOSilverMS = flag.Float64("admit-slo-silver-ms", 0,
+			"silver-tier p99 tick-latency objective in milliseconds (0 = default 1000)")
+		admitSLOBronzeMS = flag.Float64("admit-slo-bronze-ms", 0,
+			"bronze-tier p99 tick-latency objective in milliseconds (0 = default 4000)")
 		traceSample = flag.Int("trace-sample", 0,
 			"tick-tracer sampling period: every n-th tick records one structured trace served at /debug/ticks/{n} (0 = tracing off, the zero-allocation default)")
 		logJSON = flag.Bool("log-json", false,
@@ -165,6 +197,10 @@ func main() {
 		scenario: *scenario, shiftTick: *shiftTick,
 		shards: *shards, repartition: *repartition, relayFrac: *relayFrac,
 		traceSample: *traceSample,
+		admit:       *admitOn,
+		admitRate:   *admitRate, admitBurst: *admitBurst, admitWindow: *admitWindow,
+		admitSLOGoldMS: *admitSLOGoldMS, admitSLOSilverMS: *admitSLOSilverMS,
+		admitSLOBronzeMS: *admitSLOBronzeMS,
 	}
 	if *workerMode {
 		lg.shard = *shardIndex
@@ -252,6 +288,55 @@ type serviceConfig struct {
 	// traceSample is the tick tracer's sampling period (0 = tracing off,
 	// the zero-allocation default; see service.WithTraceSampling).
 	traceSample int
+	// admit gates registrations behind admission control (the -admit
+	// flag); the remaining knobs tune the controller, 0 meaning the
+	// admit.DefaultConfig value.
+	admit            bool
+	admitRate        float64
+	admitBurst       float64
+	admitWindow      int
+	admitSLOGoldMS   float64
+	admitSLOSilverMS float64
+	admitSLOBronzeMS float64
+}
+
+// admitConfigFor maps the CLI's admission knobs onto an admit.Config,
+// falling back to admit.DefaultConfig for every zero knob.
+func admitConfigFor(cfg serviceConfig) admit.Config {
+	c := admit.DefaultConfig()
+	if cfg.admitRate > 0 {
+		c.RefillJPerTick = cfg.admitRate
+	}
+	if cfg.admitBurst > 0 {
+		c.BurstJ = cfg.admitBurst
+	}
+	if cfg.admitWindow > 0 {
+		c.WindowTicks = cfg.admitWindow
+	}
+	slos := []struct {
+		tier admit.Tier
+		ms   float64
+	}{
+		{admit.TierGold, cfg.admitSLOGoldMS},
+		{admit.TierSilver, cfg.admitSLOSilverMS},
+		{admit.TierBronze, cfg.admitSLOBronzeMS},
+	}
+	for _, s := range slos {
+		if s.ms > 0 {
+			c.SLOTickP99[s.tier] = time.Duration(s.ms * float64(time.Millisecond))
+		}
+	}
+	return c
+}
+
+// gateRuntime wraps rt in the admission gate when cfg asks for it.
+// Worker processes are never gated — admission is a front-door concern,
+// so the coordinator gates for the whole fleet.
+func gateRuntime(cfg serviceConfig, rt service.Runtime) service.Runtime {
+	if !cfg.admit {
+		return rt
+	}
+	return service.NewAdmissionGate(rt, admit.NewController(admitConfigFor(cfg)))
 }
 
 // newService builds the service over the standard simulated sensor fleet
@@ -332,9 +417,9 @@ func newServiceWith(cfg serviceConfig) (service.Runtime, error) {
 		if cfg.relayFrac > 0 {
 			opts = append(opts, service.WithRelay(cfg.relayFrac))
 		}
-		return service.NewSharded(reg, cfg.shards, opts...), nil
+		return gateRuntime(cfg, service.NewSharded(reg, cfg.shards, opts...)), nil
 	}
-	return service.New(reg, opts...), nil
+	return gateRuntime(cfg, service.New(reg, opts...)), nil
 }
 
 // newWorkerHandler builds a shard worker process: a plain service (plus
@@ -372,7 +457,11 @@ func newCoordinator(cfg serviceConfig, endpoints []string) (service.Runtime, err
 	if cfg.relayFrac > 0 {
 		opts = append(opts, service.WithRelay(cfg.relayFrac))
 	}
-	return service.NewShardedRemote(reg, endpoints, opts...)
+	sh, err := service.NewShardedRemote(reg, endpoints, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return gateRuntime(cfg, sh), nil
 }
 
 // server is the HTTP front-end over one serving runtime (plain or
@@ -454,6 +543,9 @@ type registerRequest struct {
 	// Executor selects the execution strategy for this query ("linear"
 	// or "adaptive"; empty uses the service default).
 	Executor string `json:"executor,omitempty"`
+	// Tier is the admission priority: "gold", "silver" or "bronze"
+	// (default). Ignored when the server runs -admit=false.
+	Tier string `json:"tier,omitempty"`
 }
 
 func (s *server) handleRegister(w http.ResponseWriter, r *http.Request) {
@@ -471,7 +563,17 @@ func (s *server) handleRegister(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	if err := s.svc.Register(req.ID, req.Query, opts...); err != nil {
+	tier, err := admit.ParseTier(req.Tier)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := s.register(req.ID, req.Query, tier, opts); err != nil {
+		var adm *service.AdmissionError
+		if errors.As(err, &adm) {
+			s.writeAdmission(w, adm)
+			return
+		}
 		status := http.StatusBadRequest
 		if errors.Is(err, service.ErrDuplicateID) {
 			status = http.StatusConflict
@@ -481,6 +583,40 @@ func (s *server) handleRegister(w http.ResponseWriter, r *http.Request) {
 	}
 	m, _ := s.svc.QueryMetrics(req.ID)
 	writeJSON(w, http.StatusCreated, m)
+}
+
+// register routes a registration through the admission gate's tiered
+// entry point when the runtime is gated, the plain Register otherwise.
+func (s *server) register(id, text string, tier admit.Tier, opts []service.QueryOption) error {
+	if g, ok := s.svc.(*service.AdmissionGate); ok {
+		return g.RegisterTier(id, text, tier, opts...)
+	}
+	return s.svc.Register(id, text, opts...)
+}
+
+// admissionResponse is the 429 body of a shed or deferred registration:
+// the controller's verdict, including the quoted marginal cost the
+// client was priced at.
+type admissionResponse struct {
+	Error    string         `json:"error"`
+	Decision admit.Decision `json:"decision"`
+	// Queued reports the registration was parked for automatic retry at
+	// tick boundaries (Defer verdicts): the client may poll GET /queries
+	// for it instead of re-POSTing.
+	Queued bool `json:"queued"`
+}
+
+// writeAdmission maps an admission rejection to 429 Too Many Requests
+// with a Retry-After hint in ticks.
+func (s *server) writeAdmission(w http.ResponseWriter, adm *service.AdmissionError) {
+	if adm.Decision.RetryAfterTicks > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(adm.Decision.RetryAfterTicks))
+	}
+	writeJSON(w, http.StatusTooManyRequests, admissionResponse{
+		Error:    adm.Error(),
+		Decision: adm.Decision,
+		Queued:   adm.Queued,
+	})
 }
 
 func (s *server) handleListQueries(w http.ResponseWriter, r *http.Request) {

@@ -122,6 +122,38 @@ func writeProm(buf *bytes.Buffer, m service.Metrics, j *obs.Journal, traceSample
 		}
 	}
 
+	// Admission-control backpressure (absent when -admit=false).
+	if a := m.Admission; a != nil {
+		gauge("paotr_admit_overloaded", "Whether the admission controller considers the fleet overloaded (recent p99 above the gold SLO).", b2f(a.Overloaded))
+		gauge("paotr_admit_recent_p99_seconds", "p99 total-tick latency over the last completed SLO window.", a.RecentP99Ns/1e9)
+		gauge("paotr_admit_slo_gold_seconds", "Gold-tier p99 tick-latency objective.", a.SLOGoldNs/1e9)
+		gauge("paotr_admit_deferred_pending", "Registrations parked in the defer queue awaiting budget or headroom.", float64(a.DeferredPending))
+		counter("paotr_admit_admitted_joules_total", "Quoted marginal J/tick admitted into the fleet.", a.AdmittedQuoteJ)
+		gauge("paotr_admit_shed_precision", "Fraction of sheds that hit non-gold tiers (1 = no gold query ever shed).", a.ShedPrecision)
+		p.Header("paotr_admit_decisions_total", "Admission verdicts by tier and action.", "counter")
+		tiers := make([]string, 0, len(a.Decisions))
+		for t := range a.Decisions {
+			tiers = append(tiers, t)
+		}
+		sort.Strings(tiers)
+		for _, t := range tiers {
+			actions := make([]string, 0, len(a.Decisions[t]))
+			for act := range a.Decisions[t] {
+				actions = append(actions, act)
+			}
+			sort.Strings(actions)
+			for _, act := range actions {
+				p.Value("paotr_admit_decisions_total", map[string]string{"tier": t, "action": act}, float64(a.Decisions[t][act]))
+			}
+		}
+		if len(a.Tenants) > 0 {
+			p.Header("paotr_admit_tenant_budget_joules", "Per-tenant token-bucket balance in planned J.", "gauge")
+			for _, tb := range a.Tenants {
+				p.Value("paotr_admit_tenant_budget_joules", map[string]string{"tenant": tb.Tenant}, tb.BalanceJ)
+			}
+		}
+	}
+
 	// Event-journal census and tracer state.
 	if j != nil {
 		byType := j.CountByType()
@@ -139,4 +171,12 @@ func writeProm(buf *bytes.Buffer, m service.Metrics, j *obs.Journal, traceSample
 		counter("paotr_journal_events_dropped_total", "Journal events evicted from the ring buffer.", float64(j.Dropped()))
 	}
 	gauge("paotr_trace_sample_period", "Tick-tracer sampling period (0 = tracing disabled).", float64(traceSample))
+}
+
+// b2f renders a boolean as a 0/1 gauge value.
+func b2f(v bool) float64 {
+	if v {
+		return 1
+	}
+	return 0
 }

@@ -1,0 +1,149 @@
+package admit
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+func testConfig() Config {
+	return Config{
+		RefillJPerTick: 10,
+		BurstJ:         30,
+		MaxQuoteJ:      [NumTiers]float64{0, 100, 20},
+		SLOTickP99: [NumTiers]time.Duration{
+			time.Millisecond,
+			10 * time.Millisecond,
+			100 * time.Millisecond,
+		},
+		WindowTicks: 4,
+	}
+}
+
+func TestParseTier(t *testing.T) {
+	for in, want := range map[string]Tier{
+		"": TierBronze, "gold": TierGold, "Silver": TierSilver, "BRONZE": TierBronze,
+	} {
+		got, err := ParseTier(in)
+		if err != nil || got != want {
+			t.Fatalf("ParseTier(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseTier("platinum"); err == nil {
+		t.Fatal("ParseTier accepted an unknown tier")
+	}
+}
+
+func TestTierJSONRoundTrip(t *testing.T) {
+	b, err := json.Marshal(TierSilver)
+	if err != nil || string(b) != `"silver"` {
+		t.Fatalf("marshal: %s, %v", b, err)
+	}
+	var tier Tier
+	if err := json.Unmarshal([]byte(`"gold"`), &tier); err != nil || tier != TierGold {
+		t.Fatalf("unmarshal: %v, %v", tier, err)
+	}
+}
+
+// TestBudgetExhaustionDefers: spending past the bucket defers with a
+// Retry-After that covers the shortfall at the refill rate, and the
+// deferred retry succeeds once the clock advances that far.
+func TestBudgetExhaustionDefers(t *testing.T) {
+	c := NewController(testConfig())
+	d := c.Decide(Request{ID: "a/q1", Tenant: "a", Tier: TierGold, QuoteJ: 30})
+	if d.Action != Admit {
+		t.Fatalf("first admission within burst: got %v (%s)", d.Action, d.Reason)
+	}
+	d = c.Decide(Request{ID: "a/q2", Tenant: "a", Tier: TierGold, QuoteJ: 25})
+	if d.Action != Defer || d.Reason != "budget-exhausted" {
+		t.Fatalf("over-budget: got %v (%s)", d.Action, d.Reason)
+	}
+	if d.RetryAfterTicks != 3 { // shortfall 25 J at 10 J/tick
+		t.Fatalf("retry-after: got %d ticks, want 3", d.RetryAfterTicks)
+	}
+	for i := 0; i < 3; i++ {
+		c.ObserveTick(time.Microsecond)
+	}
+	d = c.Decide(Request{ID: "a/q2", Tenant: "a", Tier: TierGold, QuoteJ: 25, Deferred: true})
+	if d.Action != Admit {
+		t.Fatalf("refilled retry: got %v (%s)", d.Action, d.Reason)
+	}
+	// Tenant budgets are independent: tenant b still has its full burst.
+	if d := c.Decide(Request{ID: "b/q1", Tenant: "b", Tier: TierGold, QuoteJ: 30}); d.Action != Admit {
+		t.Fatalf("independent tenant: got %v (%s)", d.Action, d.Reason)
+	}
+}
+
+// TestPriceCeilingSheds: a quote above the tier ceiling is shed, and
+// the same quote under a laxer tier is not.
+func TestPriceCeilingSheds(t *testing.T) {
+	c := NewController(testConfig())
+	if d := c.Decide(Request{ID: "a/big", Tenant: "a", Tier: TierBronze, QuoteJ: 25}); d.Action != Shed || d.Reason != "price-ceiling" {
+		t.Fatalf("bronze over ceiling: got %v (%s)", d.Action, d.Reason)
+	}
+	if d := c.Decide(Request{ID: "a/big2", Tenant: "a", Tier: TierSilver, QuoteJ: 25}); d.Action != Admit {
+		t.Fatalf("silver under ceiling: got %v (%s)", d.Action, d.Reason)
+	}
+}
+
+// TestSLOBurnShedsBronzeDefersSilver: when a window's p99 exceeds the
+// gold objective, bronze sheds, silver defers, gold admits; once the
+// latency recovers for a full window the gate reopens.
+func TestSLOBurnShedsBronzeDefersSilver(t *testing.T) {
+	c := NewController(testConfig())
+	for i := 0; i < 4; i++ {
+		c.ObserveTick(50 * time.Millisecond) // way past the 1ms gold target
+	}
+	if !c.Overloaded() {
+		t.Fatal("controller not overloaded after a slow window")
+	}
+	if d := c.Decide(Request{ID: "a/b1", Tenant: "a", Tier: TierBronze, QuoteJ: 1}); d.Action != Shed || d.Reason != "slo-burn" {
+		t.Fatalf("bronze under burn: got %v (%s)", d.Action, d.Reason)
+	}
+	d := c.Decide(Request{ID: "a/s1", Tenant: "a", Tier: TierSilver, QuoteJ: 1})
+	if d.Action != Defer || d.Reason != "slo-burn" || d.RetryAfterTicks != 4 {
+		t.Fatalf("silver under burn: got %v (%s) retry %d", d.Action, d.Reason, d.RetryAfterTicks)
+	}
+	if d := c.Decide(Request{ID: "a/g1", Tenant: "a", Tier: TierGold, QuoteJ: 1}); d.Action != Admit {
+		t.Fatalf("gold under burn: got %v (%s)", d.Action, d.Reason)
+	}
+	for i := 0; i < 4; i++ {
+		c.ObserveTick(100 * time.Microsecond)
+	}
+	if c.Overloaded() {
+		t.Fatal("controller still overloaded after a fast window")
+	}
+	if d := c.Decide(Request{ID: "a/b2", Tenant: "a", Tier: TierBronze, QuoteJ: 1}); d.Action != Admit {
+		t.Fatalf("bronze after recovery: got %v (%s)", d.Action, d.Reason)
+	}
+}
+
+// TestSnapshotCensus: the metrics snapshot carries the full decision
+// census, shed precision, and refilled tenant balances.
+func TestSnapshotCensus(t *testing.T) {
+	c := NewController(testConfig())
+	c.Decide(Request{ID: "a/q", Tenant: "a", Tier: TierGold, QuoteJ: 10})
+	c.Decide(Request{ID: "a/big", Tenant: "a", Tier: TierBronze, QuoteJ: 25}) // shed: ceiling
+	m := c.Snapshot()
+	if m.Decisions["gold"]["admit"] != 1 || m.Decisions["bronze"]["shed"] != 1 {
+		t.Fatalf("census: %+v", m.Decisions)
+	}
+	if m.ShedPrecision != 1 {
+		t.Fatalf("shed precision %v, want 1 (only bronze shed)", m.ShedPrecision)
+	}
+	if m.AdmittedQuoteJ != 10 {
+		t.Fatalf("admitted quote %v, want 10", m.AdmittedQuoteJ)
+	}
+	if len(m.Tenants) != 1 || m.Tenants[0].Tenant != "a" || m.Tenants[0].BalanceJ != 20 {
+		t.Fatalf("tenants: %+v", m.Tenants)
+	}
+}
+
+func TestTenantOf(t *testing.T) {
+	if got := TenantOf("a/tachycardia"); got != "a" {
+		t.Fatalf("TenantOf: %q", got)
+	}
+	if got := TenantOf("solo"); got != "solo" {
+		t.Fatalf("TenantOf without prefix: %q", got)
+	}
+}

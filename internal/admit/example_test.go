@@ -1,0 +1,38 @@
+package admit_test
+
+import (
+	"fmt"
+	"time"
+
+	"paotr/internal/admit"
+)
+
+// Example walks one tenant through the three admission outcomes: an
+// affordable overlap-discounted registration admits, an over-budget one
+// defers with a concrete Retry-After, and a bronze registration under
+// SLO burn is shed to protect the gold tier.
+func Example() {
+	c := admit.NewController(admit.Config{
+		RefillJPerTick: 10,
+		BurstJ:         30,
+		SLOTickP99:     [admit.NumTiers]time.Duration{time.Millisecond, 0, 0},
+		WindowTicks:    4,
+	})
+
+	d := c.Decide(admit.Request{ID: "a/cheap", Tenant: "a", Tier: admit.TierGold, QuoteJ: 25})
+	fmt.Printf("%s: %s\n", d.Action, d.Reason)
+
+	d = c.Decide(admit.Request{ID: "a/pricey", Tenant: "a", Tier: admit.TierGold, QuoteJ: 25})
+	fmt.Printf("%s: %s, retry in %d ticks\n", d.Action, d.Reason, d.RetryAfterTicks)
+
+	for i := 0; i < 4; i++ {
+		c.ObserveTick(50 * time.Millisecond) // a window far past the gold p99 objective
+	}
+	d = c.Decide(admit.Request{ID: "b/besteffort", Tenant: "b", Tier: admit.TierBronze, QuoteJ: 1})
+	fmt.Printf("%s: %s\n", d.Action, d.Reason)
+
+	// Output:
+	// admit: admitted
+	// defer: budget-exhausted, retry in 2 ticks
+	// shed: slo-burn
+}

@@ -1,0 +1,34 @@
+package fleet_test
+
+import (
+	"fmt"
+
+	"paotr/internal/fleet"
+	"paotr/internal/query"
+)
+
+// Example plans two queries that share a stream as one joint workload:
+// the joint cost model pays the shared item once, so the fleet plan is
+// cheaper than the sum of the independently planned queries.
+func Example() {
+	streams := []query.Stream{
+		{Name: "A", Cost: 4},
+		{Name: "B", Cost: 2},
+	}
+	alertA := &query.Tree{Streams: streams, Leaves: []query.Leaf{
+		{And: 0, Stream: 0, Items: 1, Prob: 0.5},
+		{And: 0, Stream: 1, Items: 1, Prob: 0.5},
+	}}
+	alertB := &query.Tree{Streams: streams, Leaves: []query.Leaf{
+		{And: 0, Stream: 0, Items: 1, Prob: 0.9},
+	}}
+
+	plan := fleet.PlanJoint([]*query.Tree{alertA, alertB}, nil)
+	fmt.Printf("joint expected cost: %.2f J\n", plan.Expected)
+	fmt.Printf("independent sum:     %.2f J\n", plan.IndependentExpected)
+	fmt.Printf("sharing saves:       %.2f J\n", plan.IndependentExpected-plan.Expected)
+	// Output:
+	// joint expected cost: 6.00 J
+	// independent sum:     8.00 J
+	// sharing saves:       2.00 J
+}

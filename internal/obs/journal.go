@@ -24,6 +24,12 @@ const (
 	// EventEstimatorEviction: the windowed estimator evicted cold
 	// predicate traces to stay under its cap (Count = traces evicted).
 	EventEstimatorEviction = "estimator-eviction"
+	// EventAdmit / EventDefer / EventShed: the admission controller's
+	// verdict on a registration (Pred carries the query id, Before the
+	// quoted marginal J/tick, Detail "tier=... tenant=... reason=...").
+	EventAdmit = "admit"
+	EventDefer = "defer"
+	EventShed  = "shed"
 )
 
 // Event is one timestamped journal entry. Fields not meaningful for a

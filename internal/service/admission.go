@@ -1,0 +1,292 @@
+// AdmissionGate is the service-side half of admission control: a
+// Runtime wrapper that quotes every registration's marginal joint cost
+// (QuoteRegister), asks the admit.Controller for a verdict, and
+// enforces it. Shed registrations fail with an AdmissionError; deferred
+// ones are parked in a retry queue the gate drains at tick boundaries,
+// so a deferred query is eventually admitted once budgets refill or the
+// overload clears — without the client having to retry. Every verdict
+// is journaled (obs.EventAdmit/EventDefer/EventShed) and the
+// controller's backpressure state rides along in Metrics().Admission.
+//
+// The gate wraps any Runtime — the plain service or the sharded
+// coordinator — and is itself a Runtime, so the HTTP layer serves it
+// unchanged. Building without the gate (paotrserve -admit=false) leaves
+// the wrapped runtime untouched: admission off is byte-identical to the
+// pre-admission service.
+package service
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"paotr/internal/admit"
+	"paotr/internal/obs"
+)
+
+// AdmissionError is the typed rejection a gated Register returns for a
+// Shed or Defer verdict; the HTTP layer maps it to 429 with a
+// Retry-After hint and the quoted cost.
+type AdmissionError struct {
+	// Decision is the controller's verdict, including the quoted
+	// marginal cost and, for Defer, the retry horizon in ticks.
+	Decision admit.Decision
+	// Queued reports that the gate parked the registration for automatic
+	// retry (Defer verdicts): the client may retry, but doesn't have to.
+	Queued bool
+}
+
+// Error renders the verdict operator-readably.
+func (e *AdmissionError) Error() string {
+	d := e.Decision
+	s := fmt.Sprintf("admission %s (%s): tier=%s tenant=%s quote=%.3f J/tick",
+		d.Action, d.Reason, d.Tier, d.Tenant, d.QuoteJ)
+	if d.RetryAfterTicks > 0 {
+		s += fmt.Sprintf(", retry after %d ticks", d.RetryAfterTicks)
+	}
+	return s
+}
+
+// deferredReg is one parked registration awaiting budget or headroom.
+type deferredReg struct {
+	id, text string
+	tier     admit.Tier
+	opts     []QueryOption
+	// notBefore is the gate tick at which the next retry may run.
+	notBefore int64
+}
+
+// AdmissionGate gates registrations on a wrapped Runtime. All methods
+// are safe for concurrent use. Construct with NewAdmissionGate.
+type AdmissionGate struct {
+	rt   Runtime
+	ctrl *admit.Controller
+
+	mu       sync.Mutex
+	ticks    int64
+	deferred []*deferredReg
+	byID     map[string]*deferredReg
+}
+
+// NewAdmissionGate wraps rt with admission control under ctrl's policy.
+func NewAdmissionGate(rt Runtime, ctrl *admit.Controller) *AdmissionGate {
+	return &AdmissionGate{rt: rt, ctrl: ctrl, byID: map[string]*deferredReg{}}
+}
+
+// Controller exposes the gate's admission controller (metrics, drills).
+func (g *AdmissionGate) Controller() *admit.Controller { return g.ctrl }
+
+// Register admits-or-rejects at the default (bronze) tier. Runtime
+// surface; tiered callers use RegisterTier.
+func (g *AdmissionGate) Register(id, text string, opts ...QueryOption) error {
+	return g.RegisterTier(id, text, admit.TierBronze, opts...)
+}
+
+// RegisterTier quotes the registration, asks the controller, and on
+// Admit registers it on the wrapped runtime. Shed returns an
+// AdmissionError; Defer parks the registration for automatic retry at
+// tick boundaries and returns an AdmissionError with Queued set.
+func (g *AdmissionGate) RegisterTier(id, text string, tier admit.Tier, opts ...QueryOption) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if _, parked := g.byID[id]; parked {
+		return fmt.Errorf("%w: %q (deferred)", ErrDuplicateID, id)
+	}
+	return g.admitLocked(&deferredReg{id: id, text: text, tier: tier, opts: opts}, false)
+}
+
+// admitLocked runs one quote-decide-enforce round for reg. Caller holds
+// g.mu. When requeue is set a Defer verdict re-parks the registration
+// instead of growing the queue.
+func (g *AdmissionGate) admitLocked(reg *deferredReg, requeue bool) error {
+	quote, err := g.rt.QuoteRegister(reg.id, reg.text, reg.opts...)
+	if err != nil {
+		if requeue {
+			// A parked registration that stopped quoting (its id was
+			// taken, its streams vanished) is dropped, not retried forever.
+			g.dropLocked(reg.id)
+		}
+		return err
+	}
+	d := g.ctrl.Decide(admit.Request{
+		ID:       reg.id,
+		Tenant:   admit.TenantOf(reg.id),
+		Tier:     reg.tier,
+		QuoteJ:   quote.MarginalJPerTick,
+		Deferred: requeue,
+	})
+	g.journal(reg.id, d)
+	switch d.Action {
+	case admit.Admit:
+		if err := g.rt.Register(reg.id, reg.text, reg.opts...); err != nil {
+			return err
+		}
+		if requeue {
+			g.dropLocked(reg.id)
+		}
+		return nil
+	case admit.Defer:
+		reg.notBefore = g.ticks + int64(d.RetryAfterTicks)
+		if !requeue {
+			g.deferred = append(g.deferred, reg)
+			g.byID[reg.id] = reg
+		}
+		return &AdmissionError{Decision: d, Queued: true}
+	default: // Shed
+		if requeue {
+			g.dropLocked(reg.id)
+		}
+		return &AdmissionError{Decision: d}
+	}
+}
+
+// journal appends the verdict to the wrapped runtime's event journal.
+func (g *AdmissionGate) journal(id string, d admit.Decision) {
+	typ := obs.EventAdmit
+	switch d.Action {
+	case admit.Defer:
+		typ = obs.EventDefer
+	case admit.Shed:
+		typ = obs.EventShed
+	}
+	g.rt.Journal().Append(obs.Event{
+		Type:   typ,
+		Tick:   g.ticks,
+		Shard:  -1,
+		Stream: -1,
+		Pred:   id,
+		Before: d.QuoteJ,
+		Count:  d.RetryAfterTicks,
+		Detail: fmt.Sprintf("tier=%s tenant=%s reason=%s", d.Tier, d.Tenant, d.Reason),
+	})
+}
+
+// dropLocked removes id from the defer queue. Caller holds g.mu.
+func (g *AdmissionGate) dropLocked(id string) {
+	if _, ok := g.byID[id]; !ok {
+		return
+	}
+	delete(g.byID, id)
+	for i, reg := range g.deferred {
+		if reg.id == id {
+			g.deferred = append(g.deferred[:i], g.deferred[i+1:]...)
+			break
+		}
+	}
+}
+
+// Tick retries due deferred registrations, advances the wrapped
+// runtime by one tick, and feeds the tick's total latency into the
+// controller's SLO window.
+func (g *AdmissionGate) Tick() TickResult {
+	g.retryDeferred()
+	start := time.Now()
+	res := g.rt.Tick()
+	g.ctrl.ObserveTick(time.Since(start))
+	g.mu.Lock()
+	g.ticks++
+	g.mu.Unlock()
+	return res
+}
+
+// Run ticks n times through the gate (so deferred retries and SLO
+// accounting happen every tick) and returns the per-tick results.
+func (g *AdmissionGate) Run(n int) []TickResult {
+	out := make([]TickResult, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, g.Tick())
+	}
+	return out
+}
+
+// retryDeferred re-runs admission for every parked registration whose
+// retry horizon has passed. Admitted and shed entries leave the queue;
+// still-deferred ones get a fresh horizon.
+func (g *AdmissionGate) retryDeferred() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if len(g.deferred) == 0 {
+		return
+	}
+	due := make([]*deferredReg, 0, len(g.deferred))
+	for _, reg := range g.deferred {
+		if reg.notBefore <= g.ticks {
+			due = append(due, reg)
+		}
+	}
+	for _, reg := range due {
+		// Errors are the queue's own state transitions (still deferred,
+		// shed, stale): nothing to propagate mid-tick.
+		_ = g.admitLocked(reg, true)
+	}
+}
+
+// Unregister removes a registered query, or cancels a still-deferred
+// registration.
+func (g *AdmissionGate) Unregister(id string) error {
+	g.mu.Lock()
+	if _, parked := g.byID[id]; parked {
+		g.dropLocked(id)
+		g.mu.Unlock()
+		return nil
+	}
+	g.mu.Unlock()
+	return g.rt.Unregister(id)
+}
+
+// DeferredIDs lists the parked registrations in arrival order.
+func (g *AdmissionGate) DeferredIDs() []string {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]string, len(g.deferred))
+	for i, reg := range g.deferred {
+		out[i] = reg.id
+	}
+	return out
+}
+
+// Metrics returns the wrapped runtime's metrics with the admission
+// controller's backpressure snapshot attached.
+func (g *AdmissionGate) Metrics() Metrics {
+	m := g.rt.Metrics()
+	snap := g.ctrl.Snapshot()
+	g.mu.Lock()
+	snap.DeferredPending = len(g.deferred)
+	g.mu.Unlock()
+	m.Admission = &snap
+	return m
+}
+
+// The remaining Runtime surface delegates to the wrapped runtime.
+
+// QuoteRegister prices a registration on the wrapped runtime.
+func (g *AdmissionGate) QuoteRegister(id, text string, opts ...QueryOption) (Quote, error) {
+	return g.rt.QuoteRegister(id, text, opts...)
+}
+
+// QueryIDs lists the wrapped runtime's registered query ids (parked
+// deferred registrations are not registered and do not appear).
+func (g *AdmissionGate) QueryIDs() []string { return g.rt.QueryIDs() }
+
+// Results reads back a query's recent executions.
+func (g *AdmissionGate) Results(id string, n int) ([]Execution, error) { return g.rt.Results(id, n) }
+
+// QueryMetrics reads back one query's aggregates.
+func (g *AdmissionGate) QueryMetrics(id string) (QueryMetrics, error) { return g.rt.QueryMetrics(id) }
+
+// Journal exposes the wrapped runtime's event journal.
+func (g *AdmissionGate) Journal() *obs.Journal { return g.rt.Journal() }
+
+// TickTraces exposes the wrapped runtime's sampled tick traces.
+func (g *AdmissionGate) TickTraces(tick int64) []obs.TickTrace { return g.rt.TickTraces(tick) }
+
+// TraceTicks lists the wrapped runtime's sampled ticks.
+func (g *AdmissionGate) TraceTicks() []int64 { return g.rt.TraceTicks() }
+
+// SetTraceSampling changes the wrapped runtime's tracer period.
+func (g *AdmissionGate) SetTraceSampling(n int) { g.rt.SetTraceSampling(n) }
+
+// TraceSampling reports the wrapped runtime's tracer period.
+func (g *AdmissionGate) TraceSampling() int { return g.rt.TraceSampling() }
+
+var _ Runtime = (*AdmissionGate)(nil)

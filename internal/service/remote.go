@@ -146,6 +146,7 @@ func NewWorkerHandler(svc *Service, mirror *acquisition.ItemRelay) *WorkerHandle
 	return h
 }
 
+// ServeHTTP dispatches to the worker protocol routes under /worker/.
 func (h *WorkerHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) { h.mux.ServeHTTP(w, r) }
 
 func workerJSON(w http.ResponseWriter, status int, v any) {

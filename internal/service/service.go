@@ -24,6 +24,7 @@ import (
 
 	"paotr/internal/acquisition"
 	"paotr/internal/adapt"
+	"paotr/internal/admit"
 	"paotr/internal/engine"
 	"paotr/internal/fleet"
 	"paotr/internal/obs"
@@ -1704,6 +1705,13 @@ type Metrics struct {
 	SharingLostPctRelay    float64 `json:"sharing_lost_pct_relay,omitempty"`
 	// PerShard breaks the fleet down by shard worker.
 	PerShard []ShardSummary `json:"per_shard,omitempty"`
+
+	// Admission is the admission controller's backpressure snapshot —
+	// overload verdict, decision census, tenant budgets (see
+	// internal/admit). Nil when the runtime is not behind an
+	// AdmissionGate, so admission off leaves the metrics payload
+	// byte-identical to the ungated service.
+	Admission *admit.Metrics `json:"admission,omitempty"`
 }
 
 // ShardSummary is one shard worker's slice of the sharded runtime's
@@ -1733,6 +1741,10 @@ type ShardSummary struct {
 // independent of how execution is partitioned.
 type Runtime interface {
 	Register(id, text string, opts ...QueryOption) error
+	// QuoteRegister prices a registration's marginal joint cost without
+	// performing it — the read-only front half of admission control (see
+	// Quote and fleet.QuoteJoint).
+	QuoteRegister(id, text string, opts ...QueryOption) (Quote, error)
 	Unregister(id string) error
 	QueryIDs() []string
 	Tick() TickResult

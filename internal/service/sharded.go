@@ -96,6 +96,9 @@ type Sharded struct {
 	tick          int64
 	lastRepart    int64
 	tripsAtRepart int64
+	// mergeByID is the tick merge's scratch map, reused across ticks so
+	// a large fleet doesn't re-grow a fleet-sized map every tick.
+	mergeByID map[string]Execution
 	// tickNow mirrors tick for the relay publish hook, which fires from
 	// worker tick goroutines while sh.mu is held by Tick.
 	tickNow atomic.Int64
@@ -268,13 +271,39 @@ func (sh *Sharded) recomputeLossLocked(profiles []shard.Query) {
 	if profiles == nil {
 		profiles = sh.profilesLocked()
 	}
-	sh.loss = shard.SharingLoss(profiles, sh.assign, sh.k)
+	sh.loss = shard.SharingLoss(sh.dedupByClassLocked(profiles), sh.assign, sh.k)
 	loads := make([]float64, sh.k)
 	for _, p := range profiles {
 		loads[sh.assign[p.ID]] += p.Load
 	}
 	sh.loads = loads
 	sh.lossDirty = false
+}
+
+// dedupByClassLocked keeps one profile per resident shape class — the
+// first member standing for every subscriber. Twins co-locate with
+// their class and an identical tree adds zero marginal joint cost, so
+// sharing-loss pricing over class representatives matches per-query
+// pricing while the planning work scales with distinct shapes instead
+// of fleet size (a 100k-query storm over 20 templates prices 20 trees,
+// not 100k). With shape factoring off every class is a singleton and
+// this is the identity. Caller holds sh.mu.
+func (sh *Sharded) dedupByClassLocked(profiles []shard.Query) []shard.Query {
+	seen := make(map[string]bool, len(sh.classSize))
+	out := profiles[:0:0]
+	for _, p := range profiles {
+		ck, ok := sh.shapeOf[p.ID]
+		if !ok {
+			out = append(out, p)
+			continue
+		}
+		if seen[ck] {
+			continue
+		}
+		seen[ck] = true
+		out = append(out, p)
+	}
+	return out
 }
 
 // refreshLossLocked re-prices the placement if it changed since the
@@ -585,7 +614,12 @@ func (sh *Sharded) Tick() TickResult {
 	wg.Wait()
 	// Executions arrive already stamped with their shard and the shared
 	// tick (every worker ticks once per Sharded.Tick).
-	byID := make(map[string]Execution)
+	if sh.mergeByID == nil {
+		sh.mergeByID = make(map[string]Execution, len(sh.regOrder))
+	} else {
+		clear(sh.mergeByID)
+	}
+	byID := sh.mergeByID
 	for _, tr := range results {
 		for _, e := range tr.Executions {
 			byID[e.ID] = e
